@@ -1,0 +1,50 @@
+//! Baseline costs: the Random baseline as a function of the trial budget
+//! (the paper uses 10,000) and the polynomial Problem 4 solver.
+
+use atd_bench::{project, testbed};
+use atd_core::objectives::{DuplicatePolicy, ObjectiveWeights};
+use atd_core::random::RandomTeamFinder;
+use atd_core::sa_only::best_sa_team;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    let tb = testbed();
+    let p = project(4, 888);
+    let weights = ObjectiveWeights::new(0.6, 0.6).unwrap();
+
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+
+    for &trials in &[100usize, 1_000, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("random", trials),
+            &trials,
+            |b, &trials| {
+                let finder = RandomTeamFinder::new(&tb.net.graph, &tb.net.skills);
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(17);
+                    finder.best_of(black_box(&p), weights, trials, &mut rng).ok()
+                })
+            },
+        );
+    }
+
+    group.bench_function("sa_only_problem4", |b| {
+        b.iter(|| {
+            best_sa_team(
+                &tb.net.graph,
+                &tb.net.skills,
+                black_box(&p),
+                DuplicatePolicy::PerSkill,
+            )
+            .ok()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

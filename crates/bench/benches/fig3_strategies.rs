@@ -1,0 +1,58 @@
+//! Figure 3's method comparison as a latency benchmark: how expensive is
+//! each ranking method (greedy strategies, the Random baseline, Exact) on
+//! the same 4-skill project.
+
+use atd_bench::{project, testbed};
+use atd_core::exact::{ExactConfig, ExactTeamFinder};
+use atd_core::objectives::ObjectiveWeights;
+use atd_core::random::RandomTeamFinder;
+use atd_core::strategy::Strategy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_methods(c: &mut Criterion) {
+    let tb = testbed();
+    let p = project(4, 300);
+    let weights = ObjectiveWeights::new(0.6, 0.6).unwrap();
+
+    let mut group = c.benchmark_group("fig3_methods");
+    group.sample_size(15);
+
+    group.bench_function("greedy_CC", |b| {
+        b.iter(|| tb.engine.best(black_box(&p), Strategy::Cc).ok())
+    });
+    group.bench_function("greedy_CA-CC", |b| {
+        b.iter(|| {
+            tb.engine
+                .best(black_box(&p), Strategy::CaCc { gamma: 0.6 })
+                .ok()
+        })
+    });
+    group.bench_function("greedy_SA-CA-CC", |b| {
+        b.iter(|| {
+            tb.engine
+                .best(black_box(&p), Strategy::SaCaCc { gamma: 0.6, lambda: 0.6 })
+                .ok()
+        })
+    });
+    group.bench_function("random_500_trials", |b| {
+        let finder = RandomTeamFinder::new(&tb.net.graph, &tb.net.skills);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            finder.best_of(black_box(&p), weights, 500, &mut rng).ok()
+        })
+    });
+    group.bench_function("exact_4_skills", |b| {
+        b.iter(|| {
+            let finder =
+                ExactTeamFinder::new(&tb.net.graph, &tb.net.skills, ExactConfig::new(weights));
+            finder.best(black_box(&p)).ok()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 5's λ sensitivity as a benchmark: SA-CA-CC query latency must be
+//! flat in λ (only the DIST adjustment changes; the index is shared),
+//! which is what makes the paper's λ-tuning-by-feedback loop practical.
+
+use atd_bench::{project, testbed};
+use atd_core::strategy::Strategy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_lambda_sweep(c: &mut Criterion) {
+    let tb = testbed();
+    let p = project(4, 550);
+    let mut group = c.benchmark_group("fig5_lambda_sweep");
+    group.sample_size(20);
+    for &lambda in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(lambda),
+            &lambda,
+            |b, &lambda| {
+                b.iter(|| {
+                    tb.engine
+                        .top_k(black_box(&p), Strategy::SaCaCc { gamma: 0.6, lambda }, 5)
+                        .ok()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lambda_sweep);
+criterion_main!(benches);

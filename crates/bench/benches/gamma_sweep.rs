@@ -1,0 +1,43 @@
+//! γ ablation: changing γ requires a new transformed graph + index
+//! (unlike λ, which only adjusts DIST). This bench quantifies that cost —
+//! the reason the engine caches transformed indices per γ.
+
+use atd_bench::{project, testbed};
+use atd_core::strategy::Strategy;
+use atd_core::transform::authority_transform;
+use atd_distance::PrunedLandmarkLabeling;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_gamma(c: &mut Criterion) {
+    let tb = testbed();
+    let p = project(4, 777);
+    let norm = tb.engine.normalization();
+
+    let mut group = c.benchmark_group("gamma_sweep");
+    group.sample_size(10);
+
+    group.bench_function("transform_only", |b| {
+        b.iter(|| black_box(authority_transform(&tb.net.graph, norm, 0.37)))
+    });
+
+    group.bench_function("transform_plus_index", |b| {
+        b.iter(|| {
+            let gp = authority_transform(&tb.net.graph, norm, 0.37);
+            black_box(PrunedLandmarkLabeling::build(&gp)).stats()
+        })
+    });
+
+    group.bench_function("query_with_cached_gamma", |b| {
+        tb.engine.prepare_gamma(0.6).unwrap();
+        b.iter(|| {
+            tb.engine
+                .best(black_box(&p), Strategy::CaCc { gamma: 0.6 })
+                .ok()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gamma);
+criterion_main!(benches);

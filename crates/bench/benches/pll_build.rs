@@ -1,0 +1,37 @@
+//! Index-construction cost: pruned landmark labeling build time vs graph
+//! size — the offline step backing the paper's "constant-time DIST" claim
+//! (ref [1], Akiba et al.).
+
+use atd_dblp::graph_build::{BuildConfig, ExpertNetwork};
+use atd_dblp::synth::{SynthConfig, SynthCorpus};
+use atd_distance::PrunedLandmarkLabeling;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn graph_of(authors: usize) -> atd_graph::ExpertGraph {
+    let synth = SynthCorpus::generate(&SynthConfig {
+        num_authors: authors,
+        seed: 3,
+        ..SynthConfig::default()
+    });
+    ExpertNetwork::build(synth.corpus, &BuildConfig::default())
+        .expect("network")
+        .graph
+}
+
+fn bench_pll_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pll_build");
+    group.sample_size(10);
+    for &authors in &[250usize, 500, 1000] {
+        let g = graph_of(authors);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}nodes", g.num_nodes())),
+            &g,
+            |b, g| b.iter(|| black_box(PrunedLandmarkLabeling::build(g)).stats()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pll_build);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Oracle ablation: per-query latency of the 2-hop cover vs memoized and
+//! cold Dijkstra. This is the design choice that makes Algorithm 1's
+//! `O(N·t·|Cmax|)` scan practical — each DIST must be near-constant.
+
+use atd_bench::testbed;
+use atd_distance::{DijkstraOracle, DistanceOracle, PrunedLandmarkLabeling};
+use atd_graph::NodeId;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn pairs(n: usize, count: usize) -> Vec<(NodeId, NodeId)> {
+    let mut x = 0xDEADBEEFu64;
+    (0..count)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = (x >> 33) as u32 % n as u32;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = (x >> 33) as u32 % n as u32;
+            (NodeId(u), NodeId(v))
+        })
+        .collect()
+}
+
+fn bench_oracles(c: &mut Criterion) {
+    let tb = testbed();
+    let g = &tb.net.graph;
+    let qs = pairs(g.num_nodes(), 256);
+
+    let pll = PrunedLandmarkLabeling::build(g);
+    let mut group = c.benchmark_group("pll_vs_dijkstra");
+    group.sample_size(20);
+
+    group.bench_function("pll_256_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(u, v) in &qs {
+                acc += pll.distance(u, v).unwrap_or(0.0);
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("dijkstra_memoized_256_queries", |b| {
+        b.iter(|| {
+            // Fresh oracle per iteration so memoization is realistic, not
+            // pre-warmed into trivial lookups.
+            let oracle = DijkstraOracle::new(g);
+            let mut acc = 0.0;
+            for &(u, v) in &qs {
+                acc += oracle.distance(u, v).unwrap_or(0.0);
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("dijkstra_cold_16_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(u, v) in qs.iter().take(16) {
+                let oracle = DijkstraOracle::with_cache_bound(g, 0);
+                acc += oracle.distance(u, v).unwrap_or(0.0);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracles);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! §4.1 runtime claim: CC, CA-CC and SA-CA-CC share the same algorithm
+//! and index, so per-query latency should be flat across strategies and
+//! grow with the number of required skills. One Criterion group per skill
+//! count, one bench per strategy.
+
+use atd_bench::{project, testbed};
+use atd_core::strategy::Strategy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_query_runtime(c: &mut Criterion) {
+    let tb = testbed();
+    let strategies = [
+        ("CC", Strategy::Cc),
+        ("CA-CC", Strategy::CaCc { gamma: 0.6 }),
+        (
+            "SA-CA-CC",
+            Strategy::SaCaCc {
+                gamma: 0.6,
+                lambda: 0.6,
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("query_runtime");
+    group.sample_size(20);
+    for &t in &[4usize, 6, 8, 10] {
+        let p = project(t, 42 + t as u64);
+        for (name, strategy) in strategies {
+            group.bench_with_input(BenchmarkId::new(name, t), &p, |b, p| {
+                b.iter(|| {
+                    let teams = tb.engine.top_k(black_box(p), strategy, 10);
+                    black_box(teams).ok()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_runtime);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! §4.3 venue-quality experiment as a benchmark: the full comparison
+//! (teams for five projects + publication simulation) and the simulation
+//! step alone.
+
+use atd_bench::testbed;
+use atd_eval::figures::venue_quality;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_venue_quality(c: &mut Criterion) {
+    let tb = testbed();
+    let mut group = c.benchmark_group("venue_quality");
+    group.sample_size(10);
+    group.bench_function("full_comparison", |b| {
+        b.iter(|| black_box(venue_quality::compute(tb)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_venue_quality);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Shared fixtures for the Criterion benches.
+//!
+//! Benches use a fixed synthetic DBLP testbed; indices are built once per
+//! process so measurements isolate query/search time, mirroring the
+//! paper's setup where the 2-hop cover is an offline step.
+
+use std::sync::OnceLock;
+
+use atd_core::skills::Project;
+use atd_eval::testbed::{Scale, Testbed};
+use atd_eval::workload::{generate_projects, WorkloadConfig};
+
+/// The shared bench testbed (tiny scale keeps Criterion's many iterations
+/// affordable while preserving graph structure).
+pub fn testbed() -> &'static Testbed {
+    static TB: OnceLock<Testbed> = OnceLock::new();
+    TB.get_or_init(|| {
+        let tb = Testbed::new(Scale::Tiny);
+        // Pre-build the γ=0.6 transformed index so benches measure search.
+        tb.engine
+            .prepare_gamma(atd_eval::PAPER_GAMMA)
+            .expect("index");
+        tb
+    })
+}
+
+/// A deterministic project of `t` skills on the shared testbed.
+pub fn project(t: usize, seed: u64) -> Project {
+    generate_projects(
+        &testbed().net.skills,
+        &WorkloadConfig {
+            num_skills: t,
+            count: 1,
+            min_holders: 2,
+            max_holders: 15,
+            seed,
+        },
+    )
+    .remove(0)
+}

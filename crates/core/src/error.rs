@@ -1,0 +1,82 @@
+//! Error types for team discovery.
+
+use crate::skills::SkillId;
+
+/// Errors raised by the team-formation algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiscoveryError {
+    /// The project requires no skills.
+    EmptyProject,
+    /// A required skill has no holder anywhere in the network.
+    UncoverableSkill(SkillId),
+    /// No connected team covering the project exists (holders are spread
+    /// across components with no common root).
+    NoTeamFound,
+    /// A tradeoff parameter was outside `[0, 1]` or NaN.
+    InvalidTradeoff {
+        /// `"gamma"` or `"lambda"`.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A replacement was requested for an expert who is not on the team.
+    NotATeamMember(atd_graph::NodeId),
+    /// The exact solver refused an instance exceeding its state budget
+    /// (the paper's Exact also fails beyond 6 skills).
+    InstanceTooLarge {
+        /// What blew up, e.g. `"2^terminals * nodes"`.
+        what: &'static str,
+        /// The computed size.
+        size: u128,
+        /// The configured limit.
+        limit: u128,
+    },
+}
+
+impl std::fmt::Display for DiscoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiscoveryError::EmptyProject => write!(f, "project requires no skills"),
+            DiscoveryError::UncoverableSkill(s) => {
+                write!(f, "skill {s} has no holder in the network")
+            }
+            DiscoveryError::NoTeamFound => {
+                write!(f, "no connected team covers the project")
+            }
+            DiscoveryError::NotATeamMember(n) => {
+                write!(f, "expert {n} is not a member of the team")
+            }
+            DiscoveryError::InvalidTradeoff { name, value } => {
+                write!(f, "tradeoff parameter {name}={value} must be in [0, 1]")
+            }
+            DiscoveryError::InstanceTooLarge { what, size, limit } => {
+                write!(f, "exact search too large: {what} = {size} > limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiscoveryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(DiscoveryError::EmptyProject.to_string().contains("no skills"));
+        assert!(DiscoveryError::UncoverableSkill(SkillId(4))
+            .to_string()
+            .contains('4'));
+        assert!(DiscoveryError::InvalidTradeoff { name: "gamma", value: 1.5 }
+            .to_string()
+            .contains("gamma"));
+        assert!(DiscoveryError::InstanceTooLarge {
+            what: "states",
+            size: 10,
+            limit: 5
+        }
+        .to_string()
+        .contains("limit"));
+    }
+}

@@ -1,0 +1,668 @@
+//! Algorithm 1 — the greedy team finder — and the [`Discovery`] engine
+//! wrapping it.
+//!
+//! ## Algorithm 1 (paper, §3.2)
+//!
+//! For every node `r` of the network as a candidate **root**: for each
+//! required skill `si`, pick the holder `v ∈ C(si)` minimizing the
+//! (strategy-adjusted) `DIST(r, v)`; the root's team cost is the sum of the
+//! chosen distances; keep the best `k` roots in a bounded list. `DIST` is
+//! answered by a 2-hop-cover (pruned landmark labeling) oracle, making each
+//! query near-constant and the whole scan `O(N · t · |Cmax|)`.
+//!
+//! ## One algorithm, three objectives
+//!
+//! * **CC** runs on the (normalized) original graph; `DIST` is the plain
+//!   shortest-path distance.
+//! * **CA-CC(γ)** runs on the transformed graph `G'`
+//!   ([`crate::transform`]), replacing `DIST(r, v)` by
+//!   `DIST(r, v) − γ·ā'(v)` (the holder `v` must not pay connector
+//!   authority).
+//! * **SA-CA-CC(γ, λ)** runs on the same `G'`, replacing `DIST(r, v)` by
+//!   `(1−λ)·(DIST(r, v) − γ·ā'(v)) + λ·ā'(v)`.
+//!
+//! In every case, if the root itself holds `si`, `DIST` is zero and the
+//! skill is assigned to the root.
+//!
+//! ## From root scan to teams
+//!
+//! The scan ranks `(root, assignment)` candidates by the algorithm cost
+//! (sum of adjusted distances). The best candidates are then
+//! **materialized**: one Dijkstra on the ranking graph from the root,
+//! paths to all assigned holders, union = the team tree (shortest paths in
+//! `G'` deliberately route through high-authority connectors). Exact
+//! objective scores (Definitions 2–6) are recomputed on the materialized
+//! tree against the *original* graph weights. Duplicated member sets
+//! (different roots growing the same team) are deduplicated, which is why
+//! the scan oversamples `k`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use atd_distance::{DistanceOracle, PrunedLandmarkLabeling};
+use atd_graph::{dijkstra_with_targets, ExpertGraph, NodeId, SubTree};
+
+use crate::error::DiscoveryError;
+use crate::normalize::Normalization;
+use crate::objectives::{score_team, DuplicatePolicy};
+use crate::skills::{Project, SkillIndex};
+use crate::strategy::Strategy;
+use crate::team::{ScoredTeam, Team};
+use crate::topk::BoundedTopK;
+use crate::transform::authority_transform;
+
+/// Tuning knobs for the [`Discovery`] engine.
+#[derive(Clone, Debug)]
+pub struct DiscoveryOptions {
+    /// Zero-guard for authority inversion (see [`Normalization`]).
+    pub min_authority: f64,
+    /// How `SA` counts an expert covering several skills.
+    pub duplicate_policy: DuplicatePolicy,
+    /// Worker threads for the root scan (`None` = available parallelism).
+    pub threads: Option<usize>,
+    /// How many extra candidates (multiples of `k`) to materialize before
+    /// deduplication; ≥ 1.
+    pub oversample: usize,
+    /// Post-process materialized teams with
+    /// [`Team::pruned`](crate::team::Team::pruned), removing dangling
+    /// connector chains (a strict improvement over the paper's verbatim
+    /// Algorithm 1; off by default for faithfulness — see the ablation
+    /// bench).
+    pub prune_dangling_connectors: bool,
+}
+
+impl Default for DiscoveryOptions {
+    fn default() -> Self {
+        DiscoveryOptions {
+            min_authority: Normalization::DEFAULT_MIN_AUTHORITY,
+            duplicate_policy: DuplicatePolicy::default(),
+            threads: None,
+            oversample: 4,
+            prune_dangling_connectors: false,
+        }
+    }
+}
+
+/// A ranking graph (original-normalized or transformed) plus its distance
+/// index.
+struct RankingContext {
+    graph: ExpertGraph,
+    pll: PrunedLandmarkLabeling,
+}
+
+impl RankingContext {
+    fn build(graph: ExpertGraph) -> Self {
+        let pll = PrunedLandmarkLabeling::build(&graph);
+        RankingContext { graph, pll }
+    }
+}
+
+/// One root-scan candidate: where to grow the team from and who covers
+/// what.
+#[derive(Clone, Debug)]
+struct Candidate {
+    root: NodeId,
+    assignment: Vec<(crate::skills::SkillId, NodeId)>,
+}
+
+/// The team-discovery engine: owns the expert network, its skill index,
+/// normalization, and the distance indices (built lazily per `γ`).
+pub struct Discovery {
+    graph: Arc<ExpertGraph>,
+    skills: Arc<SkillIndex>,
+    norm: Normalization,
+    options: DiscoveryOptions,
+    /// Index for CC (normalized original weights).
+    base: Arc<RankingContext>,
+    /// Indices for CA-CC / SA-CA-CC, keyed by `γ.to_bits()`.
+    transformed: RwLock<HashMap<u64, Arc<RankingContext>>>,
+}
+
+impl Discovery {
+    /// Builds the engine with default options. This constructs the PLL
+    /// index for the CC objective eagerly (the paper's indexing step).
+    pub fn new(graph: ExpertGraph, skills: SkillIndex) -> Result<Self, DiscoveryError> {
+        Self::with_options(graph, skills, DiscoveryOptions::default())
+    }
+
+    /// Builds the engine with explicit options.
+    pub fn with_options(
+        graph: ExpertGraph,
+        skills: SkillIndex,
+        options: DiscoveryOptions,
+    ) -> Result<Self, DiscoveryError> {
+        let norm = Normalization::compute_with_min_authority(&graph, options.min_authority);
+        let base_graph = graph.map_weights(|_, _, w| norm.w_bar(w));
+        let base = Arc::new(RankingContext::build(base_graph));
+        Ok(Discovery {
+            graph: Arc::new(graph),
+            skills: Arc::new(skills),
+            norm,
+            options,
+            base,
+            transformed: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// The original expert network.
+    pub fn graph(&self) -> &ExpertGraph {
+        &self.graph
+    }
+
+    /// The skill index.
+    pub fn skills(&self) -> &SkillIndex {
+        &self.skills
+    }
+
+    /// The normalization in effect.
+    pub fn normalization(&self) -> &Normalization {
+        &self.norm
+    }
+
+    /// The duplicate policy used when scoring `SA`.
+    pub fn duplicate_policy(&self) -> DuplicatePolicy {
+        self.options.duplicate_policy
+    }
+
+    /// Eagerly builds (and caches) the transformed index for `γ`. Useful
+    /// for benchmarks that must separate index construction from query
+    /// time.
+    pub fn prepare_gamma(&self, gamma: f64) -> Result<(), DiscoveryError> {
+        Strategy::CaCc { gamma }.validate()?;
+        let _ = self.context_for(Some(gamma));
+        Ok(())
+    }
+
+    fn context_for(&self, gamma: Option<f64>) -> Arc<RankingContext> {
+        match gamma {
+            None => Arc::clone(&self.base),
+            Some(g) => {
+                let key = g.to_bits();
+                if let Some(ctx) = self.transformed.read().get(&key) {
+                    return Arc::clone(ctx);
+                }
+                let gp = authority_transform(&self.graph, &self.norm, g);
+                let ctx = Arc::new(RankingContext::build(gp));
+                self.transformed.write().insert(key, Arc::clone(&ctx));
+                ctx
+            }
+        }
+    }
+
+    /// The adjusted `DIST(root, v)` for one holder candidate, or `None` if
+    /// unreachable.
+    #[inline]
+    fn adjusted_dist(
+        &self,
+        strategy: Strategy,
+        pll: &PrunedLandmarkLabeling,
+        root: NodeId,
+        v: NodeId,
+    ) -> Option<f64> {
+        let d = pll.distance(root, v)?;
+        Some(match strategy {
+            Strategy::Cc => d,
+            Strategy::CaCc { gamma } => d - gamma * self.norm.a_bar(v),
+            Strategy::SaCaCc { gamma, lambda } => {
+                (1.0 - lambda) * (d - gamma * self.norm.a_bar(v)) + lambda * self.norm.a_bar(v)
+            }
+        })
+    }
+
+    /// Runs Algorithm 1's inner loop for one root, returning the candidate
+    /// and its algorithm cost (or `None` when some skill is unreachable
+    /// from this root).
+    fn evaluate_root(
+        &self,
+        strategy: Strategy,
+        pll: &PrunedLandmarkLabeling,
+        project: &Project,
+        root: NodeId,
+    ) -> Option<(f64, Candidate)> {
+        let mut cost = 0.0;
+        let mut assignment = Vec::with_capacity(project.len());
+        for &s in project.skills() {
+            // "If root contains skill si, DIST is set to zero and si is
+            // assigned to root."
+            if self.skills.has_skill(root, s) {
+                assignment.push((s, root));
+                continue;
+            }
+            let mut best: Option<(f64, NodeId)> = None;
+            for &v in self.skills.holders(s) {
+                if let Some(adj) = self.adjusted_dist(strategy, pll, root, v) {
+                    let better = match best {
+                        None => true,
+                        // Deterministic tie-break on node id.
+                        Some((bc, bv)) => adj < bc || (adj == bc && v < bv),
+                    };
+                    if better {
+                        best = Some((adj, v));
+                    }
+                }
+            }
+            let (c, v) = best?;
+            cost += c;
+            assignment.push((s, v));
+        }
+        Some((cost, Candidate { root, assignment }))
+    }
+
+    /// Scans every root in parallel, returning the best `limit` candidates
+    /// by algorithm cost.
+    fn scan_roots(
+        &self,
+        strategy: Strategy,
+        pll: &PrunedLandmarkLabeling,
+        project: &Project,
+        limit: usize,
+    ) -> Vec<(f64, Candidate)> {
+        let n = self.graph.num_nodes();
+        let threads = self
+            .options
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            })
+            .clamp(1, n.max(1));
+
+        if threads <= 1 || n < 256 {
+            let mut local = BoundedTopK::new(limit);
+            for i in 0..n {
+                let root = NodeId::from_index(i);
+                if let Some((cost, cand)) = self.evaluate_root(strategy, pll, project, root) {
+                    local.offer(cost, cand);
+                }
+            }
+            return local.into_sorted();
+        }
+
+        let mut merged = BoundedTopK::new(limit);
+        let lists = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let pll_ref = &*pll;
+                let project_ref = project;
+                let this = &*self;
+                handles.push(scope.spawn(move |_| {
+                    let mut local = BoundedTopK::new(limit);
+                    // Strided partition keeps per-thread work balanced even
+                    // when expensive roots cluster by id.
+                    let mut i = t;
+                    while i < n {
+                        let root = NodeId::from_index(i);
+                        if let Some((cost, cand)) =
+                            this.evaluate_root(strategy, pll_ref, project_ref, root)
+                        {
+                            local.offer(cost, cand);
+                        }
+                        i += threads;
+                    }
+                    local
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("root-scan worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("crossbeam scope failed");
+        for l in lists {
+            merged.merge(l);
+        }
+        merged.into_sorted()
+    }
+
+    /// Materializes a candidate into a concrete team: one Dijkstra on the
+    /// ranking graph, paths to all assigned holders, tree weights taken
+    /// from the original graph.
+    fn materialize(&self, ranking_graph: &ExpertGraph, cand: &Candidate) -> Option<Team> {
+        let holders: Vec<NodeId> = cand.assignment.iter().map(|&(_, v)| v).collect();
+        let tree = if holders.iter().all(|&h| h == cand.root) {
+            SubTree::singleton(cand.root)
+        } else {
+            let sp = dijkstra_with_targets(ranking_graph, cand.root, Some(&holders));
+            let mut paths = Vec::with_capacity(holders.len());
+            for &h in &holders {
+                paths.push(sp.path_to(h)?);
+            }
+            SubTree::from_paths(&self.graph, cand.root, &paths).ok()?
+        };
+        let team = Team::new(tree, cand.assignment.clone());
+        Some(if self.options.prune_dangling_connectors {
+            team.pruned()
+        } else {
+            team
+        })
+    }
+
+    /// Finds the top-`k` teams for `project` under `strategy`.
+    ///
+    /// The root scan ranks candidates by Algorithm 1's internal cost (the
+    /// paper's list `L`); the oversampled survivors are materialized,
+    /// deduplicated by member set, and the final top-`k` is ordered by the
+    /// **exact recomputed objective** (ties broken by algorithm cost), so
+    /// the first team is always the best one actually found.
+    pub fn top_k(
+        &self,
+        project: &Project,
+        strategy: Strategy,
+        k: usize,
+    ) -> Result<Vec<ScoredTeam>, DiscoveryError> {
+        strategy.validate()?;
+        if project.is_empty() {
+            return Err(DiscoveryError::EmptyProject);
+        }
+        for &s in project.skills() {
+            if self.skills.holders(s).is_empty() {
+                return Err(DiscoveryError::UncoverableSkill(s));
+            }
+        }
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+
+        let ctx = self.context_for(strategy.gamma());
+        let limit = k.saturating_mul(self.options.oversample.max(1)).max(k);
+        let ranked = self.scan_roots(strategy, &ctx.pll, project, limit);
+        if ranked.is_empty() {
+            return Err(DiscoveryError::NoTeamFound);
+        }
+
+        let mut out: Vec<ScoredTeam> = Vec::with_capacity(ranked.len());
+        let mut seen: std::collections::HashSet<Vec<NodeId>> = std::collections::HashSet::new();
+        for (cost, cand) in ranked {
+            let Some(team) = self.materialize(&ctx.graph, &cand) else {
+                continue;
+            };
+            if !seen.insert(team.member_key()) {
+                continue;
+            }
+            let score = score_team(&self.norm, &team, self.options.duplicate_policy);
+            let objective = strategy.objective(&score);
+            out.push(ScoredTeam {
+                team,
+                score,
+                objective,
+                algorithm_cost: cost,
+            });
+        }
+        if out.is_empty() {
+            return Err(DiscoveryError::NoTeamFound);
+        }
+        out.sort_by(|a, b| {
+            a.objective
+                .total_cmp(&b.objective)
+                .then(a.algorithm_cost.total_cmp(&b.algorithm_cost))
+        });
+        out.truncate(k);
+        Ok(out)
+    }
+
+    /// Convenience: the single best team.
+    pub fn best(&self, project: &Project, strategy: Strategy) -> Result<ScoredTeam, DiscoveryError> {
+        Ok(self
+            .top_k(project, strategy, 1)?
+            .into_iter()
+            .next()
+            .expect("top_k(1) returns one team on success"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skills::SkillIndexBuilder;
+    use atd_graph::GraphBuilder;
+
+    /// The paper's Figure-1-style fixture: two holder pairs joined through
+    /// connectors of very different authority, equal raw edge weights.
+    ///
+    /// ```text
+    ///   h_sn_a (SN, auth 9)  - senior (auth 139) - h_tm_a (TM, auth 11)
+    ///   h_sn_b (SN, auth 5)  - junior (auth 12)  - h_tm_b (TM, auth 3)
+    /// ```
+    fn figure1() -> (ExpertGraph, SkillIndex, crate::skills::SkillId, crate::skills::SkillId) {
+        let mut b = GraphBuilder::new();
+        let h_sn_a = b.add_node(9.0);
+        let senior = b.add_node(139.0);
+        let h_tm_a = b.add_node(11.0);
+        let h_sn_b = b.add_node(5.0);
+        let junior = b.add_node(12.0);
+        let h_tm_b = b.add_node(3.0);
+        b.add_edge(h_sn_a, senior, 1.0).unwrap();
+        b.add_edge(senior, h_tm_a, 1.0).unwrap();
+        b.add_edge(h_sn_b, junior, 1.0).unwrap();
+        b.add_edge(junior, h_tm_b, 1.0).unwrap();
+        // A bridge so everything is one component (expensive to cross).
+        b.add_edge(senior, junior, 1.0).unwrap();
+        let g = b.build().unwrap();
+
+        let mut sb = SkillIndexBuilder::new();
+        let sn = sb.intern("social-networks");
+        let tm = sb.intern("text-mining");
+        sb.grant(h_sn_a, sn);
+        sb.grant(h_sn_b, sn);
+        sb.grant(h_tm_a, tm);
+        sb.grant(h_tm_b, tm);
+        let idx = sb.build(g.num_nodes());
+        (g, idx, sn, tm)
+    }
+
+    fn engine() -> (Discovery, Project) {
+        let (g, idx, sn, tm) = figure1();
+        let project = Project::new(vec![sn, tm]);
+        let d = Discovery::with_options(
+            g,
+            idx,
+            DiscoveryOptions {
+                threads: Some(1),
+                ..DiscoveryOptions::default()
+            },
+        )
+        .unwrap();
+        (d, project)
+    }
+
+    #[test]
+    fn cc_cannot_distinguish_equal_cost_teams_but_authority_can() {
+        let (d, project) = engine();
+        // Under CC both teams cost the same; under SA-CA-CC the senior team
+        // must win (this is exactly the paper's Figure 1 argument).
+        let best = d
+            .best(&project, Strategy::SaCaCc { gamma: 0.6, lambda: 0.6 })
+            .unwrap();
+        assert!(
+            best.team.members().contains(&NodeId(1)),
+            "the 139-h-index connector should be on the winning team, got {:?}",
+            best.team.members()
+        );
+        assert!(best.team.covers(&project));
+    }
+
+    #[test]
+    fn every_strategy_returns_covering_trees() {
+        let (d, project) = engine();
+        for strategy in [
+            Strategy::Cc,
+            Strategy::CaCc { gamma: 0.6 },
+            Strategy::SaCaCc { gamma: 0.6, lambda: 0.6 },
+        ] {
+            let teams = d.top_k(&project, strategy, 3).unwrap();
+            assert!(!teams.is_empty(), "{strategy} found nothing");
+            for st in &teams {
+                assert!(st.team.covers(&project), "{strategy} returned non-cover");
+                st.team.tree.validate().expect("valid tree");
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_deduplicated() {
+        let (d, project) = engine();
+        let teams = d
+            .top_k(&project, Strategy::Cc, 5)
+            .unwrap();
+        for w in teams.windows(2) {
+            assert!(w[0].objective <= w[1].objective);
+        }
+        let mut keys: Vec<_> = teams.iter().map(|t| t.team.member_key()).collect();
+        keys.sort();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(before, keys.len(), "member sets must be unique");
+    }
+
+    #[test]
+    fn root_holding_skill_assigns_itself() {
+        let (d, _) = engine();
+        let sn = d.skills().id_of("social-networks").unwrap();
+        let project = Project::new(vec![sn]);
+        let best = d.best(&project, Strategy::Cc).unwrap();
+        // A single-skill project must be solved by a single holder, no
+        // connectors and zero cost.
+        assert_eq!(best.team.size(), 1);
+        assert_eq!(best.score.cc, 0.0);
+        assert_eq!(best.algorithm_cost, 0.0);
+    }
+
+    #[test]
+    fn empty_project_is_rejected() {
+        let (d, _) = engine();
+        assert_eq!(
+            d.top_k(&Project::new(vec![]), Strategy::Cc, 1),
+            Err(DiscoveryError::EmptyProject)
+        );
+    }
+
+    #[test]
+    fn uncoverable_skill_is_rejected() {
+        let (g, idx, sn, _) = figure1();
+        let mut sb = SkillIndexBuilder::new();
+        let s0 = sb.intern("social-networks");
+        let ghost = sb.intern("quantum-basket-weaving");
+        for &h in idx.holders(sn) {
+            sb.grant(h, s0);
+        }
+        let idx2 = sb.build(g.num_nodes());
+        let d = Discovery::new(g, idx2).unwrap();
+        assert_eq!(
+            d.top_k(&Project::new(vec![s0, ghost]), Strategy::Cc, 1),
+            Err(DiscoveryError::UncoverableSkill(ghost))
+        );
+    }
+
+    #[test]
+    fn invalid_gamma_is_rejected() {
+        let (d, project) = engine();
+        assert!(matches!(
+            d.top_k(&project, Strategy::CaCc { gamma: 2.0 }, 1),
+            Err(DiscoveryError::InvalidTradeoff { .. })
+        ));
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let (d, project) = engine();
+        assert!(d.top_k(&project, Strategy::Cc, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn parallel_and_sequential_scans_agree() {
+        let (g, idx, sn, tm) = figure1();
+        let project = Project::new(vec![sn, tm]);
+        let seq = Discovery::with_options(
+            g.clone(),
+            idx.clone(),
+            DiscoveryOptions { threads: Some(1), ..Default::default() },
+        )
+        .unwrap();
+        let par = Discovery::with_options(
+            g,
+            idx,
+            DiscoveryOptions { threads: Some(4), ..Default::default() },
+        )
+        .unwrap();
+        for strategy in [Strategy::Cc, Strategy::SaCaCc { gamma: 0.6, lambda: 0.4 }] {
+            let a = seq.top_k(&project, strategy, 3).unwrap();
+            let b = par.top_k(&project, strategy, 3).unwrap();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.team.member_key(), y.team.member_key());
+                assert!((x.objective - y.objective).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_skills_yield_no_team() {
+        // Two components, one skill in each: no root reaches both.
+        let mut b = GraphBuilder::new();
+        let a0 = b.add_node(1.0);
+        let a1 = b.add_node(1.0);
+        let c0 = b.add_node(1.0);
+        let c1 = b.add_node(1.0);
+        b.add_edge(a0, a1, 1.0).unwrap();
+        b.add_edge(c0, c1, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let mut sb = SkillIndexBuilder::new();
+        let sa = sb.intern("a");
+        let sc = sb.intern("c");
+        sb.grant(a0, sa);
+        sb.grant(c0, sc);
+        let idx = sb.build(g.num_nodes());
+        let d = Discovery::new(g, idx).unwrap();
+        assert_eq!(
+            d.top_k(&Project::new(vec![sa, sc]), Strategy::Cc, 1),
+            Err(DiscoveryError::NoTeamFound)
+        );
+    }
+
+    #[test]
+    fn pruning_option_never_worsens_the_objective() {
+        let (g, idx, sn, tm) = figure1();
+        let project = Project::new(vec![sn, tm]);
+        let strategy = Strategy::SaCaCc { gamma: 0.6, lambda: 0.6 };
+        let faithful = Discovery::with_options(
+            g.clone(),
+            idx.clone(),
+            DiscoveryOptions { threads: Some(1), ..Default::default() },
+        )
+        .unwrap();
+        let pruned = Discovery::with_options(
+            g,
+            idx,
+            DiscoveryOptions {
+                threads: Some(1),
+                prune_dangling_connectors: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let a = faithful.top_k(&project, strategy, 5).unwrap();
+        let b = pruned.top_k(&project, strategy, 5).unwrap();
+        let best = |ts: &[crate::team::ScoredTeam]| {
+            ts.iter().map(|t| t.objective).fold(f64::INFINITY, f64::min)
+        };
+        assert!(best(&b) <= best(&a) + 1e-9, "pruning can only help");
+        for st in &b {
+            assert!(st.team.covers(&project));
+            st.team.tree.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn prepare_gamma_caches_the_transform() {
+        let (d, project) = engine();
+        d.prepare_gamma(0.6).unwrap();
+        assert!(d.prepare_gamma(2.0).is_err());
+        // Query after prepare must agree with query that builds lazily.
+        let a = d.best(&project, Strategy::CaCc { gamma: 0.6 }).unwrap();
+        let b = d.best(&project, Strategy::CaCc { gamma: 0.6 }).unwrap();
+        assert_eq!(a.team.member_key(), b.team.member_key());
+    }
+}

@@ -1,0 +1,168 @@
+//! Weight normalization.
+//!
+//! The paper combines edge weights and inverse authorities into one
+//! objective "after normalizing edge and node weights since they may have
+//! different scales" (Definition 4's preamble). This module fixes the
+//! convention used everywhere in this reproduction:
+//!
+//! * authorities are inverted with a zero-guard:
+//!   `a'(c) = 1 / max(a(c), min_authority)` — h-index 0 would otherwise
+//!   produce an infinite penalty; the paper's own Figure 6 shows h-index 1
+//!   as the observed minimum, so `min_authority` defaults to 1;
+//! * inverse authorities are scaled to `(0, 1]`:
+//!   `ā'(c) = a'(c) / max_c a'(c)`;
+//! * edge weights are scaled to `[0, 1]`: `w̄ = w / max_e w` (Jaccard
+//!   weights are already in `[0, 1]`, so on the DBLP graph this is nearly
+//!   the identity).
+
+use atd_graph::{ExpertGraph, NodeId};
+
+/// Precomputed normalization of a specific graph.
+#[derive(Clone, Debug)]
+pub struct Normalization {
+    w_scale: f64,
+    a_bar: Vec<f64>,
+    min_authority: f64,
+}
+
+impl Normalization {
+    /// Default zero-guard for authority inversion.
+    pub const DEFAULT_MIN_AUTHORITY: f64 = 1.0;
+
+    /// Computes the normalization for `g` with the default zero-guard.
+    pub fn compute(g: &ExpertGraph) -> Self {
+        Self::compute_with_min_authority(g, Self::DEFAULT_MIN_AUTHORITY)
+    }
+
+    /// Computes the normalization with an explicit authority zero-guard.
+    ///
+    /// # Panics
+    /// Panics if `min_authority` is not strictly positive.
+    pub fn compute_with_min_authority(g: &ExpertGraph, min_authority: f64) -> Self {
+        assert!(
+            min_authority > 0.0 && min_authority.is_finite(),
+            "min_authority must be positive and finite, got {min_authority}"
+        );
+        let w_max = g.max_edge_weight().unwrap_or(0.0);
+        let w_scale = if w_max > 0.0 { w_max } else { 1.0 };
+
+        let inv: Vec<f64> = g
+            .authorities()
+            .iter()
+            .map(|&a| 1.0 / a.max(min_authority))
+            .collect();
+        let inv_max = inv.iter().copied().fold(0.0f64, f64::max);
+        let inv_scale = if inv_max > 0.0 { inv_max } else { 1.0 };
+        let a_bar = inv.into_iter().map(|x| x / inv_scale).collect();
+
+        Normalization {
+            w_scale,
+            a_bar,
+            min_authority,
+        }
+    }
+
+    /// Normalized edge weight `w̄ ∈ [0, 1]`.
+    #[inline]
+    pub fn w_bar(&self, w: f64) -> f64 {
+        w / self.w_scale
+    }
+
+    /// Normalized inverse authority `ā'(c) ∈ (0, 1]`.
+    #[inline]
+    pub fn a_bar(&self, c: NodeId) -> f64 {
+        self.a_bar[c.index()]
+    }
+
+    /// The zero-guard in effect.
+    #[inline]
+    pub fn min_authority(&self) -> f64 {
+        self.min_authority
+    }
+
+    /// The edge-weight scale divisor.
+    #[inline]
+    pub fn w_scale(&self) -> f64 {
+        self.w_scale
+    }
+
+    /// Number of nodes covered.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.a_bar.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atd_graph::GraphBuilder;
+
+    fn graph() -> ExpertGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(10.0); // strongest expert
+        let c = b.add_node(2.0);
+        let d = b.add_node(0.0); // zero authority — needs the guard
+        b.add_edge(a, c, 2.0).unwrap();
+        b.add_edge(c, d, 4.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn edge_weights_scale_to_unit_interval() {
+        let n = Normalization::compute(&graph());
+        assert_eq!(n.w_bar(4.0), 1.0);
+        assert_eq!(n.w_bar(2.0), 0.5);
+        assert_eq!(n.w_scale(), 4.0);
+    }
+
+    #[test]
+    fn zero_authority_is_guarded() {
+        let n = Normalization::compute(&graph());
+        // a' = [0.1, 0.5, 1.0] -> max 1.0 -> ā' unchanged here.
+        assert!((n.a_bar(NodeId(2)) - 1.0).abs() < 1e-12);
+        assert!((n.a_bar(NodeId(0)) - 0.1).abs() < 1e-12);
+        assert!((n.a_bar(NodeId(1)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_authority_means_lower_a_bar() {
+        let n = Normalization::compute(&graph());
+        assert!(n.a_bar(NodeId(0)) < n.a_bar(NodeId(1)));
+        assert!(n.a_bar(NodeId(1)) < n.a_bar(NodeId(2)));
+    }
+
+    #[test]
+    fn custom_min_authority() {
+        let n = Normalization::compute_with_min_authority(&graph(), 2.0);
+        // a' = [0.1, 0.5, 0.5]; scale 0.5 -> ā' = [0.2, 1.0, 1.0].
+        assert!((n.a_bar(NodeId(0)) - 0.2).abs() < 1e-12);
+        assert!((n.a_bar(NodeId(1)) - 1.0).abs() < 1e-12);
+        assert_eq!(n.min_authority(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_guard() {
+        Normalization::compute_with_min_authority(&graph(), 0.0);
+    }
+
+    #[test]
+    fn edgeless_graph_uses_unit_scale() {
+        let mut b = GraphBuilder::new();
+        b.add_node(1.0);
+        let g = b.build().unwrap();
+        let n = Normalization::compute(&g);
+        assert_eq!(n.w_bar(3.0), 3.0, "no edges: scale divisor is 1");
+        assert_eq!(n.num_nodes(), 1);
+    }
+
+    #[test]
+    fn a_bar_is_in_unit_interval() {
+        let n = Normalization::compute(&graph());
+        for i in 0..n.num_nodes() {
+            let v = n.a_bar(NodeId(i as u32));
+            assert!(v > 0.0 && v <= 1.0, "ā'({i}) = {v}");
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Pareto-optimal team sets — the extension sketched in the paper's
+//! conclusion ("Another way to jointly optimize the communication cost and
+//! expert authority objectives is to find a set of Pareto-optimal teams").
+//!
+//! A team dominates another if it is no worse on all three normalized
+//! objectives `(CC, CA, SA)` and strictly better on at least one. The
+//! generator sweeps the greedy engine over a `(γ, λ)` grid to collect a
+//! diverse candidate pool, then filters to the non-dominated front —
+//! following the two-phase structure of the authors' follow-up work
+//! (Zihayat, Kargar, An; WI 2014, the paper's reference [6]).
+
+use crate::error::DiscoveryError;
+use crate::greedy::Discovery;
+use crate::skills::Project;
+use crate::strategy::Strategy;
+use crate::team::ScoredTeam;
+
+/// True if `a`'s objective vector dominates `b`'s.
+fn dominates(a: &ScoredTeam, b: &ScoredTeam) -> bool {
+    let better_eq = a.score.cc <= b.score.cc && a.score.ca <= b.score.ca && a.score.sa <= b.score.sa;
+    let strictly = a.score.cc < b.score.cc || a.score.ca < b.score.ca || a.score.sa < b.score.sa;
+    better_eq && strictly
+}
+
+/// Filters `candidates` to the Pareto front over `(CC, CA, SA)`,
+/// deduplicating identical member sets. Order follows ascending `CC`.
+pub fn pareto_front(candidates: Vec<ScoredTeam>) -> Vec<ScoredTeam> {
+    // Dedup by member set first (keeping the first occurrence).
+    let mut seen = std::collections::HashSet::new();
+    let pool: Vec<ScoredTeam> = candidates
+        .into_iter()
+        .filter(|c| seen.insert(c.team.member_key()))
+        .collect();
+
+    let mut front: Vec<ScoredTeam> = Vec::new();
+    for cand in pool {
+        if front.iter().any(|f| dominates(f, &cand)) {
+            continue;
+        }
+        front.retain(|f| !dominates(&cand, f));
+        front.push(cand);
+    }
+    front.sort_by(|a, b| a.score.cc.total_cmp(&b.score.cc));
+    front
+}
+
+/// Sweeps the greedy engine over a `(γ, λ)` grid (plus pure CC) and
+/// returns the Pareto front of everything found.
+///
+/// `grid` lists the tradeoff values to visit (e.g. `[0.2, 0.5, 0.8]`);
+/// `k_per_point` teams are collected per grid point.
+pub fn discover_pareto(
+    engine: &Discovery,
+    project: &Project,
+    grid: &[f64],
+    k_per_point: usize,
+) -> Result<Vec<ScoredTeam>, DiscoveryError> {
+    let mut pool: Vec<ScoredTeam> = Vec::new();
+    let mut last_err = None;
+
+    let mut strategies = vec![Strategy::Cc];
+    for &gamma in grid {
+        strategies.push(Strategy::CaCc { gamma });
+        for &lambda in grid {
+            strategies.push(Strategy::SaCaCc { gamma, lambda });
+        }
+    }
+
+    for strategy in strategies {
+        match engine.top_k(project, strategy, k_per_point) {
+            Ok(mut teams) => pool.append(&mut teams),
+            Err(e @ (DiscoveryError::EmptyProject | DiscoveryError::UncoverableSkill(_))) => {
+                return Err(e)
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+
+    if pool.is_empty() {
+        return Err(last_err.unwrap_or(DiscoveryError::NoTeamFound));
+    }
+    Ok(pareto_front(pool))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objectives::TeamScore;
+    use crate::skills::{SkillId, SkillIndexBuilder};
+    use crate::team::Team;
+    use atd_graph::{GraphBuilder, NodeId, SubTree};
+
+    fn scored(cc: f64, ca: f64, sa: f64, node: u32) -> ScoredTeam {
+        let team = Team::new(SubTree::singleton(NodeId(node)), vec![(SkillId(0), NodeId(node))]);
+        ScoredTeam {
+            team,
+            score: TeamScore { cc, ca, sa },
+            objective: cc,
+            algorithm_cost: cc,
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_removed() {
+        let front = pareto_front(vec![
+            scored(1.0, 1.0, 1.0, 0),
+            scored(2.0, 2.0, 2.0, 1), // dominated by the first
+            scored(0.5, 3.0, 1.0, 2), // tradeoff point — kept
+        ]);
+        let members: Vec<u32> = front.iter().map(|t| t.team.members()[0].0).collect();
+        assert_eq!(members, vec![2, 0]);
+    }
+
+    #[test]
+    fn equal_points_keep_one() {
+        // Identical scores on different nodes: neither strictly dominates.
+        let front = pareto_front(vec![scored(1.0, 1.0, 1.0, 0), scored(1.0, 1.0, 1.0, 1)]);
+        assert_eq!(front.len(), 2, "non-dominated ties are both kept");
+    }
+
+    #[test]
+    fn duplicate_member_sets_collapse() {
+        let front = pareto_front(vec![scored(1.0, 1.0, 1.0, 0), scored(0.1, 0.1, 0.1, 0)]);
+        assert_eq!(front.len(), 1, "same member set deduplicates");
+        assert_eq!(front[0].score.cc, 1.0, "first occurrence wins");
+    }
+
+    #[test]
+    fn front_is_mutually_non_dominated() {
+        let cands: Vec<ScoredTeam> = (0..20)
+            .map(|i| {
+                let f = i as f64;
+                scored((f * 7.0) % 5.0, (f * 3.0) % 4.0, (f * 11.0) % 3.0, i)
+            })
+            .collect();
+        let front = pareto_front(cands);
+        for a in &front {
+            for b in &front {
+                if a.team.member_key() != b.team.member_key() {
+                    assert!(!dominates(a, b), "front contains a dominated pair");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn discover_pareto_runs_on_a_small_network() {
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = [2.0, 30.0, 3.0, 8.0].iter().map(|&a| b.add_node(a)).collect();
+        b.add_edge(n[0], n[1], 0.2).unwrap();
+        b.add_edge(n[1], n[2], 0.2).unwrap();
+        b.add_edge(n[0], n[3], 0.1).unwrap();
+        b.add_edge(n[3], n[2], 0.1).unwrap();
+        let g = b.build().unwrap();
+        let mut sb = SkillIndexBuilder::new();
+        let s0 = sb.intern("a");
+        let s1 = sb.intern("b");
+        sb.grant(n[0], s0);
+        sb.grant(n[2], s1);
+        let idx = sb.build(4);
+        let engine = Discovery::new(g, idx).unwrap();
+        let project = Project::new(vec![s0, s1]);
+
+        let front = discover_pareto(&engine, &project, &[0.2, 0.8], 3).unwrap();
+        assert!(!front.is_empty());
+        for t in &front {
+            assert!(t.team.covers(&project));
+        }
+        // Ascending CC ordering.
+        for w in front.windows(2) {
+            assert!(w[0].score.cc <= w[1].score.cc);
+        }
+    }
+}

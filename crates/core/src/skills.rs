@@ -1,0 +1,284 @@
+//! Skills, projects, and the skill → holders index.
+//!
+//! Preliminaries of the paper: `S` is the skill universe, `S(c)` the skills
+//! of expert `c`, `C(s)` the experts holding skill `s`, and a project
+//! `P ⊆ S` is the set of required skills. [`SkillIndex`] stores both
+//! directions (`C(s)` and `S(c)`) with dense ids for `O(1)` lookups inside
+//! Algorithm 1's inner loop.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use atd_graph::NodeId;
+
+/// Dense skill identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SkillId(pub u32);
+
+impl SkillId {
+    /// Index form for vector access.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SkillId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for SkillId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A project: the deduplicated set of required skills
+/// `P = {s1, …, sn}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Project {
+    skills: Vec<SkillId>,
+}
+
+impl Project {
+    /// Builds a project, deduplicating while preserving first-seen order.
+    pub fn new(skills: Vec<SkillId>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        let skills = skills.into_iter().filter(|s| seen.insert(*s)).collect();
+        Project { skills }
+    }
+
+    /// The required skills.
+    #[inline]
+    pub fn skills(&self) -> &[SkillId] {
+        &self.skills
+    }
+
+    /// Number of required skills (`t` in Algorithm 1).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.skills.len()
+    }
+
+    /// True for the empty project.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.skills.is_empty()
+    }
+}
+
+/// Builder for a [`SkillIndex`].
+#[derive(Default)]
+pub struct SkillIndexBuilder {
+    names: Vec<String>,
+    by_name: HashMap<String, SkillId>,
+    grants: Vec<(NodeId, SkillId)>,
+}
+
+impl SkillIndexBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a skill name, returning its id (idempotent).
+    pub fn intern(&mut self, name: &str) -> SkillId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = SkillId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Records that expert `node` holds `skill`.
+    pub fn grant(&mut self, node: NodeId, skill: SkillId) {
+        self.grants.push((node, skill));
+    }
+
+    /// Finalizes the two-directional index for a graph of `num_nodes`
+    /// nodes. Grants to out-of-range nodes panic (they indicate a
+    /// graph/skill-source mismatch).
+    pub fn build(mut self, num_nodes: usize) -> SkillIndex {
+        self.grants.sort();
+        self.grants.dedup();
+
+        let num_skills = self.names.len();
+        let mut holders: Vec<Vec<NodeId>> = vec![Vec::new(); num_skills];
+        let mut skills_of: Vec<Vec<SkillId>> = vec![Vec::new(); num_nodes];
+        for (node, skill) in self.grants {
+            assert!(
+                node.index() < num_nodes,
+                "skill grant references node {node} beyond graph size {num_nodes}"
+            );
+            holders[skill.index()].push(node);
+            skills_of[node.index()].push(skill);
+        }
+
+        SkillIndex {
+            names: self.names,
+            by_name: self.by_name,
+            holders,
+            skills_of,
+        }
+    }
+}
+
+/// The bidirectional skill index: `C(s)` and `S(c)`.
+#[derive(Clone, Debug)]
+pub struct SkillIndex {
+    names: Vec<String>,
+    by_name: HashMap<String, SkillId>,
+    holders: Vec<Vec<NodeId>>,
+    skills_of: Vec<Vec<SkillId>>,
+}
+
+impl SkillIndex {
+    /// Number of distinct skills.
+    #[inline]
+    pub fn num_skills(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The name of `skill`.
+    #[inline]
+    pub fn name(&self, skill: SkillId) -> &str {
+        &self.names[skill.index()]
+    }
+
+    /// Looks a skill up by name.
+    pub fn id_of(&self, name: &str) -> Option<SkillId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// `C(s)`: the experts holding `skill`, ascending by node id.
+    #[inline]
+    pub fn holders(&self, skill: SkillId) -> &[NodeId] {
+        &self.holders[skill.index()]
+    }
+
+    /// `S(c)`: the skills of `node`, ascending.
+    #[inline]
+    pub fn skills_of(&self, node: NodeId) -> &[SkillId] {
+        &self.skills_of[node.index()]
+    }
+
+    /// True if `node` holds `skill` (binary search over `S(c)`).
+    #[inline]
+    pub fn has_skill(&self, node: NodeId, skill: SkillId) -> bool {
+        self.skills_of[node.index()].binary_search(&skill).is_ok()
+    }
+
+    /// The largest holder set size over the project's skills
+    /// (`|Cmax|` in the paper's complexity analysis).
+    pub fn max_holder_count(&self, project: &Project) -> usize {
+        project
+            .skills()
+            .iter()
+            .map(|&s| self.holders(s).len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Skills having at least `min_holders` holders — the workload
+    /// generator samples projects from this pool.
+    pub fn skills_with_min_holders(&self, min_holders: usize) -> Vec<SkillId> {
+        (0..self.num_skills() as u32)
+            .map(SkillId)
+            .filter(|&s| self.holders(s).len() >= min_holders)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_index() -> SkillIndex {
+        let mut b = SkillIndexBuilder::new();
+        let ml = b.intern("ml");
+        let db = b.intern("db");
+        assert_eq!(b.intern("ml"), ml, "intern is idempotent");
+        b.grant(NodeId(0), ml);
+        b.grant(NodeId(1), ml);
+        b.grant(NodeId(1), db);
+        b.grant(NodeId(1), db); // duplicate grant
+        b.build(3)
+    }
+
+    #[test]
+    fn holders_and_skills_of() {
+        let idx = sample_index();
+        let ml = idx.id_of("ml").unwrap();
+        let db = idx.id_of("db").unwrap();
+        assert_eq!(idx.holders(ml), &[NodeId(0), NodeId(1)]);
+        assert_eq!(idx.holders(db), &[NodeId(1)]);
+        assert_eq!(idx.skills_of(NodeId(1)), &[ml, db]);
+        assert!(idx.skills_of(NodeId(2)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_grants_collapse() {
+        let idx = sample_index();
+        let db = idx.id_of("db").unwrap();
+        assert_eq!(idx.holders(db).len(), 1);
+    }
+
+    #[test]
+    fn has_skill() {
+        let idx = sample_index();
+        let ml = idx.id_of("ml").unwrap();
+        let db = idx.id_of("db").unwrap();
+        assert!(idx.has_skill(NodeId(0), ml));
+        assert!(!idx.has_skill(NodeId(0), db));
+        assert!(!idx.has_skill(NodeId(2), ml));
+    }
+
+    #[test]
+    fn project_dedups_preserving_order() {
+        let p = Project::new(vec![SkillId(2), SkillId(1), SkillId(2), SkillId(0)]);
+        assert_eq!(p.skills(), &[SkillId(2), SkillId(1), SkillId(0)]);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert!(Project::new(vec![]).is_empty());
+    }
+
+    #[test]
+    fn max_holder_count() {
+        let idx = sample_index();
+        let ml = idx.id_of("ml").unwrap();
+        let db = idx.id_of("db").unwrap();
+        let p = Project::new(vec![ml, db]);
+        assert_eq!(idx.max_holder_count(&p), 2);
+        assert_eq!(idx.max_holder_count(&Project::new(vec![])), 0);
+    }
+
+    #[test]
+    fn skills_with_min_holders_filters() {
+        let idx = sample_index();
+        let ml = idx.id_of("ml").unwrap();
+        assert_eq!(idx.skills_with_min_holders(2), vec![ml]);
+        assert_eq!(idx.skills_with_min_holders(1).len(), 2);
+        assert!(idx.skills_with_min_holders(3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond graph size")]
+    fn out_of_range_grant_panics() {
+        let mut b = SkillIndexBuilder::new();
+        let s = b.intern("x");
+        b.grant(NodeId(10), s);
+        b.build(3);
+    }
+
+    #[test]
+    fn unknown_name_lookup() {
+        let idx = sample_index();
+        assert_eq!(idx.id_of("nope"), None);
+        assert_eq!(idx.num_skills(), 2);
+        assert_eq!(idx.name(SkillId(0)), "ml");
+    }
+}

@@ -1,0 +1,141 @@
+//! Ranking strategies: which of the paper's objectives drives the search.
+
+use crate::error::DiscoveryError;
+use crate::objectives::TeamScore;
+
+/// The three ranking strategies evaluated in the paper (§4): `CC` is the
+/// prior state of the art; `CA-CC` and `SA-CA-CC` are the paper's
+/// contributions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Strategy {
+    /// Problem 1 — minimize communication cost only.
+    Cc,
+    /// Problem 3 — minimize `γ·CA + (1−γ)·CC`; `γ = 1` degenerates to
+    /// Problem 2 (pure connector authority).
+    CaCc {
+        /// Connector-authority tradeoff, `0 ≤ γ ≤ 1`.
+        gamma: f64,
+    },
+    /// Problem 5 — minimize `λ·SA + (1−λ)·(γ·CA + (1−γ)·CC)`.
+    SaCaCc {
+        /// Connector-authority tradeoff, `0 ≤ γ ≤ 1`.
+        gamma: f64,
+        /// Skill-holder tradeoff, `0 ≤ λ ≤ 1`.
+        lambda: f64,
+    },
+}
+
+impl Strategy {
+    /// Validates tradeoff parameters.
+    pub fn validate(&self) -> Result<(), DiscoveryError> {
+        let check = |name: &'static str, value: f64| {
+            if !(0.0..=1.0).contains(&value) || value.is_nan() {
+                Err(DiscoveryError::InvalidTradeoff { name, value })
+            } else {
+                Ok(())
+            }
+        };
+        match *self {
+            Strategy::Cc => Ok(()),
+            Strategy::CaCc { gamma } => check("gamma", gamma),
+            Strategy::SaCaCc { gamma, lambda } => {
+                check("gamma", gamma)?;
+                check("lambda", lambda)
+            }
+        }
+    }
+
+    /// The `γ` this strategy transforms the graph with (`None` for CC,
+    /// which runs on the untransformed graph).
+    pub fn gamma(&self) -> Option<f64> {
+        match *self {
+            Strategy::Cc => None,
+            Strategy::CaCc { gamma } | Strategy::SaCaCc { gamma, .. } => Some(gamma),
+        }
+    }
+
+    /// The `λ` blending skill-holder authority (`None` unless SA-CA-CC).
+    pub fn lambda(&self) -> Option<f64> {
+        match *self {
+            Strategy::SaCaCc { lambda, .. } => Some(lambda),
+            _ => None,
+        }
+    }
+
+    /// Evaluates this strategy's objective on exact team scores.
+    pub fn objective(&self, score: &TeamScore) -> f64 {
+        match *self {
+            Strategy::Cc => score.cc,
+            Strategy::CaCc { gamma } => score.ca_cc(gamma),
+            Strategy::SaCaCc { gamma, lambda } => score.sa_ca_cc(gamma, lambda),
+        }
+    }
+
+    /// Short display name matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Cc => "CC",
+            Strategy::CaCc { .. } => "CA-CC",
+            Strategy::SaCaCc { .. } => "SA-CA-CC",
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Strategy::Cc => write!(f, "CC"),
+            Strategy::CaCc { gamma } => write!(f, "CA-CC(γ={gamma})"),
+            Strategy::SaCaCc { gamma, lambda } => {
+                write!(f, "SA-CA-CC(γ={gamma}, λ={lambda})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(Strategy::Cc.validate().is_ok());
+        assert!(Strategy::CaCc { gamma: 0.6 }.validate().is_ok());
+        assert!(Strategy::CaCc { gamma: 1.5 }.validate().is_err());
+        assert!(Strategy::SaCaCc { gamma: 0.6, lambda: -0.1 }.validate().is_err());
+        assert!(Strategy::SaCaCc { gamma: f64::NAN, lambda: 0.5 }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn gamma_lambda_accessors() {
+        assert_eq!(Strategy::Cc.gamma(), None);
+        assert_eq!(Strategy::CaCc { gamma: 0.3 }.gamma(), Some(0.3));
+        assert_eq!(
+            Strategy::SaCaCc { gamma: 0.3, lambda: 0.7 }.lambda(),
+            Some(0.7)
+        );
+        assert_eq!(Strategy::CaCc { gamma: 0.3 }.lambda(), None);
+    }
+
+    #[test]
+    fn objective_dispatch() {
+        let s = TeamScore { cc: 2.0, ca: 1.0, sa: 0.5 };
+        assert_eq!(Strategy::Cc.objective(&s), 2.0);
+        assert!((Strategy::CaCc { gamma: 0.5 }.objective(&s) - 1.5).abs() < 1e-12);
+        let v = Strategy::SaCaCc { gamma: 0.5, lambda: 0.5 }.objective(&s);
+        assert!((v - (0.25 + 0.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Strategy::Cc.label(), "CC");
+        assert_eq!(Strategy::CaCc { gamma: 0.1 }.label(), "CA-CC");
+        assert_eq!(
+            Strategy::SaCaCc { gamma: 0.1, lambda: 0.1 }.label(),
+            "SA-CA-CC"
+        );
+        assert!(format!("{}", Strategy::CaCc { gamma: 0.6 }).contains("0.6"));
+    }
+}

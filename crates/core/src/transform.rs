@@ -1,0 +1,143 @@
+//! The `G → G'` authority transform (§3.2.2 of the paper).
+//!
+//! To let the communication-cost algorithm optimize authority too, node
+//! weights are moved onto edges:
+//!
+//! ```text
+//! w'(ci, cj) = γ · (ā'(ci) + ā'(cj)) + 2(1−γ) · w̄(ci, cj)
+//! ```
+//!
+//! On a shortest **path** from a root to a holder, summing `w'` counts each
+//! internal node's `ā'` twice and each endpoint's once, and each edge's
+//! `w̄` twice — so path cost in `G'` equals
+//! `2·[γ·CA(path) + (1−γ)·CC(path)]` plus the γ-scaled endpoint terms,
+//! which Algorithm 1's DIST adjustments compensate for (see
+//! [`crate::greedy`]). With `γ = 1` the transform solves Problem 2 (pure
+//! connector authority).
+
+use atd_graph::ExpertGraph;
+
+use crate::normalize::Normalization;
+
+/// Builds `G'` from `G` for the tradeoff `γ`.
+///
+/// The result has identical topology and authorities; only edge weights
+/// change. Weights are computed from the **normalized** quantities so the
+/// two objective scales blend meaningfully.
+///
+/// # Panics
+/// Panics if `gamma` is outside `[0, 1]` — validate via
+/// [`crate::Strategy::validate`] first.
+pub fn authority_transform(g: &ExpertGraph, norm: &Normalization, gamma: f64) -> ExpertGraph {
+    assert!(
+        (0.0..=1.0).contains(&gamma),
+        "gamma must be in [0, 1], got {gamma}"
+    );
+    g.map_weights(|u, v, w| {
+        gamma * (norm.a_bar(u) + norm.a_bar(v)) + 2.0 * (1.0 - gamma) * norm.w_bar(w)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atd_graph::{dijkstra, GraphBuilder, NodeId};
+
+    /// Path 0 - 1 - 2 with distinct authorities.
+    fn fixture() -> (ExpertGraph, Normalization) {
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = [8.0, 4.0, 2.0].iter().map(|&a| b.add_node(a)).collect();
+        b.add_edge(n[0], n[1], 0.5).unwrap();
+        b.add_edge(n[1], n[2], 1.0).unwrap();
+        let g = b.build().unwrap();
+        let norm = Normalization::compute(&g);
+        (g, norm)
+    }
+
+    #[test]
+    fn gamma_zero_is_twice_normalized_weight() {
+        let (g, norm) = fixture();
+        let gp = authority_transform(&g, &norm, 0.0);
+        assert!((gp.edge_weight(NodeId(0), NodeId(1)).unwrap() - 1.0).abs() < 1e-12);
+        assert!((gp.edge_weight(NodeId(1), NodeId(2)).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_one_is_pure_authority() {
+        let (g, norm) = fixture();
+        let gp = authority_transform(&g, &norm, 1.0);
+        // ā' = [0.25, 0.5, 1.0].
+        assert!((gp.edge_weight(NodeId(0), NodeId(1)).unwrap() - 0.75).abs() < 1e-12);
+        assert!((gp.edge_weight(NodeId(1), NodeId(2)).unwrap() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_cost_decomposes_as_documented() {
+        // For the 0→2 path: Σw' = γ(ā'0 + 2ā'1 + ā'2) + 2(1−γ)(w̄01 + w̄12).
+        let (g, norm) = fixture();
+        let gamma = 0.6;
+        let gp = authority_transform(&g, &norm, gamma);
+        let sp = dijkstra(&gp, NodeId(0));
+        let got = sp.distance(NodeId(2)).unwrap();
+        let expect = gamma * (0.25 + 2.0 * 0.5 + 1.0) + 2.0 * (1.0 - gamma) * (0.5 + 1.0);
+        assert!((got - expect).abs() < 1e-12, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn transform_preserves_topology_and_authority() {
+        let (g, norm) = fixture();
+        let gp = authority_transform(&g, &norm, 0.3);
+        assert_eq!(gp.num_nodes(), g.num_nodes());
+        assert_eq!(gp.num_edges(), g.num_edges());
+        for v in g.nodes() {
+            assert_eq!(gp.authority(v), g.authority(v));
+        }
+    }
+
+    #[test]
+    fn transformed_weights_are_nonnegative() {
+        let (g, norm) = fixture();
+        for gamma in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let gp = authority_transform(&g, &norm, gamma);
+            for (_, _, w) in gp.edges() {
+                assert!(w >= 0.0, "negative transformed weight {w} at γ={gamma}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn rejects_out_of_range_gamma() {
+        let (g, norm) = fixture();
+        let _ = authority_transform(&g, &norm, 1.5);
+    }
+
+    #[test]
+    fn high_gamma_reroutes_through_authorities() {
+        // Square: 0-1-3 via low-authority 1, 0-2-3 via high-authority 2.
+        // Raw weights favor the 0-1-3 route; high γ must flip to 0-2-3.
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = [5.0, 1.0, 50.0, 5.0].iter().map(|&a| b.add_node(a)).collect();
+        b.add_edge(n[0], n[1], 0.1).unwrap();
+        b.add_edge(n[1], n[3], 0.1).unwrap();
+        b.add_edge(n[0], n[2], 0.4).unwrap();
+        b.add_edge(n[2], n[3], 0.4).unwrap();
+        let g = b.build().unwrap();
+        let norm = Normalization::compute(&g);
+
+        let cheap = dijkstra(&g, n[0]);
+        assert_eq!(
+            cheap.path_to(n[3]).unwrap(),
+            vec![n[0], n[1], n[3]],
+            "raw weights use the cheap connector"
+        );
+
+        let gp = authority_transform(&g, &norm, 0.95);
+        let sp = dijkstra(&gp, n[0]);
+        assert_eq!(
+            sp.path_to(n[3]).unwrap(),
+            vec![n[0], n[2], n[3]],
+            "authority transform routes through the senior connector"
+        );
+    }
+}

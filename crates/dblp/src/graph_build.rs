@@ -1,0 +1,274 @@
+//! [`Corpus`] → [`ExpertNetwork`]: the paper's expert-graph construction.
+//!
+//! * node = author; authority = h-index (from per-paper citation counts);
+//! * edge = co-authorship; weight = `1 − Jaccard(papers_i, papers_j)`;
+//! * skills on junior authors only (fewer than `junior_max_papers` papers),
+//!   as title terms occurring in at least `min_term_titles` titles.
+
+use std::collections::HashMap;
+
+use atd_core::skills::{SkillIndex, SkillIndexBuilder};
+use atd_graph::{ExpertGraph, GraphBuilder, GraphError, NodeId};
+
+use crate::hindex::h_index;
+use crate::jaccard::jaccard_distance;
+use crate::model::Corpus;
+use crate::skills::extract_skills;
+
+/// Parameters of the graph construction (§4 of the paper).
+#[derive(Clone, Debug)]
+pub struct BuildConfig {
+    /// Authors with fewer papers than this are "junior" potential skill
+    /// holders (paper: 10).
+    pub junior_max_papers: usize,
+    /// Minimum distinct titles a term must appear in to become a skill
+    /// (paper: 2).
+    pub min_term_titles: usize,
+}
+
+impl Default for BuildConfig {
+    fn default() -> Self {
+        BuildConfig {
+            junior_max_papers: 10,
+            min_term_titles: 2,
+        }
+    }
+}
+
+/// Everything known about one author node.
+#[derive(Clone, Debug)]
+pub struct AuthorRecord {
+    /// Display name (unique in the corpus).
+    pub name: String,
+    /// Node id in the graph.
+    pub node: NodeId,
+    /// Indices into `corpus.publications` (paper kinds only), ascending.
+    pub papers: Vec<u32>,
+    /// The derived h-index.
+    pub h_index: u32,
+    /// Number of papers (the Figure 5d metric).
+    pub num_pubs: usize,
+}
+
+/// The paper's expert network: graph + skills + author metadata.
+pub struct ExpertNetwork {
+    /// The expert graph (authority = h-index).
+    pub graph: ExpertGraph,
+    /// The skill index over junior authors.
+    pub skills: SkillIndex,
+    /// Author records, indexed by node id.
+    pub authors: Vec<AuthorRecord>,
+    /// The corpus the network was built from.
+    pub corpus: Corpus,
+}
+
+impl ExpertNetwork {
+    /// Builds the network from a corpus.
+    pub fn build(corpus: Corpus, cfg: &BuildConfig) -> Result<ExpertNetwork, GraphError> {
+        // Author discovery in deterministic (BTreeMap name) order.
+        let by_author = corpus.papers_by_author();
+        let names: Vec<String> = by_author.keys().map(|s| s.to_string()).collect();
+        let paper_lists: Vec<Vec<u32>> = by_author.values().cloned().collect();
+        let index_of: HashMap<&str, usize> =
+            names.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+
+        // Authority: h-index over the author's papers' citations.
+        let mut builder = GraphBuilder::with_capacity(names.len(), corpus.len() * 3);
+        let mut authors = Vec::with_capacity(names.len());
+        for (i, name) in names.iter().enumerate() {
+            let mut papers = paper_lists[i].clone();
+            papers.sort_unstable();
+            papers.dedup();
+            let cites: Vec<u32> = papers
+                .iter()
+                .map(|&p| corpus.publications[p as usize].citations)
+                .collect();
+            let h = h_index(&cites);
+            let node = builder.add_node(h as f64);
+            authors.push(AuthorRecord {
+                name: name.clone(),
+                node,
+                num_pubs: papers.len(),
+                papers,
+                h_index: h,
+            });
+        }
+
+        // Co-authorship edges with Jaccard weights, deduplicated across
+        // repeated collaborations.
+        let mut seen: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+        for p in corpus.publications.iter().filter(|p| p.kind.is_paper()) {
+            for (ai, a) in p.authors.iter().enumerate() {
+                for b in p.authors.iter().skip(ai + 1) {
+                    let (ia, ib) = (index_of[a.as_str()], index_of[b.as_str()]);
+                    if ia == ib {
+                        continue; // duplicate name on one byline
+                    }
+                    let key = ((ia.min(ib)) as u32, (ia.max(ib)) as u32);
+                    if !seen.insert(key) {
+                        continue;
+                    }
+                    let w = jaccard_distance(
+                        &authors[key.0 as usize].papers,
+                        &authors[key.1 as usize].papers,
+                    );
+                    builder.add_edge(NodeId(key.0), NodeId(key.1), w)?;
+                }
+            }
+        }
+
+        // Skills for juniors.
+        let mut sb = SkillIndexBuilder::new();
+        for a in &authors {
+            if a.num_pubs >= cfg.junior_max_papers {
+                continue;
+            }
+            let titles: Vec<&str> = a
+                .papers
+                .iter()
+                .map(|&p| corpus.publications[p as usize].title.as_str())
+                .collect();
+            for term in extract_skills(&titles, cfg.min_term_titles) {
+                let id = sb.intern(&term);
+                sb.grant(a.node, id);
+            }
+        }
+
+        let graph = builder.build()?;
+        let skills = sb.build(graph.num_nodes());
+        Ok(ExpertNetwork {
+            graph,
+            skills,
+            authors,
+            corpus,
+        })
+    }
+
+    /// Looks an author up by exact name.
+    pub fn author_by_name(&self, name: &str) -> Option<&AuthorRecord> {
+        // Authors are sorted by name (BTreeMap construction order).
+        self.authors
+            .binary_search_by(|a| a.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.authors[i])
+    }
+
+    /// The author record of a node.
+    pub fn author(&self, node: NodeId) -> &AuthorRecord {
+        &self.authors[node.index()]
+    }
+
+    /// Number of skill-holding (junior, labeled) experts.
+    pub fn num_skill_holders(&self) -> usize {
+        self.authors
+            .iter()
+            .filter(|a| !self.skills.skills_of(a.node).is_empty())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{PubKind, Publication};
+
+    fn paper(key: &str, title: &str, authors: &[&str], citations: u32) -> Publication {
+        Publication {
+            key: key.into(),
+            kind: PubKind::Article,
+            title: title.into(),
+            authors: authors.iter().map(|s| s.to_string()).collect(),
+            venue: Some("Journal of Testing".into()),
+            year: Some(2014),
+            citations,
+        }
+    }
+
+    /// Ada (2 papers on matrix topics) — Hub (3 papers, high citations) —
+    /// Bob (2 papers on communities).
+    fn corpus() -> Corpus {
+        Corpus::new(vec![
+            paper("p0", "Matrix sketching methods", &["Ada", "Hub"], 50),
+            paper("p1", "Randomized matrix algorithms", &["Ada"], 2),
+            paper("p2", "Detecting communities quickly", &["Bob", "Hub"], 40),
+            paper("p3", "Overlapping communities model", &["Bob"], 1),
+            paper("p4", "Survey of scalable learning", &["Hub"], 60),
+        ])
+    }
+
+    #[test]
+    fn builds_expected_shape() {
+        let net = ExpertNetwork::build(corpus(), &BuildConfig::default()).unwrap();
+        assert_eq!(net.graph.num_nodes(), 3);
+        assert_eq!(net.graph.num_edges(), 2);
+        let hub = net.author_by_name("Hub").unwrap();
+        assert_eq!(hub.num_pubs, 3);
+        assert_eq!(hub.h_index, 3, "citations 50/40/60 → h = 3");
+    }
+
+    #[test]
+    fn authority_is_h_index() {
+        let net = ExpertNetwork::build(corpus(), &BuildConfig::default()).unwrap();
+        let ada = net.author_by_name("Ada").unwrap();
+        // Ada: citations 50, 2 → h = 2.
+        assert_eq!(ada.h_index, 2);
+        assert_eq!(net.graph.authority(ada.node), 2.0);
+    }
+
+    #[test]
+    fn jaccard_edge_weights() {
+        let net = ExpertNetwork::build(corpus(), &BuildConfig::default()).unwrap();
+        let ada = net.author_by_name("Ada").unwrap().node;
+        let hub = net.author_by_name("Hub").unwrap().node;
+        // Ada {p0,p1}, Hub {p0,p2,p4}: |∩|=1, |∪|=4 → w = 0.75.
+        assert!((net.graph.edge_weight(ada, hub).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn juniors_get_skills_seniors_do_not() {
+        let cfg = BuildConfig {
+            junior_max_papers: 3, // Hub (3 papers) is senior here
+            min_term_titles: 2,
+        };
+        let net = ExpertNetwork::build(corpus(), &cfg).unwrap();
+        let ada = net.author_by_name("Ada").unwrap().node;
+        let hub = net.author_by_name("Hub").unwrap().node;
+        let matrix = net.skills.id_of("matrix").unwrap();
+        assert!(net.skills.has_skill(ada, matrix));
+        assert!(net.skills.skills_of(hub).is_empty(), "senior holds no skills");
+        assert_eq!(net.num_skill_holders(), 2, "Ada and Bob");
+    }
+
+    #[test]
+    fn skill_terms_need_two_titles() {
+        let net = ExpertNetwork::build(corpus(), &BuildConfig::default()).unwrap();
+        // "sketching" appears in one Ada title only.
+        assert_eq!(net.skills.id_of("sketching"), None);
+        assert!(net.skills.id_of("matrix").is_some());
+        assert!(net.skills.id_of("communities").is_some());
+    }
+
+    #[test]
+    fn author_lookup() {
+        let net = ExpertNetwork::build(corpus(), &BuildConfig::default()).unwrap();
+        assert!(net.author_by_name("Ada").is_some());
+        assert!(net.author_by_name("Nobody").is_none());
+        let node = net.author_by_name("Bob").unwrap().node;
+        assert_eq!(net.author(node).name, "Bob");
+    }
+
+    #[test]
+    fn empty_corpus_builds_empty_network() {
+        let net = ExpertNetwork::build(Corpus::default(), &BuildConfig::default()).unwrap();
+        assert_eq!(net.graph.num_nodes(), 0);
+        assert_eq!(net.num_skill_holders(), 0);
+    }
+
+    #[test]
+    fn duplicate_author_on_byline_is_tolerated() {
+        let c = Corpus::new(vec![paper("p0", "Matrix tricks", &["Ada", "Ada"], 5)]);
+        let net = ExpertNetwork::build(c, &BuildConfig::default()).unwrap();
+        assert_eq!(net.graph.num_nodes(), 1);
+        assert_eq!(net.graph.num_edges(), 0, "no self-loop");
+    }
+}

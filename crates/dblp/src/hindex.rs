@@ -1,0 +1,55 @@
+//! The h-index — the paper's authority measure.
+
+/// Computes the h-index: the largest `h` such that at least `h` of the
+/// given citation counts are `≥ h`.
+///
+/// `O(n log n)` by sorting a copy; author paper lists are tiny.
+pub fn h_index(citations: &[u32]) -> u32 {
+    let mut sorted: Vec<u32> = citations.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut h = 0u32;
+    for (i, &c) in sorted.iter().enumerate() {
+        if c as usize > i {
+            h = (i + 1) as u32;
+        } else {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_examples() {
+        assert_eq!(h_index(&[]), 0);
+        assert_eq!(h_index(&[0]), 0);
+        assert_eq!(h_index(&[1]), 1);
+        assert_eq!(h_index(&[25, 8, 5, 3, 3]), 3);
+        assert_eq!(h_index(&[10, 8, 5, 4, 3]), 4);
+        assert_eq!(h_index(&[10, 10, 10, 10, 10]), 5);
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        assert_eq!(h_index(&[3, 25, 3, 8, 5]), h_index(&[25, 8, 5, 3, 3]));
+    }
+
+    #[test]
+    fn h_is_bounded_by_paper_count_and_max_citation() {
+        let cites = [100, 100];
+        assert_eq!(h_index(&cites), 2, "can't exceed paper count");
+        let cites = [1, 1, 1, 1, 1, 1];
+        assert_eq!(h_index(&cites), 1, "can't exceed max citation");
+    }
+
+    #[test]
+    fn monotone_in_adding_papers() {
+        let base = [9, 7, 4];
+        let h0 = h_index(&base);
+        let more = [9, 7, 4, 8];
+        assert!(h_index(&more) >= h0);
+    }
+}

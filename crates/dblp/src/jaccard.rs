@@ -1,0 +1,86 @@
+//! Co-authorship edge weights: `w(ci, cj) = 1 − |bi ∩ bj| / |bi ∪ bj|`
+//! where `bi` is the set of papers of author `ci` — exactly the weighting
+//! the paper takes from Lappas et al. and Kargar et al.
+
+/// Jaccard distance between two **sorted, deduplicated** id slices.
+///
+/// Returns 1.0 for two empty sets (no evidence of collaboration = maximal
+/// communication cost).
+pub fn jaccard_distance(a: &[u32], b: &[u32]) -> f64 {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "a must be sorted+dedup");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "b must be sorted+dedup");
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let mut inter = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    1.0 - inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_sets_have_distance_one() {
+        assert_eq!(jaccard_distance(&[1, 2], &[3, 4]), 1.0);
+    }
+
+    #[test]
+    fn identical_sets_have_distance_zero() {
+        assert_eq!(jaccard_distance(&[1, 2, 3], &[1, 2, 3]), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // |∩| = 1, |∪| = 3 → 1 − 1/3.
+        let d = jaccard_distance(&[1, 2], &[2, 3]);
+        assert!((d - (1.0 - 1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets() {
+        assert_eq!(jaccard_distance(&[], &[]), 1.0);
+        assert_eq!(jaccard_distance(&[1], &[]), 1.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let (a, b) = (&[1u32, 5, 9][..], &[2u32, 5][..]);
+        assert_eq!(jaccard_distance(a, b), jaccard_distance(b, a));
+    }
+
+    #[test]
+    fn coauthors_always_share_a_paper() {
+        // Co-author pairs by construction share ≥ 1 paper, so their
+        // distance is strictly below 1 — the property the graph builder
+        // relies on.
+        let d = jaccard_distance(&[7], &[7, 8, 9]);
+        assert!(d < 1.0);
+        assert!((d - (1.0 - 1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_in_unit_interval() {
+        for (a, b) in [
+            (vec![1, 2, 3], vec![4, 5]),
+            (vec![1], vec![1]),
+            (vec![1, 2, 3, 4], vec![2, 4, 6]),
+        ] {
+            let d = jaccard_distance(&a, &b);
+            assert!((0.0..=1.0).contains(&d), "{d}");
+        }
+    }
+}

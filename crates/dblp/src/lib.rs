@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # atd-dblp — the DBLP data substrate
+//!
+//! The paper's evaluation builds its expert network from the DBLP XML dump:
+//! junior researchers (fewer than 10 papers) become potential skill
+//! holders, labeled with title terms occurring in at least two of their
+//! papers; co-author edges are weighted `1 − Jaccard(papers_i, papers_j)`;
+//! authority is the h-index. This crate implements that entire pipeline —
+//! and, because the real multi-gigabyte dump cannot ship with a test suite,
+//! a **synthetic DBLP generator** that produces a statistically similar
+//! corpus *in DBLP XML format*, so every byte of the pipeline (parsing,
+//! skill extraction, weighting, graph construction) is exercised exactly as
+//! it would be on the real data.
+//!
+//! Pipeline:
+//!
+//! ```text
+//! SynthConfig ──▶ SynthCorpus ──▶ (write_xml) ──▶ bytes
+//!                                                  │
+//!                     Corpus  ◀── (parse_dblp_xml) ┘
+//!                        │
+//!                        ▼
+//!                 ExpertNetwork { ExpertGraph, SkillIndex, authors }
+//! ```
+//!
+//! The `citations` attribute on publication elements is an extension of the
+//! DBLP schema (DBLP itself has no citation counts; the paper sourced
+//! h-indices externally) — the parser accepts files without it.
+
+pub mod graph_build;
+pub mod hindex;
+pub mod jaccard;
+pub mod model;
+pub mod parser;
+pub mod skills;
+pub mod snapshot;
+pub mod synth;
+pub mod venues;
+pub mod writer;
+pub mod xml;
+
+pub use graph_build::{BuildConfig, ExpertNetwork};
+pub use hindex::h_index;
+pub use model::{Corpus, PubKind, Publication};
+pub use parser::parse_dblp_xml;
+pub use snapshot::{AuthorSummary, NetworkSnapshot, SnapshotError};
+pub use synth::{SynthConfig, SynthCorpus};
+pub use venues::VenueCatalog;
+pub use writer::write_xml;

@@ -1,0 +1,179 @@
+//! The publication data model shared by the parser, the synthesizer and
+//! the graph builder.
+
+use std::collections::BTreeMap;
+
+/// DBLP record kinds that matter for the expert graph (others are parsed
+/// and kept so statistics stay faithful).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PubKind {
+    /// `<article>` — journal paper.
+    Article,
+    /// `<inproceedings>` — conference paper.
+    InProceedings,
+    /// `<incollection>` — book chapter.
+    InCollection,
+    /// Any other DBLP record (`proceedings`, `book`, `www`, theses…).
+    Other,
+}
+
+impl PubKind {
+    /// Parses a DBLP element name.
+    pub fn from_element(name: &str) -> PubKind {
+        match name {
+            "article" => PubKind::Article,
+            "inproceedings" => PubKind::InProceedings,
+            "incollection" => PubKind::InCollection,
+            _ => PubKind::Other,
+        }
+    }
+
+    /// The DBLP element name for serialization.
+    pub fn element_name(self) -> &'static str {
+        match self {
+            PubKind::Article => "article",
+            PubKind::InProceedings => "inproceedings",
+            PubKind::InCollection => "incollection",
+            PubKind::Other => "misc",
+        }
+    }
+
+    /// True for kinds that carry co-authorship information usable for the
+    /// expert graph.
+    pub fn is_paper(self) -> bool {
+        !matches!(self, PubKind::Other)
+    }
+}
+
+/// One publication record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Publication {
+    /// DBLP key, e.g. `journals/tods/Smith99`.
+    pub key: String,
+    /// Record kind.
+    pub kind: PubKind,
+    /// Title text (markup flattened).
+    pub title: String,
+    /// Author names in byline order.
+    pub authors: Vec<String>,
+    /// Journal or booktitle.
+    pub venue: Option<String>,
+    /// Publication year.
+    pub year: Option<u32>,
+    /// Citation count — an extension attribute produced by the synthetic
+    /// corpus (real DBLP has none; h-indices then fall back to 0-citation
+    /// papers).
+    pub citations: u32,
+}
+
+/// A set of publications plus derived author views.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Corpus {
+    /// All records, in input order.
+    pub publications: Vec<Publication>,
+}
+
+impl Corpus {
+    /// Creates a corpus from records.
+    pub fn new(publications: Vec<Publication>) -> Self {
+        Corpus { publications }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.publications.len()
+    }
+
+    /// True if there are no records.
+    pub fn is_empty(&self) -> bool {
+        self.publications.is_empty()
+    }
+
+    /// Author → indices of their *paper-kind* publications, ordered by
+    /// first appearance in a `BTreeMap` for deterministic iteration.
+    pub fn papers_by_author(&self) -> BTreeMap<&str, Vec<u32>> {
+        let mut map: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
+        for (i, p) in self.publications.iter().enumerate() {
+            if !p.kind.is_paper() {
+                continue;
+            }
+            for a in &p.authors {
+                map.entry(a.as_str()).or_default().push(i as u32);
+            }
+        }
+        map
+    }
+
+    /// Distinct venues appearing on paper-kind records.
+    pub fn venues(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self
+            .publications
+            .iter()
+            .filter(|p| p.kind.is_paper())
+            .filter_map(|p| p.venue.as_deref())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper(key: &str, authors: &[&str], kind: PubKind) -> Publication {
+        Publication {
+            key: key.into(),
+            kind,
+            title: format!("Title of {key}"),
+            authors: authors.iter().map(|s| s.to_string()).collect(),
+            venue: Some("VLDB".into()),
+            year: Some(2014),
+            citations: 3,
+        }
+    }
+
+    #[test]
+    fn kind_roundtrip() {
+        for name in ["article", "inproceedings", "incollection"] {
+            let k = PubKind::from_element(name);
+            assert_eq!(k.element_name(), name);
+            assert!(k.is_paper());
+        }
+        assert_eq!(PubKind::from_element("www"), PubKind::Other);
+        assert!(!PubKind::Other.is_paper());
+    }
+
+    #[test]
+    fn papers_by_author_groups_and_filters() {
+        let c = Corpus::new(vec![
+            paper("p0", &["Ada", "Bob"], PubKind::Article),
+            paper("p1", &["Ada"], PubKind::InProceedings),
+            paper("p2", &["Ada"], PubKind::Other), // not a paper
+        ]);
+        let by = c.papers_by_author();
+        assert_eq!(by["Ada"], vec![0, 1]);
+        assert_eq!(by["Bob"], vec![0]);
+    }
+
+    #[test]
+    fn venues_dedup() {
+        let mut c = Corpus::new(vec![
+            paper("p0", &["Ada"], PubKind::Article),
+            paper("p1", &["Bob"], PubKind::Article),
+        ]);
+        c.publications[1].venue = Some("SIGMOD".into());
+        let mut v = c.venues();
+        v.sort();
+        assert_eq!(v, vec!["SIGMOD", "VLDB"]);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let c = Corpus::default();
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert!(c.papers_by_author().is_empty());
+    }
+}

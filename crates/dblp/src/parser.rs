@@ -1,0 +1,208 @@
+//! DBLP XML → [`Corpus`].
+//!
+//! The DBLP schema is flat: a `<dblp>` root, publication records one level
+//! down, field elements (`author`, `title`, `year`, `journal`,
+//! `booktitle`, …) one level below that. Titles may contain inline markup
+//! (`<i>`, `<sub>`, …) whose text is flattened.
+
+use std::io::BufRead;
+
+use crate::model::{Corpus, PubKind, Publication};
+use crate::xml::{XmlError, XmlEvent, XmlReader};
+
+/// Parses a DBLP XML document into a corpus.
+///
+/// Unknown record or field elements are skipped (DBLP evolves; parsers must
+/// not break on new fields). The `citations` attribute is the synthetic-
+/// corpus extension; absent means 0.
+pub fn parse_dblp_xml<R: BufRead>(input: R) -> Result<Corpus, XmlError> {
+    let mut reader = XmlReader::new(input);
+    let mut pubs: Vec<Publication> = Vec::new();
+
+    // State for the record being assembled.
+    let mut current: Option<Publication> = None;
+    // Field element currently open inside the record, with its text.
+    let mut field: Option<(String, String)> = None;
+    let mut depth = 0usize;
+
+    while let Some(ev) = reader.next_event()? {
+        match ev {
+            XmlEvent::StartElement { name, attributes } => {
+                depth += 1;
+                match depth {
+                    1 => {} // <dblp>
+                    2 => {
+                        let kind = PubKind::from_element(&name);
+                        let key = attributes
+                            .iter()
+                            .find(|(k, _)| k == "key")
+                            .map(|(_, v)| v.clone())
+                            .unwrap_or_default();
+                        let citations = attributes
+                            .iter()
+                            .find(|(k, _)| k == "citations")
+                            .and_then(|(_, v)| v.parse().ok())
+                            .unwrap_or(0);
+                        current = Some(Publication {
+                            key,
+                            kind,
+                            title: String::new(),
+                            authors: Vec::new(),
+                            venue: None,
+                            year: None,
+                            citations,
+                        });
+                    }
+                    3 => field = Some((name, String::new())),
+                    // Inline markup inside a field (e.g. <i> in titles):
+                    // keep accumulating into the open field.
+                    _ => {}
+                }
+            }
+            XmlEvent::Text(text) => {
+                if let Some((_, buf)) = field.as_mut() {
+                    if !buf.is_empty() && !buf.ends_with(' ') {
+                        buf.push(' ');
+                    }
+                    buf.push_str(text.trim());
+                }
+            }
+            XmlEvent::EndElement { name } => {
+                match depth {
+                    0 => {
+                        return Err(XmlError::Malformed {
+                            context: "unbalanced document",
+                            offset: 0,
+                        })
+                    }
+                    1 => {} // </dblp>
+                    2 => {
+                        if let Some(p) = current.take() {
+                            pubs.push(p);
+                        }
+                    }
+                    3 => {
+                        if let (Some((fname, text)), Some(p)) = (field.take(), current.as_mut())
+                        {
+                            debug_assert_eq!(fname, name, "field nesting is flat");
+                            let text = text.trim().to_string();
+                            match fname.as_str() {
+                                "author" | "editor"
+                                    if !text.is_empty() => {
+                                        p.authors.push(text);
+                                    }
+                                "title" => p.title = text,
+                                "year" => p.year = text.parse().ok(),
+                                "journal" | "booktitle"
+                                    if !text.is_empty() => {
+                                        p.venue = Some(text);
+                                    }
+                                _ => {} // ee, url, pages, crossref, …
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                depth -= 1;
+            }
+        }
+    }
+
+    Ok(Corpus::new(pubs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"<?xml version="1.0" encoding="ISO-8859-1"?>
+<!DOCTYPE dblp SYSTEM "dblp.dtd">
+<dblp>
+<article key="journals/x/Liu15" citations="9">
+  <author>Jialu Liu</author>
+  <author>Jiawei Han</author>
+  <title>Social Network Mining with <i>Heterogeneous</i> Graphs.</title>
+  <journal>TKDE</journal>
+  <year>2015</year>
+  <pages>1-10</pages>
+</article>
+<inproceedings key="conf/kdd/Ren14">
+  <author>Xiang Ren</author>
+  <title>Text Mining at Scale</title>
+  <booktitle>KDD</booktitle>
+  <year>2014</year>
+</inproceedings>
+<www key="homepages/h/Han">
+  <author>Jiawei Han</author>
+  <title>Home Page</title>
+</www>
+</dblp>"#;
+
+    #[test]
+    fn parses_records_with_fields() {
+        let c = parse_dblp_xml(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(c.len(), 3);
+
+        let a = &c.publications[0];
+        assert_eq!(a.kind, PubKind::Article);
+        assert_eq!(a.key, "journals/x/Liu15");
+        assert_eq!(a.citations, 9);
+        assert_eq!(a.authors, vec!["Jialu Liu", "Jiawei Han"]);
+        assert_eq!(a.title, "Social Network Mining with Heterogeneous Graphs.");
+        assert_eq!(a.venue.as_deref(), Some("TKDE"));
+        assert_eq!(a.year, Some(2015));
+
+        let b = &c.publications[1];
+        assert_eq!(b.kind, PubKind::InProceedings);
+        assert_eq!(b.venue.as_deref(), Some("KDD"));
+        assert_eq!(b.citations, 0, "no citations attribute means zero");
+
+        let w = &c.publications[2];
+        assert_eq!(w.kind, PubKind::Other);
+    }
+
+    #[test]
+    fn inline_markup_in_titles_is_flattened() {
+        let c = parse_dblp_xml(SAMPLE.as_bytes()).unwrap();
+        assert!(c.publications[0].title.contains("Heterogeneous"));
+        assert!(!c.publications[0].title.contains('<'));
+    }
+
+    #[test]
+    fn entities_in_names_decode() {
+        let xml = r#"<dblp><article key="k">
+            <author>J&uuml;rgen M&uuml;ller</author>
+            <title>T</title></article></dblp>"#;
+        let c = parse_dblp_xml(xml.as_bytes()).unwrap();
+        assert_eq!(c.publications[0].authors[0], "Jürgen Müller");
+    }
+
+    #[test]
+    fn empty_dblp_document() {
+        let c = parse_dblp_xml("<dblp></dblp>".as_bytes()).unwrap();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn malformed_year_is_none() {
+        let xml = r#"<dblp><article key="k"><title>T</title>
+            <year>MMXV</year></article></dblp>"#;
+        let c = parse_dblp_xml(xml.as_bytes()).unwrap();
+        assert_eq!(c.publications[0].year, None);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let xml = r#"<dblp><article key="k"><title>T"#;
+        assert!(parse_dblp_xml(xml.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn papers_by_author_over_parsed_corpus() {
+        let c = parse_dblp_xml(SAMPLE.as_bytes()).unwrap();
+        let by = c.papers_by_author();
+        // Han appears on one paper (the www record is not a paper).
+        assert_eq!(by["Jiawei Han"], vec![0]);
+        assert_eq!(by["Xiang Ren"], vec![1]);
+    }
+}

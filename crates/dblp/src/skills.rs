@@ -1,0 +1,149 @@
+//! Skill extraction — the paper's §4 rule:
+//!
+//! > "For potential skill holders, we take junior researchers with fewer
+//! > than 10 papers and we label them with terms that occur in at least two
+//! > of their paper titles."
+
+use std::collections::HashMap;
+
+/// English stopwords plus publication-title boilerplate that must never
+/// become a "skill".
+const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "based", "be", "between", "by", "case", "data", "for",
+    "from", "how", "in", "into", "is", "it", "its", "new", "of", "on", "or", "over", "study",
+    "that", "the", "their", "to", "toward", "towards", "under", "using", "via", "what", "when",
+    "with", "within", "without",
+];
+
+/// Tokenizes a title: lowercase, split on everything that is not a letter
+/// or an intra-word hyphen, drop stopwords and tokens shorter than three
+/// characters. Hyphenated compounds like `object-oriented` survive as one
+/// term.
+pub fn tokenize_title(title: &str) -> Vec<String> {
+    let lower = title.to_lowercase();
+    let mut terms = Vec::new();
+    let mut cur = String::new();
+    for ch in lower.chars() {
+        if ch.is_alphabetic() || (ch == '-' && !cur.is_empty()) {
+            cur.push(ch);
+        } else if !cur.is_empty() {
+            push_term(&mut terms, std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        push_term(&mut terms, cur);
+    }
+    terms
+}
+
+fn push_term(terms: &mut Vec<String>, mut term: String) {
+    while term.ends_with('-') {
+        term.pop();
+    }
+    if term.chars().count() < 3 {
+        return;
+    }
+    if STOPWORDS.contains(&term.as_str()) {
+        return;
+    }
+    terms.push(term);
+}
+
+/// Extracts the skills of one author from their paper titles: terms
+/// appearing in at least `min_titles` **distinct** titles (each title
+/// contributes a term at most once). Result is sorted and deduplicated.
+pub fn extract_skills(titles: &[&str], min_titles: usize) -> Vec<String> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for title in titles {
+        let mut terms = tokenize_title(title);
+        terms.sort();
+        terms.dedup();
+        for t in terms {
+            *counts.entry(t).or_insert(0) += 1;
+        }
+    }
+    let mut skills: Vec<String> = counts
+        .into_iter()
+        .filter(|&(_, c)| c >= min_titles)
+        .map(|(t, _)| t)
+        .collect();
+    skills.sort();
+    skills
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenization_lowercases_and_filters() {
+        let t = tokenize_title("On the Mining of Large-Scale Social Networks!");
+        assert_eq!(t, vec!["mining", "large-scale", "social", "networks"]);
+    }
+
+    #[test]
+    fn hyphenated_compounds_survive() {
+        let t = tokenize_title("Object-Oriented Query Processing");
+        assert_eq!(t, vec!["object-oriented", "query", "processing"]);
+    }
+
+    #[test]
+    fn trailing_hyphens_are_trimmed() {
+        let t = tokenize_title("meta- analysis");
+        assert_eq!(t, vec!["meta", "analysis"]);
+    }
+
+    #[test]
+    fn short_tokens_and_digits_drop() {
+        let t = tokenize_title("P2P on AI v2 is ok");
+        assert!(t.is_empty(), "got {t:?}");
+    }
+
+    #[test]
+    fn skills_require_two_distinct_titles() {
+        let skills = extract_skills(
+            &[
+                "Mining Social Networks",
+                "Social Media Analytics",
+                "Deep Learning for Vision",
+            ],
+            2,
+        );
+        assert_eq!(skills, vec!["social"]);
+    }
+
+    #[test]
+    fn repeated_term_in_one_title_counts_once() {
+        let skills = extract_skills(&["networks networks networks", "graphs"], 2);
+        assert!(skills.is_empty(), "one title can't make a skill: {skills:?}");
+    }
+
+    #[test]
+    fn min_titles_one_takes_everything() {
+        let skills = extract_skills(&["matrix factorization"], 1);
+        assert_eq!(skills, vec!["factorization", "matrix"]);
+    }
+
+    #[test]
+    fn no_titles_no_skills() {
+        assert!(extract_skills(&[], 2).is_empty());
+    }
+
+    #[test]
+    fn paper_example_skills_extract() {
+        // The Figure 6 project: analytics, matrix, communities,
+        // object-oriented.
+        let skills = extract_skills(
+            &[
+                "Visual Analytics of Matrix Data",
+                "Streaming Analytics and Matrix Sketching",
+                "Detecting Communities with Object-Oriented Models",
+                "Communities in Object-Oriented Software",
+            ],
+            2,
+        );
+        for want in ["analytics", "matrix", "communities", "object-oriented"] {
+            assert!(skills.contains(&want.to_string()), "missing {want}: {skills:?}");
+        }
+    }
+}

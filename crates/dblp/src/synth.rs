@@ -1,0 +1,523 @@
+//! Synthetic DBLP corpus generation.
+//!
+//! The paper's experiments run on the real DBLP dump (~40K junior-expert
+//! nodes, ~125K edges after filtering). That dump cannot ship here, so this
+//! module generates a corpus with the same structural properties the
+//! algorithms are sensitive to:
+//!
+//! * **Power-law collaboration**: co-authorship follows a Pólya-urn
+//!   (preferential attachment) process seeded by a Pareto-distributed
+//!   seniority, so a few prolific "Jiawei Han"-like hubs emerge while most
+//!   authors stay junior — exactly the holder/connector split the paper's
+//!   Figure 1 builds on.
+//! * **Topical coherence**: authors have favorite terms from their topic's
+//!   vocabulary and reuse them across titles, so the §4 skill rule ("terms
+//!   in ≥ 2 titles of a junior author") yields meaningful skills with
+//!   realistic holder-set sizes.
+//! * **Authority–seniority correlation**: citation counts scale with
+//!   seniority and venue tier, so the derived h-index has the heavy tail
+//!   the authority transform needs to be interesting.
+//! * **Venue tiers**: senior-heavy papers land in higher-tier venues
+//!   ([`crate::venues`]), which the §4.3 quality experiment relies on.
+//!
+//! Determinism: the whole corpus is a pure function of [`SynthConfig`]
+//! (seeded `StdRng`).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::model::{Corpus, PubKind, Publication};
+use crate::venues::VenueCatalog;
+
+/// Topic vocabularies. The first topics deliberately contain the paper's
+/// own example skills (social networks / text mining in Figure 1;
+/// analytics, matrix, communities, object-oriented in Figure 6).
+pub const TOPICS: &[(&str, &[&str])] = &[
+    ("social networks", &["social", "networks", "influence", "diffusion", "centrality", "ties", "link-prediction", "homophily"]),
+    ("text mining", &["text", "mining", "topic-models", "entities", "corpora", "summarization", "extraction", "sentiment"]),
+    ("data analytics", &["analytics", "dashboards", "aggregation", "olap", "visual", "exploration", "reporting", "cubes"]),
+    ("matrix methods", &["matrix", "factorization", "spectral", "eigenvalues", "decomposition", "low-rank", "sketching", "svd"]),
+    ("graph communities", &["communities", "clustering", "modularity", "partitioning", "cohesion", "dense-subgraphs", "motifs", "cliques"]),
+    ("object oriented systems", &["object-oriented", "inheritance", "refactoring", "polymorphism", "encapsulation", "patterns", "classes", "uml"]),
+    ("databases", &["query", "indexing", "transactions", "storage", "optimizer", "joins", "concurrency", "recovery"]),
+    ("machine learning", &["learning", "classifiers", "regression", "kernels", "ensembles", "features", "generalization", "boosting"]),
+    ("information retrieval", &["retrieval", "ranking", "relevance", "search", "queries", "crawling", "snippets", "feedback"]),
+    ("distributed systems", &["distributed", "consensus", "replication", "fault-tolerance", "sharding", "gossip", "latency", "throughput"]),
+    ("computer vision", &["vision", "segmentation", "detection", "tracking", "images", "convolution", "stereo", "recognition"]),
+    ("security", &["security", "encryption", "authentication", "privacy", "intrusion", "malware", "protocols", "auditing"]),
+    ("semantic web", &["ontologies", "reasoning", "rdf", "linked-data", "knowledge-graphs", "alignment", "sparql", "vocabularies"]),
+    ("stream processing", &["streams", "windows", "sampling", "sketches", "continuous-queries", "load-shedding", "event-processing", "drift"]),
+    ("bioinformatics", &["genomics", "sequences", "alignment-free", "proteins", "pathways", "phylogenetics", "annotation", "microarrays"]),
+    ("human computer interaction", &["interaction", "usability", "interfaces", "accessibility", "gestures", "crowdsourcing", "surveys", "prototyping"]),
+];
+
+const FILLER: &[&str] = &[
+    "efficient", "scalable", "robust", "adaptive", "incremental", "parallel", "approximate",
+    "optimal", "practical", "unified", "effective", "flexible", "generic", "modular",
+    "lightweight", "principled", "interactive", "dynamic", "static", "hybrid", "online",
+    "offline", "distributed-free", "provable", "tunable", "portable", "declarative",
+    "streaming-aware", "cost-aware", "energy-aware", "self-adjusting", "bounded",
+    "anytime", "compositional", "probabilistic", "deterministic-time",
+];
+
+const FIRST_NAMES: &[&str] = &[
+    "Wei", "Ana", "Mehdi", "Lukasz", "Jaro", "Aiko", "Tomas", "Priya", "Diego", "Fatima",
+    "Igor", "Chen", "Sofia", "Ahmed", "Nina", "Pavel", "Yuki", "Elena", "Omar", "Greta",
+    "Ravi", "Ines", "Karl", "Mona", "Jun", "Lara", "Samir", "Olga", "Tao", "Vera",
+];
+
+const LAST_NAMES: &[&str] = &[
+    "Zhang", "Kumar", "Novak", "Silva", "Tanaka", "Mueller", "Rossi", "Petrov", "Garcia",
+    "Kim", "Nielsen", "Okafor", "Haddad", "Janssen", "Kowalski", "Moreau", "Svensson",
+    "Costa", "Popescu", "Nakamura", "Fischer", "Ortiz", "Virtanen", "Dubois", "Horvath",
+    "Ivanov", "Sato", "Larsen", "Weber", "Marino",
+];
+
+/// Team-size distribution (index = size − 1). Mean ≈ 2.65 authors/paper.
+const TEAM_SIZE_WEIGHTS: [f64; 5] = [0.15, 0.30, 0.30, 0.175, 0.075];
+
+/// Configuration of the synthetic corpus.
+#[derive(Clone, Debug)]
+pub struct SynthConfig {
+    /// Number of authors to create.
+    pub num_authors: usize,
+    /// Mean author-slots per author; combined with the team-size
+    /// distribution this determines the paper count.
+    pub mean_papers_per_author: f64,
+    /// How many of the built-in [`TOPICS`] to use (clamped).
+    pub num_topics: usize,
+    /// RNG seed — same config ⇒ byte-identical corpus.
+    pub seed: u64,
+    /// Publication year range (inclusive). The paper used DBLP "up to
+    /// 2015".
+    pub years: (u32, u32),
+    /// Maximum authors per paper (≤ 5).
+    pub max_team_size: usize,
+    /// Pareto shape for seniority (smaller = heavier tail).
+    pub seniority_alpha: f64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            num_authors: 2_000,
+            mean_papers_per_author: 3.2,
+            num_topics: TOPICS.len(),
+            seed: 42,
+            years: (1996, 2015),
+            max_team_size: 5,
+            seniority_alpha: 1.6,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// A few hundred authors — unit-test scale.
+    pub fn tiny() -> Self {
+        SynthConfig {
+            num_authors: 250,
+            ..Default::default()
+        }
+    }
+
+    /// A couple of thousand authors — integration/bench scale.
+    pub fn small() -> Self {
+        SynthConfig::default()
+    }
+
+    /// ~8K authors — heavier experiments.
+    pub fn medium() -> Self {
+        SynthConfig {
+            num_authors: 8_000,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's scale: ~40K experts.
+    pub fn paper_scale() -> Self {
+        SynthConfig {
+            num_authors: 40_000,
+            ..Default::default()
+        }
+    }
+}
+
+/// Ground-truth author metadata kept alongside the corpus (tests and
+/// diagnostics only — the expert-graph pipeline recomputes everything from
+/// the publications, like it would on real data).
+#[derive(Clone, Debug)]
+pub struct SynthAuthor {
+    /// Unique display name, DBLP-style disambiguated.
+    pub name: String,
+    /// Latent seniority that drove generation.
+    pub seniority: f64,
+    /// Primary topic index.
+    pub topic: usize,
+}
+
+/// A generated corpus plus its ground truth.
+#[derive(Clone, Debug)]
+pub struct SynthCorpus {
+    /// The publications, parse-equivalent to the XML serialization.
+    pub corpus: Corpus,
+    /// Ground-truth authors (indexed by creation order, not node id).
+    pub authors: Vec<SynthAuthor>,
+    /// Names of the topics in use.
+    pub topic_names: Vec<String>,
+}
+
+impl SynthCorpus {
+    /// Generates a corpus from the configuration.
+    pub fn generate(cfg: &SynthConfig) -> SynthCorpus {
+        assert!(cfg.num_authors > 0, "need at least one author");
+        assert!(
+            (1..=5).contains(&cfg.max_team_size),
+            "max_team_size must be 1..=5"
+        );
+        let num_topics = cfg.num_topics.clamp(1, TOPICS.len());
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // --- Authors ---------------------------------------------------
+        let mut authors = Vec::with_capacity(cfg.num_authors);
+        let mut name_counts: std::collections::HashMap<String, u32> =
+            std::collections::HashMap::new();
+        let mut favorites: Vec<Vec<&'static str>> = Vec::with_capacity(cfg.num_authors);
+        for _ in 0..cfg.num_authors {
+            let base = format!(
+                "{} {}",
+                FIRST_NAMES.choose(&mut rng).expect("non-empty"),
+                LAST_NAMES.choose(&mut rng).expect("non-empty"),
+            );
+            let n = name_counts.entry(base.clone()).or_insert(0);
+            *n += 1;
+            // DBLP-style homonym disambiguation: "Wei Zhang 0002".
+            let name = if *n == 1 {
+                base
+            } else {
+                format!("{base} {:04}", *n)
+            };
+
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let seniority = ((1.0 - u).powf(-1.0 / cfg.seniority_alpha)).min(60.0);
+            let topic = rng.gen_range(0..num_topics);
+            let vocab = TOPICS[topic].1;
+            let mut fav: Vec<&'static str> = vocab
+                .choose_multiple(&mut rng, 3)
+                .copied()
+                .collect();
+            fav.sort_unstable();
+            favorites.push(fav);
+            authors.push(SynthAuthor {
+                name,
+                seniority,
+                topic,
+            });
+        }
+
+        // Per-topic Pólya urns: seniors start with more tickets; every
+        // publication adds one ticket (preferential attachment).
+        let mut urns: Vec<Vec<u32>> = vec![Vec::new(); num_topics];
+        for (i, a) in authors.iter().enumerate() {
+            let tickets = 1 + (a.seniority / 2.0) as usize;
+            for _ in 0..tickets {
+                urns[a.topic].push(i as u32);
+            }
+        }
+        for urn in &mut urns {
+            if urn.is_empty() {
+                // A topic with no authors: point it at author 0 so draws
+                // never fail (only possible for tiny configs).
+                urn.push(0);
+            }
+        }
+
+        // --- Papers ----------------------------------------------------
+        let mean_team: f64 = TEAM_SIZE_WEIGHTS
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (i + 1) as f64 * w)
+            .sum();
+        let num_papers = ((cfg.num_authors as f64 * cfg.mean_papers_per_author) / mean_team)
+            .round()
+            .max(1.0) as usize;
+
+        let mut publications = Vec::with_capacity(num_papers);
+        let (y0, y1) = cfg.years;
+        assert!(y0 <= y1, "year range must be ordered");
+
+        for pid in 0..num_papers {
+            let topic = rng.gen_range(0..num_topics);
+            let team_size = sample_team_size(&mut rng, cfg.max_team_size);
+
+            // First author by preferential attachment within the topic.
+            let first = *urns[topic].choose(&mut rng).expect("urn non-empty") as usize;
+            let mut team = vec![first];
+            let mut guard = 0;
+            while team.len() < team_size && guard < 64 {
+                guard += 1;
+                // Occasional cross-topic collaboration.
+                let t = if rng.gen_bool(0.15) {
+                    rng.gen_range(0..num_topics)
+                } else {
+                    topic
+                };
+                let cand = *urns[t].choose(&mut rng).expect("urn non-empty") as usize;
+                if !team.contains(&cand) {
+                    team.push(cand);
+                }
+            }
+            // Publication feeds the urn (rich get richer).
+            for &a in &team {
+                urns[authors[a].topic].push(a as u32);
+            }
+
+            let max_seniority = team
+                .iter()
+                .map(|&a| authors[a].seniority)
+                .fold(0.0f64, f64::max);
+
+            // Title: 1–2 favorite terms of the first author + topic terms
+            // + filler.
+            let mut words: Vec<&str> = Vec::new();
+            let favs = &favorites[first];
+            let take_favs = 1 + rng.gen_range(0..=1usize.min(favs.len() - 1));
+            for f in favs.choose_multiple(&mut rng, take_favs) {
+                words.push(f);
+            }
+            let vocab = TOPICS[topic].1;
+            let extra_terms = rng.gen_range(1..=2);
+            for t in vocab.choose_multiple(&mut rng, extra_terms) {
+                if !words.contains(t) {
+                    words.push(t);
+                }
+            }
+            // Filler adjectives appear in most—but not all—titles, drawn
+            // from a vocabulary wide enough that no filler term becomes a
+            // mass "skill" held by half the juniors.
+            if rng.gen_bool(0.7) {
+                words.push(FILLER.choose(&mut rng).expect("non-empty"));
+            }
+            words.shuffle(&mut rng);
+            let title = title_from_words(&words);
+
+            // Venue tier correlates with seniority.
+            let tier = sample_tier(&mut rng, max_seniority);
+            let venue = VenueCatalog::venue_name(TOPICS[topic].0, tier);
+            let kind = if tier == 3 {
+                PubKind::Article // "Journal of …"
+            } else {
+                PubKind::InProceedings
+            };
+
+            let year = rng.gen_range(y0..=y1);
+            // Citations: exponential base scaled by seniority, venue tier
+            // and age.
+            let age = (y1 - year + 1) as f64 / (y1 - y0 + 1) as f64;
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let base = -u.ln() * (1.5 + max_seniority * 0.6) * (0.5 + tier as f64 * 0.4);
+            let citations = (base * (0.4 + age)).round() as u32;
+
+            publications.push(Publication {
+                key: format!("synth/t{topic}/p{pid}"),
+                kind,
+                title,
+                authors: team.iter().map(|&a| authors[a].name.clone()).collect(),
+                venue: Some(venue),
+                year: Some(year),
+                citations,
+            });
+        }
+
+        SynthCorpus {
+            corpus: Corpus::new(publications),
+            authors,
+            topic_names: TOPICS[..num_topics]
+                .iter()
+                .map(|(n, _)| n.to_string())
+                .collect(),
+        }
+    }
+}
+
+fn sample_team_size(rng: &mut StdRng, max: usize) -> usize {
+    let max = max.min(TEAM_SIZE_WEIGHTS.len());
+    let total: f64 = TEAM_SIZE_WEIGHTS[..max].iter().sum();
+    let mut x = rng.gen_range(0.0..total);
+    for (i, &w) in TEAM_SIZE_WEIGHTS[..max].iter().enumerate() {
+        if x < w {
+            return i + 1;
+        }
+        x -= w;
+    }
+    max
+}
+
+fn sample_tier(rng: &mut StdRng, max_seniority: f64) -> u8 {
+    // Seniority 1 ⇒ mostly tiers 1–2; seniority 20+ ⇒ mostly 3–4.
+    let s = (max_seniority / 15.0).clamp(0.0, 1.0);
+    let weights = [
+        1.5 - s,       // tier 1
+        1.25 - 0.5 * s, // tier 2
+        0.5 + s,       // tier 3
+        0.25 + 1.5 * s, // tier 4
+    ];
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return (i + 1) as u8;
+        }
+        x -= w;
+    }
+    4
+}
+
+fn title_from_words(words: &[&str]) -> String {
+    let mut title = String::new();
+    for (i, w) in words.iter().enumerate() {
+        if i > 0 {
+            title.push(' ');
+        }
+        if i == 0 {
+            let mut c = w.chars();
+            if let Some(f) = c.next() {
+                title.extend(f.to_uppercase());
+                title.push_str(c.as_str());
+            }
+        } else {
+            title.push_str(w);
+        }
+    }
+    title
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_dblp_xml;
+    use crate::writer::write_xml;
+
+    fn tiny() -> SynthCorpus {
+        SynthCorpus::generate(&SynthConfig::tiny())
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.corpus, b.corpus);
+        let c = SynthCorpus::generate(&SynthConfig {
+            seed: 43,
+            ..SynthConfig::tiny()
+        });
+        assert_ne!(a.corpus, c.corpus, "different seed, different corpus");
+    }
+
+    #[test]
+    fn xml_roundtrip_is_identity() {
+        let s = tiny();
+        let mut bytes = Vec::new();
+        write_xml(&s.corpus, &mut bytes).unwrap();
+        let parsed = parse_dblp_xml(bytes.as_slice()).unwrap();
+        assert_eq!(parsed, s.corpus);
+    }
+
+    #[test]
+    fn paper_counts_track_config() {
+        let s = tiny();
+        let cfg = SynthConfig::tiny();
+        let expect = (cfg.num_authors as f64 * cfg.mean_papers_per_author / 2.65).round();
+        let got = s.corpus.len() as f64;
+        assert!(
+            (got - expect).abs() / expect < 0.05,
+            "papers {got} far from target {expect}"
+        );
+    }
+
+    #[test]
+    fn collaboration_is_heavy_tailed() {
+        let s = tiny();
+        let by = s.corpus.papers_by_author();
+        let counts: Vec<usize> = by.values().map(|v| v.len()).collect();
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(
+            max > 3.0 * mean,
+            "no heavy tail: max {max} vs mean {mean:.2}"
+        );
+    }
+
+    #[test]
+    fn authors_publish_mostly_in_their_topic_venues() {
+        let s = tiny();
+        // Every publication's venue should parse back to a known tier.
+        let cat = VenueCatalog::new();
+        for p in &s.corpus.publications {
+            assert!(cat.tier(p.venue.as_deref().unwrap()).is_some());
+        }
+    }
+
+    #[test]
+    fn seniors_earn_more_citations() {
+        let s = SynthCorpus::generate(&SynthConfig {
+            num_authors: 600,
+            ..SynthConfig::tiny()
+        });
+        // Average citations of papers whose max-seniority is high vs low.
+        let by_name: std::collections::HashMap<&str, f64> = s
+            .authors
+            .iter()
+            .map(|a| (a.name.as_str(), a.seniority))
+            .collect();
+        let (mut hi, mut hi_n, mut lo, mut lo_n) = (0.0, 0usize, 0.0, 0usize);
+        for p in &s.corpus.publications {
+            let smax = p
+                .authors
+                .iter()
+                .map(|a| by_name[a.as_str()])
+                .fold(0.0f64, f64::max);
+            if smax > 8.0 {
+                hi += p.citations as f64;
+                hi_n += 1;
+            } else if smax < 2.0 {
+                lo += p.citations as f64;
+                lo_n += 1;
+            }
+        }
+        assert!(hi_n > 0 && lo_n > 0, "both strata populated");
+        assert!(
+            hi / hi_n as f64 > lo / lo_n as f64,
+            "senior papers should out-cite junior papers"
+        );
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let s = tiny();
+        let mut names: Vec<&str> = s.authors.iter().map(|a| a.name.as_str()).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+
+    #[test]
+    fn team_sizes_respect_max() {
+        let s = SynthCorpus::generate(&SynthConfig {
+            max_team_size: 2,
+            ..SynthConfig::tiny()
+        });
+        assert!(s.corpus.publications.iter().all(|p| p.authors.len() <= 2));
+    }
+
+    #[test]
+    fn years_are_in_range() {
+        let s = tiny();
+        let (y0, y1) = SynthConfig::tiny().years;
+        for p in &s.corpus.publications {
+            let y = p.year.unwrap();
+            assert!((y0..=y1).contains(&y));
+        }
+    }
+}

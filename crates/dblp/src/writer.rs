@@ -1,0 +1,142 @@
+//! [`Corpus`] → DBLP XML, the inverse of [`crate::parser`].
+//!
+//! Used by the synthetic pipeline so the generated corpus flows through the
+//! same parser a real DBLP dump would, and by tests to establish the
+//! parse∘write = identity property.
+
+use std::io::{self, Write};
+
+use crate::model::Corpus;
+
+/// Escapes the five XML special characters.
+fn escape(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Serializes the corpus as a DBLP XML document.
+///
+/// Citations are emitted as the `citations` attribute (the synthetic
+/// extension); zero-citation records omit it so the common case matches
+/// real DBLP bytes.
+pub fn write_xml<W: Write>(corpus: &Corpus, mut out: W) -> io::Result<()> {
+    let mut buf = String::with_capacity(256);
+    out.write_all(b"<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n")?;
+    out.write_all(b"<!DOCTYPE dblp SYSTEM \"dblp.dtd\">\n<dblp>\n")?;
+    for p in &corpus.publications {
+        buf.clear();
+        let elem = p.kind.element_name();
+        buf.push('<');
+        buf.push_str(elem);
+        buf.push_str(" key=\"");
+        escape(&p.key, &mut buf);
+        buf.push('"');
+        if p.citations > 0 {
+            buf.push_str(&format!(" citations=\"{}\"", p.citations));
+        }
+        buf.push_str(">\n");
+        for a in &p.authors {
+            buf.push_str("  <author>");
+            escape(a, &mut buf);
+            buf.push_str("</author>\n");
+        }
+        buf.push_str("  <title>");
+        escape(&p.title, &mut buf);
+        buf.push_str("</title>\n");
+        if let Some(v) = &p.venue {
+            let field = match p.kind {
+                crate::model::PubKind::Article => "journal",
+                _ => "booktitle",
+            };
+            buf.push_str("  <");
+            buf.push_str(field);
+            buf.push('>');
+            escape(v, &mut buf);
+            buf.push_str("</");
+            buf.push_str(field);
+            buf.push_str(">\n");
+        }
+        if let Some(y) = p.year {
+            buf.push_str(&format!("  <year>{y}</year>\n"));
+        }
+        buf.push_str("</");
+        buf.push_str(elem);
+        buf.push_str(">\n");
+        out.write_all(buf.as_bytes())?;
+    }
+    out.write_all(b"</dblp>\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{PubKind, Publication};
+    use crate::parser::parse_dblp_xml;
+
+    fn sample() -> Corpus {
+        Corpus::new(vec![
+            Publication {
+                key: "journals/a/X15".into(),
+                kind: PubKind::Article,
+                title: "Graphs & \"Trees\" <analyzed>".into(),
+                authors: vec!["Ada Lovelace".into(), "Jürgen Müller".into()],
+                venue: Some("TODS".into()),
+                year: Some(2015),
+                citations: 7,
+            },
+            Publication {
+                key: "conf/b/Y14".into(),
+                kind: PubKind::InProceedings,
+                title: "Mining Matrix Communities".into(),
+                authors: vec!["Bob Noble".into()],
+                venue: Some("KDD".into()),
+                year: Some(2014),
+                citations: 0,
+            },
+        ])
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let corpus = sample();
+        let mut bytes = Vec::new();
+        write_xml(&corpus, &mut bytes).unwrap();
+        let parsed = parse_dblp_xml(bytes.as_slice()).unwrap();
+        assert_eq!(parsed, corpus);
+    }
+
+    #[test]
+    fn special_characters_are_escaped() {
+        let mut bytes = Vec::new();
+        write_xml(&sample(), &mut bytes).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("Graphs &amp; &quot;Trees&quot; &lt;analyzed&gt;"));
+        assert!(!text.contains("<analyzed>"));
+    }
+
+    #[test]
+    fn zero_citations_attribute_is_omitted() {
+        let mut bytes = Vec::new();
+        write_xml(&sample(), &mut bytes).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("citations=\"7\""));
+        assert!(!text.contains("citations=\"0\""));
+    }
+
+    #[test]
+    fn article_uses_journal_conference_uses_booktitle() {
+        let mut bytes = Vec::new();
+        write_xml(&sample(), &mut bytes).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("<journal>TODS</journal>"));
+        assert!(text.contains("<booktitle>KDD</booktitle>"));
+    }
+}

@@ -1,0 +1,585 @@
+//! A minimal streaming XML pull parser — just enough for the DBLP dump
+//! format: elements, attributes, character data, entity references, XML
+//! declarations, DOCTYPE and comments. No namespaces, CDATA, or processing
+//! beyond what DBLP files contain.
+//!
+//! Why hand-rolled: the workspace policy keeps external dependencies to the
+//! vetted numeric/test crates, and DBLP's schema is flat enough (a root
+//! element, one level of publication records, one level of field elements)
+//! that a few hundred lines of parser are easier to audit than an XML
+//! library.
+
+use std::fmt;
+use std::io::BufRead;
+
+/// A parse event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum XmlEvent {
+    /// `<name attr="v">` or `<name/>` (the latter also emits an immediate
+    /// matching `EndElement`).
+    StartElement {
+        /// Element name.
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<(String, String)>,
+    },
+    /// `</name>` (or synthesized for self-closing elements).
+    EndElement {
+        /// Element name.
+        name: String,
+    },
+    /// Decoded character data between tags (entity references resolved;
+    /// never emitted for all-whitespace runs between elements).
+    Text(String),
+}
+
+/// Parser errors with byte offsets for debuggability.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XmlError {
+    /// Unexpected end of input inside a construct.
+    UnexpectedEof {
+        /// What was being parsed.
+        context: &'static str,
+    },
+    /// A malformed construct.
+    Malformed {
+        /// What was being parsed.
+        context: &'static str,
+        /// Byte offset in the input.
+        offset: usize,
+    },
+    /// Mismatched closing tag.
+    MismatchedTag {
+        /// The open element.
+        expected: String,
+        /// The close tag found.
+        found: String,
+    },
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of input while parsing {context}")
+            }
+            XmlError::Malformed { context, offset } => {
+                write!(f, "malformed {context} at byte {offset}")
+            }
+            XmlError::MismatchedTag { expected, found } => {
+                write!(f, "mismatched tag: expected </{expected}>, found </{found}>")
+            }
+            XmlError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Streaming pull parser over any `BufRead`.
+pub struct XmlReader<R: BufRead> {
+    input: R,
+    buf: Vec<u8>,
+    pos: usize,
+    offset: usize,
+    open: Vec<String>,
+    pending: Option<XmlEvent>,
+    done: bool,
+}
+
+impl<R: BufRead> XmlReader<R> {
+    /// Wraps a reader.
+    pub fn new(input: R) -> Self {
+        XmlReader {
+            input,
+            buf: Vec::new(),
+            pos: 0,
+            offset: 0,
+            open: Vec::new(),
+            pending: None,
+            done: false,
+        }
+    }
+
+    /// Current element nesting depth.
+    pub fn depth(&self) -> usize {
+        self.open.len()
+    }
+
+    fn fill(&mut self) -> Result<bool, XmlError> {
+        if self.pos < self.buf.len() {
+            return Ok(true);
+        }
+        self.offset += self.buf.len();
+        self.buf.clear();
+        self.pos = 0;
+        let chunk = self.input.fill_buf().map_err(|e| XmlError::Io(e.to_string()))?;
+        if chunk.is_empty() {
+            return Ok(false);
+        }
+        self.buf.extend_from_slice(chunk);
+        let n = chunk.len();
+        self.input.consume(n);
+        Ok(true)
+    }
+
+    fn peek(&mut self) -> Result<Option<u8>, XmlError> {
+        if !self.fill()? {
+            return Ok(None);
+        }
+        Ok(Some(self.buf[self.pos]))
+    }
+
+    fn bump(&mut self) -> Result<Option<u8>, XmlError> {
+        let b = self.peek()?;
+        if b.is_some() {
+            self.pos += 1;
+        }
+        Ok(b)
+    }
+
+    fn expect_byte(&mut self, want: u8, context: &'static str) -> Result<(), XmlError> {
+        match self.bump()? {
+            Some(b) if b == want => Ok(()),
+            Some(_) => Err(XmlError::Malformed {
+                context,
+                offset: self.offset + self.pos,
+            }),
+            None => Err(XmlError::UnexpectedEof { context }),
+        }
+    }
+
+    fn skip_whitespace(&mut self) -> Result<(), XmlError> {
+        while let Some(b) = self.peek()? {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads until (and consuming) the terminator byte, returning the bytes
+    /// before it.
+    fn take_until(&mut self, term: u8, context: &'static str) -> Result<Vec<u8>, XmlError> {
+        let mut out = Vec::new();
+        loop {
+            match self.bump()? {
+                Some(b) if b == term => return Ok(out),
+                Some(b) => out.push(b),
+                None => return Err(XmlError::UnexpectedEof { context }),
+            }
+        }
+    }
+
+    fn read_name(&mut self, context: &'static str) -> Result<String, XmlError> {
+        let mut name = Vec::new();
+        while let Some(b) = self.peek()? {
+            if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') {
+                name.push(b);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if name.is_empty() {
+            return Err(XmlError::Malformed {
+                context,
+                offset: self.offset + self.pos,
+            });
+        }
+        Ok(String::from_utf8_lossy(&name).into_owned())
+    }
+
+    /// Skips `<!-- ... -->`, `<!DOCTYPE ...>` (including a bracketed
+    /// internal subset) and `<? ... ?>`.
+    fn skip_markup(&mut self) -> Result<(), XmlError> {
+        match self.peek()? {
+            Some(b'?') => {
+                // <? ... ?>
+                loop {
+                    let chunk = self.take_until(b'>', "processing instruction")?;
+                    if chunk.last() == Some(&b'?') {
+                        return Ok(());
+                    }
+                }
+            }
+            Some(b'!') => {
+                self.pos += 1;
+                // Comment?
+                if self.peek()? == Some(b'-') {
+                    // <!-- ... -->
+                    self.pos += 1;
+                    self.expect_byte(b'-', "comment")?;
+                    let mut dashes = 0usize;
+                    loop {
+                        match self.bump()? {
+                            Some(b'-') => dashes += 1,
+                            Some(b'>') if dashes >= 2 => return Ok(()),
+                            Some(_) => dashes = 0,
+                            None => return Err(XmlError::UnexpectedEof { context: "comment" }),
+                        }
+                    }
+                }
+                // <!DOCTYPE ...> possibly with [ ... ].
+                let mut depth = 0usize;
+                loop {
+                    match self.bump()? {
+                        Some(b'[') => depth += 1,
+                        Some(b']') => depth = depth.saturating_sub(1),
+                        Some(b'>') if depth == 0 => return Ok(()),
+                        Some(_) => {}
+                        None => return Err(XmlError::UnexpectedEof { context: "doctype" }),
+                    }
+                }
+            }
+            _ => Err(XmlError::Malformed {
+                context: "markup declaration",
+                offset: self.offset + self.pos,
+            }),
+        }
+    }
+
+    fn read_attributes(&mut self) -> Result<(Vec<(String, String)>, bool), XmlError> {
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_whitespace()?;
+            match self.peek()? {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok((attrs, false));
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect_byte(b'>', "self-closing tag")?;
+                    return Ok((attrs, true));
+                }
+                Some(_) => {
+                    let name = self.read_name("attribute name")?;
+                    self.skip_whitespace()?;
+                    self.expect_byte(b'=', "attribute")?;
+                    self.skip_whitespace()?;
+                    let quote = match self.bump()? {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => {
+                            return Err(XmlError::Malformed {
+                                context: "attribute value",
+                                offset: self.offset + self.pos,
+                            })
+                        }
+                    };
+                    let raw = self.take_until(quote, "attribute value")?;
+                    attrs.push((name, decode_entities(&String::from_utf8_lossy(&raw))));
+                }
+                None => return Err(XmlError::UnexpectedEof { context: "attributes" }),
+            }
+        }
+    }
+
+    /// Pulls the next event, `Ok(None)` at clean end of document.
+    pub fn next_event(&mut self) -> Result<Option<XmlEvent>, XmlError> {
+        if let Some(ev) = self.pending.take() {
+            return Ok(Some(ev));
+        }
+        if self.done {
+            return Ok(None);
+        }
+        loop {
+            // Character data until '<'.
+            let mut text = Vec::new();
+            loop {
+                match self.peek()? {
+                    Some(b'<') => break,
+                    Some(b) => {
+                        text.push(b);
+                        self.pos += 1;
+                    }
+                    None => {
+                        if self.open.is_empty() {
+                            self.done = true;
+                            return Ok(None);
+                        }
+                        return Err(XmlError::UnexpectedEof { context: "element content" });
+                    }
+                }
+            }
+            if !text.is_empty() {
+                let decoded = decode_entities(&String::from_utf8_lossy(&text));
+                if !decoded.trim().is_empty() {
+                    return Ok(Some(XmlEvent::Text(decoded)));
+                }
+            }
+
+            // A tag.
+            self.expect_byte(b'<', "tag")?;
+            match self.peek()? {
+                Some(b'/') => {
+                    self.pos += 1;
+                    let name = self.read_name("closing tag")?;
+                    self.skip_whitespace()?;
+                    self.expect_byte(b'>', "closing tag")?;
+                    match self.open.pop() {
+                        Some(top) if top == name => {
+                            if self.open.is_empty() {
+                                self.done = true;
+                            }
+                            return Ok(Some(XmlEvent::EndElement { name }));
+                        }
+                        Some(top) => {
+                            return Err(XmlError::MismatchedTag {
+                                expected: top,
+                                found: name,
+                            })
+                        }
+                        None => {
+                            return Err(XmlError::Malformed {
+                                context: "closing tag with no open element",
+                                offset: self.offset + self.pos,
+                            })
+                        }
+                    }
+                }
+                Some(b'!') | Some(b'?') => {
+                    self.skip_markup()?;
+                    continue;
+                }
+                Some(_) => {
+                    let name = self.read_name("opening tag")?;
+                    let (attributes, self_closing) = self.read_attributes()?;
+                    if self_closing {
+                        self.pending = Some(XmlEvent::EndElement { name: name.clone() });
+                    } else {
+                        self.open.push(name.clone());
+                    }
+                    return Ok(Some(XmlEvent::StartElement { name, attributes }));
+                }
+                None => return Err(XmlError::UnexpectedEof { context: "tag" }),
+            }
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for XmlReader<R> {
+    type Item = Result<XmlEvent, XmlError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_event().transpose()
+    }
+}
+
+/// Decodes the five XML built-ins, numeric references, and the accented
+/// Latin-1 entities that pervade DBLP author names. Unknown entities are
+/// preserved literally (DBLP declares dozens; losing one must not corrupt
+/// a name into an empty string).
+pub fn decode_entities(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        match rest.find(';') {
+            // Entities are short; anything longer is literal '&'.
+            Some(semi) if semi <= 10 => {
+                let entity = &rest[1..semi];
+                match resolve_entity(entity) {
+                    Some(ch) => {
+                        out.push(ch);
+                        rest = &rest[semi + 1..];
+                    }
+                    None => {
+                        out.push_str(&rest[..semi + 1]);
+                        rest = &rest[semi + 1..];
+                    }
+                }
+            }
+            _ => {
+                out.push('&');
+                rest = &rest[1..];
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+fn resolve_entity(entity: &str) -> Option<char> {
+    if let Some(num) = entity.strip_prefix('#') {
+        let code = if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
+            u32::from_str_radix(hex, 16).ok()?
+        } else {
+            num.parse::<u32>().ok()?
+        };
+        return char::from_u32(code);
+    }
+    // The XML built-ins plus the Latin-1 accents common in DBLP names.
+    Some(match entity {
+        "amp" => '&',
+        "lt" => '<',
+        "gt" => '>',
+        "quot" => '"',
+        "apos" => '\'',
+        "uuml" => 'ü',
+        "Uuml" => 'Ü',
+        "auml" => 'ä',
+        "Auml" => 'Ä',
+        "ouml" => 'ö',
+        "Ouml" => 'Ö',
+        "eacute" => 'é',
+        "Eacute" => 'É',
+        "egrave" => 'è',
+        "agrave" => 'à',
+        "aacute" => 'á',
+        "ccedil" => 'ç',
+        "ntilde" => 'ñ',
+        "szlig" => 'ß',
+        "oslash" => 'ø',
+        "aring" => 'å',
+        "iacute" => 'í',
+        "oacute" => 'ó',
+        "uacute" => 'ú',
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(xml: &str) -> Vec<XmlEvent> {
+        XmlReader::new(xml.as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_or_else(|e| panic!("parse failed: {e} on {xml:?}"))
+    }
+
+    fn start(name: &str) -> XmlEvent {
+        XmlEvent::StartElement {
+            name: name.into(),
+            attributes: vec![],
+        }
+    }
+
+    fn end(name: &str) -> XmlEvent {
+        XmlEvent::EndElement { name: name.into() }
+    }
+
+    #[test]
+    fn parses_simple_document() {
+        let ev = events("<a><b>hi</b></a>");
+        assert_eq!(
+            ev,
+            vec![
+                start("a"),
+                start("b"),
+                XmlEvent::Text("hi".into()),
+                end("b"),
+                end("a")
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_attributes() {
+        let ev = events(r#"<article key="journals/x/Y99" citations="12"/>"#);
+        assert_eq!(
+            ev,
+            vec![
+                XmlEvent::StartElement {
+                    name: "article".into(),
+                    attributes: vec![
+                        ("key".into(), "journals/x/Y99".into()),
+                        ("citations".into(), "12".into())
+                    ],
+                },
+                end("article"),
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_declaration_doctype_and_comments() {
+        let ev = events(
+            "<?xml version=\"1.0\"?>\n<!DOCTYPE dblp SYSTEM \"dblp.dtd\">\n\
+             <!-- a comment -->\n<dblp><!-- inner --></dblp>",
+        );
+        assert_eq!(ev, vec![start("dblp"), end("dblp")]);
+    }
+
+    #[test]
+    fn doctype_with_internal_subset() {
+        let ev = events("<!DOCTYPE dblp [ <!ENTITY x \"y\"> ]><dblp/>");
+        assert_eq!(ev, vec![start("dblp"), end("dblp")]);
+    }
+
+    #[test]
+    fn decodes_entities_in_text_and_attributes() {
+        let ev = events(r#"<a t="&lt;&amp;&gt;">J&uuml;rgen &amp; fils &#65;</a>"#);
+        assert_eq!(
+            ev,
+            vec![
+                XmlEvent::StartElement {
+                    name: "a".into(),
+                    attributes: vec![("t".into(), "<&>".into())],
+                },
+                XmlEvent::Text("Jürgen & fils A".into()),
+                end("a"),
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_entities_are_preserved() {
+        assert_eq!(decode_entities("x &weird; y"), "x &weird; y");
+        assert_eq!(decode_entities("lone & ampersand"), "lone & ampersand");
+    }
+
+    #[test]
+    fn numeric_hex_entities() {
+        assert_eq!(decode_entities("&#x41;&#66;"), "AB");
+        assert_eq!(decode_entities("&#xZZ;"), "&#xZZ;", "bad hex preserved");
+    }
+
+    #[test]
+    fn whitespace_between_elements_is_not_text() {
+        let ev = events("<a>\n  <b>x</b>\n</a>");
+        assert!(!ev.iter().any(|e| matches!(e, XmlEvent::Text(t) if t.trim().is_empty())));
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        let err = XmlReader::new("<a><b></a></b>".as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert!(matches!(err, XmlError::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn truncated_document_errors() {
+        let err = XmlReader::new("<a><b>hi".as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert!(matches!(err, XmlError::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn text_after_root_is_rejected_gracefully() {
+        // Trailing whitespace after the root is fine.
+        let ev = events("<a/>\n\n");
+        assert_eq!(ev.len(), 2);
+    }
+
+    #[test]
+    fn crlf_and_small_buffer_boundaries() {
+        // Use a tiny BufReader capacity to exercise refills mid-token.
+        let xml = "<dblp>\r\n<article key=\"k1\"><title>On &amp; Off</title></article>\r\n</dblp>";
+        let reader = std::io::BufReader::with_capacity(4, xml.as_bytes());
+        let ev: Vec<XmlEvent> = XmlReader::new(reader).collect::<Result<Vec<_>, _>>().unwrap();
+        assert_eq!(ev.len(), 7);
+        assert!(matches!(&ev[3], XmlEvent::Text(t) if t == "On & Off"));
+    }
+}

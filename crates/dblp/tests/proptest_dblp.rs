@@ -1,0 +1,118 @@
+//! Property tests for the DBLP substrate: serialization roundtrips,
+//! h-index axioms, Jaccard metric properties, and end-to-end pipeline
+//! invariants on random corpora.
+
+use atd_dblp::graph_build::{BuildConfig, ExpertNetwork};
+use atd_dblp::hindex::h_index;
+use atd_dblp::jaccard::jaccard_distance;
+use atd_dblp::model::{Corpus, PubKind, Publication};
+use atd_dblp::parser::parse_dblp_xml;
+use atd_dblp::writer::write_xml;
+use proptest::prelude::*;
+
+/// Arbitrary publication with printable metadata.
+fn publication() -> impl Strategy<Value = Publication> {
+    let kind = prop_oneof![
+        Just(PubKind::Article),
+        Just(PubKind::InProceedings),
+        Just(PubKind::InCollection),
+    ];
+    (
+        "[a-z]{1,8}/[a-z]{1,8}/[A-Za-z0-9]{1,10}",
+        kind,
+        "[A-Za-z][A-Za-z \\-&<>\"']{0,40}",
+        proptest::collection::vec("[A-Z][a-z]{1,8} [A-Z][a-z]{1,10}", 1..5),
+        proptest::option::of("[A-Z][A-Za-z ]{0,20}"),
+        proptest::option::of(1950u32..2026),
+        0u32..500,
+    )
+        .prop_map(|(key, kind, title, mut authors, venue, year, citations)| {
+            authors.sort();
+            authors.dedup();
+            Publication {
+                key,
+                kind,
+                title: title.trim().to_string(),
+                authors,
+                venue: venue.map(|v| v.trim().to_string()).filter(|v| !v.is_empty()),
+                year,
+                citations,
+            }
+        })
+}
+
+fn corpus() -> impl Strategy<Value = Corpus> {
+    proptest::collection::vec(publication(), 0..25).prop_map(Corpus::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// write ∘ parse = identity for every corpus the writer can emit.
+    #[test]
+    fn xml_roundtrip(c in corpus()) {
+        let mut bytes = Vec::new();
+        write_xml(&c, &mut bytes).unwrap();
+        let parsed = parse_dblp_xml(bytes.as_slice()).unwrap();
+        prop_assert_eq!(parsed, c);
+    }
+
+    /// h-index axioms: bounded by paper count and max citations, monotone
+    /// under adding a paper, invariant under permutation.
+    #[test]
+    fn h_index_axioms(mut cites in proptest::collection::vec(0u32..1000, 0..40), extra in 0u32..1000) {
+        let h = h_index(&cites);
+        prop_assert!(h as usize <= cites.len());
+        prop_assert!(h <= cites.iter().copied().max().unwrap_or(0));
+
+        let mut shuffled = cites.clone();
+        shuffled.reverse();
+        prop_assert_eq!(h_index(&shuffled), h);
+
+        cites.push(extra);
+        prop_assert!(h_index(&cites) >= h);
+    }
+
+    /// Jaccard distance is a proper [0,1] semimetric: symmetric, zero iff
+    /// equal (for non-empty sets).
+    #[test]
+    fn jaccard_properties(
+        mut a in proptest::collection::vec(0u32..60, 0..20),
+        mut b in proptest::collection::vec(0u32..60, 0..20),
+    ) {
+        a.sort_unstable(); a.dedup();
+        b.sort_unstable(); b.dedup();
+        let d = jaccard_distance(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert_eq!(d, jaccard_distance(&b, &a));
+        if !a.is_empty() {
+            prop_assert_eq!(jaccard_distance(&a, &a), 0.0);
+        }
+        if !a.is_empty() && !b.is_empty() && d == 0.0 {
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    /// The expert network derived from any corpus is structurally sound:
+    /// authorities equal recomputed h-indices, every edge links co-authors
+    /// with Jaccard weight, skills only on juniors.
+    #[test]
+    fn network_invariants(c in corpus()) {
+        let cfg = BuildConfig { junior_max_papers: 3, min_term_titles: 2 };
+        let net = ExpertNetwork::build(c, &cfg).unwrap();
+        for a in &net.authors {
+            // Authority is the h-index.
+            prop_assert_eq!(net.graph.authority(a.node), a.h_index as f64);
+            // Seniors carry no skills.
+            if a.num_pubs >= cfg.junior_max_papers {
+                prop_assert!(net.skills.skills_of(a.node).is_empty());
+            }
+        }
+        for (u, v, w) in net.graph.edges() {
+            let (au, av) = (net.author(u), net.author(v));
+            let expect = jaccard_distance(&au.papers, &av.papers);
+            prop_assert!((w - expect).abs() < 1e-12);
+            prop_assert!(w < 1.0, "co-authors share a paper, so w < 1");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Robustness properties of the persistence layer and the XML parser:
+//! snapshots roundtrip for arbitrary corpora, and neither loader ever
+//! panics on hostile bytes — they return errors.
+
+use atd_dblp::graph_build::{BuildConfig, ExpertNetwork};
+use atd_dblp::model::{Corpus, PubKind, Publication};
+use atd_dblp::parser::parse_dblp_xml;
+use atd_dblp::snapshot::NetworkSnapshot;
+use atd_dblp::xml::{XmlEvent, XmlReader};
+use proptest::prelude::*;
+
+fn publication() -> impl Strategy<Value = Publication> {
+    (
+        "[a-z]{1,6}/[A-Za-z0-9]{1,8}",
+        "[A-Za-z][A-Za-z ]{0,30}",
+        proptest::collection::vec("[A-Z][a-z]{1,7}", 1..4),
+        0u32..100,
+    )
+        .prop_map(|(key, title, mut authors, citations)| {
+            authors.sort();
+            authors.dedup();
+            Publication {
+                key,
+                kind: PubKind::Article,
+                title: title.trim().to_string(),
+                authors,
+                venue: None,
+                year: Some(2012),
+                citations,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Snapshot save∘load = identity for networks built from arbitrary
+    /// corpora.
+    #[test]
+    fn snapshot_roundtrip(pubs in proptest::collection::vec(publication(), 0..20)) {
+        let net = ExpertNetwork::build(Corpus::new(pubs), &BuildConfig::default()).unwrap();
+        let snap = NetworkSnapshot::from_network(&net);
+        let mut bytes = Vec::new();
+        snap.save(&mut bytes).unwrap();
+        let loaded = NetworkSnapshot::load(bytes.as_slice()).unwrap();
+        prop_assert_eq!(loaded.graph.num_nodes(), snap.graph.num_nodes());
+        prop_assert_eq!(loaded.graph.num_edges(), snap.graph.num_edges());
+        prop_assert_eq!(&loaded.authors, &snap.authors);
+        for v in snap.graph.nodes() {
+            prop_assert_eq!(loaded.graph.authority(v), snap.graph.authority(v));
+            prop_assert_eq!(
+                loaded.skills.skills_of(v),
+                snap.skills.skills_of(v)
+            );
+        }
+    }
+
+    /// The snapshot loader never panics on arbitrary bytes.
+    #[test]
+    fn snapshot_loader_survives_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = NetworkSnapshot::load(bytes.as_slice());
+    }
+
+    /// Corrupting any single byte of a valid snapshot either still loads
+    /// (benign field) or errors — never panics.
+    #[test]
+    fn snapshot_loader_survives_bitflips(
+        pubs in proptest::collection::vec(publication(), 1..10),
+        pos_seed in any::<u64>(),
+        flip in 1u8..255,
+    ) {
+        let net = ExpertNetwork::build(Corpus::new(pubs), &BuildConfig::default()).unwrap();
+        let mut bytes = Vec::new();
+        NetworkSnapshot::from_network(&net).save(&mut bytes).unwrap();
+        let pos = (pos_seed as usize) % bytes.len();
+        bytes[pos] ^= flip;
+        let _ = NetworkSnapshot::load(bytes.as_slice());
+    }
+
+    /// The XML pull parser never panics on arbitrary input; it either
+    /// yields events or a structured error.
+    #[test]
+    fn xml_parser_survives_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let mut reader = XmlReader::new(bytes.as_slice());
+        // Drive to completion or first error, bounded.
+        for _ in 0..10_000 {
+            match reader.next_event() {
+                Ok(Some(XmlEvent::StartElement { .. }))
+                | Ok(Some(XmlEvent::EndElement { .. }))
+                | Ok(Some(XmlEvent::Text(_))) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    /// The DBLP record parser never panics either.
+    #[test]
+    fn dblp_parser_survives_garbage(mut bytes in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        // Prefix with a plausible root to reach deeper code paths too.
+        let mut doc = b"<dblp>".to_vec();
+        doc.append(&mut bytes);
+        let _ = parse_dblp_xml(doc.as_slice());
+    }
+}

@@ -1,0 +1,139 @@
+//! Ground-truth oracle: memoized single-source Dijkstra.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use atd_graph::{dijkstra, ExpertGraph, NodeId, ShortestPathTree};
+
+use crate::oracle::DistanceOracle;
+
+/// A [`DistanceOracle`] that lazily runs Dijkstra per source and memoizes
+/// the full shortest-path tree.
+///
+/// Ideal when queries cluster on few sources (e.g. the Random baseline,
+/// which reuses a handful of roots, or tests); poor for Algorithm 1's scan
+/// over all `N` roots — that is what [`crate::PrunedLandmarkLabeling`] is
+/// for. The memo is bounded by `max_cached_sources` and evicts arbitrarily
+/// (hash order) beyond it.
+pub struct DijkstraOracle<'g> {
+    graph: &'g ExpertGraph,
+    cache: RwLock<HashMap<u32, Arc<ShortestPathTree>>>,
+    max_cached_sources: usize,
+}
+
+impl<'g> DijkstraOracle<'g> {
+    /// Default cache bound (full SP trees are `O(V)` each).
+    pub const DEFAULT_CACHE: usize = 1024;
+
+    /// Creates an oracle over `graph` with the default cache bound.
+    pub fn new(graph: &'g ExpertGraph) -> Self {
+        Self::with_cache_bound(graph, Self::DEFAULT_CACHE)
+    }
+
+    /// Creates an oracle with an explicit cache bound (0 disables caching).
+    pub fn with_cache_bound(graph: &'g ExpertGraph, max_cached_sources: usize) -> Self {
+        DijkstraOracle {
+            graph,
+            cache: RwLock::new(HashMap::new()),
+            max_cached_sources,
+        }
+    }
+
+    /// The memoized (or freshly computed) shortest-path tree from `source`.
+    pub fn tree(&self, source: NodeId) -> Arc<ShortestPathTree> {
+        if let Some(t) = self.cache.read().expect("lock poisoned").get(&source.0) {
+            return Arc::clone(t);
+        }
+        let t = Arc::new(dijkstra(self.graph, source));
+        let mut cache = self.cache.write().expect("lock poisoned");
+        if cache.len() >= self.max_cached_sources && self.max_cached_sources > 0 {
+            // Arbitrary eviction keeps the bound without LRU bookkeeping;
+            // workloads that need better locality should size the bound.
+            if let Some(&k) = cache.keys().next() {
+                cache.remove(&k);
+            }
+        }
+        if self.max_cached_sources > 0 {
+            cache.insert(source.0, Arc::clone(&t));
+        }
+        t
+    }
+
+    /// Number of cached sources (diagnostics).
+    pub fn cached_sources(&self) -> usize {
+        self.cache.read().expect("lock poisoned").len()
+    }
+}
+
+impl DistanceOracle for DijkstraOracle<'_> {
+    fn distance(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.tree(u).distance(v)
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atd_graph::GraphBuilder;
+
+    fn path_graph(n: usize) -> ExpertGraph {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..n).map(|_| b.add_node(1.0)).collect();
+        for i in 0..n - 1 {
+            b.add_edge(ids[i], ids[i + 1], 2.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn distances_match_structure() {
+        let g = path_graph(5);
+        let o = DijkstraOracle::new(&g);
+        assert_eq!(o.distance(NodeId(0), NodeId(4)), Some(8.0));
+        assert_eq!(o.distance(NodeId(2), NodeId(2)), Some(0.0));
+    }
+
+    #[test]
+    fn caches_trees_per_source() {
+        let g = path_graph(4);
+        let o = DijkstraOracle::new(&g);
+        assert_eq!(o.cached_sources(), 0);
+        o.distance(NodeId(0), NodeId(1));
+        o.distance(NodeId(0), NodeId(3));
+        assert_eq!(o.cached_sources(), 1, "same source reuses the tree");
+        o.distance(NodeId(2), NodeId(0));
+        assert_eq!(o.cached_sources(), 2);
+    }
+
+    #[test]
+    fn cache_bound_is_respected() {
+        let g = path_graph(6);
+        let o = DijkstraOracle::with_cache_bound(&g, 2);
+        for i in 0..5 {
+            o.distance(NodeId(i), NodeId(0));
+        }
+        assert!(o.cached_sources() <= 2);
+    }
+
+    #[test]
+    fn zero_cache_disables_memoization() {
+        let g = path_graph(3);
+        let o = DijkstraOracle::with_cache_bound(&g, 0);
+        o.distance(NodeId(0), NodeId(2));
+        assert_eq!(o.cached_sources(), 0);
+    }
+
+    #[test]
+    fn disconnected_is_none() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(1.0);
+        let c = b.add_node(1.0);
+        let g = b.build().unwrap();
+        let o = DijkstraOracle::new(&g);
+        assert_eq!(o.distance(a, c), None);
+    }
+}

@@ -1,0 +1,174 @@
+//! 2-hop cover label storage.
+
+/// One label entry: this node is at distance `dist` from the hub with
+/// construction rank `hub_rank`.
+///
+/// Storing the *rank* instead of the node id keeps label lists sorted by
+/// construction order for free, which is exactly the merge order queries
+/// need.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LabelEntry {
+    /// Rank of the hub in the PLL vertex order (0 = most central).
+    pub hub_rank: u32,
+    /// Shortest-path distance from the owning node to that hub.
+    pub dist: f64,
+}
+
+/// The label lists of every node, indexed by node id.
+#[derive(Clone, Debug, Default)]
+pub struct LabelSet {
+    labels: Vec<Vec<LabelEntry>>,
+}
+
+/// Summary statistics of a built index.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LabelStats {
+    /// Number of indexed nodes.
+    pub nodes: usize,
+    /// Total label entries across all nodes.
+    pub total_entries: usize,
+    /// Mean entries per node.
+    pub avg_entries: f64,
+    /// Largest single label list.
+    pub max_entries: usize,
+}
+
+impl LabelSet {
+    /// An empty label set for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        LabelSet {
+            labels: vec![Vec::new(); n],
+        }
+    }
+
+    /// Appends an entry to `node`'s list.
+    ///
+    /// Construction visits hubs in ascending rank, so pushes keep each list
+    /// sorted by `hub_rank`; this is debug-asserted.
+    #[inline]
+    pub fn push(&mut self, node: usize, entry: LabelEntry) {
+        let list = &mut self.labels[node];
+        debug_assert!(
+            list.last().is_none_or(|last| last.hub_rank < entry.hub_rank),
+            "label entries must be pushed in ascending hub rank"
+        );
+        list.push(entry);
+    }
+
+    /// The label list of `node`.
+    #[inline]
+    pub fn of(&self, node: usize) -> &[LabelEntry] {
+        &self.labels[node]
+    }
+
+    /// Merge-join query: minimum `d(u, hub) + d(hub, v)` over common hubs.
+    /// Returns `f64::INFINITY` when the lists share no hub (disconnected).
+    #[inline]
+    pub fn query(&self, u: usize, v: usize) -> f64 {
+        merge_join_min(&self.labels[u], &self.labels[v])
+    }
+
+    /// Shrinks every list to fit (labels are immutable after construction).
+    pub fn shrink(&mut self) {
+        for l in &mut self.labels {
+            l.shrink_to_fit();
+        }
+    }
+
+    /// Computes summary statistics.
+    pub fn stats(&self) -> LabelStats {
+        let nodes = self.labels.len();
+        let total_entries: usize = self.labels.iter().map(|l| l.len()).sum();
+        let max_entries = self.labels.iter().map(|l| l.len()).max().unwrap_or(0);
+        LabelStats {
+            nodes,
+            total_entries,
+            avg_entries: if nodes == 0 {
+                0.0
+            } else {
+                total_entries as f64 / nodes as f64
+            },
+            max_entries,
+        }
+    }
+}
+
+/// Two-pointer merge over rank-sorted lists, taking the min combined
+/// distance over common hubs.
+#[inline]
+pub(crate) fn merge_join_min(a: &[LabelEntry], b: &[LabelEntry]) -> f64 {
+    let mut best = f64::INFINITY;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (ra, rb) = (a[i].hub_rank, b[j].hub_rank);
+        match ra.cmp(&rb) {
+            std::cmp::Ordering::Equal => {
+                let d = a[i].dist + b[j].dist;
+                if d < best {
+                    best = d;
+                }
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(hub_rank: u32, dist: f64) -> LabelEntry {
+        LabelEntry { hub_rank, dist }
+    }
+
+    #[test]
+    fn query_takes_min_over_common_hubs() {
+        let mut ls = LabelSet::new(2);
+        ls.push(0, e(0, 1.0));
+        ls.push(0, e(2, 0.5));
+        ls.push(1, e(0, 2.0));
+        ls.push(1, e(2, 5.0));
+        // Common hubs 0 (1+2=3) and 2 (0.5+5=5.5); min is 3.
+        assert_eq!(ls.query(0, 1), 3.0);
+    }
+
+    #[test]
+    fn disjoint_hubs_mean_infinity() {
+        let mut ls = LabelSet::new(2);
+        ls.push(0, e(0, 1.0));
+        ls.push(1, e(1, 1.0));
+        assert_eq!(ls.query(0, 1), f64::INFINITY);
+    }
+
+    #[test]
+    fn empty_labels_mean_infinity() {
+        let ls = LabelSet::new(2);
+        assert_eq!(ls.query(0, 1), f64::INFINITY);
+    }
+
+    #[test]
+    fn stats_counts_entries() {
+        let mut ls = LabelSet::new(3);
+        ls.push(0, e(0, 0.0));
+        ls.push(1, e(0, 1.0));
+        ls.push(1, e(1, 0.0));
+        let s = ls.stats();
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.total_entries, 3);
+        assert_eq!(s.max_entries, 2);
+        assert!((s.avg_entries - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "ascending hub rank")]
+    fn push_enforces_rank_order_in_debug() {
+        let mut ls = LabelSet::new(1);
+        ls.push(0, e(5, 1.0));
+        ls.push(0, e(3, 1.0));
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # atd-distance — shortest-path distance oracles
+//!
+//! Algorithm 1 of *Authority-Based Team Discovery in Social Networks*
+//! evaluates `DIST(root, v)` for every candidate root × every holder of
+//! every required skill. The paper answers these queries in (near) constant
+//! time with *distance labeling / 2-hop cover* — specifically **pruned
+//! landmark labeling** (Akiba, Iwata, Yoshida; SIGMOD 2013, the paper's
+//! reference [1]). This crate implements:
+//!
+//! * [`PrunedLandmarkLabeling`] — a weighted-graph PLL index: for each node
+//!   a small sorted list of `(hub, distance)` labels such that every
+//!   shortest path is covered by some common hub; queries are a merge-join
+//!   over two label lists.
+//! * [`DijkstraOracle`] — the ground-truth oracle (memoized single-source
+//!   Dijkstra), used for validation, benchmarks and as a fallback for
+//!   workloads with few distinct roots.
+//! * [`DistanceOracle`] — the trait both implement, which the team-formation
+//!   crate is generic over.
+//!
+//! Vertex ordering matters enormously for PLL label sizes; [`order`]
+//! provides the degree-descending heuristic recommended by Akiba et al. for
+//! social networks.
+
+pub mod dijkstra_oracle;
+pub mod label;
+pub mod oracle;
+pub mod order;
+pub mod pll;
+
+pub use dijkstra_oracle::DijkstraOracle;
+pub use label::{LabelEntry, LabelSet, LabelStats};
+pub use oracle::DistanceOracle;
+pub use order::{degree_descending_order, VertexOrder};
+pub use pll::PrunedLandmarkLabeling;

@@ -1,0 +1,113 @@
+//! Vertex orderings for pruned landmark labeling.
+//!
+//! PLL processes vertices from "most central" to least; the earlier a hub
+//! is processed, the more shortest paths it covers and the smaller every
+//! later label becomes. Akiba et al. found degree-descending order to work
+//! well on social networks (hubs = high-degree celebrities), which matches
+//! the expert-network setting where prolific senior researchers are the
+//! natural hubs.
+
+use atd_graph::{ExpertGraph, NodeId};
+
+/// How to order vertices for label construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum VertexOrder {
+    /// Degree descending (ties by node id) — the standard social-network
+    /// heuristic.
+    #[default]
+    DegreeDescending,
+    /// Node id ascending — only sensible for testing worst-case labels.
+    IdAscending,
+    /// Authority descending — an expert-network-specific alternative using
+    /// node authority as the centrality proxy.
+    AuthorityDescending,
+}
+
+/// Computes the processing order: `order[k]` is the node processed at
+/// rank `k`.
+pub fn compute_order(g: &ExpertGraph, kind: VertexOrder) -> Vec<NodeId> {
+    let mut order: Vec<NodeId> = g.nodes().collect();
+    match kind {
+        VertexOrder::DegreeDescending => {
+            order.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+        }
+        VertexOrder::IdAscending => {}
+        VertexOrder::AuthorityDescending => {
+            order.sort_by(|&a, &b| {
+                g.authority(b)
+                    .total_cmp(&g.authority(a))
+                    .then_with(|| a.cmp(&b))
+            });
+        }
+    }
+    order
+}
+
+/// Degree-descending order (the default used by the team-discovery engine).
+pub fn degree_descending_order(g: &ExpertGraph) -> Vec<NodeId> {
+    compute_order(g, VertexOrder::DegreeDescending)
+}
+
+/// Inverts an order into ranks: `rank[v] = k` iff `order[k] = v`.
+pub fn ranks_of(order: &[NodeId]) -> Vec<u32> {
+    let mut rank = vec![0u32; order.len()];
+    for (k, &v) in order.iter().enumerate() {
+        rank[v.index()] = k as u32;
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atd_graph::GraphBuilder;
+
+    fn star() -> ExpertGraph {
+        // Node 3 is the hub of a star with leaves 0, 1, 2.
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = (0..4).map(|i| b.add_node(1.0 + i as f64)).collect();
+        b.add_edge(n[3], n[0], 1.0).unwrap();
+        b.add_edge(n[3], n[1], 1.0).unwrap();
+        b.add_edge(n[3], n[2], 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn degree_order_puts_hub_first() {
+        let g = star();
+        let order = degree_descending_order(&g);
+        assert_eq!(order[0], NodeId(3));
+    }
+
+    #[test]
+    fn degree_ties_break_by_id() {
+        let g = star();
+        let order = degree_descending_order(&g);
+        assert_eq!(&order[1..], &[NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn id_order_is_identity() {
+        let g = star();
+        let order = compute_order(&g, VertexOrder::IdAscending);
+        assert_eq!(order, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn authority_order_descends() {
+        let g = star();
+        let order = compute_order(&g, VertexOrder::AuthorityDescending);
+        assert_eq!(order[0], NodeId(3), "authority 4.0 is the highest");
+        assert_eq!(order[3], NodeId(0));
+    }
+
+    #[test]
+    fn ranks_invert_order() {
+        let g = star();
+        let order = degree_descending_order(&g);
+        let rank = ranks_of(&order);
+        for (k, &v) in order.iter().enumerate() {
+            assert_eq!(rank[v.index()], k as u32);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Pruned landmark labeling (2-hop cover) for weighted graphs.
+//!
+//! Construction (Akiba et al., SIGMOD 2013, generalized to non-negative
+//! edge weights): process vertices in a centrality order; for the vertex
+//! `h` of rank `k`, run a **pruned Dijkstra** from `h`. When a node `u` is
+//! settled at distance `d`, first ask the labels built so far whether some
+//! earlier hub already certifies `dist(h, u) <= d`; if so, prune (neither
+//! label `u` nor expand it). Otherwise append `(k, d)` to `u`'s label and
+//! expand. The resulting labels form a 2-hop cover: for every pair
+//! `(u, v)`, some hub on a shortest `u`–`v` path appears in both labels, so
+//! the merge-join query returns the exact distance.
+
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use atd_graph::{ExpertGraph, NodeId, TotalF64};
+
+use crate::label::{LabelEntry, LabelSet, LabelStats};
+use crate::oracle::DistanceOracle;
+use crate::order::{compute_order, ranks_of, VertexOrder};
+
+/// A built pruned-landmark-labeling index.
+///
+/// Queries are exact shortest-path distances; see
+/// [`PrunedLandmarkLabeling::build`] for construction.
+pub struct PrunedLandmarkLabeling {
+    labels: LabelSet,
+    num_nodes: usize,
+    build_time: Duration,
+}
+
+impl PrunedLandmarkLabeling {
+    /// Builds the index with the default (degree-descending) vertex order.
+    pub fn build(g: &ExpertGraph) -> Self {
+        Self::build_with_order(g, VertexOrder::DegreeDescending)
+    }
+
+    /// Builds the index with an explicit vertex order.
+    pub fn build_with_order(g: &ExpertGraph, order_kind: VertexOrder) -> Self {
+        let start = Instant::now();
+        let n = g.num_nodes();
+        let order = compute_order(g, order_kind);
+        let _rank = ranks_of(&order);
+
+        let mut labels = LabelSet::new(n);
+
+        // Reusable scratch: tentative distances, settled marks, touched list.
+        let mut dist = vec![f64::INFINITY; n];
+        let mut settled = vec![false; n];
+        let mut touched: Vec<usize> = Vec::new();
+        // Scatter array: distance from the current hub to earlier hubs,
+        // indexed by hub rank, for O(|label(u)|) prune queries.
+        let mut hub_dist = vec![f64::INFINITY; n];
+
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+
+        for (k, &hub) in order.iter().enumerate() {
+            let k32 = k as u32;
+
+            // Scatter the hub's current label for fast prune queries.
+            for e in labels.of(hub.index()) {
+                hub_dist[e.hub_rank as usize] = e.dist;
+            }
+
+            heap.clear();
+            dist[hub.index()] = 0.0;
+            touched.push(hub.index());
+            heap.push(HeapEntry {
+                dist: TotalF64::ZERO,
+                node: hub,
+            });
+
+            while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+                let ui = u.index();
+                if settled[ui] {
+                    continue;
+                }
+                settled[ui] = true;
+                let d = d.get();
+
+                // Prune: if an earlier hub already certifies a distance
+                // <= d between `hub` and `u`, this entry is redundant.
+                let mut covered = f64::INFINITY;
+                for e in labels.of(ui) {
+                    let via = hub_dist[e.hub_rank as usize] + e.dist;
+                    if via < covered {
+                        covered = via;
+                    }
+                }
+                if covered <= d {
+                    continue;
+                }
+
+                labels.push(
+                    ui,
+                    LabelEntry {
+                        hub_rank: k32,
+                        dist: d,
+                    },
+                );
+
+                for (v, w) in g.neighbors(u) {
+                    let vi = v.index();
+                    if settled[vi] {
+                        continue;
+                    }
+                    let nd = d + w;
+                    if nd < dist[vi] {
+                        if !dist[vi].is_finite() {
+                            touched.push(vi);
+                        }
+                        dist[vi] = nd;
+                        heap.push(HeapEntry {
+                            dist: TotalF64::expect(nd),
+                            node: v,
+                        });
+                    }
+                }
+            }
+
+            // Reset scratch for the next hub (only what we touched).
+            for &t in &touched {
+                dist[t] = f64::INFINITY;
+                settled[t] = false;
+            }
+            touched.clear();
+            for e in labels.of(hub.index()) {
+                hub_dist[e.hub_rank as usize] = f64::INFINITY;
+            }
+        }
+
+        labels.shrink();
+        PrunedLandmarkLabeling {
+            labels,
+            num_nodes: n,
+            build_time: start.elapsed(),
+        }
+    }
+
+    /// Label statistics (index size diagnostics).
+    pub fn stats(&self) -> LabelStats {
+        self.labels.stats()
+    }
+
+    /// Wall-clock construction time.
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// Raw query returning `f64::INFINITY` for disconnected pairs.
+    #[inline]
+    pub fn query_raw(&self, u: NodeId, v: NodeId) -> f64 {
+        if u == v {
+            return 0.0;
+        }
+        self.labels.query(u.index(), v.index())
+    }
+}
+
+impl DistanceOracle for PrunedLandmarkLabeling {
+    #[inline]
+    fn distance(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        let d = self.query_raw(u, v);
+        d.is_finite().then_some(d)
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+}
+
+/// Min-heap entry (same scheme as the graph crate's Dijkstra).
+#[derive(PartialEq, Eq)]
+struct HeapEntry {
+    dist: TotalF64,
+    node: NodeId,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .dist
+            .cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atd_graph::{dijkstra, GraphBuilder};
+
+    fn grid(rows: usize, cols: usize) -> ExpertGraph {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..rows * cols).map(|_| b.add_node(1.0)).collect();
+        for r in 0..rows {
+            for c in 0..cols {
+                let i = r * cols + c;
+                if c + 1 < cols {
+                    b.add_edge(ids[i], ids[i + 1], 1.0 + (i % 3) as f64 * 0.5)
+                        .unwrap();
+                }
+                if r + 1 < rows {
+                    b.add_edge(ids[i], ids[i + cols], 1.0 + (i % 2) as f64)
+                        .unwrap();
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matches_dijkstra_on_grid() {
+        let g = grid(5, 5);
+        let pll = PrunedLandmarkLabeling::build(&g);
+        for s in [NodeId(0), NodeId(7), NodeId(24)] {
+            let sp = dijkstra(&g, s);
+            for v in g.nodes() {
+                let expect = sp.distance(v);
+                let got = pll.distance(s, v);
+                match (expect, got) {
+                    (Some(a), Some(b)) => assert!(
+                        (a - b).abs() < 1e-9,
+                        "dist({s},{v}) expected {a}, got {b}"
+                    ),
+                    (a, b) => assert_eq!(a, b),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_distance_is_zero() {
+        let g = grid(3, 3);
+        let pll = PrunedLandmarkLabeling::build(&g);
+        assert_eq!(pll.distance(NodeId(4), NodeId(4)), Some(0.0));
+    }
+
+    #[test]
+    fn disconnected_pairs_are_none() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(1.0);
+        let c = b.add_node(1.0);
+        let d = b.add_node(1.0);
+        b.add_edge(a, c, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let pll = PrunedLandmarkLabeling::build(&g);
+        assert_eq!(pll.distance(a, d), None);
+        assert!(!pll.connected(a, d));
+        assert_eq!(pll.distance(a, c), Some(1.0));
+    }
+
+    #[test]
+    fn all_orders_agree() {
+        let g = grid(4, 4);
+        let base = PrunedLandmarkLabeling::build_with_order(&g, VertexOrder::DegreeDescending);
+        for order in [VertexOrder::IdAscending, VertexOrder::AuthorityDescending] {
+            let other = PrunedLandmarkLabeling::build_with_order(&g, order);
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    assert_eq!(
+                        base.distance(u, v),
+                        other.distance(u, v),
+                        "order {order:?} disagrees on ({u},{v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degree_order_produces_smaller_labels_than_id_order_on_star() {
+        // On a star the hub must be labeled first for O(1) labels; id order
+        // labels everything through the leaves.
+        let mut b = GraphBuilder::new();
+        let leaves: Vec<NodeId> = (0..20).map(|_| b.add_node(1.0)).collect();
+        let hub = b.add_node(1.0);
+        for &l in &leaves {
+            b.add_edge(hub, l, 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let good = PrunedLandmarkLabeling::build_with_order(&g, VertexOrder::DegreeDescending);
+        let bad = PrunedLandmarkLabeling::build_with_order(&g, VertexOrder::IdAscending);
+        assert!(
+            good.stats().total_entries <= bad.stats().total_entries,
+            "degree order should not be worse on a star: {:?} vs {:?}",
+            good.stats(),
+            bad.stats()
+        );
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(1.0);
+        let g = b.build().unwrap();
+        let pll = PrunedLandmarkLabeling::build(&g);
+        assert_eq!(pll.distance(a, a), Some(0.0));
+        assert_eq!(pll.num_nodes(), 1);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = grid(3, 3);
+        let pll = PrunedLandmarkLabeling::build(&g);
+        let s = pll.stats();
+        assert_eq!(s.nodes, 9);
+        assert!(s.total_entries >= 9, "every node labels itself at least");
+        assert!(s.avg_entries > 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! The load-bearing property of the whole distance layer: PLL answers are
+//! exactly Dijkstra's on arbitrary weighted graphs, including disconnected
+//! ones, under every vertex ordering.
+
+use atd_distance::order::VertexOrder;
+use atd_distance::{DijkstraOracle, DistanceOracle, PrunedLandmarkLabeling};
+use atd_graph::{GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+fn random_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (2usize..24).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as u32, 0..n as u32, 0.01f64..5.0),
+            0..50,
+        );
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32, f64)]) -> atd_graph::ExpertGraph {
+    let mut b = GraphBuilder::new();
+    for i in 0..n {
+        b.add_node(1.0 + (i % 7) as f64);
+    }
+    for &(u, v, w) in edges {
+        if u != v {
+            b.add_edge(NodeId(u), NodeId(v), w).unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// PLL == Dijkstra on every pair, degree order.
+    #[test]
+    fn pll_equals_dijkstra((n, edges) in random_graph()) {
+        let g = build(n, &edges);
+        let pll = PrunedLandmarkLabeling::build(&g);
+        let dij = DijkstraOracle::new(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let (a, b) = (pll.distance(u, v), dij.distance(u, v));
+                match (a, b) {
+                    (Some(x), Some(y)) =>
+                        prop_assert!((x - y).abs() < 1e-9, "({u},{v}): {x} vs {y}"),
+                    (x, y) => prop_assert_eq!(x, y, "({:?},{:?})", u, v),
+                }
+            }
+        }
+    }
+
+    /// PLL == Dijkstra under the authority ordering too (order only affects
+    /// index size, never correctness).
+    #[test]
+    fn pll_equals_dijkstra_authority_order((n, edges) in random_graph()) {
+        let g = build(n, &edges);
+        let pll =
+            PrunedLandmarkLabeling::build_with_order(&g, VertexOrder::AuthorityDescending);
+        let dij = DijkstraOracle::new(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                match (pll.distance(u, v), dij.distance(u, v)) {
+                    (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-9),
+                    (x, y) => prop_assert_eq!(x, y),
+                }
+            }
+        }
+    }
+
+    /// Distance is symmetric (the graph is undirected).
+    #[test]
+    fn pll_distance_is_symmetric((n, edges) in random_graph()) {
+        let g = build(n, &edges);
+        let pll = PrunedLandmarkLabeling::build(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                match (pll.distance(u, v), pll.distance(v, u)) {
+                    (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-9),
+                    (x, y) => prop_assert_eq!(x, y),
+                }
+            }
+        }
+    }
+
+    /// Triangle inequality holds for PLL answers.
+    #[test]
+    fn pll_triangle_inequality((n, edges) in random_graph()) {
+        let g = build(n, &edges);
+        let pll = PrunedLandmarkLabeling::build(&g);
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        for &a in nodes.iter().take(6) {
+            for &b in nodes.iter().take(6) {
+                for &c in nodes.iter().take(6) {
+                    if let (Some(ab), Some(bc), Some(ac)) =
+                        (pll.distance(a, b), pll.distance(b, c), pll.distance(a, c))
+                    {
+                        prop_assert!(ac <= ab + bc + 1e-9);
+                    }
+                }
+            }
+        }
+    }
+}

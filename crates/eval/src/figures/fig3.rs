@@ -1,0 +1,228 @@
+//! **Figure 3** — SA-CA-CC scores of the five ranking methods (CC, CA-CC,
+//! SA-CA-CC, Random, Exact) as λ varies over {0.2, 0.4, 0.6, 0.8}, one
+//! panel per project size (4, 6, 8, 10 skills), γ fixed at 0.6, scores
+//! averaged over the workload's projects.
+//!
+//! Expected shape (paper): SA-CA-CC tracks Exact closely where Exact is
+//! feasible (4 and 6 skills); CC and CA-CC score worse under the combined
+//! objective; Random is erratic and generally worst; Exact entries are
+//! missing ("—") for 8 and 10 skills because exhaustive search does not
+//! terminate — ours hits its explicit budgets there instead.
+
+use std::path::Path;
+
+use atd_core::exact::{ExactConfig, ExactTeamFinder};
+use atd_core::objectives::ObjectiveWeights;
+use atd_core::random::RandomTeamFinder;
+use atd_core::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::{fmt_val, Table};
+use crate::testbed::Testbed;
+use crate::workload::{generate_projects, WorkloadConfig};
+use crate::PAPER_GAMMA;
+
+/// The λ grid of the figure.
+pub const LAMBDAS: [f64; 4] = [0.2, 0.4, 0.6, 0.8];
+/// The project sizes of the four panels.
+pub const SKILL_COUNTS: [usize; 4] = [4, 6, 8, 10];
+
+/// Per-method average SA-CA-CC scores for one (skills, λ) cell.
+#[derive(Clone, Debug)]
+pub struct Fig3Cell {
+    /// Number of required skills.
+    pub skills: usize,
+    /// The λ of this cell.
+    pub lambda: f64,
+    /// Average scores: CC, CA-CC, SA-CA-CC, Random, Exact (NaN = not
+    /// computable, like the paper's missing Exact bars).
+    pub scores: [f64; 5],
+}
+
+/// Method labels in column order.
+pub const METHODS: [&str; 5] = ["CC", "CA-CC", "SA-CA-CC", "Random", "Exact"];
+
+/// Runs the experiment, returning all cells.
+pub fn compute(tb: &Testbed) -> Vec<Fig3Cell> {
+    let gamma = PAPER_GAMMA;
+    let mut cells = Vec::new();
+
+    for &t in &SKILL_COUNTS {
+        let projects = generate_projects(
+            &tb.net.skills,
+            &WorkloadConfig {
+                num_skills: t,
+                count: tb.scale.projects_per_point(),
+                min_holders: 2,
+                max_holders: 15,
+                seed: 100 + t as u64,
+            },
+        );
+        let weights: Vec<ObjectiveWeights> = LAMBDAS
+            .iter()
+            .map(|&l| ObjectiveWeights::new(gamma, l).expect("valid"))
+            .collect();
+
+        // Accumulators: [lambda][method] -> (sum, count).
+        let mut acc = vec![[(0.0f64, 0usize); 5]; LAMBDAS.len()];
+
+        for (pi, project) in projects.iter().enumerate() {
+            // Method 0: CC (λ-independent team, λ-dependent scoring).
+            let cc = tb.engine.best(project, Strategy::Cc).ok();
+            // Method 1: CA-CC (also λ-independent).
+            let cacc = tb
+                .engine
+                .best(project, Strategy::CaCc { gamma })
+                .ok();
+            // Method 3: Random — one trial pool shared across λ.
+            let rnd_finder = RandomTeamFinder::new(&tb.net.graph, &tb.net.skills);
+            let mut rng = StdRng::seed_from_u64(9_000 + pi as u64);
+            let rnd = rnd_finder
+                .best_of_each(project, &weights, tb.scale.random_trials(), &mut rng)
+                .ok();
+
+            for (li, &lambda) in LAMBDAS.iter().enumerate() {
+                let eval = |score: &atd_core::objectives::TeamScore| {
+                    score.sa_ca_cc(gamma, lambda)
+                };
+                if let Some(cc) = &cc {
+                    acc[li][0].0 += eval(&cc.score);
+                    acc[li][0].1 += 1;
+                }
+                if let Some(cacc) = &cacc {
+                    acc[li][1].0 += eval(&cacc.score);
+                    acc[li][1].1 += 1;
+                }
+                // Method 2: SA-CA-CC with this λ.
+                if let Ok(ours) = tb
+                    .engine
+                    .best(project, Strategy::SaCaCc { gamma, lambda })
+                {
+                    acc[li][2].0 += eval(&ours.score);
+                    acc[li][2].1 += 1;
+                }
+                if let Some(rnd) = &rnd {
+                    acc[li][3].0 += eval(&rnd[li].score);
+                    acc[li][3].1 += 1;
+                }
+                // Method 4: Exact, where feasible — with a per-run budget
+                // so one pathological project cannot stall the figure (the
+                // paper's Exact simply "did not terminate" there).
+                if tb.scale.exact_feasible(t) {
+                    let mut cfg = ExactConfig::new(weights[li]);
+                    cfg.max_assignments = 1 << 17;
+                    cfg.max_steiner_instances = 600;
+                    let finder =
+                        ExactTeamFinder::new(&tb.net.graph, &tb.net.skills, cfg);
+                    if let Ok(exact) = finder.best(project) {
+                        acc[li][4].0 += eval(&exact.score);
+                        acc[li][4].1 += 1;
+                    }
+                }
+            }
+        }
+
+        for (li, &lambda) in LAMBDAS.iter().enumerate() {
+            let mut scores = [f64::NAN; 5];
+            for m in 0..5 {
+                let (sum, n) = acc[li][m];
+                if n > 0 {
+                    scores[m] = sum / n as f64;
+                }
+            }
+            cells.push(Fig3Cell {
+                skills: t,
+                lambda,
+                scores,
+            });
+        }
+    }
+    cells
+}
+
+/// Runs and renders Figure 3.
+pub fn run(tb: &Testbed, out_dir: Option<&Path>) -> Table {
+    let cells = compute(tb);
+    let mut table = Table::new(&[
+        "skills", "lambda", METHODS[0], METHODS[1], METHODS[2], METHODS[3], METHODS[4],
+    ]);
+    for c in &cells {
+        table.row(vec![
+            c.skills.to_string(),
+            format!("{:.1}", c.lambda),
+            fmt_val(c.scores[0]),
+            fmt_val(c.scores[1]),
+            fmt_val(c.scores[2]),
+            fmt_val(c.scores[3]),
+            fmt_val(c.scores[4]),
+        ]);
+    }
+    if let Some(dir) = out_dir {
+        let _ = table.write_csv(&dir.join("fig3_sa_ca_cc_scores.csv"));
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::Scale;
+
+    /// One shared tiny testbed: building it is the expensive part.
+    fn tb() -> &'static Testbed {
+        use std::sync::OnceLock;
+        static TB: OnceLock<Testbed> = OnceLock::new();
+        TB.get_or_init(|| Testbed::new(Scale::Tiny))
+    }
+
+    #[test]
+    fn produces_all_cells_with_directional_shape() {
+        let cells = compute(tb());
+        assert_eq!(cells.len(), SKILL_COUNTS.len() * LAMBDAS.len());
+        let mut ours_beats_cc = 0usize;
+        let mut comparable = 0usize;
+        for c in &cells {
+            // SA-CA-CC optimizes the plotted objective: it should beat or
+            // match CC in the vast majority of cells.
+            if c.scores[2].is_finite() && c.scores[0].is_finite() {
+                comparable += 1;
+                if c.scores[2] <= c.scores[0] + 1e-9 {
+                    ours_beats_cc += 1;
+                }
+            }
+            // Exact, when present, is the floor.
+            if c.scores[4].is_finite() && c.scores[2].is_finite() {
+                assert!(
+                    c.scores[4] <= c.scores[2] + 1e-6,
+                    "exact must lower-bound the heuristic: {c:?}"
+                );
+            }
+        }
+        assert!(comparable > 0);
+        assert!(
+            ours_beats_cc * 10 >= comparable * 8,
+            "SA-CA-CC should beat CC in ≥80% of cells: {ours_beats_cc}/{comparable}"
+        );
+    }
+
+    #[test]
+    fn exact_is_attempted_only_at_low_skill_counts() {
+        let cells = compute(tb());
+        for c in &cells {
+            if c.skills >= 8 {
+                assert!(
+                    c.scores[4].is_nan(),
+                    "Exact at {} skills should be skipped",
+                    c.skills
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn render_has_a_row_per_cell() {
+        let table = run(tb(), None);
+        assert_eq!(table.len(), SKILL_COUNTS.len() * LAMBDAS.len());
+    }
+}

@@ -1,0 +1,150 @@
+//! **Figure 4** — top-5 precision of CC, CA-CC, SA-CA-CC judged by a panel
+//! (the paper: six graduate students; here: the synthetic
+//! [`crate::JudgePanel`], see DESIGN.md's substitution table). One project
+//! per skill count (4, 6, 8, 10), γ = λ = 0.6.
+//!
+//! Expected shape (paper): CA-CC and SA-CA-CC obtain better precision than
+//! CC for all tested projects.
+
+use std::path::Path;
+
+use atd_core::strategy::Strategy;
+
+use crate::judge::JudgePanel;
+use crate::metrics::team_stats;
+use crate::report::Table;
+use crate::testbed::Testbed;
+use crate::workload::{generate_projects, WorkloadConfig};
+use crate::{PAPER_GAMMA, PAPER_LAMBDA};
+
+/// Precision (0–100%) per skill count per method.
+#[derive(Clone, Debug)]
+pub struct Fig4Row {
+    /// Number of required skills.
+    pub skills: usize,
+    /// Top-5 precision of CC / CA-CC / SA-CA-CC in percent.
+    pub precision: [f64; 3],
+}
+
+/// Strategy labels in column order.
+pub const METHODS: [&str; 3] = ["CC", "CA-CC", "SA-CA-CC"];
+
+/// Runs the user study.
+pub fn compute(tb: &Testbed) -> Vec<Fig4Row> {
+    let (gamma, lambda) = (PAPER_GAMMA, PAPER_LAMBDA);
+    let panel = JudgePanel::paper_panel(2017);
+    let k = 5;
+    let mut rows = Vec::new();
+
+    for &t in &[4usize, 6, 8, 10] {
+        // The paper created one project per skill count.
+        let project = generate_projects(
+            &tb.net.skills,
+            &WorkloadConfig {
+                num_skills: t,
+                count: 1,
+                min_holders: 2,
+                max_holders: 40,
+                seed: 400 + t as u64,
+            },
+        )
+        .remove(0);
+
+        let strategies = [
+            Strategy::Cc,
+            Strategy::CaCc { gamma },
+            Strategy::SaCaCc { gamma, lambda },
+        ];
+        // Collect everyone's top-5 into one judging batch (judges saw all
+        // teams side by side).
+        let mut batch = Vec::new();
+        let mut spans = Vec::new(); // (start, len) per strategy
+        for s in strategies {
+            let teams = tb.engine.top_k(&project, s, k).unwrap_or_default();
+            let start = batch.len();
+            for st in &teams {
+                batch.push(team_stats(&tb.net, &st.team));
+            }
+            spans.push((start, batch.len() - start));
+        }
+        let scores = panel.score_batch(&batch);
+
+        let mut precision = [f64::NAN; 3];
+        for (m, &(start, len)) in spans.iter().enumerate() {
+            if len > 0 {
+                precision[m] = 100.0
+                    * scores[start..start + len].iter().sum::<f64>()
+                    / len as f64;
+            }
+        }
+        rows.push(Fig4Row {
+            skills: t,
+            precision,
+        });
+    }
+    rows
+}
+
+/// Runs and renders Figure 4.
+pub fn run(tb: &Testbed, out_dir: Option<&Path>) -> Table {
+    let rows = compute(tb);
+    let mut table = Table::new(&["skills", METHODS[0], METHODS[1], METHODS[2]]);
+    for r in &rows {
+        table.row(vec![
+            r.skills.to_string(),
+            format!("{:.1}", r.precision[0]),
+            format!("{:.1}", r.precision[1]),
+            format!("{:.1}", r.precision[2]),
+        ]);
+    }
+    if let Some(dir) = out_dir {
+        let _ = table.write_csv(&dir.join("fig4_top5_precision.csv"));
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::Scale;
+
+    fn tb() -> &'static Testbed {
+        use std::sync::OnceLock;
+        static TB: OnceLock<Testbed> = OnceLock::new();
+        TB.get_or_init(|| Testbed::new(Scale::Tiny))
+    }
+
+    #[test]
+    fn authority_methods_beat_cc_on_average() {
+        let rows = compute(tb());
+        assert_eq!(rows.len(), 4);
+        let mean = |i: usize| {
+            rows.iter()
+                .filter(|r| r.precision[i].is_finite())
+                .map(|r| r.precision[i])
+                .sum::<f64>()
+                / rows.len() as f64
+        };
+        let (cc, cacc, ours) = (mean(0), mean(1), mean(2));
+        assert!(
+            cacc > cc || ours > cc,
+            "authority-aware methods should win the user study: CC={cc:.1} CA-CC={cacc:.1} SA-CA-CC={ours:.1}"
+        );
+    }
+
+    #[test]
+    fn precisions_are_percentages() {
+        for r in compute(tb()) {
+            for p in r.precision {
+                if p.is_finite() {
+                    assert!((0.0..=100.0).contains(&p), "{p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_renders_four_rows() {
+        assert_eq!(run(tb(), None).len(), 4);
+    }
+}

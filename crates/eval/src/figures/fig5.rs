@@ -1,0 +1,191 @@
+//! **Figure 5** — sensitivity of SA-CA-CC's output to λ: (a) average
+//! h-index of skill holders, (b) average h-index of connectors, (c)
+//! average team size, (d) average number of publications; normalized
+//! series, γ = 0.6.
+//!
+//! Methodology follows the paper: (i) the top-5 teams of the fixed project
+//! `[analytics, matrix, communities, object-oriented]` per λ, and (ii) the
+//! best team for each of five random 4-skill projects per λ; measures
+//! averaged, then min-max normalized across the sweep. The paper's finding:
+//! the measures change *slowly* with λ.
+
+use std::path::Path;
+
+use atd_core::strategy::Strategy;
+
+use crate::metrics::{min_max_normalize, team_stats};
+use crate::report::Table;
+use crate::testbed::Testbed;
+use crate::workload::{generate_projects, named_project, WorkloadConfig};
+use crate::PAPER_GAMMA;
+
+/// The λ sweep of the figure.
+pub const LAMBDAS: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+/// The Figure 5/6 project skills.
+pub const PROJECT_TERMS: [&str; 4] = ["analytics", "matrix", "communities", "object-oriented"];
+
+/// One λ's averaged measures (raw, un-normalized).
+#[derive(Clone, Copy, Debug)]
+pub struct Fig5Point {
+    /// The λ value.
+    pub lambda: f64,
+    /// (a) average skill-holder h-index.
+    pub holder_h: f64,
+    /// (b) average connector h-index.
+    pub connector_h: f64,
+    /// (c) average team size.
+    pub team_size: f64,
+    /// (d) average publications per member.
+    pub pubs: f64,
+}
+
+/// Computes the raw sweep.
+pub fn compute(tb: &Testbed) -> Vec<Fig5Point> {
+    let gamma = PAPER_GAMMA;
+    let fixed = named_project(&tb.net.skills, &PROJECT_TERMS);
+    let random_projects = generate_projects(
+        &tb.net.skills,
+        &WorkloadConfig {
+            num_skills: 4,
+            count: 5,
+            min_holders: 2,
+            max_holders: 40,
+            seed: 505,
+        },
+    );
+
+    let mut points = Vec::with_capacity(LAMBDAS.len());
+    for &lambda in &LAMBDAS {
+        let strategy = Strategy::SaCaCc { gamma, lambda };
+        let mut stats = Vec::new();
+
+        // (i) top-5 of the fixed project.
+        if let Ok(teams) = tb.engine.top_k(&fixed, strategy, 5) {
+            for t in &teams {
+                stats.push(team_stats(&tb.net, &t.team));
+            }
+        }
+        // (ii) best team of each random project.
+        for p in &random_projects {
+            if let Ok(best) = tb.engine.best(p, strategy) {
+                stats.push(team_stats(&tb.net, &best.team));
+            }
+        }
+
+        let n = stats.len().max(1) as f64;
+        points.push(Fig5Point {
+            lambda,
+            holder_h: stats.iter().map(|s| s.avg_holder_h).sum::<f64>() / n,
+            connector_h: stats.iter().map(|s| s.avg_connector_h).sum::<f64>() / n,
+            team_size: stats.iter().map(|s| s.size as f64).sum::<f64>() / n,
+            pubs: stats.iter().map(|s| s.avg_pubs).sum::<f64>() / n,
+        });
+    }
+    points
+}
+
+/// Runs and renders Figure 5 (raw values plus the normalized series the
+/// paper plots).
+pub fn run(tb: &Testbed, out_dir: Option<&Path>) -> Table {
+    let points = compute(tb);
+    let norm_a = min_max_normalize(&points.iter().map(|p| p.holder_h).collect::<Vec<_>>());
+    let norm_b =
+        min_max_normalize(&points.iter().map(|p| p.connector_h).collect::<Vec<_>>());
+    let norm_c = min_max_normalize(&points.iter().map(|p| p.team_size).collect::<Vec<_>>());
+    let norm_d = min_max_normalize(&points.iter().map(|p| p.pubs).collect::<Vec<_>>());
+
+    let mut table = Table::new(&[
+        "lambda",
+        "holder_h",
+        "connector_h",
+        "team_size",
+        "avg_pubs",
+        "norm_a",
+        "norm_b",
+        "norm_c",
+        "norm_d",
+    ]);
+    for (i, p) in points.iter().enumerate() {
+        table.row(vec![
+            format!("{:.1}", p.lambda),
+            format!("{:.2}", p.holder_h),
+            format!("{:.2}", p.connector_h),
+            format!("{:.2}", p.team_size),
+            format!("{:.2}", p.pubs),
+            format!("{:.3}", norm_a[i]),
+            format!("{:.3}", norm_b[i]),
+            format!("{:.3}", norm_c[i]),
+            format!("{:.3}", norm_d[i]),
+        ]);
+    }
+    if let Some(dir) = out_dir {
+        let _ = table.write_csv(&dir.join("fig5_lambda_sensitivity.csv"));
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::Scale;
+
+    fn tb() -> &'static Testbed {
+        use std::sync::OnceLock;
+        static TB: OnceLock<Testbed> = OnceLock::new();
+        TB.get_or_init(|| Testbed::new(Scale::Tiny))
+    }
+
+    #[test]
+    fn sweep_covers_all_lambdas() {
+        let points = compute(tb());
+        assert_eq!(points.len(), LAMBDAS.len());
+        for (p, &l) in points.iter().zip(&LAMBDAS) {
+            assert_eq!(p.lambda, l);
+            assert!(p.team_size >= 1.0, "teams have at least one member");
+        }
+    }
+
+    #[test]
+    fn small_lambda_perturbations_do_not_change_teams() {
+        // §4.4: "changing the value of λ by less than 0.05 does not affect
+        // the results and the quality of the team remains the same."
+        use atd_core::strategy::Strategy;
+        let tb = tb();
+        let fixed = crate::workload::named_project(&tb.net.skills, &PROJECT_TERMS);
+        for lambda in [0.3, 0.6] {
+            let a = tb
+                .engine
+                .best(&fixed, Strategy::SaCaCc { gamma: 0.6, lambda })
+                .unwrap();
+            let b = tb
+                .engine
+                .best(&fixed, Strategy::SaCaCc { gamma: 0.6, lambda: lambda + 0.02 })
+                .unwrap();
+            assert_eq!(
+                a.team.member_key(),
+                b.team.member_key(),
+                "λ={lambda} vs λ={} changed the best team",
+                lambda + 0.02
+            );
+        }
+    }
+
+    #[test]
+    fn higher_lambda_does_not_lower_holder_authority() {
+        // λ weights skill-holder authority: the holder h-index trend from
+        // the lowest to the highest λ must not be decreasing.
+        let points = compute(tb());
+        let first = points.first().unwrap().holder_h;
+        let last = points.last().unwrap().holder_h;
+        assert!(
+            last >= first - 1e-6,
+            "holder h-index should not degrade as λ grows: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn renders_nine_rows() {
+        assert_eq!(run(tb(), None).len(), 9);
+    }
+}

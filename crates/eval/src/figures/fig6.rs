@@ -1,0 +1,169 @@
+//! **Figure 6** — qualitative comparison: the best team of CC, CA-CC and
+//! SA-CA-CC for the project `[analytics, matrix, communities,
+//! object-oriented]`, with each member's role, h-index and the team-level
+//! aggregates the paper annotates (connector avg h-index, skill-holder avg
+//! h-index, team h-index, avg publications).
+//!
+//! Expected shape (paper): CC's team has low-authority members throughout;
+//! CA-CC and SA-CA-CC route through higher-h-index connectors and raise
+//! every aggregate.
+
+use std::path::Path;
+
+use atd_core::strategy::Strategy;
+use atd_core::team::ScoredTeam;
+
+use crate::metrics::team_stats;
+use crate::report::Table;
+use crate::testbed::Testbed;
+use crate::workload::named_project;
+use crate::{PAPER_GAMMA, PAPER_LAMBDA};
+
+pub use super::fig5::PROJECT_TERMS;
+
+/// The three strategies of the figure with the paper's parameters.
+pub fn strategies() -> [Strategy; 3] {
+    [
+        Strategy::Cc,
+        Strategy::CaCc { gamma: PAPER_GAMMA },
+        Strategy::SaCaCc {
+            gamma: PAPER_GAMMA,
+            lambda: PAPER_LAMBDA,
+        },
+    ]
+}
+
+/// Computes the best team per strategy.
+pub fn compute(tb: &Testbed) -> Vec<(Strategy, Option<ScoredTeam>)> {
+    let project = named_project(&tb.net.skills, &PROJECT_TERMS);
+    strategies()
+        .into_iter()
+        .map(|s| (s, tb.engine.best(&project, s).ok()))
+        .collect()
+}
+
+/// Renders the member-level detail of one team, paper-figure style.
+pub fn describe_team(tb: &Testbed, team: &ScoredTeam) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let stats = team_stats(&tb.net, &team.team);
+    for &m in team.team.members() {
+        let a = tb.net.author(m);
+        let role = if team.team.holders().contains(&m) {
+            let skills: Vec<&str> = team
+                .team
+                .assignment
+                .iter()
+                .filter(|&&(_, c)| c == m)
+                .map(|&(s, _)| tb.net.skills.name(s))
+                .collect();
+            format!("holder[{}]", skills.join(","))
+        } else {
+            "connector".to_string()
+        };
+        let _ = writeln!(
+            out,
+            "  {:<28} h-index: {:<3} pubs: {:<3} {role}",
+            a.name, a.h_index, a.num_pubs
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  => holders avg h: {:.2} | connectors avg h: {:.2} | team avg h: {:.2} | avg pubs: {:.2} | size: {}",
+        stats.avg_holder_h, stats.avg_connector_h, stats.avg_member_h, stats.avg_pubs, stats.size
+    );
+    out
+}
+
+/// Runs and renders Figure 6 as a summary table (the per-member detail is
+/// printed by the `experiments` binary).
+pub fn run(tb: &Testbed, out_dir: Option<&Path>) -> Table {
+    let results = compute(tb);
+    let mut table = Table::new(&[
+        "method",
+        "holders_avg_h",
+        "connectors_avg_h",
+        "team_avg_h",
+        "avg_pubs",
+        "size",
+    ]);
+    for (s, best) in &results {
+        match best {
+            Some(best) => {
+                let stats = team_stats(&tb.net, &best.team);
+                table.row(vec![
+                    s.label().to_string(),
+                    format!("{:.2}", stats.avg_holder_h),
+                    format!("{:.2}", stats.avg_connector_h),
+                    format!("{:.2}", stats.avg_member_h),
+                    format!("{:.2}", stats.avg_pubs),
+                    stats.size.to_string(),
+                ]);
+            }
+            None => table.row(vec![
+                s.label().to_string(),
+                "—".into(),
+                "—".into(),
+                "—".into(),
+                "—".into(),
+                "—".into(),
+            ]),
+        }
+    }
+    if let Some(dir) = out_dir {
+        let _ = table.write_csv(&dir.join("fig6_qualitative_teams.csv"));
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::Scale;
+
+    fn tb() -> &'static Testbed {
+        use std::sync::OnceLock;
+        static TB: OnceLock<Testbed> = OnceLock::new();
+        TB.get_or_init(|| Testbed::new(Scale::Tiny))
+    }
+
+    #[test]
+    fn all_strategies_find_the_showcase_team() {
+        let results = compute(tb());
+        assert_eq!(results.len(), 3);
+        for (s, best) in &results {
+            assert!(best.is_some(), "{s} found no team");
+        }
+    }
+
+    #[test]
+    fn authority_methods_raise_team_authority() {
+        let results = compute(tb());
+        let h = |i: usize| {
+            results[i]
+                .1
+                .as_ref()
+                .map(|t| team_stats(&tb().net, &t.team).avg_member_h)
+                .unwrap_or(f64::NAN)
+        };
+        let (cc, cacc, ours) = (h(0), h(1), h(2));
+        assert!(
+            cacc >= cc - 1e-9 || ours >= cc - 1e-9,
+            "authority-aware teams should not be less authoritative: CC={cc} CA-CC={cacc} SA-CA-CC={ours}"
+        );
+    }
+
+    #[test]
+    fn describe_team_mentions_roles() {
+        let results = compute(tb());
+        let best = results[2].1.as_ref().unwrap();
+        let text = describe_team(tb(), best);
+        assert!(text.contains("holder["));
+        assert!(text.contains("avg pubs"));
+    }
+
+    #[test]
+    fn table_has_three_rows() {
+        assert_eq!(run(tb(), None).len(), 3);
+    }
+}

@@ -1,0 +1,11 @@
+//! One module per evaluation artifact of the paper. Each `run` returns a
+//! [`crate::Table`] whose rows are the series the paper plots, and
+//! optionally writes a CSV next to the console output.
+
+pub mod ablation;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod runtime;
+pub mod venue_quality;

@@ -1,0 +1,176 @@
+//! The synthetic user study standing in for the paper's Figure 4 panel.
+//!
+//! The paper gave six CS graduate students the top-5 teams of each
+//! strategy "along with the average number of publications and the h-index
+//! of each expert" and asked for a 0–1 quality score. The finding under
+//! test is that human judges — who see authority and productivity —
+//! systematically prefer authority-aware teams. We model each judge as a
+//! noisy monotone utility over exactly the information the students saw
+//! (average h-index, average publications, team size), with per-judge
+//! weights and noise so the preference is *not* hard-coded to any one
+//! strategy's objective. See DESIGN.md's substitution table.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::{min_max_normalize, TeamStats};
+
+/// One synthetic judge.
+#[derive(Clone, Debug)]
+pub struct Judge {
+    w_authority: f64,
+    w_pubs: f64,
+    w_size: f64,
+    noise: f64,
+    seed: u64,
+}
+
+/// A panel of judges (the paper used six graduate students).
+#[derive(Clone, Debug)]
+pub struct JudgePanel {
+    judges: Vec<Judge>,
+}
+
+impl JudgePanel {
+    /// The six-judge panel. Weights vary per judge (some value authority
+    /// more, some productivity, some small teams) so no single strategy's
+    /// objective is replicated exactly.
+    pub fn paper_panel(seed: u64) -> JudgePanel {
+        let profiles = [
+            // (authority, pubs, size penalty, noise)
+            (0.9, 0.4, 0.15, 0.06),
+            (0.7, 0.6, 0.10, 0.08),
+            (0.8, 0.3, 0.30, 0.05),
+            (0.5, 0.8, 0.20, 0.07),
+            (1.0, 0.2, 0.05, 0.10),
+            (0.6, 0.5, 0.25, 0.06),
+        ];
+        JudgePanel {
+            judges: profiles
+                .iter()
+                .enumerate()
+                .map(|(i, &(w_authority, w_pubs, w_size, noise))| Judge {
+                    w_authority,
+                    w_pubs,
+                    w_size,
+                    noise,
+                    seed: seed.wrapping_add(i as u64 * 0x9E37_79B9),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of judges.
+    pub fn len(&self) -> usize {
+        self.judges.len()
+    }
+
+    /// True if the panel is empty.
+    pub fn is_empty(&self) -> bool {
+        self.judges.is_empty()
+    }
+
+    /// Scores every team in a comparison batch, returning per-team mean
+    /// judge scores in `[0, 1]`.
+    ///
+    /// Normalization happens within the batch — judges compare the teams
+    /// they were given, like the students did.
+    pub fn score_batch(&self, teams: &[TeamStats]) -> Vec<f64> {
+        if teams.is_empty() {
+            return Vec::new();
+        }
+        let auth = min_max_normalize(
+            &teams.iter().map(|t| t.avg_member_h).collect::<Vec<_>>(),
+        );
+        let pubs = min_max_normalize(&teams.iter().map(|t| t.avg_pubs).collect::<Vec<_>>());
+        let size = min_max_normalize(&teams.iter().map(|t| t.size as f64).collect::<Vec<_>>());
+
+        let mut scores = vec![0.0; teams.len()];
+        for judge in &self.judges {
+            for (i, _) in teams.iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(
+                    judge.seed ^ ((i as u64 + 1).wrapping_mul(0xD134_2543_DE82_EF95)),
+                );
+                let eps: f64 = rng.gen_range(-1.0..1.0) * judge.noise;
+                let u = judge.w_authority * auth[i] + judge.w_pubs * pubs[i]
+                    - judge.w_size * size[i]
+                    + eps;
+                // Squash to (0, 1) with a logistic centered at the batch
+                // midpoint.
+                let denom = judge.w_authority + judge.w_pubs;
+                let z = (u / denom - 0.35) * 4.0;
+                scores[i] += 1.0 / (1.0 + (-z).exp());
+            }
+        }
+        for s in &mut scores {
+            *s /= self.judges.len() as f64;
+        }
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(h: f64, pubs: f64, size: usize) -> TeamStats {
+        TeamStats {
+            avg_holder_h: h,
+            avg_connector_h: h,
+            avg_member_h: h,
+            avg_pubs: pubs,
+            size,
+        }
+    }
+
+    #[test]
+    fn panel_has_six_judges() {
+        let p = JudgePanel::paper_panel(1);
+        assert_eq!(p.len(), 6);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn higher_authority_scores_higher() {
+        let p = JudgePanel::paper_panel(11);
+        let batch = [stats(2.0, 10.0, 4), stats(12.0, 40.0, 4)];
+        let scores = p.score_batch(&batch);
+        assert!(
+            scores[1] > scores[0],
+            "authoritative productive team must win: {scores:?}"
+        );
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let p = JudgePanel::paper_panel(5);
+        let batch = [stats(1.0, 3.0, 2), stats(9.0, 30.0, 6), stats(4.0, 12.0, 3)];
+        for s in p.score_batch(&batch) {
+            assert!((0.0..=1.0).contains(&s), "{s}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let batch = [stats(1.0, 3.0, 2), stats(9.0, 30.0, 6)];
+        let a = JudgePanel::paper_panel(3).score_batch(&batch);
+        let b = JudgePanel::paper_panel(3).score_batch(&batch);
+        assert_eq!(a, b);
+        let c = JudgePanel::paper_panel(4).score_batch(&batch);
+        assert_ne!(a, c, "different panel seed, different noise");
+    }
+
+    #[test]
+    fn oversized_teams_are_penalized() {
+        let p = JudgePanel::paper_panel(2);
+        // Same authority/pubs, very different size.
+        let batch = [stats(5.0, 10.0, 3), stats(5.0, 10.0, 12)];
+        let scores = p.score_batch(&batch);
+        assert!(scores[0] > scores[1], "{scores:?}");
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        assert!(JudgePanel::paper_panel(0).score_batch(&[]).is_empty());
+    }
+}

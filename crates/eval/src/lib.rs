@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # atd-eval — the experiment harness
+//!
+//! Regenerates every evaluation artifact of *Authority-Based Team Discovery
+//! in Social Networks* (§4): Figures 3–6 plus the in-text runtime (§4.1)
+//! and venue-quality (§4.3) claims, over the synthetic DBLP network from
+//! [`atd_dblp`]. See `DESIGN.md` for the per-experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p atd-eval --bin experiments -- all --scale small
+//! ```
+
+pub mod figures;
+pub mod judge;
+pub mod metrics;
+pub mod report;
+pub mod testbed;
+pub mod workload;
+
+pub use judge::JudgePanel;
+pub use metrics::{team_stats, TeamStats};
+pub use report::Table;
+pub use testbed::{Scale, Testbed};
+pub use workload::{generate_projects, named_project, WorkloadConfig};
+
+/// The paper's fixed connector tradeoff for Figures 3–6.
+pub const PAPER_GAMMA: f64 = 0.6;
+/// The paper's fixed λ for Figures 4 and 6.
+pub const PAPER_LAMBDA: f64 = 0.6;

@@ -1,0 +1,149 @@
+//! Team-level metrics reported across Figures 4–6: average h-index of
+//! skill holders / connectors / all members, average publication count,
+//! and team size.
+
+use atd_core::team::Team;
+use atd_dblp::graph_build::ExpertNetwork;
+
+/// The descriptive statistics of one team (raw h-indices, not normalized).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TeamStats {
+    /// Mean h-index of the skill holders (Figure 5a).
+    pub avg_holder_h: f64,
+    /// Mean h-index of the connectors (Figure 5b); 0 when there are none.
+    pub avg_connector_h: f64,
+    /// Mean h-index over all members (Figure 6's "Team H-Index").
+    pub avg_member_h: f64,
+    /// Mean publication count over all members (Figures 5d, 6).
+    pub avg_pubs: f64,
+    /// Team size (Figure 5c).
+    pub size: usize,
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0usize);
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Computes the stats of `team` against the network's author metadata.
+pub fn team_stats(net: &ExpertNetwork, team: &Team) -> TeamStats {
+    TeamStats {
+        avg_holder_h: mean(
+            team.holders()
+                .iter()
+                .map(|&n| net.author(n).h_index as f64),
+        ),
+        avg_connector_h: mean(
+            team.connectors()
+                .iter()
+                .map(|&n| net.author(n).h_index as f64),
+        ),
+        avg_member_h: mean(
+            team.members()
+                .iter()
+                .map(|&n| net.author(n).h_index as f64),
+        ),
+        avg_pubs: mean(
+            team.members()
+                .iter()
+                .map(|&n| net.author(n).num_pubs as f64),
+        ),
+        size: team.size(),
+    }
+}
+
+/// Min-max normalizes a series into `[0, 1]` (constant series map to 0.5,
+/// matching how the paper plots "normalized results" in Figure 5).
+pub fn min_max_normalize(values: &[f64]) -> Vec<f64> {
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !lo.is_finite() || !hi.is_finite() || (hi - lo).abs() < 1e-12 {
+        return vec![0.5; values.len()];
+    }
+    values.iter().map(|v| (v - lo) / (hi - lo)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atd_core::skills::SkillId;
+    use atd_dblp::graph_build::BuildConfig;
+    use atd_dblp::model::{Corpus, PubKind, Publication};
+    use atd_graph::SubTree;
+
+    fn paper(key: &str, title: &str, authors: &[&str], citations: u32) -> Publication {
+        Publication {
+            key: key.into(),
+            kind: PubKind::Article,
+            title: title.into(),
+            authors: authors.iter().map(|s| s.to_string()).collect(),
+            venue: None,
+            year: Some(2010),
+            citations,
+        }
+    }
+
+    fn network() -> ExpertNetwork {
+        // Ada–Hub–Bob path; Hub is the high-h connector.
+        let corpus = Corpus::new(vec![
+            paper("p0", "matrix methods matrix", &["Ada", "Hub"], 30),
+            paper("p1", "matrix tricks", &["Ada"], 4),
+            paper("p2", "communities found", &["Bob", "Hub"], 25),
+            paper("p3", "communities again", &["Bob"], 2),
+            paper("p4", "hub solo work", &["Hub"], 40),
+        ]);
+        ExpertNetwork::build(corpus, &BuildConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn stats_partition_holders_and_connectors() {
+        let net = network();
+        let ada = net.author_by_name("Ada").unwrap().node;
+        let hub = net.author_by_name("Hub").unwrap().node;
+        let bob = net.author_by_name("Bob").unwrap().node;
+        let sp = atd_graph::dijkstra(&net.graph, ada);
+        let tree =
+            SubTree::from_paths(&net.graph, ada, &[sp.path_to(bob).unwrap()]).unwrap();
+        let team = atd_core::team::Team::new(
+            tree,
+            vec![(SkillId(0), ada), (SkillId(1), bob)],
+        );
+        let stats = team_stats(&net, &team);
+        assert_eq!(stats.size, 3);
+        // h-indices: Ada 2 (30,4), Bob 2 (25,2), Hub 3 (30,25,40).
+        assert!((stats.avg_holder_h - 2.0).abs() < 1e-12);
+        assert!((stats.avg_connector_h - 3.0).abs() < 1e-12);
+        assert!((stats.avg_member_h - 7.0 / 3.0).abs() < 1e-12);
+        // Pubs: Ada 2, Bob 2, Hub 3.
+        assert!((stats.avg_pubs - 7.0 / 3.0).abs() < 1e-12);
+        let _ = hub;
+    }
+
+    #[test]
+    fn no_connector_team_has_zero_connector_h() {
+        let net = network();
+        let ada = net.author_by_name("Ada").unwrap().node;
+        let team = atd_core::team::Team::new(
+            SubTree::singleton(ada),
+            vec![(SkillId(0), ada)],
+        );
+        let stats = team_stats(&net, &team);
+        assert_eq!(stats.avg_connector_h, 0.0);
+        assert_eq!(stats.size, 1);
+    }
+
+    #[test]
+    fn min_max_normalization() {
+        assert_eq!(min_max_normalize(&[1.0, 3.0, 2.0]), vec![0.0, 1.0, 0.5]);
+        assert_eq!(min_max_normalize(&[5.0, 5.0]), vec![0.5, 0.5]);
+        assert!(min_max_normalize(&[]).is_empty());
+    }
+}

@@ -1,0 +1,234 @@
+//! Incremental graph construction.
+
+use crate::csr::ExpertGraph;
+use crate::error::GraphError;
+use crate::id::NodeId;
+
+/// Builds an [`ExpertGraph`] incrementally.
+///
+/// Nodes are declared with their authority via [`GraphBuilder::add_node`];
+/// undirected edges via [`GraphBuilder::add_edge`]. Parallel edges are
+/// deduplicated at [`GraphBuilder::build`] time keeping the **minimum**
+/// weight (two experts connected through several collaboration records keep
+/// the cheapest communication cost). Self-loops and NaN/negative weights are
+/// rejected eagerly.
+#[derive(Default)]
+pub struct GraphBuilder {
+    authority: Vec<f64>,
+    edges: Vec<(NodeId, NodeId, f64)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-sized for `nodes` nodes and `edges` edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        GraphBuilder {
+            authority: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Adds a node with the given authority and returns its id.
+    ///
+    /// Authorities must be finite and non-negative; the team-formation
+    /// layer inverts them (`a' = 1/a`) with its own zero-clamping policy.
+    pub fn add_node(&mut self, authority: f64) -> NodeId {
+        debug_assert!(
+            authority.is_finite() && authority >= 0.0,
+            "authority must be finite and non-negative, got {authority}"
+        );
+        let id = NodeId::from_index(self.authority.len());
+        self.authority.push(authority);
+        id
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.authority.len()
+    }
+
+    /// Overwrites the authority of an existing node.
+    pub fn set_authority(&mut self, u: NodeId, authority: f64) -> Result<(), GraphError> {
+        if !authority.is_finite() || authority < 0.0 {
+            return Err(GraphError::InvalidWeight {
+                context: "node authority",
+                value: authority,
+            });
+        }
+        match self.authority.get_mut(u.index()) {
+            Some(slot) => {
+                *slot = authority;
+                Ok(())
+            }
+            None => Err(GraphError::UnknownNode(u)),
+        }
+    }
+
+    /// Adds an undirected edge `(u, v)` with weight `w`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        if u.index() >= self.authority.len() {
+            return Err(GraphError::UnknownNode(u));
+        }
+        if v.index() >= self.authority.len() {
+            return Err(GraphError::UnknownNode(v));
+        }
+        if !w.is_finite() || w < 0.0 {
+            return Err(GraphError::InvalidWeight {
+                context: "edge weight",
+                value: w,
+            });
+        }
+        self.edges.push((u.min(v), u.max(v), w));
+        Ok(())
+    }
+
+    /// Finalizes the CSR representation.
+    ///
+    /// Runs in `O(V + E log E)`: edges are sorted to deduplicate parallel
+    /// edges (keeping the minimum weight) and then scattered into the CSR
+    /// arrays with a counting pass.
+    pub fn build(mut self) -> Result<ExpertGraph, GraphError> {
+        let n = self.authority.len();
+        if n > u32::MAX as usize - 1 {
+            return Err(GraphError::TooManyNodes(n));
+        }
+
+        // Deduplicate parallel edges, keeping the minimum weight.
+        self.edges
+            .sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2)));
+        self.edges.dedup_by(|next, prev| (next.0, next.1) == (prev.0, prev.1));
+
+        // Counting pass for CSR offsets (each edge contributes to both ends).
+        let mut counts = vec![0u32; n + 1];
+        for &(u, v, _) in &self.edges {
+            counts[u.index() + 1] += 1;
+            counts[v.index() + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts;
+
+        let m2 = self.edges.len() * 2;
+        let mut targets = vec![NodeId(0); m2];
+        let mut weights = vec![0.0f64; m2];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for &(u, v, w) in &self.edges {
+            let cu = cursor[u.index()] as usize;
+            targets[cu] = v;
+            weights[cu] = w;
+            cursor[u.index()] += 1;
+
+            let cv = cursor[v.index()] as usize;
+            targets[cv] = u;
+            weights[cv] = w;
+            cursor[v.index()] += 1;
+        }
+
+        Ok(ExpertGraph {
+            offsets,
+            targets,
+            weights,
+            authority: self.authority,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(1.0);
+        assert_eq!(b.add_edge(a, a, 0.5), Err(GraphError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn rejects_unknown_node() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(1.0);
+        let ghost = NodeId(99);
+        assert_eq!(b.add_edge(a, ghost, 0.5), Err(GraphError::UnknownNode(ghost)));
+        assert_eq!(b.add_edge(ghost, a, 0.5), Err(GraphError::UnknownNode(ghost)));
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(1.0);
+        let c = b.add_node(1.0);
+        assert!(matches!(
+            b.add_edge(a, c, f64::NAN),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(a, c, -0.1),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(a, c, f64::INFINITY),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_edges_keep_minimum() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(1.0);
+        let c = b.add_node(1.0);
+        b.add_edge(a, c, 0.9).unwrap();
+        b.add_edge(c, a, 0.3).unwrap(); // reversed direction, same edge
+        b.add_edge(a, c, 0.6).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(a, c), Some(0.3));
+    }
+
+    #[test]
+    fn set_authority_updates_and_validates() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(1.0);
+        b.set_authority(a, 7.0).unwrap();
+        assert!(b.set_authority(NodeId(9), 1.0).is_err());
+        assert!(b.set_authority(a, f64::NAN).is_err());
+        let g = b.build().unwrap();
+        assert_eq!(g.authority(a), 7.0);
+    }
+
+    #[test]
+    fn isolated_nodes_survive_build() {
+        let mut b = GraphBuilder::new();
+        b.add_node(1.0);
+        b.add_node(2.0);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn csr_adjacency_matches_inserted_edges() {
+        let mut b = GraphBuilder::with_capacity(4, 4);
+        let n: Vec<NodeId> = (0..4).map(|i| b.add_node(i as f64)).collect();
+        b.add_edge(n[0], n[1], 0.1).unwrap();
+        b.add_edge(n[1], n[2], 0.2).unwrap();
+        b.add_edge(n[2], n[3], 0.3).unwrap();
+        b.add_edge(n[3], n[0], 0.4).unwrap();
+        let g = b.build().unwrap();
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 2, "cycle node degree");
+            for (v, w) in g.neighbors(u) {
+                assert_eq!(g.edge_weight(v, u), Some(w), "symmetry");
+            }
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Compressed sparse row storage for the expert network.
+
+use crate::id::NodeId;
+
+/// An immutable, undirected, node- and edge-weighted expert network.
+///
+/// * `offsets[u]..offsets[u+1]` delimits the adjacency slice of node `u` in
+///   `targets` / `weights` (each undirected edge appears in both endpoint
+///   slices).
+/// * `authority[u]` is the raw authority `a(c)` of expert `u` (for the
+///   paper's DBLP instantiation this is the h-index, clamped to ≥ 1 by the
+///   builder of that crate — this crate stores whatever it is given, as long
+///   as it is finite and non-negative).
+///
+/// Construction goes through [`crate::GraphBuilder`], which validates
+/// weights and deduplicates parallel edges.
+#[derive(Clone)]
+pub struct ExpertGraph {
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) targets: Vec<NodeId>,
+    pub(crate) weights: Vec<f64>,
+    pub(crate) authority: Vec<f64>,
+}
+
+impl ExpertGraph {
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.authority.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        let i = u.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// The neighbors of `u` with edge weights.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let i = u.index();
+        let (lo, hi) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
+    }
+
+    /// Raw authority `a(u)`.
+    #[inline]
+    pub fn authority(&self, u: NodeId) -> f64 {
+        self.authority[u.index()]
+    }
+
+    /// The full authority vector, indexed by node id.
+    #[inline]
+    pub fn authorities(&self) -> &[f64] {
+        &self.authority
+    }
+
+    /// Weight of the edge `(u, v)` if present.
+    ///
+    /// Linear in `deg(u)`; use the distance oracles for path queries.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.neighbors(u).find(|&(t, _)| t == v).map(|(_, w)| w)
+    }
+
+    /// True if `u` and `v` are adjacent.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_weight(u, v).is_some()
+    }
+
+    /// Iterates every undirected edge once as `(u, v, w)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        (0..self.num_nodes()).flat_map(move |i| {
+            let u = NodeId::from_index(i);
+            self.neighbors(u)
+                .filter(move |&(v, _)| u < v)
+                .map(move |(v, w)| (u, v, w))
+        })
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes() as u32).map(NodeId)
+    }
+
+    /// Maximum edge weight, or `None` for an edgeless graph.
+    pub fn max_edge_weight(&self) -> Option<f64> {
+        self.weights.iter().copied().fold(None, |acc, w| {
+            Some(match acc {
+                None => w,
+                Some(m) => m.max(w),
+            })
+        })
+    }
+
+    /// Maximum authority, or `None` for an empty graph.
+    pub fn max_authority(&self) -> Option<f64> {
+        self.authority.iter().copied().fold(None, |acc, a| {
+            Some(match acc {
+                None => a,
+                Some(m) => m.max(a),
+            })
+        })
+    }
+
+    /// Builds a graph with identical topology but re-mapped edge weights.
+    ///
+    /// `f(u, v, w)` receives each *directed* arc once; the mapping must be
+    /// symmetric in `(u, v)` for the result to stay a consistent undirected
+    /// graph (the paper's `G -> G'` transform
+    /// `w'(ci,cj) = γ(a'(ci)+a'(cj)) + 2(1−γ)·w(ci,cj)` is symmetric).
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `f` produces NaN.
+    pub fn map_weights(&self, mut f: impl FnMut(NodeId, NodeId, f64) -> f64) -> ExpertGraph {
+        let mut weights = Vec::with_capacity(self.weights.len());
+        for i in 0..self.num_nodes() {
+            let u = NodeId::from_index(i);
+            let (lo, hi) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+            for k in lo..hi {
+                let w = f(u, self.targets[k], self.weights[k]);
+                debug_assert!(!w.is_nan(), "mapped weight must not be NaN");
+                weights.push(w);
+            }
+        }
+        ExpertGraph {
+            offsets: self.offsets.clone(),
+            targets: self.targets.clone(),
+            weights,
+            authority: self.authority.clone(),
+        }
+    }
+
+    /// Sum of all authorities (used by normalization diagnostics).
+    pub fn total_authority(&self) -> f64 {
+        self.authority.iter().sum()
+    }
+
+    /// A copy of the graph with every edge incident to `node` removed.
+    ///
+    /// Node ids (and the node itself, now isolated) are preserved, so
+    /// downstream indices keyed by id stay valid — this is how the
+    /// team-replacement extension models an expert leaving the network.
+    pub fn isolate_node(&self, node: NodeId) -> ExpertGraph {
+        let mut b = crate::builder::GraphBuilder::with_capacity(self.num_nodes(), self.num_edges());
+        for v in self.nodes() {
+            b.add_node(self.authority(v));
+        }
+        for (u, v, w) in self.edges() {
+            if u != node && v != node {
+                b.add_edge(u, v, w).expect("edges of a valid graph re-add cleanly");
+            }
+        }
+        b.build().expect("rebuild of a valid graph succeeds")
+    }
+}
+
+impl std::fmt::Debug for ExpertGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExpertGraph")
+            .field("nodes", &self.num_nodes())
+            .field("edges", &self.num_edges())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle() -> ExpertGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(1.0);
+        let c = b.add_node(2.0);
+        let d = b.add_node(3.0);
+        b.add_edge(a, c, 0.5).unwrap();
+        b.add_edge(c, d, 0.25).unwrap();
+        b.add_edge(a, d, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(NodeId(0)), 2);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let g = triangle();
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(0.5));
+        assert_eq!(g.edge_weight(NodeId(1), NodeId(0)), Some(0.5));
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(2)), Some(1.0));
+        assert!(!g.has_edge(NodeId(0), NodeId(0)));
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for (u, v, _) in edges {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn extrema() {
+        let g = triangle();
+        assert_eq!(g.max_edge_weight(), Some(1.0));
+        assert_eq!(g.max_authority(), Some(3.0));
+        assert_eq!(g.total_authority(), 6.0);
+    }
+
+    #[test]
+    fn map_weights_preserves_topology() {
+        let g = triangle();
+        let g2 = g.map_weights(|_, _, w| 2.0 * w);
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.edge_weight(NodeId(0), NodeId(1)), Some(1.0));
+        assert_eq!(g2.authority(NodeId(2)), 3.0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build().unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_edge_weight(), None);
+        assert_eq!(g.max_authority(), None);
+    }
+
+    #[test]
+    fn isolate_node_preserves_ids_and_drops_incident_edges() {
+        let g = triangle();
+        let g2 = g.isolate_node(NodeId(1));
+        assert_eq!(g2.num_nodes(), 3, "node survives as isolated");
+        assert_eq!(g2.num_edges(), 1, "only the 0-2 edge remains");
+        assert_eq!(g2.degree(NodeId(1)), 0);
+        assert_eq!(g2.edge_weight(NodeId(0), NodeId(2)), Some(1.0));
+        assert_eq!(g2.authority(NodeId(1)), 2.0, "authority preserved");
+    }
+}

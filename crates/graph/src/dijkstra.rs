@@ -1,0 +1,245 @@
+//! Single-source shortest paths (Dijkstra) with parent pointers.
+//!
+//! Algorithm 1 of the paper needs `DIST(root, v)`; the distance crate's
+//! pruned landmark labeling answers those queries in near-constant time, but
+//! Dijkstra remains the ground truth used for (a) building PLL labels,
+//! (b) materializing team trees (union of shortest paths from the chosen
+//! root), and (c) property-testing the oracle.
+
+use std::collections::BinaryHeap;
+
+use crate::csr::ExpertGraph;
+use crate::id::NodeId;
+use crate::weight::TotalF64;
+
+/// The result of a single-source shortest-path computation.
+#[derive(Clone, Debug)]
+pub struct ShortestPathTree {
+    /// Source node.
+    pub source: NodeId,
+    /// `dist[v]` is the shortest distance from the source (`inf` if
+    /// unreachable).
+    pub dist: Vec<f64>,
+    /// `parent[v]` is the predecessor of `v` on a shortest path
+    /// (`None` for the source and unreachable nodes).
+    pub parent: Vec<Option<NodeId>>,
+}
+
+impl ShortestPathTree {
+    /// Distance to `v`, or `None` if unreachable.
+    pub fn distance(&self, v: NodeId) -> Option<f64> {
+        let d = self.dist[v.index()];
+        d.is_finite().then_some(d)
+    }
+
+    /// The path from the source to `v` (inclusive), or `None` if
+    /// unreachable.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if !self.dist[v.index()].is_finite() {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path[0], self.source);
+        Some(path)
+    }
+}
+
+/// Heap entry ordered by min distance (reversed for `BinaryHeap`).
+#[derive(PartialEq, Eq)]
+struct HeapEntry {
+    dist: TotalF64,
+    node: NodeId,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap: reverse distance; tie-break on node id for determinism.
+        other
+            .dist
+            .cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Full Dijkstra from `source`.
+pub fn dijkstra(g: &ExpertGraph, source: NodeId) -> ShortestPathTree {
+    dijkstra_with_targets(g, source, None)
+}
+
+/// Dijkstra from `source`, optionally stopping early once every node in
+/// `targets` has been settled. `targets = None` settles the whole component.
+pub fn dijkstra_with_targets(
+    g: &ExpertGraph,
+    source: NodeId,
+    targets: Option<&[NodeId]>,
+) -> ShortestPathTree {
+    let n = g.num_nodes();
+    assert!(source.index() < n, "source {source} out of bounds");
+
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut settled = vec![false; n];
+
+    let mut remaining = targets.map(|t| {
+        let mut pending = vec![false; n];
+        let mut count = 0usize;
+        for &v in t {
+            if !pending[v.index()] {
+                pending[v.index()] = true;
+                count += 1;
+            }
+        }
+        (pending, count)
+    });
+
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(HeapEntry {
+        dist: TotalF64::ZERO,
+        node: source,
+    });
+
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        let ui = u.index();
+        if settled[ui] {
+            continue;
+        }
+        settled[ui] = true;
+
+        if let Some((pending, count)) = remaining.as_mut() {
+            if pending[ui] {
+                pending[ui] = false;
+                *count -= 1;
+                if *count == 0 {
+                    break;
+                }
+            }
+        }
+
+        for (v, w) in g.neighbors(u) {
+            let vi = v.index();
+            if settled[vi] {
+                continue;
+            }
+            let nd = d.get() + w;
+            if nd < dist[vi] {
+                dist[vi] = nd;
+                parent[vi] = Some(u);
+                heap.push(HeapEntry {
+                    dist: TotalF64::expect(nd),
+                    node: v,
+                });
+            }
+        }
+    }
+
+    ShortestPathTree {
+        source,
+        dist,
+        parent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// 0 -1- 1 -1- 2     (and a 0-2 shortcut of weight 5)
+    ///  \__________/
+    fn line_with_shortcut() -> ExpertGraph {
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = (0..3).map(|_| b.add_node(1.0)).collect();
+        b.add_edge(n[0], n[1], 1.0).unwrap();
+        b.add_edge(n[1], n[2], 1.0).unwrap();
+        b.add_edge(n[0], n[2], 5.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn prefers_cheaper_two_hop_path() {
+        let g = line_with_shortcut();
+        let t = dijkstra(&g, NodeId(0));
+        assert_eq!(t.distance(NodeId(2)), Some(2.0));
+        assert_eq!(t.path_to(NodeId(2)), Some(vec![NodeId(0), NodeId(1), NodeId(2)]));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(1.0);
+        let c = b.add_node(1.0);
+        let g = b.build().unwrap();
+        let t = dijkstra(&g, a);
+        assert_eq!(t.distance(c), None);
+        assert_eq!(t.path_to(c), None);
+        assert_eq!(t.distance(a), Some(0.0));
+        assert_eq!(t.path_to(a), Some(vec![a]));
+    }
+
+    #[test]
+    fn early_termination_settles_targets() {
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = (0..5).map(|_| b.add_node(1.0)).collect();
+        for i in 0..4 {
+            b.add_edge(n[i], n[i + 1], 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let t = dijkstra_with_targets(&g, n[0], Some(&[n[2]]));
+        assert_eq!(t.distance(n[2]), Some(2.0));
+        // Node 4 is beyond the last target and may be unsettled.
+        let t_full = dijkstra(&g, n[0]);
+        assert_eq!(t_full.distance(n[4]), Some(4.0));
+    }
+
+    #[test]
+    fn duplicate_targets_do_not_underflow() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(1.0);
+        let c = b.add_node(1.0);
+        b.add_edge(a, c, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let t = dijkstra_with_targets(&g, a, Some(&[c, c, c]));
+        assert_eq!(t.distance(c), Some(1.0));
+    }
+
+    #[test]
+    fn zero_weight_edges_are_supported() {
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = (0..3).map(|_| b.add_node(1.0)).collect();
+        b.add_edge(n[0], n[1], 0.0).unwrap();
+        b.add_edge(n[1], n[2], 0.0).unwrap();
+        let g = b.build().unwrap();
+        let t = dijkstra(&g, n[0]);
+        assert_eq!(t.distance(n[2]), Some(0.0));
+    }
+
+    #[test]
+    fn deterministic_parents_under_ties() {
+        // Two equal-cost paths 0->1->3 and 0->2->3; the heap tie-break must
+        // give a reproducible parent.
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = (0..4).map(|_| b.add_node(1.0)).collect();
+        b.add_edge(n[0], n[1], 1.0).unwrap();
+        b.add_edge(n[0], n[2], 1.0).unwrap();
+        b.add_edge(n[1], n[3], 1.0).unwrap();
+        b.add_edge(n[2], n[3], 1.0).unwrap();
+        let g = b.build().unwrap();
+        let p1 = dijkstra(&g, n[0]).parent[n[3].index()];
+        let p2 = dijkstra(&g, n[0]).parent[n[3].index()];
+        assert_eq!(p1, p2);
+        assert_eq!(dijkstra(&g, n[0]).distance(n[3]), Some(2.0));
+    }
+}

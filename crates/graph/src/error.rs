@@ -1,0 +1,58 @@
+//! Error types for graph construction and queries.
+
+use std::fmt;
+
+use crate::id::NodeId;
+
+/// Errors raised while building or querying an expert graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge referenced a node id that was never declared.
+    UnknownNode(NodeId),
+    /// A self-loop was supplied; the expert network is simple.
+    SelfLoop(NodeId),
+    /// A weight or authority was NaN or negative.
+    InvalidWeight {
+        /// Human-readable description of where the weight came from.
+        context: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The graph would exceed `u32` node capacity.
+    TooManyNodes(usize),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(n) => write!(f, "unknown node id {n}"),
+            GraphError::SelfLoop(n) => write!(f, "self-loop on node {n} is not allowed"),
+            GraphError::InvalidWeight { context, value } => {
+                write!(f, "invalid weight {value} in {context}")
+            }
+            GraphError::TooManyNodes(n) => {
+                write!(f, "{n} nodes exceed the u32 node-id capacity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            GraphError::UnknownNode(NodeId(3)).to_string(),
+            "unknown node id 3"
+        );
+        assert!(GraphError::SelfLoop(NodeId(1)).to_string().contains("self-loop"));
+        assert!(GraphError::InvalidWeight { context: "edge", value: -1.0 }
+            .to_string()
+            .contains("edge"));
+        assert!(GraphError::TooManyNodes(5_000_000_000).to_string().contains("u32"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Dense node identifiers.
+
+use std::fmt;
+
+/// A dense node identifier inside an [`crate::ExpertGraph`].
+///
+/// Node ids are assigned contiguously from zero by [`crate::GraphBuilder`],
+/// so they can index plain vectors. A `u32` is deliberate: the paper-scale
+/// graph has 40K nodes and shrinking indices halves the memory traffic of
+/// the adjacency arrays (see the type-size guidance in the Rust perf book).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` for vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a vector index.
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize, "node index {i} overflows u32");
+        NodeId(i as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let n = NodeId::from_index(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n, NodeId(42));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", NodeId(7)), "7");
+        assert_eq!(format!("{:?}", NodeId(7)), "n7");
+    }
+
+    #[test]
+    fn ordering_is_by_raw_id() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId::from(9u32), NodeId(9));
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # atd-graph — expert-network graph substrate
+//!
+//! This crate implements the graph representation used throughout the
+//! reproduction of *Authority-Based Team Discovery in Social Networks*
+//! (Zihayat et al., EDBT 2017).
+//!
+//! An **expert network** is an undirected graph `G` where
+//!
+//! * each node is an expert and carries an application-dependent
+//!   **authority** `a(c)` (e.g. the h-index of a researcher), and
+//! * each edge carries a **communication cost** `w(ci, cj)` (e.g.
+//!   `1 - Jaccard(papers(ci), papers(cj))`).
+//!
+//! The storage is a compressed sparse row (CSR) layout: each undirected edge
+//! is stored twice (once per direction) in a flat adjacency array indexed by
+//! per-node offsets. Node ids are dense `u32`s ([`NodeId`]), which keeps the
+//! working set small on the paper-scale graph (40K nodes / 125K edges) and
+//! lets downstream crates use plain `Vec`s keyed by node id instead of hash
+//! maps.
+//!
+//! Main entry points:
+//!
+//! * [`GraphBuilder`] — incremental construction with parallel-edge
+//!   deduplication.
+//! * [`ExpertGraph`] — the immutable CSR graph: adjacency, authorities,
+//!   weight mapping (used by the paper's `G -> G'` authority transform).
+//! * [`dijkstra`] — single-source shortest paths with parent pointers.
+//! * [`traversal`] — BFS and connected components.
+//! * [`tree`] — building and validating team subtrees from parent maps.
+
+pub mod builder;
+pub mod csr;
+pub mod dijkstra;
+pub mod error;
+pub mod id;
+pub mod traversal;
+pub mod tree;
+pub mod weight;
+
+pub use builder::GraphBuilder;
+pub use csr::ExpertGraph;
+pub use dijkstra::{dijkstra, dijkstra_with_targets, ShortestPathTree};
+pub use error::GraphError;
+pub use id::NodeId;
+pub use traversal::{bfs_order, connected_components, ComponentLabels};
+pub use tree::{SubTree, TreeError};
+pub use weight::TotalF64;

@@ -1,0 +1,164 @@
+//! Breadth-first traversal and connected components.
+
+use std::collections::VecDeque;
+
+use crate::csr::ExpertGraph;
+use crate::id::NodeId;
+
+/// Component labeling of a graph: `label[v]` identifies the connected
+/// component of `v`; labels are dense starting at zero.
+#[derive(Clone, Debug)]
+pub struct ComponentLabels {
+    /// Component id per node.
+    pub label: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+    /// Size of each component, indexed by component id.
+    pub sizes: Vec<usize>,
+}
+
+impl ComponentLabels {
+    /// True if `u` and `v` are in the same component.
+    #[inline]
+    pub fn connected(&self, u: NodeId, v: NodeId) -> bool {
+        self.label[u.index()] == self.label[v.index()]
+    }
+
+    /// The id of the largest component.
+    pub fn largest(&self) -> Option<u32> {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, s)| s)
+            .map(|(i, _)| i as u32)
+    }
+
+    /// All node ids belonging to component `c` (ascending).
+    pub fn members(&self, c: u32) -> Vec<NodeId> {
+        self.label
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == c)
+            .map(|(i, _)| NodeId::from_index(i))
+            .collect()
+    }
+}
+
+/// Labels connected components with iterative BFS.
+pub fn connected_components(g: &ExpertGraph) -> ComponentLabels {
+    let n = g.num_nodes();
+    let mut label = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = VecDeque::new();
+
+    for start in 0..n {
+        if label[start] != u32::MAX {
+            continue;
+        }
+        let c = sizes.len() as u32;
+        let mut size = 0usize;
+        label[start] = c;
+        queue.push_back(NodeId::from_index(start));
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            for (v, _) in g.neighbors(u) {
+                if label[v.index()] == u32::MAX {
+                    label[v.index()] = c;
+                    queue.push_back(v);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+
+    ComponentLabels {
+        count: sizes.len(),
+        label,
+        sizes,
+    }
+}
+
+/// Nodes in BFS order from `source` (hop-count order, ignoring weights).
+pub fn bfs_order(g: &ExpertGraph, source: NodeId) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    assert!(source.index() < n);
+    let mut seen = vec![false; n];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[source.index()] = true;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for (v, _) in g.neighbors(u) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn two_components() -> ExpertGraph {
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = (0..5).map(|_| b.add_node(1.0)).collect();
+        b.add_edge(n[0], n[1], 1.0).unwrap();
+        b.add_edge(n[1], n[2], 1.0).unwrap();
+        b.add_edge(n[3], n[4], 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn labels_two_components() {
+        let g = two_components();
+        let cc = connected_components(&g);
+        assert_eq!(cc.count, 2);
+        assert!(cc.connected(NodeId(0), NodeId(2)));
+        assert!(!cc.connected(NodeId(0), NodeId(3)));
+        assert_eq!(cc.sizes.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn largest_component() {
+        let g = two_components();
+        let cc = connected_components(&g);
+        let big = cc.largest().unwrap();
+        assert_eq!(cc.sizes[big as usize], 3);
+        assert_eq!(cc.members(big).len(), 3);
+    }
+
+    #[test]
+    fn bfs_visits_component_once() {
+        let g = two_components();
+        let order = bfs_order(&g, NodeId(0));
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], NodeId(0));
+        let mut sorted = order.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "no repeats");
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = GraphBuilder::new().build().unwrap();
+        let cc = connected_components(&g);
+        assert_eq!(cc.count, 0);
+        assert_eq!(cc.largest(), None);
+    }
+
+    #[test]
+    fn singleton_nodes_are_own_components() {
+        let mut b = GraphBuilder::new();
+        b.add_node(1.0);
+        b.add_node(1.0);
+        let cc = connected_components(&b.build().unwrap());
+        assert_eq!(cc.count, 2);
+        assert_eq!(cc.sizes, vec![1, 1]);
+    }
+}

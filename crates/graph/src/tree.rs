@@ -1,0 +1,278 @@
+//! Team subtrees: union-of-paths construction and validation.
+//!
+//! A team (Definition 1 of the paper) is a *connected subgraph* of the
+//! expert network; the greedy algorithm materializes it as the union of
+//! shortest paths from a root to each selected skill holder, which — when
+//! all paths come from one shortest-path tree — is itself a tree.
+
+use std::collections::HashMap;
+
+use crate::csr::ExpertGraph;
+use crate::id::NodeId;
+
+/// Errors raised while assembling a team subtree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeError {
+    /// A path did not start at the declared root.
+    PathNotRootedAtRoot {
+        /// The declared root.
+        expected: NodeId,
+        /// The first node of the offending path.
+        found: NodeId,
+    },
+    /// A path used an edge absent from the host graph.
+    MissingEdge(NodeId, NodeId),
+    /// The union of paths contains a cycle (edges ≥ nodes).
+    NotATree {
+        /// Number of member nodes.
+        nodes: usize,
+        /// Number of edges (a tree needs exactly `nodes - 1`).
+        edges: usize,
+    },
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::PathNotRootedAtRoot { expected, found } => {
+                write!(f, "path starts at {found}, expected root {expected}")
+            }
+            TreeError::MissingEdge(u, v) => write!(f, "edge ({u}, {v}) not in graph"),
+            TreeError::NotATree { nodes, edges } => {
+                write!(f, "union of paths is not a tree: {nodes} nodes, {edges} edges")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// A connected subtree of an [`ExpertGraph`], the shape of every team.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubTree {
+    /// The root the greedy algorithm grew the tree from.
+    pub root: NodeId,
+    /// All member nodes, ascending.
+    pub nodes: Vec<NodeId>,
+    /// Tree edges `(u, v, w)` with `u < v`, ascending; `w` is the weight in
+    /// the graph the tree was materialized against.
+    pub edges: Vec<(NodeId, NodeId, f64)>,
+}
+
+impl SubTree {
+    /// A single-node tree (a team whose root covers every skill).
+    pub fn singleton(root: NodeId) -> SubTree {
+        SubTree {
+            root,
+            nodes: vec![root],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builds the union of root-anchored paths and validates it is a tree.
+    ///
+    /// `weights_from` supplies the edge weights recorded in the tree — pass
+    /// the *original* graph `G` here even when paths were computed on the
+    /// transformed graph `G'`, so that objective evaluation (Definitions
+    /// 2–6) uses true communication costs.
+    pub fn from_paths(
+        weights_from: &ExpertGraph,
+        root: NodeId,
+        paths: &[Vec<NodeId>],
+    ) -> Result<SubTree, TreeError> {
+        let mut edge_set: HashMap<(NodeId, NodeId), f64> = HashMap::new();
+        let mut node_set: Vec<NodeId> = vec![root];
+
+        for path in paths {
+            if let Some(&first) = path.first() {
+                if first != root {
+                    return Err(TreeError::PathNotRootedAtRoot {
+                        expected: root,
+                        found: first,
+                    });
+                }
+            }
+            for pair in path.windows(2) {
+                let (u, v) = (pair[0], pair[1]);
+                let key = (u.min(v), u.max(v));
+                if let std::collections::hash_map::Entry::Vacant(e) = edge_set.entry(key) {
+                    let w = weights_from
+                        .edge_weight(u, v)
+                        .ok_or(TreeError::MissingEdge(u, v))?;
+                    e.insert(w);
+                }
+                node_set.push(u);
+                node_set.push(v);
+            }
+        }
+
+        node_set.sort();
+        node_set.dedup();
+        let mut edges: Vec<(NodeId, NodeId, f64)> = edge_set
+            .into_iter()
+            .map(|((u, v), w)| (u, v, w))
+            .collect();
+        edges.sort_by_key(|&(u, v, _)| (u, v));
+
+        let tree = SubTree {
+            root,
+            nodes: node_set,
+            edges,
+        };
+        tree.validate()?;
+        Ok(tree)
+    }
+
+    /// Checks the tree invariant `|E| = |V| - 1` plus connectivity.
+    pub fn validate(&self) -> Result<(), TreeError> {
+        if self.edges.len() + 1 != self.nodes.len() {
+            return Err(TreeError::NotATree {
+                nodes: self.nodes.len(),
+                edges: self.edges.len(),
+            });
+        }
+        // Connectivity via union-find over the member set.
+        let index: HashMap<NodeId, usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i))
+            .collect();
+        let mut parent: Vec<usize> = (0..self.nodes.len()).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for &(u, v, _) in &self.edges {
+            let (ru, rv) = (find(&mut parent, index[&u]), find(&mut parent, index[&v]));
+            if ru == rv {
+                return Err(TreeError::NotATree {
+                    nodes: self.nodes.len(),
+                    edges: self.edges.len(),
+                });
+            }
+            parent[ru] = rv;
+        }
+        Ok(())
+    }
+
+    /// Number of member nodes (the paper's "team size").
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Sum of tree edge weights — Definition 2's `CC(T)` when the weights
+    /// came from the original graph.
+    pub fn total_edge_weight(&self) -> f64 {
+        self.edges.iter().map(|&(_, _, w)| w).sum()
+    }
+
+    /// True if `v` is a member.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.nodes.binary_search(&v).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::dijkstra::dijkstra;
+
+    fn path_graph(n: usize) -> ExpertGraph {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..n).map(|_| b.add_node(1.0)).collect();
+        for i in 0..n - 1 {
+            b.add_edge(ids[i], ids[i + 1], (i + 1) as f64).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn union_of_shared_prefix_paths() {
+        // Star of paths from node 0 in a path graph: paths to 2 and 3 share
+        // the prefix 0-1-2.
+        let g = path_graph(4);
+        let sp = dijkstra(&g, NodeId(0));
+        let p2 = sp.path_to(NodeId(2)).unwrap();
+        let p3 = sp.path_to(NodeId(3)).unwrap();
+        let t = SubTree::from_paths(&g, NodeId(0), &[p2, p3]).unwrap();
+        assert_eq!(t.size(), 4);
+        assert_eq!(t.edges.len(), 3);
+        assert_eq!(t.total_edge_weight(), 1.0 + 2.0 + 3.0);
+        assert!(t.contains(NodeId(3)));
+        assert!(!t.contains(NodeId(99)));
+    }
+
+    #[test]
+    fn singleton_tree() {
+        let t = SubTree::singleton(NodeId(5));
+        assert_eq!(t.size(), 1);
+        assert_eq!(t.total_edge_weight(), 0.0);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_path_with_wrong_root() {
+        let g = path_graph(3);
+        let err = SubTree::from_paths(&g, NodeId(0), &[vec![NodeId(1), NodeId(2)]]);
+        assert_eq!(
+            err,
+            Err(TreeError::PathNotRootedAtRoot {
+                expected: NodeId(0),
+                found: NodeId(1)
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_missing_edge() {
+        let g = path_graph(3);
+        let err = SubTree::from_paths(&g, NodeId(0), &[vec![NodeId(0), NodeId(2)]]);
+        assert_eq!(err, Err(TreeError::MissingEdge(NodeId(0), NodeId(2))));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        // Manually assemble a cyclic "tree" and validate.
+        let t = SubTree {
+            root: NodeId(0),
+            nodes: vec![NodeId(0), NodeId(1), NodeId(2)],
+            edges: vec![
+                (NodeId(0), NodeId(1), 1.0),
+                (NodeId(0), NodeId(2), 1.0),
+                (NodeId(1), NodeId(2), 1.0),
+            ],
+        };
+        assert!(matches!(t.validate(), Err(TreeError::NotATree { .. })));
+    }
+
+    #[test]
+    fn rejects_disconnected_forest() {
+        let t = SubTree {
+            root: NodeId(0),
+            nodes: vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            edges: vec![
+                (NodeId(0), NodeId(1), 1.0),
+                (NodeId(2), NodeId(3), 1.0),
+                (NodeId(0), NodeId(1), 1.0), // duplicate edge forms a "cycle"
+            ],
+        };
+        assert!(matches!(t.validate(), Err(TreeError::NotATree { .. })));
+    }
+
+    #[test]
+    fn weights_recorded_from_given_graph() {
+        // Materialize a path found on a transformed graph but record
+        // original weights.
+        let g = path_graph(3);
+        let g_prime = g.map_weights(|_, _, w| w * 10.0);
+        let sp = dijkstra(&g_prime, NodeId(0));
+        let p = sp.path_to(NodeId(2)).unwrap();
+        let t = SubTree::from_paths(&g, NodeId(0), &[p]).unwrap();
+        assert_eq!(t.total_edge_weight(), 3.0, "original weights, not x10");
+    }
+}

@@ -1,0 +1,150 @@
+//! Totally-ordered floating point weights.
+//!
+//! Edge weights and authorities are `f64`. Binary heaps and sort calls need
+//! a total order, and we must never let a NaN poison a shortest-path
+//! computation, so the graph crate funnels every weight through
+//! [`TotalF64`]: construction rejects NaN, after which `Ord` is safe.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A finite-or-infinite (but never NaN) `f64` with a total order.
+///
+/// `+inf` is permitted because "unreachable" distances are naturally modeled
+/// as infinity; NaN is rejected at construction.
+#[derive(Clone, Copy, PartialEq)]
+pub struct TotalF64(f64);
+
+impl TotalF64 {
+    /// Positive infinity — the distance to an unreachable node.
+    pub const INFINITY: TotalF64 = TotalF64(f64::INFINITY);
+    /// Zero.
+    pub const ZERO: TotalF64 = TotalF64(0.0);
+
+    /// Wraps `v`, returning `None` if it is NaN.
+    #[inline]
+    pub fn new(v: f64) -> Option<Self> {
+        if v.is_nan() {
+            None
+        } else {
+            Some(TotalF64(v))
+        }
+    }
+
+    /// Wraps `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is NaN. Use this where the value is already validated.
+    #[inline]
+    pub fn expect(v: f64) -> Self {
+        Self::new(v).expect("weight must not be NaN")
+    }
+
+    /// Returns the inner value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// True if the value is finite (i.e. a reachable distance).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Saturating addition: `inf + x = inf`.
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // named add on purpose: the
+    // only call sites want an explicit, non-operator form next to `cmp`.
+    pub fn add(self, other: TotalF64) -> TotalF64 {
+        TotalF64(self.0 + other.0)
+    }
+}
+
+impl std::ops::Add for TotalF64 {
+    type Output = TotalF64;
+
+    fn add(self, other: TotalF64) -> TotalF64 {
+        TotalF64(self.0 + other.0)
+    }
+}
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Safe: NaN is excluded by construction.
+        self.0.partial_cmp(&other.0).expect("TotalF64 is never NaN")
+    }
+}
+
+impl fmt::Debug for TotalF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for TotalF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<TotalF64> for f64 {
+    fn from(v: TotalF64) -> f64 {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_nan() {
+        assert!(TotalF64::new(f64::NAN).is_none());
+        assert!(TotalF64::new(1.5).is_some());
+        assert!(TotalF64::new(f64::INFINITY).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn expect_panics_on_nan() {
+        let _ = TotalF64::expect(f64::NAN);
+    }
+
+    #[test]
+    fn total_order() {
+        let mut v = vec![
+            TotalF64::expect(3.0),
+            TotalF64::INFINITY,
+            TotalF64::ZERO,
+            TotalF64::expect(-1.0),
+        ];
+        v.sort();
+        let raw: Vec<f64> = v.into_iter().map(|x| x.get()).collect();
+        assert_eq!(raw, vec![-1.0, 0.0, 3.0, f64::INFINITY]);
+    }
+
+    #[test]
+    fn saturating_add_with_infinity() {
+        let inf = TotalF64::INFINITY;
+        let one = TotalF64::expect(1.0);
+        assert_eq!(inf.add(one), TotalF64::INFINITY);
+        assert_eq!(one.add(one).get(), 2.0);
+    }
+
+    #[test]
+    fn is_finite_flags_infinity() {
+        assert!(!TotalF64::INFINITY.is_finite());
+        assert!(TotalF64::ZERO.is_finite());
+    }
+}

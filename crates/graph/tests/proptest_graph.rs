@@ -1,0 +1,109 @@
+//! Property-based tests for the graph substrate.
+
+use atd_graph::{connected_components, dijkstra, GraphBuilder, NodeId, SubTree};
+use proptest::prelude::*;
+
+/// Strategy: a random undirected graph as (n, edge list with weights).
+fn random_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (2usize..30).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as u32, 0..n as u32, 0.0f64..10.0),
+            0..60,
+        );
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32, f64)]) -> atd_graph::ExpertGraph {
+    let mut b = GraphBuilder::new();
+    for i in 0..n {
+        b.add_node(1.0 + i as f64);
+    }
+    for &(u, v, w) in edges {
+        if u != v {
+            b.add_edge(NodeId(u), NodeId(v), w).unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    /// Dijkstra satisfies the triangle inequality over every edge:
+    /// dist(s, v) <= dist(s, u) + w(u, v).
+    #[test]
+    fn dijkstra_respects_edge_relaxation((n, edges) in random_graph()) {
+        let g = build(n, &edges);
+        let sp = dijkstra(&g, NodeId(0));
+        for (u, v, w) in g.edges() {
+            let du = sp.dist[u.index()];
+            let dv = sp.dist[v.index()];
+            if du.is_finite() {
+                prop_assert!(dv <= du + w + 1e-9,
+                    "edge ({u},{v},{w}) violates relaxation: {du} vs {dv}");
+            }
+            if dv.is_finite() {
+                prop_assert!(du <= dv + w + 1e-9);
+            }
+        }
+    }
+
+    /// Every path reported by Dijkstra has total weight equal to the
+    /// reported distance and consists of real edges.
+    #[test]
+    fn dijkstra_paths_are_consistent((n, edges) in random_graph()) {
+        let g = build(n, &edges);
+        let sp = dijkstra(&g, NodeId(0));
+        for v in g.nodes() {
+            if let Some(path) = sp.path_to(v) {
+                let mut total = 0.0;
+                for pair in path.windows(2) {
+                    let w = g.edge_weight(pair[0], pair[1]);
+                    prop_assert!(w.is_some(), "path uses non-edge");
+                    total += w.unwrap();
+                }
+                prop_assert!((total - sp.dist[v.index()]).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Reachability from Dijkstra agrees with connected components.
+    #[test]
+    fn reachability_matches_components((n, edges) in random_graph()) {
+        let g = build(n, &edges);
+        let sp = dijkstra(&g, NodeId(0));
+        let cc = connected_components(&g);
+        for v in g.nodes() {
+            let reachable = sp.dist[v.index()].is_finite();
+            prop_assert_eq!(reachable, cc.connected(NodeId(0), v));
+        }
+    }
+
+    /// Union of shortest paths from one root is always a valid tree, and
+    /// its edge-weight total never exceeds the sum of the path distances
+    /// (shared prefixes are only counted once).
+    #[test]
+    fn union_of_root_paths_is_a_tree((n, edges) in random_graph()) {
+        let g = build(n, &edges);
+        let sp = dijkstra(&g, NodeId(0));
+        let reachable: Vec<NodeId> =
+            g.nodes().filter(|v| sp.dist[v.index()].is_finite()).collect();
+        let paths: Vec<Vec<NodeId>> =
+            reachable.iter().filter_map(|&v| sp.path_to(v)).collect();
+        let dist_sum: f64 = reachable.iter().map(|v| sp.dist[v.index()]).sum();
+        let tree = SubTree::from_paths(&g, NodeId(0), &paths).unwrap();
+        prop_assert!(tree.total_edge_weight() <= dist_sum + 1e-9);
+        prop_assert_eq!(tree.size(), reachable.len());
+    }
+
+    /// Parallel edge deduplication keeps the cheapest weight.
+    #[test]
+    fn dedup_keeps_min(w1 in 0.0f64..5.0, w2 in 0.0f64..5.0) {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(1.0);
+        let c = b.add_node(1.0);
+        b.add_edge(a, c, w1).unwrap();
+        b.add_edge(c, a, w2).unwrap();
+        let g = b.build().unwrap();
+        prop_assert_eq!(g.edge_weight(a, c), Some(w1.min(w2)));
+    }
+}

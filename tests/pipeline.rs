@@ -1,0 +1,112 @@
+//! End-to-end integration: synthetic corpus → DBLP XML bytes → parser →
+//! expert network → distance index → team discovery, crossing every crate
+//! boundary in the workspace.
+
+use team_discovery::core::strategy::Strategy;
+use team_discovery::dblp::graph_build::{BuildConfig, ExpertNetwork};
+use team_discovery::dblp::parser::parse_dblp_xml;
+use team_discovery::dblp::synth::{SynthConfig, SynthCorpus};
+use team_discovery::dblp::writer::write_xml;
+use team_discovery::prelude::*;
+
+fn network() -> ExpertNetwork {
+    let synth = SynthCorpus::generate(&SynthConfig {
+        num_authors: 400,
+        seed: 1234,
+        ..SynthConfig::default()
+    });
+    // Through the byte-level XML path, like a real dump.
+    let mut xml = Vec::new();
+    write_xml(&synth.corpus, &mut xml).expect("serialize");
+    let corpus = parse_dblp_xml(xml.as_slice()).expect("parse");
+    assert_eq!(corpus, synth.corpus, "roundtrip must be lossless");
+    ExpertNetwork::build(corpus, &BuildConfig::default()).expect("network")
+}
+
+#[test]
+fn full_pipeline_produces_discoverable_teams() {
+    let net = network();
+    assert!(net.graph.num_nodes() > 200);
+    assert!(net.graph.num_edges() > 200);
+    assert!(net.skills.num_skills() > 10);
+
+    let engine = Discovery::new(net.graph.clone(), net.skills.clone()).expect("engine");
+    let pool = net.skills.skills_with_min_holders(3);
+    assert!(pool.len() >= 4, "need a few popular skills");
+    let project = Project::new(pool[..4].to_vec());
+
+    for strategy in [
+        Strategy::Cc,
+        Strategy::CaCc { gamma: 0.6 },
+        Strategy::SaCaCc { gamma: 0.6, lambda: 0.6 },
+    ] {
+        let teams = engine.top_k(&project, strategy, 5).expect("teams");
+        assert!(!teams.is_empty());
+        for st in &teams {
+            assert!(st.team.covers(&project), "{strategy} non-cover");
+            st.team.tree.validate().expect("tree");
+            // Every member is a real author of the corpus.
+            for &m in st.team.members() {
+                assert!(!net.author(m).name.is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn authority_objectives_shift_team_composition() {
+    let net = network();
+    let engine = Discovery::new(net.graph.clone(), net.skills.clone()).expect("engine");
+    let pool = net.skills.skills_with_min_holders(3);
+    let project = Project::new(pool[..4].to_vec());
+
+    let cc = engine.best(&project, Strategy::Cc).expect("cc team");
+    let ours = engine
+        .best(&project, Strategy::SaCaCc { gamma: 0.6, lambda: 0.6 })
+        .expect("sa-ca-cc team");
+
+    // The combined objective of the dedicated search is at least as good.
+    let f = |s: &team_discovery::core::objectives::TeamScore| s.sa_ca_cc(0.6, 0.6);
+    assert!(
+        f(&ours.score) <= f(&cc.score) + 1e-9,
+        "SA-CA-CC search must not lose its own objective: {} vs {}",
+        f(&ours.score),
+        f(&cc.score)
+    );
+}
+
+#[test]
+fn skill_holders_are_junior_by_construction() {
+    let net = network();
+    let cfg = BuildConfig::default();
+    for a in &net.authors {
+        if !net.skills.skills_of(a.node).is_empty() {
+            assert!(
+                a.num_pubs < cfg.junior_max_papers,
+                "{} holds skills but has {} papers",
+                a.name,
+                a.num_pubs
+            );
+        }
+    }
+}
+
+#[test]
+fn top_k_teams_are_distinct_and_ordered() {
+    let net = network();
+    let engine = Discovery::new(net.graph.clone(), net.skills.clone()).expect("engine");
+    let pool = net.skills.skills_with_min_holders(3);
+    let project = Project::new(pool[1..4].to_vec());
+
+    let teams = engine
+        .top_k(&project, Strategy::SaCaCc { gamma: 0.6, lambda: 0.4 }, 8)
+        .expect("teams");
+    let mut keys: Vec<_> = teams.iter().map(|t| t.team.member_key()).collect();
+    let n = keys.len();
+    keys.sort();
+    keys.dedup();
+    assert_eq!(n, keys.len(), "no duplicate member sets");
+    for w in teams.windows(2) {
+        assert!(w[0].objective <= w[1].objective + 1e-12);
+    }
+}
