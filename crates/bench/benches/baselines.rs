@@ -19,17 +19,15 @@ fn bench_baselines(c: &mut Criterion) {
     group.sample_size(10);
 
     for &trials in &[100usize, 1_000, 10_000] {
-        group.bench_with_input(
-            BenchmarkId::new("random", trials),
-            &trials,
-            |b, &trials| {
-                let finder = RandomTeamFinder::new(&tb.net.graph, &tb.net.skills);
-                b.iter(|| {
-                    let mut rng = StdRng::seed_from_u64(17);
-                    finder.best_of(black_box(&p), weights, trials, &mut rng).ok()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("random", trials), &trials, |b, &trials| {
+            let finder = RandomTeamFinder::new(&tb.net.graph, &tb.net.skills);
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(17);
+                finder
+                    .best_of(black_box(&p), weights, trials, &mut rng)
+                    .ok()
+            })
+        });
     }
 
     group.bench_function("sa_only_problem4", |b| {

@@ -33,7 +33,13 @@ fn bench_methods(c: &mut Criterion) {
     group.bench_function("greedy_SA-CA-CC", |b| {
         b.iter(|| {
             tb.engine
-                .best(black_box(&p), Strategy::SaCaCc { gamma: 0.6, lambda: 0.6 })
+                .best(
+                    black_box(&p),
+                    Strategy::SaCaCc {
+                        gamma: 0.6,
+                        lambda: 0.6,
+                    },
+                )
                 .ok()
         })
     });

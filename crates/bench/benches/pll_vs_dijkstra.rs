@@ -12,9 +12,13 @@ fn pairs(n: usize, count: usize) -> Vec<(NodeId, NodeId)> {
     let mut x = 0xDEADBEEFu64;
     (0..count)
         .map(|_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = (x >> 33) as u32 % n as u32;
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = (x >> 33) as u32 % n as u32;
             (NodeId(u), NodeId(v))
         })

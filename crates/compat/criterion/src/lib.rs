@@ -1,0 +1,268 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmarking surface this workspace uses — groups,
+//! `bench_function`, `bench_with_input`, `sample_size`, `BenchmarkId`, the
+//! `criterion_group!` / `criterion_main!` macros — with real wall-clock
+//! measurement: per benchmark it calibrates an iteration count targeting
+//! ~`TARGET_SAMPLE_MS` per sample, collects `sample_size` samples, and
+//! reports min / median / mean ns-per-iteration. Results are printed and
+//! appended as JSON lines to `target/criterion-lite/results.jsonl` (path
+//! overridable via `CRITERION_LITE_OUT`) so callers can postprocess
+//! measurements without scraping stdout.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock per sample; keeps noise low without criterion's
+/// full adaptive plan.
+const TARGET_SAMPLE_MS: f64 = 25.0;
+
+/// Entry point handed to `criterion_group!` targets.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_benchmark(&id.to_string(), self.default_sample_size, &mut f);
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.sample_size, &mut f);
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.sample_size, &mut |b| f(b, input));
+    }
+
+    /// Ends the group (upstream flushes reports here; we report eagerly).
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifiers (`name/parameter` display form).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the measuring.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<f64>,
+    mode: BenchMode,
+}
+
+enum BenchMode {
+    /// Estimate cost of one routine call to size samples.
+    Calibrate,
+    /// Collect one timed sample.
+    Measure,
+}
+
+impl Bencher {
+    /// Times `routine`, recording nanoseconds per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            BenchMode::Calibrate => {
+                // One untimed warmup call, then time a single call.
+                black_box(routine());
+                let start = Instant::now();
+                black_box(routine());
+                let one = start.elapsed();
+                let target = Duration::from_secs_f64(TARGET_SAMPLE_MS / 1e3);
+                let per_sample = if one.is_zero() {
+                    1 << 14
+                } else {
+                    (target.as_secs_f64() / one.as_secs_f64()).clamp(1.0, 1e7) as u64
+                };
+                self.iters_per_sample = per_sample.max(1);
+            }
+            BenchMode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters_per_sample {
+                    black_box(routine());
+                }
+                let total = start.elapsed();
+                self.samples
+                    .push(total.as_nanos() as f64 / self.iters_per_sample as f64);
+            }
+        }
+    }
+}
+
+fn run_benchmark(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::with_capacity(sample_size),
+        mode: BenchMode::Calibrate,
+    };
+    f(&mut b);
+    b.mode = BenchMode::Measure;
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    let mut sorted = b.samples.clone();
+    sorted.sort_by(f64::total_cmp);
+    if sorted.is_empty() {
+        println!("{id:<60} time: [no samples — closure never called iter()]");
+        return;
+    }
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    println!(
+        "{id:<60} time: [{} {} {}] ({} samples × {} iters)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        sorted.len(),
+        b.iters_per_sample,
+    );
+    write_record(id, min, median, mean, sorted.len(), b.iters_per_sample);
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn write_record(id: &str, min: f64, median: f64, mean: f64, samples: usize, iters: u64) {
+    let path = std::env::var("CRITERION_LITE_OUT")
+        .unwrap_or_else(|_| "target/criterion-lite/results.jsonl".to_string());
+    let path = std::path::Path::new(&path);
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    else {
+        return;
+    };
+    let escaped: String = id
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect();
+    let _ = writeln!(
+        file,
+        "{{\"id\":\"{escaped}\",\"min_ns\":{min:.1},\"median_ns\":{median:.1},\
+         \"mean_ns\":{mean:.1},\"samples\":{samples},\"iters_per_sample\":{iters}}}"
+    );
+}
+
+/// Declares a group-runner function invoking each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        std::env::set_var(
+            "CRITERION_LITE_OUT",
+            std::env::temp_dir().join("criterion-lite-test.jsonl"),
+        );
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50u64), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        let out = std::fs::read_to_string(std::env::temp_dir().join("criterion-lite-test.jsonl"))
+            .unwrap();
+        assert!(out.contains("\"id\":\"shim/sum\""));
+        assert!(out.contains("shim/sum_to/50"));
+    }
+}

@@ -1,0 +1,329 @@
+//! Value-generation strategies for the offline proptest stand-in.
+
+use std::ops::Range;
+
+use crate::TestRng;
+
+/// Generates random values of `Self::Value`. No shrinking.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derives a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among same-typed strategies (backs `prop_oneof!`).
+#[derive(Clone, Debug)]
+pub struct Union<S>(Vec<S>);
+
+impl<S: Strategy> Union<S> {
+    /// A union over `arms`; must be non-empty.
+    pub fn new(arms: Vec<S>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union(arms)
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        let i = rng.below(self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as u128).wrapping_add(v) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.unit_range(self.start, self.end)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+    (A, B, C, D, E, F, G);
+    (A, B, C, D, E, F, G, H);
+}
+
+/// String patterns double as strategies, matching upstream's regex-string
+/// support for the subset this workspace uses: literals and character
+/// classes (`[a-z0-9]`, with `\\`-escapes), each optionally followed by
+/// `{n}` or `{m,n}`.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+/// One parsed pattern atom: the characters it can produce.
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated character class"));
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    ranges.push((p, p));
+                }
+                return ranges;
+            }
+            '\\' => {
+                let esc = chars.next().expect("dangling escape in class");
+                if let Some(p) = pending {
+                    ranges.push((p, p));
+                }
+                pending = Some(esc);
+            }
+            '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                let lo = pending.take().expect("checked");
+                let mut hi = chars.next().expect("unterminated range");
+                if hi == '\\' {
+                    hi = chars.next().expect("dangling escape in class");
+                }
+                assert!(lo <= hi, "inverted class range {lo}-{hi}");
+                ranges.push((lo, hi));
+            }
+            _ => {
+                if let Some(p) = pending {
+                    ranges.push((p, p));
+                }
+                pending = Some(c);
+            }
+        }
+    }
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            let (lo, hi) = match spec.split_once(',') {
+                Some((a, b)) => (
+                    a.parse().expect("bad repeat"),
+                    b.parse().expect("bad repeat"),
+                ),
+                None => {
+                    let n = spec.parse().expect("bad repeat");
+                    (n, n)
+                }
+            };
+            assert!(lo <= hi, "inverted repeat {{{spec}}}");
+            return (lo, hi);
+        }
+        spec.push(c);
+    }
+    panic!("unterminated repeat in pattern");
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '\\' => Atom::Literal(chars.next().expect("dangling escape")),
+            _ => Atom::Literal(c),
+        };
+        let (lo, hi) = parse_repeat(&mut chars);
+        let count = lo + rng.below(hi - lo + 1);
+        for _ in 0..count {
+            match &atom {
+                Atom::Literal(ch) => out.push(*ch),
+                Atom::Class(ranges) => {
+                    let total: u32 = ranges.iter().map(|&(a, b)| b as u32 - a as u32 + 1).sum();
+                    let mut pick = rng.below(total as usize) as u32;
+                    for &(a, b) in ranges {
+                        let span = b as u32 - a as u32 + 1;
+                        if pick < span {
+                            out.push(char::from_u32(a as u32 + pick).expect("valid char"));
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case(0x5eed, 0)
+    }
+
+    #[test]
+    fn pattern_literals_and_classes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_pattern("[a-z]{1,6}/[A-Za-z0-9]{1,8}", &mut r);
+            let (head, tail) = s.split_once('/').expect("slash literal present");
+            assert!((1..=6).contains(&head.len()));
+            assert!((1..=8).contains(&tail.len()));
+            assert!(head.bytes().all(|b| b.is_ascii_lowercase()));
+            assert!(tail.bytes().all(|b| b.is_ascii_alphanumeric()));
+        }
+    }
+
+    #[test]
+    fn pattern_escapes_in_classes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_pattern("[A-Za-z \\-&<>\"']{0,40}", &mut r);
+            assert!(s.len() <= 40);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphabetic() || " -&<>\"'".contains(c)));
+        }
+    }
+
+    #[test]
+    fn fixed_repeat_and_bare_atoms() {
+        let mut r = rng();
+        let s = generate_pattern("x[0-9]{3}y", &mut r);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with('x') && s.ends_with('y'));
+    }
+
+    #[test]
+    fn union_and_just() {
+        let mut r = rng();
+        let u = Union::new(vec![Just(5), Just(7)]);
+        for _ in 0..50 {
+            let v = u.generate(&mut r);
+            assert!(v == 5 || v == 7);
+        }
+    }
+}

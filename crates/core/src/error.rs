@@ -64,13 +64,18 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(DiscoveryError::EmptyProject.to_string().contains("no skills"));
+        assert!(DiscoveryError::EmptyProject
+            .to_string()
+            .contains("no skills"));
         assert!(DiscoveryError::UncoverableSkill(SkillId(4))
             .to_string()
             .contains('4'));
-        assert!(DiscoveryError::InvalidTradeoff { name: "gamma", value: 1.5 }
-            .to_string()
-            .contains("gamma"));
+        assert!(DiscoveryError::InvalidTradeoff {
+            name: "gamma",
+            value: 1.5
+        }
+        .to_string()
+        .contains("gamma"));
         assert!(DiscoveryError::InstanceTooLarge {
             what: "states",
             size: 10,

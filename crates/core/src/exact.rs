@@ -144,8 +144,11 @@ impl<'g> ExactTeamFinder<'g> {
             .collect();
         candidates.sort();
         candidates.dedup();
-        let pos: HashMap<NodeId, usize> =
-            candidates.iter().enumerate().map(|(i, &h)| (h, i)).collect();
+        let pos: HashMap<NodeId, usize> = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| (h, i))
+            .collect();
         let edge_factor = (1.0 - lambda) * (1.0 - gamma);
         let lb_graph = self
             .graph
@@ -520,7 +523,10 @@ mod tests {
         // 0 (skill a) connects to 3 (skill b) via cheap/low-authority 1 or
         // pricier/high-authority 2.
         let mut b = GraphBuilder::new();
-        let n: Vec<NodeId> = [5.0, 1.0, 40.0, 5.0].iter().map(|&a| b.add_node(a)).collect();
+        let n: Vec<NodeId> = [5.0, 1.0, 40.0, 5.0]
+            .iter()
+            .map(|&a| b.add_node(a))
+            .collect();
         b.add_edge(n[0], n[1], 0.1).unwrap();
         b.add_edge(n[1], n[3], 0.1).unwrap();
         b.add_edge(n[0], n[2], 0.5).unwrap();
@@ -570,12 +576,13 @@ mod tests {
         let engine = Discovery::with_options(
             g,
             idx,
-            DiscoveryOptions { threads: Some(1), ..Default::default() },
+            DiscoveryOptions {
+                threads: Some(1),
+                ..Default::default()
+            },
         )
         .unwrap();
-        let greedy = engine
-            .best(&p, Strategy::SaCaCc { gamma, lambda })
-            .unwrap();
+        let greedy = engine.best(&p, Strategy::SaCaCc { gamma, lambda }).unwrap();
         assert!(
             exact.objective <= greedy.objective + 1e-9,
             "exact {} must be <= greedy {}",
@@ -591,14 +598,7 @@ mod tests {
         let f = ExactTeamFinder::new(&g, &idx, cfg);
         let best = f.best(&project(&idx)).unwrap();
         // The DP's internal total must equal Definition 6 on the tree.
-        assert!(
-            (best.objective
-                - best
-                    .score
-                    .sa_ca_cc(0.6, 0.4))
-            .abs()
-                < 1e-9
-        );
+        assert!((best.objective - best.score.sa_ca_cc(0.6, 0.4)).abs() < 1e-9);
         best.team.tree.validate().unwrap();
     }
 
@@ -658,7 +658,9 @@ mod tests {
     fn lambda_one_is_pure_sa() {
         let (g, idx) = diamond();
         let cfg = ExactConfig::new(ObjectiveWeights::new(0.6, 1.0).unwrap());
-        let best = ExactTeamFinder::new(&g, &idx, cfg).best(&project(&idx)).unwrap();
+        let best = ExactTeamFinder::new(&g, &idx, cfg)
+            .best(&project(&idx))
+            .unwrap();
         // λ=1: connection is free; objective equals SA of the best holders.
         assert!((best.objective - best.score.sa).abs() < 1e-12);
     }

@@ -10,6 +10,12 @@
 //! answered by a 2-hop-cover (pruned landmark labeling) oracle, making each
 //! query near-constant and the whole scan `O(N · t · |Cmax|)`.
 //!
+//! The scan is batched per root: each worker owns a reusable
+//! [`SourceScatter`] scratch, scatters the root's label once, and answers
+//! all `t · |C(si)|` holder lookups as one-to-many scans over the flat CSR
+//! label store — the root-side label walk is paid once per root instead of
+//! once per holder query.
+//!
 //! ## One algorithm, three objectives
 //!
 //! * **CC** runs on the (normalized) original graph; `DIST` is the plain
@@ -41,7 +47,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use atd_distance::{DistanceOracle, PrunedLandmarkLabeling};
+use atd_distance::{PrunedLandmarkLabeling, SourceScatter};
 use atd_graph::{dijkstra_with_targets, ExpertGraph, NodeId, SubTree};
 
 use crate::error::DiscoveryError;
@@ -191,36 +197,38 @@ impl Discovery {
         }
     }
 
-    /// The adjusted `DIST(root, v)` for one holder candidate, or `None` if
-    /// unreachable.
+    /// Applies the strategy's authority adjustment to a raw distance.
     #[inline]
-    fn adjusted_dist(
-        &self,
-        strategy: Strategy,
-        pll: &PrunedLandmarkLabeling,
-        root: NodeId,
-        v: NodeId,
-    ) -> Option<f64> {
-        let d = pll.distance(root, v)?;
-        Some(match strategy {
+    fn adjust(&self, strategy: Strategy, d: f64, v: NodeId) -> f64 {
+        match strategy {
             Strategy::Cc => d,
             Strategy::CaCc { gamma } => d - gamma * self.norm.a_bar(v),
             Strategy::SaCaCc { gamma, lambda } => {
                 (1.0 - lambda) * (d - gamma * self.norm.a_bar(v)) + lambda * self.norm.a_bar(v)
             }
-        })
+        }
     }
 
     /// Runs Algorithm 1's inner loop for one root, returning the candidate
     /// and its algorithm cost (or `None` when some skill is unreachable
     /// from this root).
+    ///
+    /// The root's label is scattered into `scatter` **once**; all
+    /// `t · |C(s)|` holder lookups are then one-to-many scans
+    /// ([`PrunedLandmarkLabeling::query_one_to_many`]) instead of
+    /// independent merge-joins, eliminating the repeated root-side label
+    /// walk. Skill-holder lists are in ascending node-id order
+    /// ([`SkillIndex`] builds them that way), so the `<` tie-break makes
+    /// the scan deterministic regardless of thread count.
     fn evaluate_root(
         &self,
         strategy: Strategy,
         pll: &PrunedLandmarkLabeling,
+        scatter: &mut SourceScatter,
         project: &Project,
         root: NodeId,
     ) -> Option<(f64, Candidate)> {
+        pll.load_source(scatter, root);
         let mut cost = 0.0;
         let mut assignment = Vec::with_capacity(project.len());
         for &s in project.skills() {
@@ -232,7 +240,8 @@ impl Discovery {
             }
             let mut best: Option<(f64, NodeId)> = None;
             for &v in self.skills.holders(s) {
-                if let Some(adj) = self.adjusted_dist(strategy, pll, root, v) {
+                if let Some(d) = pll.query_one_to_many(scatter, v) {
+                    let adj = self.adjust(strategy, d, v);
                     let better = match best {
                         None => true,
                         // Deterministic tie-break on node id.
@@ -271,10 +280,13 @@ impl Discovery {
             .clamp(1, n.max(1));
 
         if threads <= 1 || n < 256 {
+            let mut scatter = pll.scatter();
             let mut local = BoundedTopK::new(limit);
             for i in 0..n {
                 let root = NodeId::from_index(i);
-                if let Some((cost, cand)) = self.evaluate_root(strategy, pll, project, root) {
+                if let Some((cost, cand)) =
+                    self.evaluate_root(strategy, pll, &mut scatter, project, root)
+                {
                     local.offer(cost, cand);
                 }
             }
@@ -282,13 +294,16 @@ impl Discovery {
         }
 
         let mut merged = BoundedTopK::new(limit);
-        let lists = crossbeam::thread::scope(|scope| {
+        let lists = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for t in 0..threads {
                 let pll_ref = &*pll;
                 let project_ref = project;
                 let this = &*self;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
+                    // One scatter scratch per worker, reused across all of
+                    // its roots.
+                    let mut scatter = pll_ref.scatter();
                     let mut local = BoundedTopK::new(limit);
                     // Strided partition keeps per-thread work balanced even
                     // when expensive roots cluster by id.
@@ -296,7 +311,7 @@ impl Discovery {
                     while i < n {
                         let root = NodeId::from_index(i);
                         if let Some((cost, cand)) =
-                            this.evaluate_root(strategy, pll_ref, project_ref, root)
+                            this.evaluate_root(strategy, pll_ref, &mut scatter, project_ref, root)
                         {
                             local.offer(cost, cand);
                         }
@@ -309,8 +324,7 @@ impl Discovery {
                 .into_iter()
                 .map(|h| h.join().expect("root-scan worker panicked"))
                 .collect::<Vec<_>>()
-        })
-        .expect("crossbeam scope failed");
+        });
         for l in lists {
             merged.merge(l);
         }
@@ -404,7 +418,11 @@ impl Discovery {
     }
 
     /// Convenience: the single best team.
-    pub fn best(&self, project: &Project, strategy: Strategy) -> Result<ScoredTeam, DiscoveryError> {
+    pub fn best(
+        &self,
+        project: &Project,
+        strategy: Strategy,
+    ) -> Result<ScoredTeam, DiscoveryError> {
         Ok(self
             .top_k(project, strategy, 1)?
             .into_iter()
@@ -426,7 +444,12 @@ mod tests {
     ///   h_sn_a (SN, auth 9)  - senior (auth 139) - h_tm_a (TM, auth 11)
     ///   h_sn_b (SN, auth 5)  - junior (auth 12)  - h_tm_b (TM, auth 3)
     /// ```
-    fn figure1() -> (ExpertGraph, SkillIndex, crate::skills::SkillId, crate::skills::SkillId) {
+    fn figure1() -> (
+        ExpertGraph,
+        SkillIndex,
+        crate::skills::SkillId,
+        crate::skills::SkillId,
+    ) {
         let mut b = GraphBuilder::new();
         let h_sn_a = b.add_node(9.0);
         let senior = b.add_node(139.0);
@@ -474,7 +497,13 @@ mod tests {
         // Under CC both teams cost the same; under SA-CA-CC the senior team
         // must win (this is exactly the paper's Figure 1 argument).
         let best = d
-            .best(&project, Strategy::SaCaCc { gamma: 0.6, lambda: 0.6 })
+            .best(
+                &project,
+                Strategy::SaCaCc {
+                    gamma: 0.6,
+                    lambda: 0.6,
+                },
+            )
             .unwrap();
         assert!(
             best.team.members().contains(&NodeId(1)),
@@ -490,7 +519,10 @@ mod tests {
         for strategy in [
             Strategy::Cc,
             Strategy::CaCc { gamma: 0.6 },
-            Strategy::SaCaCc { gamma: 0.6, lambda: 0.6 },
+            Strategy::SaCaCc {
+                gamma: 0.6,
+                lambda: 0.6,
+            },
         ] {
             let teams = d.top_k(&project, strategy, 3).unwrap();
             assert!(!teams.is_empty(), "{strategy} found nothing");
@@ -504,9 +536,7 @@ mod tests {
     #[test]
     fn top_k_is_sorted_and_deduplicated() {
         let (d, project) = engine();
-        let teams = d
-            .top_k(&project, Strategy::Cc, 5)
-            .unwrap();
+        let teams = d.top_k(&project, Strategy::Cc, 5).unwrap();
         for w in teams.windows(2) {
             assert!(w[0].objective <= w[1].objective);
         }
@@ -578,16 +608,28 @@ mod tests {
         let seq = Discovery::with_options(
             g.clone(),
             idx.clone(),
-            DiscoveryOptions { threads: Some(1), ..Default::default() },
+            DiscoveryOptions {
+                threads: Some(1),
+                ..Default::default()
+            },
         )
         .unwrap();
         let par = Discovery::with_options(
             g,
             idx,
-            DiscoveryOptions { threads: Some(4), ..Default::default() },
+            DiscoveryOptions {
+                threads: Some(4),
+                ..Default::default()
+            },
         )
         .unwrap();
-        for strategy in [Strategy::Cc, Strategy::SaCaCc { gamma: 0.6, lambda: 0.4 }] {
+        for strategy in [
+            Strategy::Cc,
+            Strategy::SaCaCc {
+                gamma: 0.6,
+                lambda: 0.4,
+            },
+        ] {
             let a = seq.top_k(&project, strategy, 3).unwrap();
             let b = par.top_k(&project, strategy, 3).unwrap();
             assert_eq!(a.len(), b.len());
@@ -626,11 +668,17 @@ mod tests {
     fn pruning_option_never_worsens_the_objective() {
         let (g, idx, sn, tm) = figure1();
         let project = Project::new(vec![sn, tm]);
-        let strategy = Strategy::SaCaCc { gamma: 0.6, lambda: 0.6 };
+        let strategy = Strategy::SaCaCc {
+            gamma: 0.6,
+            lambda: 0.6,
+        };
         let faithful = Discovery::with_options(
             g.clone(),
             idx.clone(),
-            DiscoveryOptions { threads: Some(1), ..Default::default() },
+            DiscoveryOptions {
+                threads: Some(1),
+                ..Default::default()
+            },
         )
         .unwrap();
         let pruned = Discovery::with_options(

@@ -96,18 +96,22 @@ pub fn communication_cost(norm: &Normalization, team: &Team) -> f64 {
 
 /// `CA(T)`: sum of `ā'` over the team's connectors (Definition 3).
 pub fn connector_authority(norm: &Normalization, team: &Team) -> f64 {
-    team.connectors().iter().map(|&c| norm.a_bar(c)).sum::<f64>() + 0.0
+    team.connectors()
+        .iter()
+        .map(|&c| norm.a_bar(c))
+        .sum::<f64>()
+        + 0.0
 }
 
 /// `SA(T)`: sum of `ā'` over skill-holder slots (Definition 5).
-pub fn skill_holder_authority(
-    norm: &Normalization,
-    team: &Team,
-    policy: DuplicatePolicy,
-) -> f64 {
+pub fn skill_holder_authority(norm: &Normalization, team: &Team, policy: DuplicatePolicy) -> f64 {
     match policy {
         DuplicatePolicy::PerSkill => {
-            team.assignment.iter().map(|&(_, c)| norm.a_bar(c)).sum::<f64>() + 0.0
+            team.assignment
+                .iter()
+                .map(|&(_, c)| norm.a_bar(c))
+                .sum::<f64>()
+                + 0.0
         }
         DuplicatePolicy::Distinct => {
             team.holders().iter().map(|&c| norm.a_bar(c)).sum::<f64>() + 0.0

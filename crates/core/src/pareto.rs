@@ -17,7 +17,8 @@ use crate::team::ScoredTeam;
 
 /// True if `a`'s objective vector dominates `b`'s.
 fn dominates(a: &ScoredTeam, b: &ScoredTeam) -> bool {
-    let better_eq = a.score.cc <= b.score.cc && a.score.ca <= b.score.ca && a.score.sa <= b.score.sa;
+    let better_eq =
+        a.score.cc <= b.score.cc && a.score.ca <= b.score.ca && a.score.sa <= b.score.sa;
     let strictly = a.score.cc < b.score.cc || a.score.ca < b.score.ca || a.score.sa < b.score.sa;
     better_eq && strictly
 }
@@ -91,7 +92,10 @@ mod tests {
     use atd_graph::{GraphBuilder, NodeId, SubTree};
 
     fn scored(cc: f64, ca: f64, sa: f64, node: u32) -> ScoredTeam {
-        let team = Team::new(SubTree::singleton(NodeId(node)), vec![(SkillId(0), NodeId(node))]);
+        let team = Team::new(
+            SubTree::singleton(NodeId(node)),
+            vec![(SkillId(0), NodeId(node))],
+        );
         ScoredTeam {
             team,
             score: TeamScore { cc, ca, sa },
@@ -146,7 +150,10 @@ mod tests {
     #[test]
     fn discover_pareto_runs_on_a_small_network() {
         let mut b = GraphBuilder::new();
-        let n: Vec<NodeId> = [2.0, 30.0, 3.0, 8.0].iter().map(|&a| b.add_node(a)).collect();
+        let n: Vec<NodeId> = [2.0, 30.0, 3.0, 8.0]
+            .iter()
+            .map(|&a| b.add_node(a))
+            .collect();
         b.add_edge(n[0], n[1], 0.2).unwrap();
         b.add_edge(n[1], n[2], 0.2).unwrap();
         b.add_edge(n[0], n[3], 0.1).unwrap();

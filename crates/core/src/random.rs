@@ -179,7 +179,12 @@ mod tests {
         let project = Project::new(vec![idx.id_of("a").unwrap(), idx.id_of("b").unwrap()]);
         let mut rng = StdRng::seed_from_u64(7);
         let best = f
-            .best_of(&project, ObjectiveWeights::new(0.6, 0.6).unwrap(), 100, &mut rng)
+            .best_of(
+                &project,
+                ObjectiveWeights::new(0.6, 0.6).unwrap(),
+                100,
+                &mut rng,
+            )
             .unwrap();
         assert!(best.team.covers(&project));
         best.team.tree.validate().unwrap();
@@ -244,7 +249,12 @@ mod tests {
         let project = Project::new(vec![s0, s1]);
         let mut rng = StdRng::seed_from_u64(3);
         assert_eq!(
-            f.best_of(&project, ObjectiveWeights::new(0.5, 0.5).unwrap(), 20, &mut rng),
+            f.best_of(
+                &project,
+                ObjectiveWeights::new(0.5, 0.5).unwrap(),
+                20,
+                &mut rng
+            ),
             Err(DiscoveryError::NoTeamFound)
         );
     }

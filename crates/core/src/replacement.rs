@@ -81,11 +81,7 @@ impl<'g> ReplacementFinder<'g> {
 
         // Any skill that only the leaver can cover is irreplaceable.
         for &(s, _) in &team.assignment {
-            let replaceable = self
-                .skills
-                .holders(s)
-                .iter()
-                .any(|&h| h != leaving);
+            let replaceable = self.skills.holders(s).iter().any(|&h| h != leaving);
             if !replaceable {
                 return Err(DiscoveryError::NoTeamFound);
             }
@@ -110,7 +106,13 @@ impl<'g> ReplacementFinder<'g> {
             .collect();
         for &(s, c) in &team.assignment {
             if c == leaving {
-                roots.extend(self.skills.holders(s).iter().copied().filter(|&h| h != leaving));
+                roots.extend(
+                    self.skills
+                        .holders(s)
+                        .iter()
+                        .copied()
+                        .filter(|&h| h != leaving),
+                );
             }
         }
         roots.sort();
@@ -134,7 +136,9 @@ impl<'g> ReplacementFinder<'g> {
                     if v == leaving {
                         continue;
                     }
-                    let Some(d) = sp_full.distance(v) else { continue };
+                    let Some(d) = sp_full.distance(v) else {
+                        continue;
+                    };
                     let adj = match strategy {
                         Strategy::Cc => d,
                         Strategy::CaCc { gamma } => d - gamma * self.norm.a_bar(v),
@@ -237,7 +241,10 @@ mod tests {
         let engine = Discovery::with_options(
             g.clone(),
             idx.clone(),
-            DiscoveryOptions { threads: Some(1), ..Default::default() },
+            DiscoveryOptions {
+                threads: Some(1),
+                ..Default::default()
+            },
         )
         .unwrap();
         let project = Project::new(vec![idx.id_of("a").unwrap(), idx.id_of("b").unwrap()]);
@@ -252,15 +259,20 @@ mod tests {
         let old = team.holder_of(sa).unwrap();
         let finder = ReplacementFinder::new(&g, &idx);
         let fixed = finder
-            .recommend(&team, old, Strategy::SaCaCc { gamma: 0.6, lambda: 0.6 }, 3)
+            .recommend(
+                &team,
+                old,
+                Strategy::SaCaCc {
+                    gamma: 0.6,
+                    lambda: 0.6,
+                },
+                3,
+            )
             .unwrap();
         assert!(!fixed.is_empty());
         for st in &fixed {
             assert!(!st.team.members().contains(&old), "leaver must be gone");
-            assert!(
-                st.team.holder_of(sa).is_some(),
-                "skill a still covered"
-            );
+            assert!(st.team.holder_of(sa).is_some(), "skill a still covered");
             st.team.tree.validate().unwrap();
         }
         // Results are ranked.
@@ -277,13 +289,14 @@ mod tests {
             panic!("fixture team should have a connector, got {team:?}");
         };
         let finder = ReplacementFinder::new(&g, &idx);
-        let fixed = finder
-            .recommend(&team, connector, Strategy::Cc, 2)
-            .unwrap();
+        let fixed = finder.recommend(&team, connector, Strategy::Cc, 2).unwrap();
         assert!(!fixed.is_empty());
         let project = Project::new(team.assignment.iter().map(|&(s, _)| s).collect());
         for st in &fixed {
-            assert!(!st.team.members().contains(&connector), "leaver must be gone");
+            assert!(
+                !st.team.members().contains(&connector),
+                "leaver must be gone"
+            );
             assert!(st.team.covers(&project), "coverage restored");
             st.team.tree.validate().unwrap();
         }
@@ -324,6 +337,9 @@ mod tests {
         let team = discovered_team(&g, &idx);
         let finder = ReplacementFinder::new(&g, &idx);
         let member = team.members()[0];
-        assert!(finder.recommend(&team, member, Strategy::Cc, 0).unwrap().is_empty());
+        assert!(finder
+            .recommend(&team, member, Strategy::Cc, 0)
+            .unwrap()
+            .is_empty());
     }
 }

@@ -82,7 +82,10 @@ mod tests {
     fn fixture() -> (ExpertGraph, SkillIndex) {
         // Node authorities: 0:1, 1:50, 2:2, 3:40.
         let mut b = GraphBuilder::new();
-        let n: Vec<NodeId> = [1.0, 50.0, 2.0, 40.0].iter().map(|&a| b.add_node(a)).collect();
+        let n: Vec<NodeId> = [1.0, 50.0, 2.0, 40.0]
+            .iter()
+            .map(|&a| b.add_node(a))
+            .collect();
         b.add_edge(n[0], n[1], 1.0).unwrap();
         b.add_edge(n[1], n[2], 1.0).unwrap();
         b.add_edge(n[2], n[3], 1.0).unwrap();
@@ -102,8 +105,14 @@ mod tests {
         let (g, idx) = fixture();
         let p = Project::new(vec![idx.id_of("a").unwrap(), idx.id_of("b").unwrap()]);
         let best = best_sa_team(&g, &idx, &p, DuplicatePolicy::PerSkill).unwrap();
-        assert_eq!(best.team.holder_of(idx.id_of("a").unwrap()), Some(NodeId(1)));
-        assert_eq!(best.team.holder_of(idx.id_of("b").unwrap()), Some(NodeId(3)));
+        assert_eq!(
+            best.team.holder_of(idx.id_of("a").unwrap()),
+            Some(NodeId(1))
+        );
+        assert_eq!(
+            best.team.holder_of(idx.id_of("b").unwrap()),
+            Some(NodeId(3))
+        );
         assert!(best.team.covers(&p));
         best.team.tree.validate().unwrap();
     }

@@ -102,10 +102,18 @@ mod tests {
         assert!(Strategy::Cc.validate().is_ok());
         assert!(Strategy::CaCc { gamma: 0.6 }.validate().is_ok());
         assert!(Strategy::CaCc { gamma: 1.5 }.validate().is_err());
-        assert!(Strategy::SaCaCc { gamma: 0.6, lambda: -0.1 }.validate().is_err());
-        assert!(Strategy::SaCaCc { gamma: f64::NAN, lambda: 0.5 }
-            .validate()
-            .is_err());
+        assert!(Strategy::SaCaCc {
+            gamma: 0.6,
+            lambda: -0.1
+        }
+        .validate()
+        .is_err());
+        assert!(Strategy::SaCaCc {
+            gamma: f64::NAN,
+            lambda: 0.5
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -113,7 +121,11 @@ mod tests {
         assert_eq!(Strategy::Cc.gamma(), None);
         assert_eq!(Strategy::CaCc { gamma: 0.3 }.gamma(), Some(0.3));
         assert_eq!(
-            Strategy::SaCaCc { gamma: 0.3, lambda: 0.7 }.lambda(),
+            Strategy::SaCaCc {
+                gamma: 0.3,
+                lambda: 0.7
+            }
+            .lambda(),
             Some(0.7)
         );
         assert_eq!(Strategy::CaCc { gamma: 0.3 }.lambda(), None);
@@ -121,10 +133,18 @@ mod tests {
 
     #[test]
     fn objective_dispatch() {
-        let s = TeamScore { cc: 2.0, ca: 1.0, sa: 0.5 };
+        let s = TeamScore {
+            cc: 2.0,
+            ca: 1.0,
+            sa: 0.5,
+        };
         assert_eq!(Strategy::Cc.objective(&s), 2.0);
         assert!((Strategy::CaCc { gamma: 0.5 }.objective(&s) - 1.5).abs() < 1e-12);
-        let v = Strategy::SaCaCc { gamma: 0.5, lambda: 0.5 }.objective(&s);
+        let v = Strategy::SaCaCc {
+            gamma: 0.5,
+            lambda: 0.5,
+        }
+        .objective(&s);
         assert!((v - (0.25 + 0.75)).abs() < 1e-12);
     }
 
@@ -133,7 +153,11 @@ mod tests {
         assert_eq!(Strategy::Cc.label(), "CC");
         assert_eq!(Strategy::CaCc { gamma: 0.1 }.label(), "CA-CC");
         assert_eq!(
-            Strategy::SaCaCc { gamma: 0.1, lambda: 0.1 }.label(),
+            Strategy::SaCaCc {
+                gamma: 0.1,
+                lambda: 0.1
+            }
+            .label(),
             "SA-CA-CC"
         );
         assert!(format!("{}", Strategy::CaCc { gamma: 0.6 }).contains("0.6"));

@@ -145,7 +145,10 @@ impl Team {
             holders[0]
         };
         let tree = SubTree { root, nodes, edges };
-        debug_assert!(tree.validate().is_ok(), "pruning preserves the tree invariant");
+        debug_assert!(
+            tree.validate().is_ok(),
+            "pruning preserves the tree invariant"
+        );
         Team {
             tree,
             assignment: self.assignment,
@@ -197,10 +200,7 @@ mod tests {
         let g = b.build().unwrap();
         let sp = dijkstra(&g, n[0]);
         let tree = SubTree::from_paths(&g, n[0], &[sp.path_to(n[2]).unwrap()]).unwrap();
-        Team::new(
-            tree,
-            vec![(SkillId(0), n[0]), (SkillId(1), n[2])],
-        )
+        Team::new(tree, vec![(SkillId(0), n[0]), (SkillId(1), n[2])])
     }
 
     #[test]

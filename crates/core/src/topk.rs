@@ -35,9 +35,7 @@ impl<T> BoundedTopK<T> {
         {
             return false;
         }
-        let pos = self
-            .items
-            .partition_point(|&(k, _)| k <= key);
+        let pos = self.items.partition_point(|&(k, _)| k <= key);
         self.items.insert(pos, (key, value));
         if self.items.len() > self.capacity {
             self.items.pop();

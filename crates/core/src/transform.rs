@@ -117,7 +117,10 @@ mod tests {
         // Square: 0-1-3 via low-authority 1, 0-2-3 via high-authority 2.
         // Raw weights favor the 0-1-3 route; high γ must flip to 0-2-3.
         let mut b = GraphBuilder::new();
-        let n: Vec<NodeId> = [5.0, 1.0, 50.0, 5.0].iter().map(|&a| b.add_node(a)).collect();
+        let n: Vec<NodeId> = [5.0, 1.0, 50.0, 5.0]
+            .iter()
+            .map(|&a| b.add_node(a))
+            .collect();
         b.add_edge(n[0], n[1], 0.1).unwrap();
         b.add_edge(n[1], n[3], 0.1).unwrap();
         b.add_edge(n[0], n[2], 0.4).unwrap();

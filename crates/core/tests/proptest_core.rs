@@ -27,12 +27,10 @@ struct Instance {
 
 fn instance() -> impl Strategy<Value = Instance> {
     (4usize..14, 2u8..4).prop_flat_map(|(n, num_skills)| {
-        let chords = proptest::collection::vec(
-            (0..n as u32, 0..n as u32, 0.05f64..2.0),
-            0..12,
-        );
+        let chords = proptest::collection::vec((0..n as u32, 0..n as u32, 0.05f64..2.0), 0..12);
         let authorities = proptest::collection::vec(0.0f64..50.0, n);
-        let grants = proptest::collection::vec((0..n as u32, 0..num_skills), num_skills as usize..10);
+        let grants =
+            proptest::collection::vec((0..n as u32, 0..num_skills), num_skills as usize..10);
         (Just(n), chords, authorities, grants, Just(num_skills)).prop_map(
             |(n, chords, authorities, grants, num_skills)| Instance {
                 n,

@@ -23,8 +23,12 @@ fn build(n: usize, chords: &[(u32, u32, f64)], auth: &[f64], w_scale: f64) -> Ex
     let mut b = GraphBuilder::new();
     let ids: Vec<NodeId> = auth.iter().map(|&a| b.add_node(a)).collect();
     for i in 0..n {
-        b.add_edge(ids[i], ids[(i + 1) % n], w_scale * (0.2 + (i % 4) as f64 * 0.3))
-            .unwrap();
+        b.add_edge(
+            ids[i],
+            ids[(i + 1) % n],
+            w_scale * (0.2 + (i % 4) as f64 * 0.3),
+        )
+        .unwrap();
     }
     for &(u, v, w) in chords {
         if u != v {

@@ -69,8 +69,11 @@ impl ExpertNetwork {
         let by_author = corpus.papers_by_author();
         let names: Vec<String> = by_author.keys().map(|s| s.to_string()).collect();
         let paper_lists: Vec<Vec<u32>> = by_author.values().cloned().collect();
-        let index_of: HashMap<&str, usize> =
-            names.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+        let index_of: HashMap<&str, usize> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i))
+            .collect();
 
         // Authority: h-index over the author's papers' citations.
         let mut builder = GraphBuilder::with_capacity(names.len(), corpus.len() * 3);
@@ -235,7 +238,10 @@ mod tests {
         let hub = net.author_by_name("Hub").unwrap().node;
         let matrix = net.skills.id_of("matrix").unwrap();
         assert!(net.skills.has_skill(ada, matrix));
-        assert!(net.skills.skills_of(hub).is_empty(), "senior holds no skills");
+        assert!(
+            net.skills.skills_of(hub).is_empty(),
+            "senior holds no skills"
+        );
         assert_eq!(net.num_skill_holders(), 2, "Ada and Bob");
     }
 

@@ -82,21 +82,18 @@ pub fn parse_dblp_xml<R: BufRead>(input: R) -> Result<Corpus, XmlError> {
                         }
                     }
                     3 => {
-                        if let (Some((fname, text)), Some(p)) = (field.take(), current.as_mut())
-                        {
+                        if let (Some((fname, text)), Some(p)) = (field.take(), current.as_mut()) {
                             debug_assert_eq!(fname, name, "field nesting is flat");
                             let text = text.trim().to_string();
                             match fname.as_str() {
-                                "author" | "editor"
-                                    if !text.is_empty() => {
-                                        p.authors.push(text);
-                                    }
+                                "author" | "editor" if !text.is_empty() => {
+                                    p.authors.push(text);
+                                }
                                 "title" => p.title = text,
                                 "year" => p.year = text.parse().ok(),
-                                "journal" | "booktitle"
-                                    if !text.is_empty() => {
-                                        p.venue = Some(text);
-                                    }
+                                "journal" | "booktitle" if !text.is_empty() => {
+                                    p.venue = Some(text);
+                                }
                                 _ => {} // ee, url, pages, crossref, …
                             }
                         }

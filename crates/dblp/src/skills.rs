@@ -115,7 +115,10 @@ mod tests {
     #[test]
     fn repeated_term_in_one_title_counts_once() {
         let skills = extract_skills(&["networks networks networks", "graphs"], 2);
-        assert!(skills.is_empty(), "one title can't make a skill: {skills:?}");
+        assert!(
+            skills.is_empty(),
+            "one title can't make a skill: {skills:?}"
+        );
     }
 
     #[test]
@@ -143,7 +146,10 @@ mod tests {
             2,
         );
         for want in ["analytics", "matrix", "communities", "object-oriented"] {
-            assert!(skills.contains(&want.to_string()), "missing {want}: {skills:?}");
+            assert!(
+                skills.contains(&want.to_string()),
+                "missing {want}: {skills:?}"
+            );
         }
     }
 }

@@ -378,7 +378,9 @@ mod tests {
         assert!(pool.len() >= 2);
         let project = Project::new(pool[..2].to_vec());
         let engine = Discovery::new(loaded.graph, loaded.skills).unwrap();
-        let best = engine.best(&project, Strategy::CaCc { gamma: 0.6 }).unwrap();
+        let best = engine
+            .best(&project, Strategy::CaCc { gamma: 0.6 })
+            .unwrap();
         assert!(best.team.covers(&project));
     }
 }

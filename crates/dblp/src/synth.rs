@@ -34,44 +34,266 @@ use crate::venues::VenueCatalog;
 /// own example skills (social networks / text mining in Figure 1;
 /// analytics, matrix, communities, object-oriented in Figure 6).
 pub const TOPICS: &[(&str, &[&str])] = &[
-    ("social networks", &["social", "networks", "influence", "diffusion", "centrality", "ties", "link-prediction", "homophily"]),
-    ("text mining", &["text", "mining", "topic-models", "entities", "corpora", "summarization", "extraction", "sentiment"]),
-    ("data analytics", &["analytics", "dashboards", "aggregation", "olap", "visual", "exploration", "reporting", "cubes"]),
-    ("matrix methods", &["matrix", "factorization", "spectral", "eigenvalues", "decomposition", "low-rank", "sketching", "svd"]),
-    ("graph communities", &["communities", "clustering", "modularity", "partitioning", "cohesion", "dense-subgraphs", "motifs", "cliques"]),
-    ("object oriented systems", &["object-oriented", "inheritance", "refactoring", "polymorphism", "encapsulation", "patterns", "classes", "uml"]),
-    ("databases", &["query", "indexing", "transactions", "storage", "optimizer", "joins", "concurrency", "recovery"]),
-    ("machine learning", &["learning", "classifiers", "regression", "kernels", "ensembles", "features", "generalization", "boosting"]),
-    ("information retrieval", &["retrieval", "ranking", "relevance", "search", "queries", "crawling", "snippets", "feedback"]),
-    ("distributed systems", &["distributed", "consensus", "replication", "fault-tolerance", "sharding", "gossip", "latency", "throughput"]),
-    ("computer vision", &["vision", "segmentation", "detection", "tracking", "images", "convolution", "stereo", "recognition"]),
-    ("security", &["security", "encryption", "authentication", "privacy", "intrusion", "malware", "protocols", "auditing"]),
-    ("semantic web", &["ontologies", "reasoning", "rdf", "linked-data", "knowledge-graphs", "alignment", "sparql", "vocabularies"]),
-    ("stream processing", &["streams", "windows", "sampling", "sketches", "continuous-queries", "load-shedding", "event-processing", "drift"]),
-    ("bioinformatics", &["genomics", "sequences", "alignment-free", "proteins", "pathways", "phylogenetics", "annotation", "microarrays"]),
-    ("human computer interaction", &["interaction", "usability", "interfaces", "accessibility", "gestures", "crowdsourcing", "surveys", "prototyping"]),
+    (
+        "social networks",
+        &[
+            "social",
+            "networks",
+            "influence",
+            "diffusion",
+            "centrality",
+            "ties",
+            "link-prediction",
+            "homophily",
+        ],
+    ),
+    (
+        "text mining",
+        &[
+            "text",
+            "mining",
+            "topic-models",
+            "entities",
+            "corpora",
+            "summarization",
+            "extraction",
+            "sentiment",
+        ],
+    ),
+    (
+        "data analytics",
+        &[
+            "analytics",
+            "dashboards",
+            "aggregation",
+            "olap",
+            "visual",
+            "exploration",
+            "reporting",
+            "cubes",
+        ],
+    ),
+    (
+        "matrix methods",
+        &[
+            "matrix",
+            "factorization",
+            "spectral",
+            "eigenvalues",
+            "decomposition",
+            "low-rank",
+            "sketching",
+            "svd",
+        ],
+    ),
+    (
+        "graph communities",
+        &[
+            "communities",
+            "clustering",
+            "modularity",
+            "partitioning",
+            "cohesion",
+            "dense-subgraphs",
+            "motifs",
+            "cliques",
+        ],
+    ),
+    (
+        "object oriented systems",
+        &[
+            "object-oriented",
+            "inheritance",
+            "refactoring",
+            "polymorphism",
+            "encapsulation",
+            "patterns",
+            "classes",
+            "uml",
+        ],
+    ),
+    (
+        "databases",
+        &[
+            "query",
+            "indexing",
+            "transactions",
+            "storage",
+            "optimizer",
+            "joins",
+            "concurrency",
+            "recovery",
+        ],
+    ),
+    (
+        "machine learning",
+        &[
+            "learning",
+            "classifiers",
+            "regression",
+            "kernels",
+            "ensembles",
+            "features",
+            "generalization",
+            "boosting",
+        ],
+    ),
+    (
+        "information retrieval",
+        &[
+            "retrieval",
+            "ranking",
+            "relevance",
+            "search",
+            "queries",
+            "crawling",
+            "snippets",
+            "feedback",
+        ],
+    ),
+    (
+        "distributed systems",
+        &[
+            "distributed",
+            "consensus",
+            "replication",
+            "fault-tolerance",
+            "sharding",
+            "gossip",
+            "latency",
+            "throughput",
+        ],
+    ),
+    (
+        "computer vision",
+        &[
+            "vision",
+            "segmentation",
+            "detection",
+            "tracking",
+            "images",
+            "convolution",
+            "stereo",
+            "recognition",
+        ],
+    ),
+    (
+        "security",
+        &[
+            "security",
+            "encryption",
+            "authentication",
+            "privacy",
+            "intrusion",
+            "malware",
+            "protocols",
+            "auditing",
+        ],
+    ),
+    (
+        "semantic web",
+        &[
+            "ontologies",
+            "reasoning",
+            "rdf",
+            "linked-data",
+            "knowledge-graphs",
+            "alignment",
+            "sparql",
+            "vocabularies",
+        ],
+    ),
+    (
+        "stream processing",
+        &[
+            "streams",
+            "windows",
+            "sampling",
+            "sketches",
+            "continuous-queries",
+            "load-shedding",
+            "event-processing",
+            "drift",
+        ],
+    ),
+    (
+        "bioinformatics",
+        &[
+            "genomics",
+            "sequences",
+            "alignment-free",
+            "proteins",
+            "pathways",
+            "phylogenetics",
+            "annotation",
+            "microarrays",
+        ],
+    ),
+    (
+        "human computer interaction",
+        &[
+            "interaction",
+            "usability",
+            "interfaces",
+            "accessibility",
+            "gestures",
+            "crowdsourcing",
+            "surveys",
+            "prototyping",
+        ],
+    ),
 ];
 
 const FILLER: &[&str] = &[
-    "efficient", "scalable", "robust", "adaptive", "incremental", "parallel", "approximate",
-    "optimal", "practical", "unified", "effective", "flexible", "generic", "modular",
-    "lightweight", "principled", "interactive", "dynamic", "static", "hybrid", "online",
-    "offline", "distributed-free", "provable", "tunable", "portable", "declarative",
-    "streaming-aware", "cost-aware", "energy-aware", "self-adjusting", "bounded",
-    "anytime", "compositional", "probabilistic", "deterministic-time",
+    "efficient",
+    "scalable",
+    "robust",
+    "adaptive",
+    "incremental",
+    "parallel",
+    "approximate",
+    "optimal",
+    "practical",
+    "unified",
+    "effective",
+    "flexible",
+    "generic",
+    "modular",
+    "lightweight",
+    "principled",
+    "interactive",
+    "dynamic",
+    "static",
+    "hybrid",
+    "online",
+    "offline",
+    "distributed-free",
+    "provable",
+    "tunable",
+    "portable",
+    "declarative",
+    "streaming-aware",
+    "cost-aware",
+    "energy-aware",
+    "self-adjusting",
+    "bounded",
+    "anytime",
+    "compositional",
+    "probabilistic",
+    "deterministic-time",
 ];
 
 const FIRST_NAMES: &[&str] = &[
-    "Wei", "Ana", "Mehdi", "Lukasz", "Jaro", "Aiko", "Tomas", "Priya", "Diego", "Fatima",
-    "Igor", "Chen", "Sofia", "Ahmed", "Nina", "Pavel", "Yuki", "Elena", "Omar", "Greta",
-    "Ravi", "Ines", "Karl", "Mona", "Jun", "Lara", "Samir", "Olga", "Tao", "Vera",
+    "Wei", "Ana", "Mehdi", "Lukasz", "Jaro", "Aiko", "Tomas", "Priya", "Diego", "Fatima", "Igor",
+    "Chen", "Sofia", "Ahmed", "Nina", "Pavel", "Yuki", "Elena", "Omar", "Greta", "Ravi", "Ines",
+    "Karl", "Mona", "Jun", "Lara", "Samir", "Olga", "Tao", "Vera",
 ];
 
 const LAST_NAMES: &[&str] = &[
-    "Zhang", "Kumar", "Novak", "Silva", "Tanaka", "Mueller", "Rossi", "Petrov", "Garcia",
-    "Kim", "Nielsen", "Okafor", "Haddad", "Janssen", "Kowalski", "Moreau", "Svensson",
-    "Costa", "Popescu", "Nakamura", "Fischer", "Ortiz", "Virtanen", "Dubois", "Horvath",
-    "Ivanov", "Sato", "Larsen", "Weber", "Marino",
+    "Zhang", "Kumar", "Novak", "Silva", "Tanaka", "Mueller", "Rossi", "Petrov", "Garcia", "Kim",
+    "Nielsen", "Okafor", "Haddad", "Janssen", "Kowalski", "Moreau", "Svensson", "Costa", "Popescu",
+    "Nakamura", "Fischer", "Ortiz", "Virtanen", "Dubois", "Horvath", "Ivanov", "Sato", "Larsen",
+    "Weber", "Marino",
 ];
 
 /// Team-size distribution (index = size − 1). Mean ≈ 2.65 authors/paper.
@@ -202,10 +424,7 @@ impl SynthCorpus {
             let seniority = ((1.0 - u).powf(-1.0 / cfg.seniority_alpha)).min(60.0);
             let topic = rng.gen_range(0..num_topics);
             let vocab = TOPICS[topic].1;
-            let mut fav: Vec<&'static str> = vocab
-                .choose_multiple(&mut rng, 3)
-                .copied()
-                .collect();
+            let mut fav: Vec<&'static str> = vocab.choose_multiple(&mut rng, 3).copied().collect();
             fav.sort_unstable();
             favorites.push(fav);
             authors.push(SynthAuthor {
@@ -357,9 +576,9 @@ fn sample_tier(rng: &mut StdRng, max_seniority: f64) -> u8 {
     // Seniority 1 ⇒ mostly tiers 1–2; seniority 20+ ⇒ mostly 3–4.
     let s = (max_seniority / 15.0).clamp(0.0, 1.0);
     let weights = [
-        1.5 - s,       // tier 1
+        1.5 - s,        // tier 1
         1.25 - 0.5 * s, // tier 2
-        0.5 + s,       // tier 3
+        0.5 + s,        // tier 3
         0.25 + 1.5 * s, // tier 4
     ];
     let total: f64 = weights.iter().sum();

@@ -44,7 +44,11 @@ impl VenueCatalog {
     /// Builds the canonical venue name for a topic and tier.
     pub fn venue_name(topic: &str, tier: u8) -> String {
         assert!((1..=4).contains(&tier), "tier must be 1..=4, got {tier}");
-        format!("{} {}", TIER_PREFIXES[(tier - 1) as usize], title_case(topic))
+        format!(
+            "{} {}",
+            TIER_PREFIXES[(tier - 1) as usize],
+            title_case(topic)
+        )
     }
 }
 

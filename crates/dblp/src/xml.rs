@@ -69,7 +69,10 @@ impl fmt::Display for XmlError {
                 write!(f, "malformed {context} at byte {offset}")
             }
             XmlError::MismatchedTag { expected, found } => {
-                write!(f, "mismatched tag: expected </{expected}>, found </{found}>")
+                write!(
+                    f,
+                    "mismatched tag: expected </{expected}>, found </{found}>"
+                )
             }
             XmlError::Io(e) => write!(f, "I/O error: {e}"),
         }
@@ -115,7 +118,10 @@ impl<R: BufRead> XmlReader<R> {
         self.offset += self.buf.len();
         self.buf.clear();
         self.pos = 0;
-        let chunk = self.input.fill_buf().map_err(|e| XmlError::Io(e.to_string()))?;
+        let chunk = self
+            .input
+            .fill_buf()
+            .map_err(|e| XmlError::Io(e.to_string()))?;
         if chunk.is_empty() {
             return Ok(false);
         }
@@ -274,7 +280,11 @@ impl<R: BufRead> XmlReader<R> {
                     let raw = self.take_until(quote, "attribute value")?;
                     attrs.push((name, decode_entities(&String::from_utf8_lossy(&raw))));
                 }
-                None => return Err(XmlError::UnexpectedEof { context: "attributes" }),
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        context: "attributes",
+                    })
+                }
             }
         }
     }
@@ -302,7 +312,9 @@ impl<R: BufRead> XmlReader<R> {
                             self.done = true;
                             return Ok(None);
                         }
-                        return Err(XmlError::UnexpectedEof { context: "element content" });
+                        return Err(XmlError::UnexpectedEof {
+                            context: "element content",
+                        });
                     }
                 }
             }
@@ -547,7 +559,9 @@ mod tests {
     #[test]
     fn whitespace_between_elements_is_not_text() {
         let ev = events("<a>\n  <b>x</b>\n</a>");
-        assert!(!ev.iter().any(|e| matches!(e, XmlEvent::Text(t) if t.trim().is_empty())));
+        assert!(!ev
+            .iter()
+            .any(|e| matches!(e, XmlEvent::Text(t) if t.trim().is_empty())));
     }
 
     #[test]
@@ -578,7 +592,9 @@ mod tests {
         // Use a tiny BufReader capacity to exercise refills mid-token.
         let xml = "<dblp>\r\n<article key=\"k1\"><title>On &amp; Off</title></article>\r\n</dblp>";
         let reader = std::io::BufReader::with_capacity(4, xml.as_bytes());
-        let ev: Vec<XmlEvent> = XmlReader::new(reader).collect::<Result<Vec<_>, _>>().unwrap();
+        let ev: Vec<XmlEvent> = XmlReader::new(reader)
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
         assert_eq!(ev.len(), 7);
         assert!(matches!(&ev[3], XmlEvent::Text(t) if t == "On & Off"));
     }

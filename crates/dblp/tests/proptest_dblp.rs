@@ -34,7 +34,9 @@ fn publication() -> impl Strategy<Value = Publication> {
                 kind,
                 title: title.trim().to_string(),
                 authors,
-                venue: venue.map(|v| v.trim().to_string()).filter(|v| !v.is_empty()),
+                venue: venue
+                    .map(|v| v.trim().to_string())
+                    .filter(|v| !v.is_empty()),
                 year,
                 citations,
             }

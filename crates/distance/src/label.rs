@@ -1,4 +1,17 @@
-//! 2-hop cover label storage.
+//! 2-hop cover label storage — flat CSR layout.
+//!
+//! Labels are stored struct-of-arrays: one `offsets` array indexed by node
+//! id plus two parallel flat arrays (`hub_ranks`, `dists`). A node's label
+//! is a contiguous slice pair, so the merge-join query walks two dense
+//! arrays instead of heap-scattered per-node `Vec`s, and the one-to-many
+//! [`SourceScatter`](crate::scatter::SourceScatter) scan is a single linear
+//! pass over the holder's slice.
+//!
+//! Construction order (pruned landmark labeling) appends entries grouped by
+//! *hub*, not by node, so the CSR store cannot be grown in place. The
+//! [`LabelSetBuilder`] instead journals entries into one flat arena with
+//! per-node backward links and converts to CSR in a final `O(total)`
+//! counting pass — no per-node `Vec` intermediate at any point.
 
 /// One label entry: this node is at distance `dist` from the hub with
 /// construction rank `hub_rank`.
@@ -14,10 +27,46 @@ pub struct LabelEntry {
     pub dist: f64,
 }
 
-/// The label lists of every node, indexed by node id.
+/// A borrowed view of one node's label: two parallel rank-sorted slices.
+#[derive(Clone, Copy, Debug)]
+pub struct LabelRef<'a> {
+    /// Hub ranks, strictly ascending.
+    pub hub_ranks: &'a [u32],
+    /// Distances, parallel to `hub_ranks`.
+    pub dists: &'a [f64],
+}
+
+impl<'a> LabelRef<'a> {
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.hub_ranks.len()
+    }
+
+    /// True when the label is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.hub_ranks.is_empty()
+    }
+
+    /// Entries in ascending hub rank.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = LabelEntry> + ExactSizeIterator + 'a {
+        self.hub_ranks
+            .iter()
+            .zip(self.dists)
+            .map(|(&hub_rank, &dist)| LabelEntry { hub_rank, dist })
+    }
+}
+
+/// The label lists of every node in flat CSR form.
 #[derive(Clone, Debug, Default)]
 pub struct LabelSet {
-    labels: Vec<Vec<LabelEntry>>,
+    /// `offsets[v]..offsets[v + 1]` is node `v`'s slice of the flat arrays.
+    offsets: Vec<u32>,
+    /// All hub ranks, concatenated per node, ascending within a node.
+    hub_ranks: Vec<u32>,
+    /// All distances, parallel to `hub_ranks`.
+    dists: Vec<f64>,
 }
 
 /// Summary statistics of a built index.
@@ -37,49 +86,73 @@ impl LabelSet {
     /// An empty label set for `n` nodes.
     pub fn new(n: usize) -> Self {
         LabelSet {
-            labels: vec![Vec::new(); n],
+            offsets: vec![0; n + 1],
+            hub_ranks: Vec::new(),
+            dists: Vec::new(),
         }
     }
 
-    /// Appends an entry to `node`'s list.
-    ///
-    /// Construction visits hubs in ascending rank, so pushes keep each list
-    /// sorted by `hub_rank`; this is debug-asserted.
-    #[inline]
-    pub fn push(&mut self, node: usize, entry: LabelEntry) {
-        let list = &mut self.labels[node];
-        debug_assert!(
-            list.last().is_none_or(|last| last.hub_rank < entry.hub_rank),
-            "label entries must be pushed in ascending hub rank"
-        );
-        list.push(entry);
+    /// Builds a label set from per-node entry lists (each ascending in hub
+    /// rank). Convenience for tests and fixtures; the PLL builder uses
+    /// [`LabelSetBuilder`].
+    pub fn from_lists(lists: &[Vec<LabelEntry>]) -> Self {
+        let total: usize = lists.iter().map(|l| l.len()).sum();
+        assert!(total <= u32::MAX as usize, "label store overflow");
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        let mut hub_ranks = Vec::with_capacity(total);
+        let mut dists = Vec::with_capacity(total);
+        offsets.push(0);
+        for list in lists {
+            debug_assert!(
+                list.windows(2).all(|w| w[0].hub_rank < w[1].hub_rank),
+                "label entries must ascend in hub rank"
+            );
+            for e in list {
+                hub_ranks.push(e.hub_rank);
+                dists.push(e.dist);
+            }
+            offsets.push(hub_ranks.len() as u32);
+        }
+        LabelSet {
+            offsets,
+            hub_ranks,
+            dists,
+        }
     }
 
-    /// The label list of `node`.
+    /// Number of indexed nodes.
     #[inline]
-    pub fn of(&self, node: usize) -> &[LabelEntry] {
-        &self.labels[node]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The label of `node` as a slice-pair view.
+    #[inline]
+    pub fn of(&self, node: usize) -> LabelRef<'_> {
+        let lo = self.offsets[node] as usize;
+        let hi = self.offsets[node + 1] as usize;
+        LabelRef {
+            hub_ranks: &self.hub_ranks[lo..hi],
+            dists: &self.dists[lo..hi],
+        }
     }
 
     /// Merge-join query: minimum `d(u, hub) + d(hub, v)` over common hubs.
     /// Returns `f64::INFINITY` when the lists share no hub (disconnected).
     #[inline]
     pub fn query(&self, u: usize, v: usize) -> f64 {
-        merge_join_min(&self.labels[u], &self.labels[v])
-    }
-
-    /// Shrinks every list to fit (labels are immutable after construction).
-    pub fn shrink(&mut self) {
-        for l in &mut self.labels {
-            l.shrink_to_fit();
-        }
+        let (a, b) = (self.of(u), self.of(v));
+        merge_join_min(a.hub_ranks, a.dists, b.hub_ranks, b.dists)
     }
 
     /// Computes summary statistics.
     pub fn stats(&self) -> LabelStats {
-        let nodes = self.labels.len();
-        let total_entries: usize = self.labels.iter().map(|l| l.len()).sum();
-        let max_entries = self.labels.iter().map(|l| l.len()).max().unwrap_or(0);
+        let nodes = self.num_nodes();
+        let total_entries = self.hub_ranks.len();
+        let max_entries = (0..nodes)
+            .map(|v| (self.offsets[v + 1] - self.offsets[v]) as usize)
+            .max()
+            .unwrap_or(0);
         LabelStats {
             nodes,
             total_entries,
@@ -93,17 +166,141 @@ impl LabelSet {
     }
 }
 
-/// Two-pointer merge over rank-sorted lists, taking the min combined
+/// Incremental label construction without per-node `Vec`s.
+///
+/// Entries are journaled into three flat arenas; `prev` links chain each
+/// node's entries newest-first. [`LabelSetBuilder::finish`] converts to the
+/// CSR [`LabelSet`] in one counting pass. The builder also answers the
+/// traversals PLL construction needs mid-build ([`LabelSetBuilder::entries`],
+/// in *descending* rank order — irrelevant for the min/scatter/reset loops
+/// that consume it).
+#[derive(Clone, Debug)]
+pub struct LabelSetBuilder {
+    /// Per-node index of the most recent arena entry, or `NONE`.
+    head: Vec<u32>,
+    /// Per-node entry counts (for the CSR counting pass).
+    counts: Vec<u32>,
+    arena_ranks: Vec<u32>,
+    arena_dists: Vec<f64>,
+    arena_prev: Vec<u32>,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl LabelSetBuilder {
+    /// An empty builder for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        LabelSetBuilder {
+            head: vec![NONE; n],
+            counts: vec![0; n],
+            arena_ranks: Vec::new(),
+            arena_dists: Vec::new(),
+            arena_prev: Vec::new(),
+        }
+    }
+
+    /// Appends an entry to `node`'s label.
+    ///
+    /// Construction visits hubs in ascending rank, so pushes keep each
+    /// node's chain sorted by `hub_rank`; this is debug-asserted.
+    #[inline]
+    pub fn push(&mut self, node: usize, entry: LabelEntry) {
+        debug_assert!(
+            self.head[node] == NONE || self.arena_ranks[self.head[node] as usize] < entry.hub_rank,
+            "label entries must be pushed in ascending hub rank"
+        );
+        let idx = self.arena_ranks.len() as u32;
+        assert!(idx != NONE, "label arena overflow");
+        self.arena_ranks.push(entry.hub_rank);
+        self.arena_dists.push(entry.dist);
+        self.arena_prev.push(self.head[node]);
+        self.head[node] = idx;
+        self.counts[node] += 1;
+    }
+
+    /// `node`'s entries so far, newest first (descending hub rank).
+    #[inline]
+    pub fn entries(&self, node: usize) -> BuilderEntries<'_> {
+        BuilderEntries {
+            builder: self,
+            next: self.head[node],
+        }
+    }
+
+    /// Converts to the flat CSR [`LabelSet`]. `O(nodes + entries)`:
+    /// a prefix sum over the counts, then each chain is walked backwards,
+    /// filling its segment from the end so ranks come out ascending.
+    pub fn finish(self) -> LabelSet {
+        let n = self.head.len();
+        let total = self.arena_ranks.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &c in &self.counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut hub_ranks = vec![0u32; total];
+        let mut dists = vec![0.0f64; total];
+        for v in 0..n {
+            let mut slot = offsets[v + 1] as usize;
+            let mut cur = self.head[v];
+            while cur != NONE {
+                let i = cur as usize;
+                slot -= 1;
+                hub_ranks[slot] = self.arena_ranks[i];
+                dists[slot] = self.arena_dists[i];
+                cur = self.arena_prev[i];
+            }
+            debug_assert_eq!(slot, offsets[v] as usize, "chain/count mismatch");
+        }
+        LabelSet {
+            offsets,
+            hub_ranks,
+            dists,
+        }
+    }
+}
+
+/// Iterator over a node's in-construction label (descending hub rank).
+pub struct BuilderEntries<'a> {
+    builder: &'a LabelSetBuilder,
+    next: u32,
+}
+
+impl Iterator for BuilderEntries<'_> {
+    type Item = LabelEntry;
+
+    #[inline]
+    fn next(&mut self) -> Option<LabelEntry> {
+        if self.next == NONE {
+            return None;
+        }
+        let i = self.next as usize;
+        self.next = self.builder.arena_prev[i];
+        Some(LabelEntry {
+            hub_rank: self.builder.arena_ranks[i],
+            dist: self.builder.arena_dists[i],
+        })
+    }
+}
+
+/// Two-pointer merge over rank-sorted slice pairs, taking the min combined
 /// distance over common hubs.
 #[inline]
-pub(crate) fn merge_join_min(a: &[LabelEntry], b: &[LabelEntry]) -> f64 {
+pub(crate) fn merge_join_min(
+    a_ranks: &[u32],
+    a_dists: &[f64],
+    b_ranks: &[u32],
+    b_dists: &[f64],
+) -> f64 {
     let mut best = f64::INFINITY;
     let (mut i, mut j) = (0usize, 0usize);
-    while i < a.len() && j < b.len() {
-        let (ra, rb) = (a[i].hub_rank, b[j].hub_rank);
+    while i < a_ranks.len() && j < b_ranks.len() {
+        let (ra, rb) = (a_ranks[i], b_ranks[j]);
         match ra.cmp(&rb) {
             std::cmp::Ordering::Equal => {
-                let d = a[i].dist + b[j].dist;
+                let d = a_dists[i] + b_dists[j];
                 if d < best {
                     best = d;
                 }
@@ -125,22 +322,20 @@ mod tests {
         LabelEntry { hub_rank, dist }
     }
 
+    fn set(lists: &[Vec<LabelEntry>]) -> LabelSet {
+        LabelSet::from_lists(lists)
+    }
+
     #[test]
     fn query_takes_min_over_common_hubs() {
-        let mut ls = LabelSet::new(2);
-        ls.push(0, e(0, 1.0));
-        ls.push(0, e(2, 0.5));
-        ls.push(1, e(0, 2.0));
-        ls.push(1, e(2, 5.0));
+        let ls = set(&[vec![e(0, 1.0), e(2, 0.5)], vec![e(0, 2.0), e(2, 5.0)]]);
         // Common hubs 0 (1+2=3) and 2 (0.5+5=5.5); min is 3.
         assert_eq!(ls.query(0, 1), 3.0);
     }
 
     #[test]
     fn disjoint_hubs_mean_infinity() {
-        let mut ls = LabelSet::new(2);
-        ls.push(0, e(0, 1.0));
-        ls.push(1, e(1, 1.0));
+        let ls = set(&[vec![e(0, 1.0)], vec![e(1, 1.0)]]);
         assert_eq!(ls.query(0, 1), f64::INFINITY);
     }
 
@@ -152,10 +347,7 @@ mod tests {
 
     #[test]
     fn stats_counts_entries() {
-        let mut ls = LabelSet::new(3);
-        ls.push(0, e(0, 0.0));
-        ls.push(1, e(0, 1.0));
-        ls.push(1, e(1, 0.0));
+        let ls = set(&[vec![e(0, 0.0)], vec![e(0, 1.0), e(1, 0.0)], vec![]]);
         let s = ls.stats();
         assert_eq!(s.nodes, 3);
         assert_eq!(s.total_entries, 3);
@@ -164,11 +356,59 @@ mod tests {
     }
 
     #[test]
+    fn builder_matches_from_lists() {
+        let lists = vec![
+            vec![e(0, 0.25), e(3, 1.5), e(7, 2.0)],
+            vec![],
+            vec![e(1, 0.5), e(2, 4.0)],
+        ];
+        // Interleave pushes across nodes in global rank order, the way PLL
+        // construction does.
+        let mut b = LabelSetBuilder::new(3);
+        let mut flat: Vec<(usize, LabelEntry)> = Vec::new();
+        for (v, l) in lists.iter().enumerate() {
+            for &entry in l {
+                flat.push((v, entry));
+            }
+        }
+        flat.sort_by_key(|&(_, entry)| entry.hub_rank);
+        for (v, entry) in flat {
+            b.push(v, entry);
+        }
+        let built = b.finish();
+        let reference = LabelSet::from_lists(&lists);
+        for v in 0..3 {
+            assert_eq!(built.of(v).hub_ranks, reference.of(v).hub_ranks);
+            assert_eq!(built.of(v).dists, reference.of(v).dists);
+        }
+        assert_eq!(built.stats(), reference.stats());
+    }
+
+    #[test]
+    fn builder_entries_descend() {
+        let mut b = LabelSetBuilder::new(1);
+        b.push(0, e(1, 1.0));
+        b.push(0, e(4, 2.0));
+        b.push(0, e(9, 3.0));
+        let ranks: Vec<u32> = b.entries(0).map(|x| x.hub_rank).collect();
+        assert_eq!(ranks, vec![9, 4, 1]);
+    }
+
+    #[test]
+    fn label_ref_iterates_ascending() {
+        let ls = set(&[vec![e(2, 1.0), e(5, 0.5)]]);
+        let got: Vec<LabelEntry> = ls.of(0).iter().collect();
+        assert_eq!(got, vec![e(2, 1.0), e(5, 0.5)]);
+        assert_eq!(ls.of(0).len(), 2);
+        assert!(!ls.of(0).is_empty());
+    }
+
+    #[test]
     #[cfg(debug_assertions)]
     #[should_panic(expected = "ascending hub rank")]
     fn push_enforces_rank_order_in_debug() {
-        let mut ls = LabelSet::new(1);
-        ls.push(0, e(5, 1.0));
-        ls.push(0, e(3, 1.0));
+        let mut b = LabelSetBuilder::new(1);
+        b.push(0, e(5, 1.0));
+        b.push(0, e(3, 1.0));
     }
 }

@@ -11,8 +11,13 @@
 //!
 //! * [`PrunedLandmarkLabeling`] — a weighted-graph PLL index: for each node
 //!   a small sorted list of `(hub, distance)` labels such that every
-//!   shortest path is covered by some common hub; queries are a merge-join
-//!   over two label lists.
+//!   shortest path is covered by some common hub. Labels live in a flat CSR
+//!   store ([`LabelSet`]); pairwise queries are a merge-join over two label
+//!   slices.
+//! * [`SourceScatter`] — the one-to-many query engine: scatter a source's
+//!   label once, then answer each target in `O(|label(target)|)` with no
+//!   merge. This is what makes Algorithm 1's root scan fast — one scatter
+//!   per candidate root, `t·|C(s)|` direct-indexed lookups.
 //! * [`DijkstraOracle`] — the ground-truth oracle (memoized single-source
 //!   Dijkstra), used for validation, benchmarks and as a fallback for
 //!   workloads with few distinct roots.
@@ -28,9 +33,11 @@ pub mod label;
 pub mod oracle;
 pub mod order;
 pub mod pll;
+pub mod scatter;
 
 pub use dijkstra_oracle::DijkstraOracle;
-pub use label::{LabelEntry, LabelSet, LabelStats};
+pub use label::{LabelEntry, LabelRef, LabelSet, LabelSetBuilder, LabelStats};
 pub use oracle::DistanceOracle;
 pub use order::{degree_descending_order, VertexOrder};
 pub use pll::PrunedLandmarkLabeling;
+pub use scatter::SourceScatter;

@@ -48,15 +48,6 @@ pub fn degree_descending_order(g: &ExpertGraph) -> Vec<NodeId> {
     compute_order(g, VertexOrder::DegreeDescending)
 }
 
-/// Inverts an order into ranks: `rank[v] = k` iff `order[k] = v`.
-pub fn ranks_of(order: &[NodeId]) -> Vec<u32> {
-    let mut rank = vec![0u32; order.len()];
-    for (k, &v) in order.iter().enumerate() {
-        rank[v.index()] = k as u32;
-    }
-    rank
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,15 +90,5 @@ mod tests {
         let order = compute_order(&g, VertexOrder::AuthorityDescending);
         assert_eq!(order[0], NodeId(3), "authority 4.0 is the highest");
         assert_eq!(order[3], NodeId(0));
-    }
-
-    #[test]
-    fn ranks_invert_order() {
-        let g = star();
-        let order = degree_descending_order(&g);
-        let rank = ranks_of(&order);
-        for (k, &v) in order.iter().enumerate() {
-            assert_eq!(rank[v.index()], k as u32);
-        }
     }
 }

@@ -15,9 +15,10 @@ use std::time::{Duration, Instant};
 
 use atd_graph::{ExpertGraph, NodeId, TotalF64};
 
-use crate::label::{LabelEntry, LabelSet, LabelStats};
+use crate::label::{LabelEntry, LabelSet, LabelSetBuilder, LabelStats};
 use crate::oracle::DistanceOracle;
-use crate::order::{compute_order, ranks_of, VertexOrder};
+use crate::order::{compute_order, VertexOrder};
+use crate::scatter::SourceScatter;
 
 /// A built pruned-landmark-labeling index.
 ///
@@ -40,17 +41,18 @@ impl PrunedLandmarkLabeling {
         let start = Instant::now();
         let n = g.num_nodes();
         let order = compute_order(g, order_kind);
-        let _rank = ranks_of(&order);
 
-        let mut labels = LabelSet::new(n);
+        // Labels grow grouped by hub; the builder journals them into flat
+        // arenas and converts to CSR at the end (no per-node Vecs).
+        let mut labels = LabelSetBuilder::new(n);
 
         // Reusable scratch: tentative distances, settled marks, touched list.
         let mut dist = vec![f64::INFINITY; n];
         let mut settled = vec![false; n];
         let mut touched: Vec<usize> = Vec::new();
-        // Scatter array: distance from the current hub to earlier hubs,
-        // indexed by hub rank, for O(|label(u)|) prune queries.
-        let mut hub_dist = vec![f64::INFINITY; n];
+        // The current hub's label scattered by rank, for O(|label(u)|)
+        // prune queries — the same one-to-many engine queries use.
+        let mut hub_scatter = SourceScatter::new(n);
 
         let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
 
@@ -58,9 +60,7 @@ impl PrunedLandmarkLabeling {
             let k32 = k as u32;
 
             // Scatter the hub's current label for fast prune queries.
-            for e in labels.of(hub.index()) {
-                hub_dist[e.hub_rank as usize] = e.dist;
-            }
+            hub_scatter.load_entries(hub.index(), labels.entries(hub.index()));
 
             heap.clear();
             dist[hub.index()] = 0.0;
@@ -81,8 +81,8 @@ impl PrunedLandmarkLabeling {
                 // Prune: if an earlier hub already certifies a distance
                 // <= d between `hub` and `u`, this entry is redundant.
                 let mut covered = f64::INFINITY;
-                for e in labels.of(ui) {
-                    let via = hub_dist[e.hub_rank as usize] + e.dist;
+                for e in labels.entries(ui) {
+                    let via = hub_scatter.hub_distance(e.hub_rank) + e.dist;
                     if via < covered {
                         covered = via;
                     }
@@ -118,20 +118,17 @@ impl PrunedLandmarkLabeling {
                 }
             }
 
-            // Reset scratch for the next hub (only what we touched).
+            // Reset Dijkstra scratch for the next hub (only what we
+            // touched; the scatter resets itself on the next load).
             for &t in &touched {
                 dist[t] = f64::INFINITY;
                 settled[t] = false;
             }
             touched.clear();
-            for e in labels.of(hub.index()) {
-                hub_dist[e.hub_rank as usize] = f64::INFINITY;
-            }
         }
 
-        labels.shrink();
         PrunedLandmarkLabeling {
-            labels,
+            labels: labels.finish(),
             num_nodes: n,
             build_time: start.elapsed(),
         }
@@ -154,6 +151,39 @@ impl PrunedLandmarkLabeling {
             return 0.0;
         }
         self.labels.query(u.index(), v.index())
+    }
+
+    /// The underlying CSR label store (for scatter queries and
+    /// diagnostics).
+    #[inline]
+    pub fn labels(&self) -> &LabelSet {
+        &self.labels
+    }
+
+    /// A one-to-many query scratch sized for this index. Allocate one per
+    /// worker thread and reuse it across sources.
+    pub fn scatter(&self) -> SourceScatter {
+        SourceScatter::for_labels(&self.labels)
+    }
+
+    /// Loads `source` into `scatter`, after which
+    /// [`query_one_to_many`](Self::query_one_to_many) answers
+    /// `distance(source, ·)` in `O(|label(target)|)` each.
+    #[inline]
+    pub fn load_source(&self, scatter: &mut SourceScatter, source: NodeId) {
+        scatter.load(&self.labels, source.index());
+    }
+
+    /// Distance from the loaded source to `target`; semantics identical to
+    /// [`DistanceOracle::distance`] (`None` when disconnected, `Some(0.0)`
+    /// when `target` is the loaded source).
+    #[inline]
+    pub fn query_one_to_many(&self, scatter: &SourceScatter, target: NodeId) -> Option<f64> {
+        if scatter.source() == Some(target.index()) {
+            return Some(0.0);
+        }
+        let d = scatter.distance(&self.labels, target.index());
+        d.is_finite().then_some(d)
     }
 }
 
@@ -225,10 +255,9 @@ mod tests {
                 let expect = sp.distance(v);
                 let got = pll.distance(s, v);
                 match (expect, got) {
-                    (Some(a), Some(b)) => assert!(
-                        (a - b).abs() < 1e-9,
-                        "dist({s},{v}) expected {a}, got {b}"
-                    ),
+                    (Some(a), Some(b)) => {
+                        assert!((a - b).abs() < 1e-9, "dist({s},{v}) expected {a}, got {b}")
+                    }
                     (a, b) => assert_eq!(a, b),
                 }
             }

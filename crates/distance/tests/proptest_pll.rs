@@ -9,10 +9,7 @@ use proptest::prelude::*;
 
 fn random_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
     (2usize..24).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as u32, 0..n as u32, 0.01f64..5.0),
-            0..50,
-        );
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 0.01f64..5.0), 0..50);
         (Just(n), edges)
     })
 }

@@ -33,12 +33,18 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => {
                 let v = argv.next().ok_or("--out needs a value")?;
-                out = if v == "-" { None } else { Some(PathBuf::from(v)) };
+                out = if v == "-" {
+                    None
+                } else {
+                    Some(PathBuf::from(v))
+                };
             }
             "--help" | "-h" => {
-                return Err("usage: experiments [fig3|fig4|fig5|fig6|runtime|venue|ablation|all] \
+                return Err(
+                    "usage: experiments [fig3|fig4|fig5|fig6|runtime|venue|ablation|all] \
                             [--scale tiny|small|medium|paper] [--out DIR|-]"
-                    .into())
+                        .into(),
+                )
             }
             name => which.push(name.to_string()),
         }
@@ -94,7 +100,9 @@ fn main() {
         println!("[fig5 done in {:.1?}]\n", t.elapsed());
     }
     if wants("fig6") {
-        banner("Figure 6 — qualitative teams for [analytics, matrix, communities, object-oriented]");
+        banner(
+            "Figure 6 — qualitative teams for [analytics, matrix, communities, object-oriented]",
+        );
         let t = Instant::now();
         println!("{}", fig6::run(&tb, out).render());
         for (s, best) in fig6::compute(&tb) {

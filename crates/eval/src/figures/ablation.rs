@@ -67,7 +67,11 @@ pub fn gamma_sweep(tb: &Testbed) -> Vec<GammaRow> {
             GammaRow {
                 gamma,
                 cc_scored: if n == 0 { f64::NAN } else { cc_sum / n as f64 },
-                ours_scored: if n == 0 { f64::NAN } else { ours_sum / n as f64 },
+                ours_scored: if n == 0 {
+                    f64::NAN
+                } else {
+                    ours_sum / n as f64
+                },
             }
         })
         .collect()
@@ -85,9 +89,13 @@ pub fn oracle_agreement(tb: &Testbed, sample_pairs: usize) -> usize {
     let mut x = 0x9E37_79B9_7F4A_7C15u64;
     for _ in 0..sample_pairs {
         // Deterministic LCG-ish pair sampling.
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let u = atd_graph::NodeId((x >> 33) as u32 % n as u32);
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let v = atd_graph::NodeId((x >> 33) as u32 % n as u32);
         let (a, b) = (pll.distance(u, v), dij.distance(u, v));
         match (a, b) {

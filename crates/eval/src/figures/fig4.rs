@@ -72,9 +72,7 @@ pub fn compute(tb: &Testbed) -> Vec<Fig4Row> {
         let mut precision = [f64::NAN; 3];
         for (m, &(start, len)) in spans.iter().enumerate() {
             if len > 0 {
-                precision[m] = 100.0
-                    * scores[start..start + len].iter().sum::<f64>()
-                    / len as f64;
+                precision[m] = 100.0 * scores[start..start + len].iter().sum::<f64>() / len as f64;
             }
         }
         rows.push(Fig4Row {

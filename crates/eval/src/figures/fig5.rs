@@ -90,8 +90,7 @@ pub fn compute(tb: &Testbed) -> Vec<Fig5Point> {
 pub fn run(tb: &Testbed, out_dir: Option<&Path>) -> Table {
     let points = compute(tb);
     let norm_a = min_max_normalize(&points.iter().map(|p| p.holder_h).collect::<Vec<_>>());
-    let norm_b =
-        min_max_normalize(&points.iter().map(|p| p.connector_h).collect::<Vec<_>>());
+    let norm_b = min_max_normalize(&points.iter().map(|p| p.connector_h).collect::<Vec<_>>());
     let norm_c = min_max_normalize(&points.iter().map(|p| p.team_size).collect::<Vec<_>>());
     let norm_d = min_max_normalize(&points.iter().map(|p| p.pubs).collect::<Vec<_>>());
 
@@ -160,7 +159,13 @@ mod tests {
                 .unwrap();
             let b = tb
                 .engine
-                .best(&fixed, Strategy::SaCaCc { gamma: 0.6, lambda: lambda + 0.02 })
+                .best(
+                    &fixed,
+                    Strategy::SaCaCc {
+                        gamma: 0.6,
+                        lambda: lambda + 0.02,
+                    },
+                )
                 .unwrap();
             assert_eq!(
                 a.team.member_key(),

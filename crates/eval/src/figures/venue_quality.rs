@@ -127,7 +127,11 @@ pub fn compute(tb: &Testbed) -> VenueQualityResult {
         } else {
             wins as f64 / comparisons as f64
         },
-        cc_mean_rating: if papers == 0 { f64::NAN } else { cc_sum / papers as f64 },
+        cc_mean_rating: if papers == 0 {
+            f64::NAN
+        } else {
+            cc_sum / papers as f64
+        },
         ours_mean_rating: if papers == 0 {
             f64::NAN
         } else {

@@ -79,9 +79,7 @@ impl JudgePanel {
         if teams.is_empty() {
             return Vec::new();
         }
-        let auth = min_max_normalize(
-            &teams.iter().map(|t| t.avg_member_h).collect::<Vec<_>>(),
-        );
+        let auth = min_max_normalize(&teams.iter().map(|t| t.avg_member_h).collect::<Vec<_>>());
         let pubs = min_max_normalize(&teams.iter().map(|t| t.avg_pubs).collect::<Vec<_>>());
         let size = min_max_normalize(&teams.iter().map(|t| t.size as f64).collect::<Vec<_>>());
 

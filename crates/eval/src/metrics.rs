@@ -36,21 +36,13 @@ fn mean(values: impl Iterator<Item = f64>) -> f64 {
 /// Computes the stats of `team` against the network's author metadata.
 pub fn team_stats(net: &ExpertNetwork, team: &Team) -> TeamStats {
     TeamStats {
-        avg_holder_h: mean(
-            team.holders()
-                .iter()
-                .map(|&n| net.author(n).h_index as f64),
-        ),
+        avg_holder_h: mean(team.holders().iter().map(|&n| net.author(n).h_index as f64)),
         avg_connector_h: mean(
             team.connectors()
                 .iter()
                 .map(|&n| net.author(n).h_index as f64),
         ),
-        avg_member_h: mean(
-            team.members()
-                .iter()
-                .map(|&n| net.author(n).h_index as f64),
-        ),
+        avg_member_h: mean(team.members().iter().map(|&n| net.author(n).h_index as f64)),
         avg_pubs: mean(
             team.members()
                 .iter()
@@ -110,12 +102,8 @@ mod tests {
         let hub = net.author_by_name("Hub").unwrap().node;
         let bob = net.author_by_name("Bob").unwrap().node;
         let sp = atd_graph::dijkstra(&net.graph, ada);
-        let tree =
-            SubTree::from_paths(&net.graph, ada, &[sp.path_to(bob).unwrap()]).unwrap();
-        let team = atd_core::team::Team::new(
-            tree,
-            vec![(SkillId(0), ada), (SkillId(1), bob)],
-        );
+        let tree = SubTree::from_paths(&net.graph, ada, &[sp.path_to(bob).unwrap()]).unwrap();
+        let team = atd_core::team::Team::new(tree, vec![(SkillId(0), ada), (SkillId(1), bob)]);
         let stats = team_stats(&net, &team);
         assert_eq!(stats.size, 3);
         // h-indices: Ada 2 (30,4), Bob 2 (25,2), Hub 3 (30,25,40).
@@ -131,10 +119,7 @@ mod tests {
     fn no_connector_team_has_zero_connector_h() {
         let net = network();
         let ada = net.author_by_name("Ada").unwrap().node;
-        let team = atd_core::team::Team::new(
-            SubTree::singleton(ada),
-            vec![(SkillId(0), ada)],
-        );
+        let team = atd_core::team::Team::new(SubTree::singleton(ada), vec![(SkillId(0), ada)]);
         let stats = team_stats(&net, &team);
         assert_eq!(stats.avg_connector_h, 0.0);
         assert_eq!(stats.size, 1);

@@ -118,10 +118,19 @@ mod tests {
     fn exact_gating_matches_paper() {
         assert!(Scale::Tiny.exact_feasible(4));
         assert!(Scale::Tiny.exact_feasible(6));
-        assert!(!Scale::Tiny.exact_feasible(8), "paper: Exact dies at 8 skills");
+        assert!(
+            !Scale::Tiny.exact_feasible(8),
+            "paper: Exact dies at 8 skills"
+        );
         assert!(Scale::Small.exact_feasible(4));
-        assert!(!Scale::Small.exact_feasible(6), "budgeted out at small scale");
-        assert!(!Scale::Paper.exact_feasible(4), "full scale is too big for exact");
+        assert!(
+            !Scale::Small.exact_feasible(6),
+            "budgeted out at small scale"
+        );
+        assert!(
+            !Scale::Paper.exact_feasible(4),
+            "full scale is too big for exact"
+        );
     }
 
     #[test]

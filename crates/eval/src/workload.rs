@@ -90,15 +90,11 @@ pub fn generate_projects(skills: &SkillIndex, cfg: &WorkloadConfig) -> Vec<Proje
 /// by the most-held remaining skill so the project always has exactly four
 /// distinct skills.
 pub fn named_project(skills: &SkillIndex, names: &[&str]) -> Project {
-    let mut chosen: Vec<SkillId> = names
-        .iter()
-        .filter_map(|n| skills.id_of(n))
-        .collect();
+    let mut chosen: Vec<SkillId> = names.iter().filter_map(|n| skills.id_of(n)).collect();
     if chosen.len() < names.len() {
         // Fallback: most-held skills not already chosen.
-        let mut by_popularity: Vec<SkillId> = (0..skills.num_skills() as u32)
-            .map(SkillId)
-            .collect();
+        let mut by_popularity: Vec<SkillId> =
+            (0..skills.num_skills() as u32).map(SkillId).collect();
         by_popularity.sort_by_key(|&s| std::cmp::Reverse(skills.holders(s).len()));
         for s in by_popularity {
             if chosen.len() == names.len() {
@@ -172,7 +168,12 @@ mod tests {
     #[test]
     fn deterministic_by_seed() {
         let idx = index();
-        let cfg = WorkloadConfig { num_skills: 2, count: 5, seed: 9, ..Default::default() };
+        let cfg = WorkloadConfig {
+            num_skills: 2,
+            count: 5,
+            seed: 9,
+            ..Default::default()
+        };
         assert_eq!(generate_projects(&idx, &cfg), generate_projects(&idx, &cfg));
     }
 
@@ -182,7 +183,10 @@ mod tests {
         let idx = index();
         generate_projects(
             &idx,
-            &WorkloadConfig { num_skills: 99, ..Default::default() },
+            &WorkloadConfig {
+                num_skills: 99,
+                ..Default::default()
+            },
         );
     }
 

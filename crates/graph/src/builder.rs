@@ -103,7 +103,8 @@ impl GraphBuilder {
         // Deduplicate parallel edges, keeping the minimum weight.
         self.edges
             .sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2)));
-        self.edges.dedup_by(|next, prev| (next.0, next.1) == (prev.0, prev.1));
+        self.edges
+            .dedup_by(|next, prev| (next.0, next.1) == (prev.0, prev.1));
 
         // Counting pass for CSR offsets (each edge contributes to both ends).
         let mut counts = vec![0u32; n + 1];
@@ -157,8 +158,14 @@ mod tests {
         let mut b = GraphBuilder::new();
         let a = b.add_node(1.0);
         let ghost = NodeId(99);
-        assert_eq!(b.add_edge(a, ghost, 0.5), Err(GraphError::UnknownNode(ghost)));
-        assert_eq!(b.add_edge(ghost, a, 0.5), Err(GraphError::UnknownNode(ghost)));
+        assert_eq!(
+            b.add_edge(a, ghost, 0.5),
+            Err(GraphError::UnknownNode(ghost))
+        );
+        assert_eq!(
+            b.add_edge(ghost, a, 0.5),
+            Err(GraphError::UnknownNode(ghost))
+        );
     }
 
     #[test]

@@ -157,7 +157,8 @@ impl ExpertGraph {
         }
         for (u, v, w) in self.edges() {
             if u != node && v != node {
-                b.add_edge(u, v, w).expect("edges of a valid graph re-add cleanly");
+                b.add_edge(u, v, w)
+                    .expect("edges of a valid graph re-add cleanly");
             }
         }
         b.build().expect("rebuild of a valid graph succeeds")

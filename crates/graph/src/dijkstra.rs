@@ -173,7 +173,10 @@ mod tests {
         let g = line_with_shortcut();
         let t = dijkstra(&g, NodeId(0));
         assert_eq!(t.distance(NodeId(2)), Some(2.0));
-        assert_eq!(t.path_to(NodeId(2)), Some(vec![NodeId(0), NodeId(1), NodeId(2)]));
+        assert_eq!(
+            t.path_to(NodeId(2)),
+            Some(vec![NodeId(0), NodeId(1), NodeId(2)])
+        );
     }
 
     #[test]

@@ -49,10 +49,17 @@ mod tests {
             GraphError::UnknownNode(NodeId(3)).to_string(),
             "unknown node id 3"
         );
-        assert!(GraphError::SelfLoop(NodeId(1)).to_string().contains("self-loop"));
-        assert!(GraphError::InvalidWeight { context: "edge", value: -1.0 }
+        assert!(GraphError::SelfLoop(NodeId(1))
             .to_string()
-            .contains("edge"));
-        assert!(GraphError::TooManyNodes(5_000_000_000).to_string().contains("u32"));
+            .contains("self-loop"));
+        assert!(GraphError::InvalidWeight {
+            context: "edge",
+            value: -1.0
+        }
+        .to_string()
+        .contains("edge"));
+        assert!(GraphError::TooManyNodes(5_000_000_000)
+            .to_string()
+            .contains("u32"));
     }
 }

@@ -39,7 +39,10 @@ impl std::fmt::Display for TreeError {
             }
             TreeError::MissingEdge(u, v) => write!(f, "edge ({u}, {v}) not in graph"),
             TreeError::NotATree { nodes, edges } => {
-                write!(f, "union of paths is not a tree: {nodes} nodes, {edges} edges")
+                write!(
+                    f,
+                    "union of paths is not a tree: {nodes} nodes, {edges} edges"
+                )
             }
         }
     }
@@ -108,10 +111,8 @@ impl SubTree {
 
         node_set.sort();
         node_set.dedup();
-        let mut edges: Vec<(NodeId, NodeId, f64)> = edge_set
-            .into_iter()
-            .map(|((u, v), w)| (u, v, w))
-            .collect();
+        let mut edges: Vec<(NodeId, NodeId, f64)> =
+            edge_set.into_iter().map(|((u, v), w)| (u, v, w)).collect();
         edges.sort_by_key(|&(u, v, _)| (u, v));
 
         let tree = SubTree {

@@ -55,7 +55,7 @@ impl TotalF64 {
     /// Saturating addition: `inf + x = inf`.
     #[inline]
     #[allow(clippy::should_implement_trait)] // named add on purpose: the
-    // only call sites want an explicit, non-operator form next to `cmp`.
+                                             // only call sites want an explicit, non-operator form next to `cmp`.
     pub fn add(self, other: TotalF64) -> TotalF64 {
         TotalF64(self.0 + other.0)
     }

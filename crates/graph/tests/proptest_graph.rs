@@ -6,10 +6,7 @@ use proptest::prelude::*;
 /// Strategy: a random undirected graph as (n, edge list with weights).
 fn random_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
     (2usize..30).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as u32, 0..n as u32, 0.0f64..10.0),
-            0..60,
-        );
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 0.0f64..10.0), 0..60);
         (Just(n), edges)
     })
 }

@@ -51,10 +51,7 @@ fn main() {
     // A project from the paper's running example, falling back to popular
     // skills when a term does not survive this corpus's skill extraction.
     let wanted = ["social", "mining", "analytics", "communities"];
-    let present: Vec<_> = wanted
-        .iter()
-        .filter_map(|w| net.skills.id_of(w))
-        .collect();
+    let present: Vec<_> = wanted.iter().filter_map(|w| net.skills.id_of(w)).collect();
     let project = if present.len() == wanted.len() {
         Project::new(present)
     } else {
@@ -71,7 +68,10 @@ fn main() {
 
     for strategy in [
         Strategy::Cc,
-        Strategy::SaCaCc { gamma: 0.6, lambda: 0.6 },
+        Strategy::SaCaCc {
+            gamma: 0.6,
+            lambda: 0.6,
+        },
     ] {
         let best = engine.best(&project, strategy).expect("team");
         println!("\n{strategy}: team of {}", best.team.size());

@@ -28,7 +28,14 @@ fn main() {
     b.add_edge(han, lappas, 1.0).unwrap(); // bridge between the groups
     let graph = b.build().unwrap();
 
-    let names = ["Jialu Liu", "Jiawei Han", "Xiang Ren", "Behzad Golshan", "Theodoros Lappas", "Dimitrios Kotzias"];
+    let names = [
+        "Jialu Liu",
+        "Jiawei Han",
+        "Xiang Ren",
+        "Behzad Golshan",
+        "Theodoros Lappas",
+        "Dimitrios Kotzias",
+    ];
 
     // --- Declare skills -------------------------------------------------
     let mut sb = SkillIndexBuilder::new();
@@ -47,17 +54,15 @@ fn main() {
     for strategy in [
         Strategy::Cc,
         Strategy::CaCc { gamma: 0.6 },
-        Strategy::SaCaCc { gamma: 0.6, lambda: 0.6 },
+        Strategy::SaCaCc {
+            gamma: 0.6,
+            lambda: 0.6,
+        },
     ] {
         let teams = engine.top_k(&project, strategy, 2).expect("teams");
         println!("{strategy}:");
         for (rank, st) in teams.iter().enumerate() {
-            let members: Vec<&str> = st
-                .team
-                .members()
-                .iter()
-                .map(|m| names[m.index()])
-                .collect();
+            let members: Vec<&str> = st.team.members().iter().map(|m| names[m.index()]).collect();
             println!(
                 "  #{} members = {:?}  (CC={:.3}, CA={:.3}, SA={:.3}, objective={:.3})",
                 rank + 1,
@@ -72,12 +77,25 @@ fn main() {
     }
 
     let best = engine
-        .best(&project, Strategy::SaCaCc { gamma: 0.6, lambda: 0.6 })
+        .best(
+            &project,
+            Strategy::SaCaCc {
+                gamma: 0.6,
+                lambda: 0.6,
+            },
+        )
         .unwrap();
-    let through_han = best.team.members().iter().any(|m| names[m.index()] == "Jiawei Han");
+    let through_han = best
+        .team
+        .members()
+        .iter()
+        .any(|m| names[m.index()] == "Jiawei Han");
     println!(
         "SA-CA-CC routes through Jiawei Han (h-index 139): {}",
         through_han
     );
-    assert!(through_han, "the authority-aware objective must pick team (a)");
+    assert!(
+        through_han,
+        "the authority-aware objective must pick team (a)"
+    );
 }

@@ -157,7 +157,10 @@ fn cmd_stats(flags: &Flags) -> Result<(), String> {
     let mut popular: Vec<(usize, String)> = (0..snap.skills.num_skills() as u32)
         .map(|s| {
             let s = team_discovery::core::skills::SkillId(s);
-            (snap.skills.holders(s).len(), snap.skills.name(s).to_string())
+            (
+                snap.skills.holders(s).len(),
+                snap.skills.name(s).to_string(),
+            )
         })
         .collect();
     popular.sort_by_key(|&(count, _)| std::cmp::Reverse(count));
@@ -231,7 +234,9 @@ fn cmd_discover(flags: &Flags) -> Result<(), String> {
 
     let engine =
         Discovery::new(snap.graph.clone(), snap.skills.clone()).map_err(|e| e.to_string())?;
-    let teams = engine.top_k(&project, strategy, k).map_err(|e| e.to_string())?;
+    let teams = engine
+        .top_k(&project, strategy, k)
+        .map_err(|e| e.to_string())?;
     println!("{strategy}: top {} teams", teams.len());
     for (i, st) in teams.iter().enumerate() {
         println!("  #{}", i + 1);
@@ -279,7 +284,10 @@ fn cmd_replace(flags: &Flags) -> Result<(), String> {
     let repaired = finder
         .recommend(&best.team, leaving, strategy, 3)
         .map_err(|e| e.to_string())?;
-    println!("\nafter {member_name} leaves — {} repair(s):", repaired.len());
+    println!(
+        "\nafter {member_name} leaves — {} repair(s):",
+        repaired.len()
+    );
     for (i, st) in repaired.iter().enumerate() {
         println!("  repair #{}", i + 1);
         print_team(&snap, st);

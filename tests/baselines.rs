@@ -145,7 +145,10 @@ fn replacement_repairs_discovered_teams_on_dblp_graph() {
     use team_discovery::core::replacement::ReplacementFinder;
     let net = network(62, 300);
     let project = pick_project(&net, 4, 20);
-    let strategy = Strategy::SaCaCc { gamma: 0.6, lambda: 0.6 };
+    let strategy = Strategy::SaCaCc {
+        gamma: 0.6,
+        lambda: 0.6,
+    };
     let engine = Discovery::new(net.graph.clone(), net.skills.clone()).expect("engine");
     let best = engine.best(&project, strategy).expect("team");
     let finder = ReplacementFinder::new(&net.graph, &net.skills);
@@ -165,10 +168,7 @@ fn replacement_repairs_discovered_teams_on_dblp_graph() {
                 // Only acceptable failure: the member is irreplaceable or
                 // the team disconnects without them.
                 assert!(
-                    matches!(
-                        e,
-                        team_discovery::core::DiscoveryError::NoTeamFound
-                    ),
+                    matches!(e, team_discovery::core::DiscoveryError::NoTeamFound),
                     "unexpected error {e}"
                 );
             }

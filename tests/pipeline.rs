@@ -38,7 +38,10 @@ fn full_pipeline_produces_discoverable_teams() {
     for strategy in [
         Strategy::Cc,
         Strategy::CaCc { gamma: 0.6 },
-        Strategy::SaCaCc { gamma: 0.6, lambda: 0.6 },
+        Strategy::SaCaCc {
+            gamma: 0.6,
+            lambda: 0.6,
+        },
     ] {
         let teams = engine.top_k(&project, strategy, 5).expect("teams");
         assert!(!teams.is_empty());
@@ -62,7 +65,13 @@ fn authority_objectives_shift_team_composition() {
 
     let cc = engine.best(&project, Strategy::Cc).expect("cc team");
     let ours = engine
-        .best(&project, Strategy::SaCaCc { gamma: 0.6, lambda: 0.6 })
+        .best(
+            &project,
+            Strategy::SaCaCc {
+                gamma: 0.6,
+                lambda: 0.6,
+            },
+        )
         .expect("sa-ca-cc team");
 
     // The combined objective of the dedicated search is at least as good.
@@ -99,7 +108,14 @@ fn top_k_teams_are_distinct_and_ordered() {
     let project = Project::new(pool[1..4].to_vec());
 
     let teams = engine
-        .top_k(&project, Strategy::SaCaCc { gamma: 0.6, lambda: 0.4 }, 8)
+        .top_k(
+            &project,
+            Strategy::SaCaCc {
+                gamma: 0.6,
+                lambda: 0.4,
+            },
+            8,
+        )
         .expect("teams");
     let mut keys: Vec<_> = teams.iter().map(|t| t.team.member_key()).collect();
     let n = keys.len();
