@@ -35,8 +35,11 @@ fn bench_root_scan(c: &mut Criterion) {
     let pll = PrunedLandmarkLabeling::build(g);
     let stats = pll.stats();
     eprintln!(
-        "one_to_many testbed: {} nodes, avg label {:.1}, max label {}",
-        stats.nodes, stats.avg_entries, stats.max_entries
+        "one_to_many testbed: {} nodes, avg label {:.1}, max label {}, {} KiB CSR labels",
+        stats.nodes,
+        stats.avg_entries,
+        stats.max_entries,
+        stats.bytes / 1024
     );
 
     let p = project(6, 42);

@@ -47,7 +47,9 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use atd_distance::{PrunedLandmarkLabeling, SourceScatter};
+use atd_distance::{
+    BuildConfig as PllBuildConfig, BuildProfile, PrunedLandmarkLabeling, SourceScatter, VertexOrder,
+};
 use atd_graph::{dijkstra_with_targets, ExpertGraph, NodeId, SubTree};
 
 use crate::error::DiscoveryError;
@@ -77,6 +79,10 @@ pub struct DiscoveryOptions {
     /// Algorithm 1; off by default for faithfulness — see the ablation
     /// bench).
     pub prune_dangling_connectors: bool,
+    /// PLL index construction settings (worker threads + rank-batch size
+    /// for the batch-synchronous parallel builder). The produced index is
+    /// bit-identical regardless, so this only tunes cold-start time.
+    pub pll_build: PllBuildConfig,
 }
 
 impl Default for DiscoveryOptions {
@@ -87,6 +93,7 @@ impl Default for DiscoveryOptions {
             threads: None,
             oversample: 4,
             prune_dangling_connectors: false,
+            pll_build: PllBuildConfig::default(),
         }
     }
 }
@@ -99,8 +106,8 @@ struct RankingContext {
 }
 
 impl RankingContext {
-    fn build(graph: ExpertGraph) -> Self {
-        let pll = PrunedLandmarkLabeling::build(&graph);
+    fn build(graph: ExpertGraph, config: &PllBuildConfig) -> Self {
+        let pll = PrunedLandmarkLabeling::build_with_config(&graph, VertexOrder::default(), config);
         RankingContext { graph, pll }
     }
 }
@@ -141,7 +148,7 @@ impl Discovery {
     ) -> Result<Self, DiscoveryError> {
         let norm = Normalization::compute_with_min_authority(&graph, options.min_authority);
         let base_graph = graph.map_weights(|_, _, w| norm.w_bar(w));
-        let base = Arc::new(RankingContext::build(base_graph));
+        let base = Arc::new(RankingContext::build(base_graph, &options.pll_build));
         Ok(Discovery {
             graph: Arc::new(graph),
             skills: Arc::new(skills),
@@ -172,6 +179,12 @@ impl Discovery {
         self.options.duplicate_policy
     }
 
+    /// Construction profile of the base (CC) distance index — how the
+    /// cold-start cost split across batch searches, merges and repairs.
+    pub fn pll_profile(&self) -> &BuildProfile {
+        self.base.pll.build_profile()
+    }
+
     /// Eagerly builds (and caches) the transformed index for `γ`. Useful
     /// for benchmarks that must separate index construction from query
     /// time.
@@ -190,7 +203,7 @@ impl Discovery {
                     return Arc::clone(ctx);
                 }
                 let gp = authority_transform(&self.graph, &self.norm, g);
-                let ctx = Arc::new(RankingContext::build(gp));
+                let ctx = Arc::new(RankingContext::build(gp, &self.options.pll_build));
                 self.transformed.write().insert(key, Arc::clone(&ctx));
                 ctx
             }
@@ -636,6 +649,56 @@ mod tests {
             for (x, y) in a.iter().zip(&b) {
                 assert_eq!(x.team.member_key(), y.team.member_key());
                 assert!((x.objective - y.objective).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_index_build_yields_identical_teams() {
+        // The batch-parallel PLL build is bit-identical to the sequential
+        // one, so every downstream result must match exactly — not just
+        // approximately.
+        let (g, idx, sn, tm) = figure1();
+        let project = Project::new(vec![sn, tm]);
+        let seq = Discovery::with_options(
+            g.clone(),
+            idx.clone(),
+            DiscoveryOptions {
+                threads: Some(1),
+                pll_build: PllBuildConfig::sequential(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let par = Discovery::with_options(
+            g,
+            idx,
+            DiscoveryOptions {
+                threads: Some(1),
+                pll_build: PllBuildConfig {
+                    threads: Some(4),
+                    batch_size: 2,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(par.pll_profile().threads, 4);
+        assert_eq!(seq.pll_profile().threads, 1);
+        for strategy in [
+            Strategy::Cc,
+            Strategy::SaCaCc {
+                gamma: 0.6,
+                lambda: 0.6,
+            },
+        ] {
+            let a = seq.top_k(&project, strategy, 3).unwrap();
+            let b = par.top_k(&project, strategy, 3).unwrap();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.team.member_key(), y.team.member_key());
+                assert_eq!(x.objective.to_bits(), y.objective.to_bits());
+                assert_eq!(x.algorithm_cost.to_bits(), y.algorithm_cost.to_bits());
             }
         }
     }

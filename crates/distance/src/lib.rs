@@ -13,7 +13,9 @@
 //!   a small sorted list of `(hub, distance)` labels such that every
 //!   shortest path is covered by some common hub. Labels live in a flat CSR
 //!   store ([`LabelSet`]); pairwise queries are a merge-join over two label
-//!   slices.
+//!   slices. Construction is a batch-synchronous parallel build
+//!   ([`BuildConfig`]) whose output is bit-identical to the sequential
+//!   algorithm for every thread count and batch size (see `src/README.md`).
 //! * [`SourceScatter`] — the one-to-many query engine: scatter a source's
 //!   label once, then answer each target in `O(|label(target)|)` with no
 //!   merge. This is what makes Algorithm 1's root scan fast — one scatter
@@ -36,8 +38,11 @@ pub mod pll;
 pub mod scatter;
 
 pub use dijkstra_oracle::DijkstraOracle;
-pub use label::{LabelEntry, LabelRef, LabelSet, LabelSetBuilder, LabelStats};
+pub use label::{
+    JournalCursor, JournalShard, LabelEntry, LabelRef, LabelSet, LabelSetBuilder, LabelStats,
+    ShardedJournal,
+};
 pub use oracle::DistanceOracle;
 pub use order::{degree_descending_order, VertexOrder};
-pub use pll::PrunedLandmarkLabeling;
+pub use pll::{BatchProfile, BuildConfig, BuildProfile, PrunedLandmarkLabeling};
 pub use scatter::SourceScatter;

@@ -3,13 +3,18 @@
 //! ```text
 //! experiments [fig3|fig4|fig5|fig6|runtime|venue|ablation|all]
 //!             [--scale tiny|small|medium|paper] [--out DIR]
+//!             [--pll-threads N] [--pll-batch N]
 //! ```
 //!
-//! Default: `all --scale small --out results`.
+//! Default: `all --scale small --out results`. `--pll-threads` /
+//! `--pll-batch` pin the parallel PLL builder's configuration so
+//! cold-start (index construction) time can be measured end-to-end; the
+//! built index is bit-identical either way.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
+use atd_core::greedy::DiscoveryOptions;
 use atd_eval::figures::{ablation, fig3, fig4, fig5, fig6, runtime, venue_quality};
 use atd_eval::testbed::{Scale, Testbed};
 
@@ -17,12 +22,16 @@ struct Args {
     which: Vec<String>,
     scale: Scale,
     out: Option<PathBuf>,
+    pll_threads: Option<usize>,
+    pll_batch: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut which = Vec::new();
     let mut scale = Scale::Small;
     let mut out = Some(PathBuf::from("results"));
+    let mut pll_threads = None;
+    let mut pll_batch = None;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -39,10 +48,19 @@ fn parse_args() -> Result<Args, String> {
                     Some(PathBuf::from(v))
                 };
             }
+            "--pll-threads" => {
+                let v = argv.next().ok_or("--pll-threads needs a value")?;
+                pll_threads = Some(v.parse().map_err(|_| format!("bad thread count '{v}'"))?);
+            }
+            "--pll-batch" => {
+                let v = argv.next().ok_or("--pll-batch needs a value")?;
+                pll_batch = Some(v.parse().map_err(|_| format!("bad batch size '{v}'"))?);
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: experiments [fig3|fig4|fig5|fig6|runtime|venue|ablation|all] \
-                            [--scale tiny|small|medium|paper] [--out DIR|-]"
+                            [--scale tiny|small|medium|paper] [--out DIR|-] \
+                            [--pll-threads N] [--pll-batch N]"
                         .into(),
                 )
             }
@@ -52,7 +70,13 @@ fn parse_args() -> Result<Args, String> {
     if which.is_empty() {
         which.push("all".to_string());
     }
-    Ok(Args { which, scale, out })
+    Ok(Args {
+        which,
+        scale,
+        out,
+        pll_threads,
+        pll_batch,
+    })
 }
 
 fn main() {
@@ -70,14 +94,35 @@ fn main() {
     println!("== Authority-Based Team Discovery — experiment harness ==");
     println!("scale: {:?}", args.scale);
     let t0 = Instant::now();
-    let tb = Testbed::new(args.scale);
+    let mut options = DiscoveryOptions::default();
+    if let Some(t) = args.pll_threads {
+        options.pll_build.threads = Some(t);
+    }
+    if let Some(b) = args.pll_batch {
+        options.pll_build.batch_size = b;
+    }
+    let tb = Testbed::with_options(args.scale, options);
     println!(
-        "testbed: {} experts, {} edges, {} skills, {} skill holders (built in {:.1?})\n",
+        "testbed: {} experts, {} edges, {} skills, {} skill holders (built in {:.1?})",
         tb.net.graph.num_nodes(),
         tb.net.graph.num_edges(),
         tb.net.skills.num_skills(),
         tb.net.num_skill_holders(),
         t0.elapsed()
+    );
+    let prof = tb.engine.pll_profile();
+    println!(
+        "pll cold start: {} threads, batch cap {}, {} batches, \
+         search {:.1?} + merge {:.1?}, {} journaled -> {} committed entries, \
+         {} repaired hubs\n",
+        prof.threads,
+        prof.batch_size,
+        prof.batches.len(),
+        prof.search_time,
+        prof.merge_time,
+        prof.journaled_entries,
+        prof.committed_entries,
+        prof.repaired_hubs
     );
     let out = args.out.as_deref();
 

@@ -134,9 +134,9 @@ mod tests {
     use crate::testbed::Scale;
 
     fn tb() -> &'static Testbed {
-        use std::sync::OnceLock;
-        static TB: OnceLock<Testbed> = OnceLock::new();
-        TB.get_or_init(|| Testbed::new(Scale::Tiny))
+        // One testbed per process, shared across every figure module's
+        // tests (building it is the expensive part).
+        crate::testbed::shared_testbed(Scale::Tiny)
     }
 
     #[test]

@@ -167,11 +167,10 @@ mod tests {
     use super::*;
     use crate::testbed::Scale;
 
-    /// One shared tiny testbed: building it is the expensive part.
     fn tb() -> &'static Testbed {
-        use std::sync::OnceLock;
-        static TB: OnceLock<Testbed> = OnceLock::new();
-        TB.get_or_init(|| Testbed::new(Scale::Tiny))
+        // One testbed per process, shared across every figure module's
+        // tests (building it is the expensive part).
+        crate::testbed::shared_testbed(Scale::Tiny)
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! The shared experiment substrate: one synthetic DBLP network plus a
 //! ready [`Discovery`] engine, at a configurable scale.
 
+use std::sync::OnceLock;
+
 use atd_core::greedy::{Discovery, DiscoveryOptions};
 use atd_dblp::graph_build::{BuildConfig, ExpertNetwork};
 use atd_dblp::synth::{SynthConfig, SynthCorpus};
@@ -90,17 +92,41 @@ impl Testbed {
     /// Builds the testbed: synthesize corpus → expert network → engine
     /// (including the CC distance index).
     pub fn new(scale: Scale) -> Testbed {
+        Self::with_options(scale, DiscoveryOptions::default())
+    }
+
+    /// Builds the testbed with explicit engine options — in particular
+    /// `DiscoveryOptions::pll_build`, so cold-start (index construction)
+    /// experiments can pin the parallel builder's thread count and batch
+    /// size end-to-end.
+    pub fn with_options(scale: Scale, options: DiscoveryOptions) -> Testbed {
         let synth = SynthCorpus::generate(&scale.synth_config());
         let net = ExpertNetwork::build(synth.corpus, &BuildConfig::default())
             .expect("synthetic corpus builds cleanly");
-        let engine = Discovery::with_options(
-            net.graph.clone(),
-            net.skills.clone(),
-            DiscoveryOptions::default(),
-        )
-        .expect("engine construction");
+        let engine = Discovery::with_options(net.graph.clone(), net.skills.clone(), options)
+            .expect("engine construction");
         Testbed { net, engine, scale }
     }
+}
+
+/// A process-wide shared testbed per scale, built on first use.
+///
+/// Figure smoke tests all exercise the same tiny network; building it
+/// (synthesis + PLL indexing) is far more expensive than any single test,
+/// so the whole test binary shares one instance per scale instead of one
+/// per figure module.
+pub fn shared_testbed(scale: Scale) -> &'static Testbed {
+    static TINY: OnceLock<Testbed> = OnceLock::new();
+    static SMALL: OnceLock<Testbed> = OnceLock::new();
+    static MEDIUM: OnceLock<Testbed> = OnceLock::new();
+    static PAPER: OnceLock<Testbed> = OnceLock::new();
+    let slot = match scale {
+        Scale::Tiny => &TINY,
+        Scale::Small => &SMALL,
+        Scale::Medium => &MEDIUM,
+        Scale::Paper => &PAPER,
+    };
+    slot.get_or_init(|| Testbed::new(scale))
 }
 
 #[cfg(test)]

@@ -50,14 +50,21 @@ impl ShortestPathTree {
     }
 }
 
-/// Heap entry ordered by min distance (reversed for `BinaryHeap`).
-#[derive(PartialEq, Eq)]
-struct HeapEntry {
-    dist: TotalF64,
-    node: NodeId,
+/// Heap entry for distance-ordered traversals, reversed so
+/// `std::collections::BinaryHeap` (a max-heap) pops the **minimum**
+/// distance first, with a node-id tie-break for determinism.
+///
+/// Shared by this crate's Dijkstra and the distance crate's pruned
+/// landmark labeling, which both settle nodes in exactly this order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MinHeapEntry {
+    /// Tentative distance of `node`.
+    pub dist: TotalF64,
+    /// The node this entry would settle.
+    pub node: NodeId,
 }
 
-impl Ord for HeapEntry {
+impl Ord for MinHeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Min-heap: reverse distance; tie-break on node id for determinism.
         other
@@ -67,7 +74,7 @@ impl Ord for HeapEntry {
     }
 }
 
-impl PartialOrd for HeapEntry {
+impl PartialOrd for MinHeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
@@ -106,12 +113,12 @@ pub fn dijkstra_with_targets(
 
     let mut heap = BinaryHeap::new();
     dist[source.index()] = 0.0;
-    heap.push(HeapEntry {
+    heap.push(MinHeapEntry {
         dist: TotalF64::ZERO,
         node: source,
     });
 
-    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+    while let Some(MinHeapEntry { dist: d, node: u }) = heap.pop() {
         let ui = u.index();
         if settled[ui] {
             continue;
@@ -137,7 +144,7 @@ pub fn dijkstra_with_targets(
             if nd < dist[vi] {
                 dist[vi] = nd;
                 parent[vi] = Some(u);
-                heap.push(HeapEntry {
+                heap.push(MinHeapEntry {
                     dist: TotalF64::expect(nd),
                     node: v,
                 });

@@ -41,7 +41,7 @@ pub mod weight;
 
 pub use builder::GraphBuilder;
 pub use csr::ExpertGraph;
-pub use dijkstra::{dijkstra, dijkstra_with_targets, ShortestPathTree};
+pub use dijkstra::{dijkstra, dijkstra_with_targets, MinHeapEntry, ShortestPathTree};
 pub use error::GraphError;
 pub use id::NodeId;
 pub use traversal::{bfs_order, connected_components, ComponentLabels};
