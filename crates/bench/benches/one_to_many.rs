@@ -12,10 +12,19 @@
 //!
 //! The scatter variant removes the `t·|C(s)|` repeated root-side label
 //! walks per root, which is where the ≥2× comes from.
+//!
+//! The `one_to_many_storage` group (PR 3) runs the same scatter root scan
+//! against both label storage backends — flat CSR arrays vs. delta+varint
+//! compressed blocks — and prints each backend's byte footprint and the
+//! compression ratio to stderr. Results are bit-identical (asserted
+//! in-bench); the group measures the pure decode cost the compressed
+//! backend pays on the scan, against the memory it saves.
 
 use atd_bench::{project, testbed};
 use atd_core::skills::Project;
-use atd_distance::PrunedLandmarkLabeling;
+use atd_distance::{
+    BuildConfig as PllBuildConfig, LabelStorage, PrunedLandmarkLabeling, SourceScatter, VertexOrder,
+};
 use atd_graph::NodeId;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -75,29 +84,102 @@ fn bench_root_scan(c: &mut Criterion) {
     // One-to-many: scatter the root once, scan holder labels directly.
     group.bench_function("root_scan/scatter", |b| {
         let mut scatter = pll.scatter();
-        b.iter(|| {
-            let mut acc = 0.0f64;
-            for r in 0..n {
-                let root = NodeId::from_index(r);
-                pll.load_source(&mut scatter, root);
-                for hs in &holders {
-                    let mut best = f64::INFINITY;
-                    for &v in hs {
-                        if let Some(d) = pll.query_one_to_many(&scatter, v) {
-                            if d < best {
-                                best = d;
-                            }
-                        }
-                    }
-                    if best.is_finite() {
-                        acc += best;
+        b.iter(|| black_box(scatter_root_scan(&pll, &mut scatter, &holders, n)))
+    });
+
+    group.finish();
+}
+
+/// Runs the scatter root scan against one index — the canonical
+/// one-to-many loop, shared by every scatter benchmark so all variants
+/// measure identical work. The scratch is caller-owned and reused across
+/// iterations, per the `SourceScatter` contract.
+fn scatter_root_scan(
+    pll: &PrunedLandmarkLabeling,
+    scatter: &mut SourceScatter,
+    holders: &[Vec<NodeId>],
+    n: usize,
+) -> f64 {
+    let mut acc = 0.0f64;
+    for r in 0..n {
+        let root = NodeId::from_index(r);
+        pll.load_source(scatter, root);
+        for hs in holders {
+            let mut best = f64::INFINITY;
+            for &v in hs {
+                if let Some(d) = pll.query_one_to_many(scatter, v) {
+                    if d < best {
+                        best = d;
                     }
                 }
             }
-            black_box(acc)
-        })
-    });
+            if best.is_finite() {
+                acc += best;
+            }
+        }
+    }
+    acc
+}
 
+/// CSR vs compressed label storage under the identical scatter root scan:
+/// the query-time delta the compressed backend pays for its smaller
+/// footprint.
+fn bench_storage(c: &mut Criterion) {
+    let tb = testbed();
+    let g = &tb.net.graph;
+    let configs = [
+        ("csr", LabelStorage::Csr),
+        ("compressed", LabelStorage::Compressed),
+    ];
+    let indices: Vec<(&str, PrunedLandmarkLabeling)> = configs
+        .iter()
+        .map(|&(name, storage)| {
+            let pll = PrunedLandmarkLabeling::build_with_config(
+                g,
+                VertexOrder::DegreeDescending,
+                &PllBuildConfig {
+                    storage,
+                    ..PllBuildConfig::default()
+                },
+            );
+            (name, pll)
+        })
+        .collect();
+    let csr_bytes = indices[0].1.stats().bytes;
+    let comp_bytes = indices[1].1.stats().bytes;
+    eprintln!(
+        "one_to_many_storage testbed: {} nodes, {} entries; csr {} KiB, \
+         compressed {} KiB ({:.1}% of csr)",
+        g.num_nodes(),
+        indices[0].1.stats().total_entries,
+        csr_bytes / 1024,
+        comp_bytes / 1024,
+        100.0 * comp_bytes as f64 / csr_bytes as f64
+    );
+
+    let p = project(6, 42);
+    let holders = holder_lists(&p);
+    let n = g.num_nodes();
+
+    // Results must be bit-identical before timing means anything.
+    let reference = scatter_root_scan(&indices[0].1, &mut indices[0].1.scatter(), &holders, n);
+    for (name, pll) in &indices[1..] {
+        let got = scatter_root_scan(pll, &mut pll.scatter(), &holders, n);
+        assert_eq!(
+            got.to_bits(),
+            reference.to_bits(),
+            "{name} root scan diverged from csr"
+        );
+    }
+
+    let mut group = c.benchmark_group("one_to_many_storage");
+    group.sample_size(20);
+    for (name, pll) in &indices {
+        let mut scatter = pll.scatter();
+        group.bench_function(format!("root_scan/{name}"), |b| {
+            b.iter(|| black_box(scatter_root_scan(pll, &mut scatter, &holders, n)))
+        });
+    }
     group.finish();
 }
 
@@ -121,5 +203,5 @@ fn bench_engine_top_k(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_root_scan, bench_engine_top_k);
+criterion_group!(benches, bench_root_scan, bench_storage, bench_engine_top_k);
 criterion_main!(benches);

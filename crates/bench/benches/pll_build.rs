@@ -18,7 +18,9 @@
 
 use atd_dblp::graph_build::{BuildConfig, ExpertNetwork};
 use atd_dblp::synth::{SynthConfig, SynthCorpus};
-use atd_distance::{BuildConfig as PllBuildConfig, PrunedLandmarkLabeling, VertexOrder};
+use atd_distance::{
+    BuildConfig as PllBuildConfig, LabelStorage, PrunedLandmarkLabeling, VertexOrder,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -57,13 +59,17 @@ fn bench_pll_build_config(c: &mut Criterion) {
         &PllBuildConfig::sequential(),
     );
     let stats = seq.stats();
+    let compressed_bytes = seq.labels().compressed_stats().bytes;
     eprintln!(
-        "pll_build testbed: {} nodes, {} entries, avg label {:.1}, max label {}, {} KiB CSR",
+        "pll_build testbed: {} nodes, {} entries, avg label {:.1}, max label {}, \
+         {} KiB CSR / {} KiB compressed ({:.1}%)",
         stats.nodes,
         stats.total_entries,
         stats.avg_entries,
         stats.max_entries,
-        stats.bytes / 1024
+        stats.bytes / 1024,
+        compressed_bytes / 1024,
+        100.0 * compressed_bytes as f64 / stats.bytes as f64
     );
     let par = PrunedLandmarkLabeling::build_with_config(
         &g,
@@ -71,6 +77,7 @@ fn bench_pll_build_config(c: &mut Criterion) {
         &PllBuildConfig {
             threads: Some(4),
             batch_size: 64,
+            ..PllBuildConfig::default()
         },
     );
     // The whole point of the design: any config, same bits.
@@ -99,10 +106,18 @@ fn bench_pll_build_config(c: &mut Criterion) {
     let configs: &[(&str, PllBuildConfig)] = &[
         ("seq", PllBuildConfig::sequential()),
         (
+            "seq_compressed",
+            PllBuildConfig {
+                storage: LabelStorage::Compressed,
+                ..PllBuildConfig::sequential()
+            },
+        ),
+        (
             "par_t2_b64",
             PllBuildConfig {
                 threads: Some(2),
                 batch_size: 64,
+                ..PllBuildConfig::default()
             },
         ),
         (
@@ -110,6 +125,7 @@ fn bench_pll_build_config(c: &mut Criterion) {
             PllBuildConfig {
                 threads: Some(4),
                 batch_size: 64,
+                ..PllBuildConfig::default()
             },
         ),
         (
@@ -117,6 +133,7 @@ fn bench_pll_build_config(c: &mut Criterion) {
             PllBuildConfig {
                 threads: Some(4),
                 batch_size: 16,
+                ..PllBuildConfig::default()
             },
         ),
     ];

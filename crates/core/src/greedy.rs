@@ -48,7 +48,8 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use atd_distance::{
-    BuildConfig as PllBuildConfig, BuildProfile, PrunedLandmarkLabeling, SourceScatter, VertexOrder,
+    BuildConfig as PllBuildConfig, BuildProfile, LabelStats, PrunedLandmarkLabeling, SourceScatter,
+    VertexOrder,
 };
 use atd_graph::{dijkstra_with_targets, ExpertGraph, NodeId, SubTree};
 
@@ -79,9 +80,13 @@ pub struct DiscoveryOptions {
     /// Algorithm 1; off by default for faithfulness — see the ablation
     /// bench).
     pub prune_dangling_connectors: bool,
-    /// PLL index construction settings (worker threads + rank-batch size
-    /// for the batch-synchronous parallel builder). The produced index is
-    /// bit-identical regardless, so this only tunes cold-start time.
+    /// PLL index construction settings: worker threads + rank-batch size
+    /// for the batch-synchronous parallel builder, plus the label storage
+    /// backend (`LabelStorage::Csr` flat arrays or
+    /// `LabelStorage::Compressed` delta+varint blocks). The produced
+    /// labels are bit-identical regardless, so threads/batch only tune
+    /// cold-start time and storage only trades index memory against
+    /// per-entry decode work on the scan.
     pub pll_build: PllBuildConfig,
 }
 
@@ -183,6 +188,13 @@ impl Discovery {
     /// cold-start cost split across batch searches, merges and repairs.
     pub fn pll_profile(&self) -> &BuildProfile {
         self.base.pll.build_profile()
+    }
+
+    /// Label statistics of the base (CC) distance index, including the
+    /// physical byte footprint of the configured storage backend
+    /// (`DiscoveryOptions::pll_build.storage`).
+    pub fn pll_stats(&self) -> LabelStats {
+        self.base.pll.stats()
     }
 
     /// Eagerly builds (and caches) the transformed index for `γ`. Useful
@@ -678,6 +690,7 @@ mod tests {
                 pll_build: PllBuildConfig {
                     threads: Some(4),
                     batch_size: 2,
+                    ..PllBuildConfig::default()
                 },
                 ..Default::default()
             },
@@ -695,6 +708,57 @@ mod tests {
             let a = seq.top_k(&project, strategy, 3).unwrap();
             let b = par.top_k(&project, strategy, 3).unwrap();
             assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.team.member_key(), y.team.member_key());
+                assert_eq!(x.objective.to_bits(), y.objective.to_bits());
+                assert_eq!(x.algorithm_cost.to_bits(), y.algorithm_cost.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_label_storage_yields_identical_teams() {
+        // The compressed backend answers every DIST query bit-identically
+        // to the CSR backend, so top-k discovery must match exactly —
+        // same member sets, same objective bits, same algorithm-cost bits.
+        use atd_distance::LabelStorage;
+        let (g, idx, sn, tm) = figure1();
+        let project = Project::new(vec![sn, tm]);
+        let csr = Discovery::with_options(
+            g.clone(),
+            idx.clone(),
+            DiscoveryOptions {
+                threads: Some(1),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let comp = Discovery::with_options(
+            g,
+            idx,
+            DiscoveryOptions {
+                threads: Some(1),
+                pll_build: PllBuildConfig {
+                    storage: LabelStorage::Compressed,
+                    ..PllBuildConfig::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (sa, sb) = (csr.pll_stats(), comp.pll_stats());
+        assert_eq!(sa.total_entries, sb.total_entries);
+        for strategy in [
+            Strategy::Cc,
+            Strategy::CaCc { gamma: 0.6 },
+            Strategy::SaCaCc {
+                gamma: 0.6,
+                lambda: 0.6,
+            },
+        ] {
+            let a = csr.top_k(&project, strategy, 3).unwrap();
+            let b = comp.top_k(&project, strategy, 3).unwrap();
+            assert_eq!(a.len(), b.len(), "{strategy}");
             for (x, y) in a.iter().zip(&b) {
                 assert_eq!(x.team.member_key(), y.team.member_key());
                 assert_eq!(x.objective.to_bits(), y.objective.to_bits());

@@ -7,7 +7,7 @@
 //! generator sweeps the greedy engine over a `(γ, λ)` grid to collect a
 //! diverse candidate pool, then filters to the non-dominated front —
 //! following the two-phase structure of the authors' follow-up work
-//! (Zihayat, Kargar, An; WI 2014, the paper's reference [6]).
+//! (Zihayat, Kargar, An; WI 2014, the paper's reference \[6\]).
 
 use crate::error::DiscoveryError;
 use crate::greedy::Discovery;

@@ -1,7 +1,7 @@
 //! Team-member replacement — the extension the paper's introduction cites
 //! as prior work worth unifying with authority ("recommending replacements
 //! when a team member becomes unavailable", Li et al., WWW 2015, the
-//! paper's reference [4]), here solved under the paper's own objectives.
+//! paper's reference \[4\]), here solved under the paper's own objectives.
 //!
 //! Given a discovered team and a member who leaves, the finder runs
 //! Algorithm 1's inner loop *restricted to the surviving team members as

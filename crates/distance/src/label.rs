@@ -59,6 +59,19 @@ impl<'a> LabelRef<'a> {
 }
 
 /// The label lists of every node in flat CSR form.
+///
+/// ```
+/// use atd_distance::{LabelEntry, LabelSet};
+/// let labels = LabelSet::from_lists(&[
+///     vec![LabelEntry { hub_rank: 0, dist: 0.0 }],
+///     vec![LabelEntry { hub_rank: 0, dist: 1.5 }],
+/// ]);
+/// // Node 1's label is a contiguous slice pair.
+/// assert_eq!(labels.of(1).hub_ranks, &[0]);
+/// // Pairwise queries merge-join over common hubs.
+/// assert_eq!(labels.query(0, 1), 1.5);
+/// assert_eq!(labels.stats().total_entries, 2);
+/// ```
 #[derive(Clone, Debug, Default)]
 pub struct LabelSet {
     /// `offsets[v]..offsets[v + 1]` is node `v`'s slice of the flat arrays.
@@ -221,6 +234,18 @@ impl LabelSetBuilder {
         self.arena_prev.push(self.head[node]);
         self.head[node] = idx;
         self.counts[node] += 1;
+    }
+
+    /// Number of nodes this builder journals labels for.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Total entries journaled so far across all nodes.
+    #[inline]
+    pub fn total_entries(&self) -> usize {
+        self.arena_ranks.len()
     }
 
     /// `node`'s entries so far, newest first (descending hub rank).

@@ -7,15 +7,19 @@
 //! every required skill. The paper answers these queries in (near) constant
 //! time with *distance labeling / 2-hop cover* — specifically **pruned
 //! landmark labeling** (Akiba, Iwata, Yoshida; SIGMOD 2013, the paper's
-//! reference [1]). This crate implements:
+//! reference \[1\]). This crate implements:
 //!
 //! * [`PrunedLandmarkLabeling`] — a weighted-graph PLL index: for each node
 //!   a small sorted list of `(hub, distance)` labels such that every
-//!   shortest path is covered by some common hub. Labels live in a flat CSR
-//!   store ([`LabelSet`]); pairwise queries are a merge-join over two label
-//!   slices. Construction is a batch-synchronous parallel build
-//!   ([`BuildConfig`]) whose output is bit-identical to the sequential
-//!   algorithm for every thread count and batch size (see `src/README.md`).
+//!   shortest path is covered by some common hub. Labels live in a
+//!   [`LabelStore`] — either the flat CSR backend ([`LabelSet`]) or the
+//!   delta+varint compressed backend ([`CompressedLabelSet`]), selected by
+//!   [`BuildConfig::storage`]; pairwise queries are a merge-join over two
+//!   label streams and are bit-identical across backends. Construction is
+//!   a batch-synchronous parallel build ([`BuildConfig`]) whose output is
+//!   bit-identical to the sequential algorithm for every thread count and
+//!   batch size (see `src/README.md`, which also carries the compressed
+//!   format spec).
 //! * [`SourceScatter`] — the one-to-many query engine: scatter a source's
 //!   label once, then answer each target in `O(|label(target)|)` with no
 //!   merge. This is what makes Algorithm 1's root scan fast — one scatter
@@ -30,6 +34,7 @@
 //! provides the degree-descending heuristic recommended by Akiba et al. for
 //! social networks.
 
+pub mod codec;
 pub mod dijkstra_oracle;
 pub mod label;
 pub mod oracle;
@@ -37,6 +42,7 @@ pub mod order;
 pub mod pll;
 pub mod scatter;
 
+pub use codec::{CompressedLabelSet, LabelDecoder, LabelEntries, LabelStorage, LabelStore};
 pub use dijkstra_oracle::DijkstraOracle;
 pub use label::{
     JournalCursor, JournalShard, LabelEntry, LabelRef, LabelSet, LabelSetBuilder, LabelStats,

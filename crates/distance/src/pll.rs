@@ -56,7 +56,8 @@ use std::time::{Duration, Instant};
 
 use atd_graph::{ExpertGraph, MinHeapEntry, NodeId, TotalF64};
 
-use crate::label::{LabelEntry, LabelSet, LabelSetBuilder, LabelStats, ShardedJournal};
+use crate::codec::{LabelStorage, LabelStore};
+use crate::label::{LabelEntry, LabelSetBuilder, LabelStats, ShardedJournal};
 use crate::oracle::DistanceOracle;
 use crate::order::{compute_order, VertexOrder};
 use crate::scatter::SourceScatter;
@@ -67,6 +68,17 @@ use crate::scatter::SourceScatter;
 /// means available parallelism, `Some(1)` is the exact sequential
 /// algorithm (the degenerate case the parallel paths are differentially
 /// tested against).
+///
+/// ```
+/// use atd_distance::{BuildConfig, LabelStorage};
+/// // Sequential build that keeps its labels compressed:
+/// let config = BuildConfig {
+///     storage: LabelStorage::Compressed,
+///     ..BuildConfig::sequential()
+/// };
+/// assert_eq!(config.threads, Some(1));
+/// assert_eq!(BuildConfig::default().storage, LabelStorage::Csr);
+/// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BuildConfig {
     /// Worker threads for batch searches (`None` = available parallelism).
@@ -74,6 +86,11 @@ pub struct BuildConfig {
     /// Upper bound on hubs per rank batch; batches ramp `1, 2, 4, …` up to
     /// this cap.
     pub batch_size: usize,
+    /// Physical label representation the built index keeps
+    /// ([`LabelStorage::Csr`] flat arrays or [`LabelStorage::Compressed`]
+    /// delta+varint blocks). Queries are bit-identical either way; this
+    /// trades memory footprint against per-entry decode work.
+    pub storage: LabelStorage,
 }
 
 impl Default for BuildConfig {
@@ -81,6 +98,7 @@ impl Default for BuildConfig {
         BuildConfig {
             threads: None,
             batch_size: 64,
+            storage: LabelStorage::Csr,
         }
     }
 }
@@ -294,7 +312,7 @@ fn run_pruned_search(
 /// Queries are exact shortest-path distances; see
 /// [`PrunedLandmarkLabeling::build`] for construction.
 pub struct PrunedLandmarkLabeling {
-    labels: LabelSet,
+    labels: LabelStore,
     num_nodes: usize,
     build_time: Duration,
     profile: BuildProfile,
@@ -343,8 +361,15 @@ impl PrunedLandmarkLabeling {
             Self::build_batched(g, &order, threads, cap, &mut labels, &mut profile);
         }
 
+        // The journaled labels convert straight into the configured
+        // storage — the compressed path never materializes the CSR
+        // arrays.
+        let labels = match config.storage {
+            LabelStorage::Csr => LabelStore::Csr(labels.finish()),
+            LabelStorage::Compressed => LabelStore::Compressed(labels.finish_compressed()),
+        };
         PrunedLandmarkLabeling {
-            labels: labels.finish(),
+            labels,
             num_nodes: n,
             build_time: start.elapsed(),
             profile,
@@ -659,11 +684,17 @@ impl PrunedLandmarkLabeling {
         self.labels.query(u.index(), v.index())
     }
 
-    /// The underlying CSR label store (for scatter queries and
-    /// diagnostics).
+    /// The underlying label store — CSR or compressed, per
+    /// [`BuildConfig::storage`] — for scatter queries and diagnostics.
     #[inline]
-    pub fn labels(&self) -> &LabelSet {
+    pub fn labels(&self) -> &LabelStore {
         &self.labels
+    }
+
+    /// The physical storage backend this index was built with.
+    #[inline]
+    pub fn storage(&self) -> LabelStorage {
+        self.labels.storage()
     }
 
     /// A one-to-many query scratch sized for this index. Allocate one per
@@ -729,18 +760,22 @@ mod tests {
         b.build().unwrap()
     }
 
-    /// Asserts two indices carry bitwise-equal label sets.
+    /// Asserts two indices carry bitwise-equal label sets (regardless of
+    /// each index's physical storage backend).
     fn assert_bit_identical(a: &PrunedLandmarkLabeling, b: &PrunedLandmarkLabeling, ctx: &str) {
         assert_eq!(a.num_nodes(), b.num_nodes(), "{ctx}: node counts differ");
         for v in 0..a.num_nodes() {
-            let (la, lb) = (a.labels().of(v), b.labels().of(v));
-            assert_eq!(la.hub_ranks, lb.hub_ranks, "{ctx}: ranks differ at {v}");
-            assert_eq!(la.dists.len(), lb.dists.len(), "{ctx}: lens differ at {v}");
-            for (x, y) in la.dists.iter().zip(lb.dists) {
+            let la: Vec<_> = a.labels().entries(v).collect();
+            let lb: Vec<_> = b.labels().entries(v).collect();
+            assert_eq!(la.len(), lb.len(), "{ctx}: lens differ at {v}");
+            for (x, y) in la.iter().zip(&lb) {
+                assert_eq!(x.hub_rank, y.hub_rank, "{ctx}: ranks differ at {v}");
                 assert_eq!(
-                    x.to_bits(),
-                    y.to_bits(),
-                    "{ctx}: dist bits differ at node {v} ({x} vs {y})"
+                    x.dist.to_bits(),
+                    y.dist.to_bits(),
+                    "{ctx}: dist bits differ at node {v} ({} vs {})",
+                    x.dist,
+                    y.dist
                 );
             }
         }
@@ -821,6 +856,7 @@ mod tests {
                         &BuildConfig {
                             threads: Some(threads),
                             batch_size,
+                            ..BuildConfig::default()
                         },
                     );
                     assert_bit_identical(
@@ -860,6 +896,7 @@ mod tests {
                     &BuildConfig {
                         threads: Some(threads),
                         batch_size,
+                        ..BuildConfig::default()
                     },
                 );
                 assert_bit_identical(&seq, &par, &format!("zero-w t={threads} b={batch_size}"));
@@ -876,6 +913,7 @@ mod tests {
             &BuildConfig {
                 threads: Some(2),
                 batch_size: 8,
+                ..BuildConfig::default()
             },
         );
         let p = par.build_profile();
@@ -921,6 +959,68 @@ mod tests {
             good.stats(),
             bad.stats()
         );
+    }
+
+    #[test]
+    fn compressed_storage_is_bit_identical_and_smaller() {
+        let g = grid(6, 6);
+        let csr = PrunedLandmarkLabeling::build(&g);
+        let comp = PrunedLandmarkLabeling::build_with_config(
+            &g,
+            VertexOrder::DegreeDescending,
+            &BuildConfig {
+                storage: LabelStorage::Compressed,
+                ..BuildConfig::default()
+            },
+        );
+        assert_eq!(csr.storage(), LabelStorage::Csr);
+        assert_eq!(comp.storage(), LabelStorage::Compressed);
+        assert_bit_identical(&csr, &comp, "storage backends");
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(
+                    csr.query_raw(u, v).to_bits(),
+                    comp.query_raw(u, v).to_bits(),
+                    "query ({u},{v})"
+                );
+            }
+        }
+        let (a, b) = (csr.stats(), comp.stats());
+        assert_eq!(a.total_entries, b.total_entries);
+        assert_eq!(a.max_entries, b.max_entries);
+        assert!(
+            b.bytes < a.bytes,
+            "compressed {} !< csr {}",
+            b.bytes,
+            a.bytes
+        );
+    }
+
+    #[test]
+    fn compressed_storage_scatter_agrees() {
+        let g = grid(5, 4);
+        let csr = PrunedLandmarkLabeling::build(&g);
+        let comp = PrunedLandmarkLabeling::build_with_config(
+            &g,
+            VertexOrder::DegreeDescending,
+            &BuildConfig {
+                storage: LabelStorage::Compressed,
+                ..BuildConfig::default()
+            },
+        );
+        let mut sc_csr = csr.scatter();
+        let mut sc_comp = comp.scatter();
+        for u in g.nodes() {
+            csr.load_source(&mut sc_csr, u);
+            comp.load_source(&mut sc_comp, u);
+            for v in g.nodes() {
+                assert_eq!(
+                    csr.query_one_to_many(&sc_csr, v).map(f64::to_bits),
+                    comp.query_one_to_many(&sc_comp, v).map(f64::to_bits),
+                    "one-to-many ({u},{v})"
+                );
+            }
+        }
     }
 
     #[test]

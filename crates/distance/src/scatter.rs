@@ -11,11 +11,20 @@
 //! This is the same trick PLL construction uses internally to prune
 //! (`pll.rs` scatters each hub's label before its Dijkstra); this module
 //! promotes it to a public query API. [`SourceScatter`] answers exactly
-//! what [`LabelSet::query`] answers — bit-identical results, including
+//! what [`LabelStore::query`] answers — bit-identical results, including
 //! `INFINITY` for disconnected pairs — because it evaluates the same sums
 //! over the same common hubs in the same (ascending-rank) order.
+//!
+//! Both label storages are supported: against the flat CSR backend the
+//! target pass reads ranks directly from the slice; against the compressed
+//! backend ([`CompressedLabelSet`](crate::codec::CompressedLabelSet)) it
+//! decodes the target's delta+varint block in the same single forward
+//! pass, accumulating ranks as it goes — the scatter array is
+//! direct-indexed identically in both cases, so the sums (and their
+//! bits) cannot differ.
 
-use crate::label::{LabelEntry, LabelSet};
+use crate::codec::LabelStore;
+use crate::label::LabelEntry;
 
 /// Reusable scratch for one-to-many label queries.
 ///
@@ -27,11 +36,11 @@ use crate::label::{LabelEntry, LabelSet};
 /// Typical root-scan shape (one scratch per worker thread):
 ///
 /// ```
-/// # use atd_distance::{LabelEntry, LabelSet, SourceScatter};
-/// # let labels = LabelSet::from_lists(&[
+/// # use atd_distance::{LabelEntry, LabelSet, LabelStore, SourceScatter};
+/// # let labels = LabelStore::from(LabelSet::from_lists(&[
 /// #     vec![LabelEntry { hub_rank: 0, dist: 0.0 }],
 /// #     vec![LabelEntry { hub_rank: 0, dist: 2.0 }],
-/// # ]);
+/// # ]));
 /// let mut scatter = SourceScatter::for_labels(&labels);
 /// for root in 0..labels.num_nodes() {
 ///     scatter.load(&labels, root);
@@ -62,7 +71,7 @@ impl SourceScatter {
     }
 
     /// Scratch sized for `labels`.
-    pub fn for_labels(labels: &LabelSet) -> Self {
+    pub fn for_labels(labels: &LabelStore) -> Self {
         Self::new(labels.num_nodes())
     }
 
@@ -81,19 +90,33 @@ impl SourceScatter {
         self.source = None;
     }
 
-    /// Loads `source`'s label, replacing any previous source.
-    pub fn load(&mut self, labels: &LabelSet, source: usize) {
+    /// Loads `source`'s label, replacing any previous source. For the
+    /// compressed backend this is the **one-time per-source scatter
+    /// decode**: the block is decoded once here, after which every target
+    /// query direct-indexes the scatter array without touching the
+    /// source's label again.
+    pub fn load(&mut self, labels: &LabelStore, source: usize) {
         self.clear();
-        let label = labels.of(source);
-        for (&rank, &dist) in label.hub_ranks.iter().zip(label.dists) {
-            self.hub_dist[rank as usize] = dist;
-            self.touched.push(rank);
+        match labels {
+            LabelStore::Csr(l) => {
+                let label = l.of(source);
+                for (&rank, &dist) in label.hub_ranks.iter().zip(label.dists) {
+                    self.hub_dist[rank as usize] = dist;
+                    self.touched.push(rank);
+                }
+            }
+            LabelStore::Compressed(l) => {
+                for e in l.decode(source) {
+                    self.hub_dist[e.hub_rank as usize] = e.dist;
+                    self.touched.push(e.hub_rank);
+                }
+            }
         }
         self.source = Some(source);
     }
 
     /// Loads a label presented as an entry iterator (used by PLL
-    /// construction, whose labels live in a builder, not a [`LabelSet`]).
+    /// construction, whose labels live in a builder, not a [`LabelStore`]).
     /// `source` is recorded as the loaded node.
     pub fn load_entries(&mut self, source: usize, entries: impl IntoIterator<Item = LabelEntry>) {
         self.clear();
@@ -118,15 +141,29 @@ impl SourceScatter {
     /// per target entry: hubs absent from the source's label contribute
     /// `INFINITY + d`, which can never win, so no rank comparison is
     /// needed. Same sums, same order, same float result as the merge-join.
+    /// The compressed path decodes the target's block in the same forward
+    /// pass, so it evaluates literally the same expressions.
     #[inline]
-    pub fn distance(&self, labels: &LabelSet, target: usize) -> f64 {
+    pub fn distance(&self, labels: &LabelStore, target: usize) -> f64 {
         debug_assert!(self.source.is_some(), "no source loaded");
-        let label = labels.of(target);
         let mut best = f64::INFINITY;
-        for (&rank, &dist) in label.hub_ranks.iter().zip(label.dists) {
-            let d = self.hub_dist[rank as usize] + dist;
-            if d < best {
-                best = d;
+        match labels {
+            LabelStore::Csr(l) => {
+                let label = l.of(target);
+                for (&rank, &dist) in label.hub_ranks.iter().zip(label.dists) {
+                    let d = self.hub_dist[rank as usize] + dist;
+                    if d < best {
+                        best = d;
+                    }
+                }
+            }
+            LabelStore::Compressed(l) => {
+                for e in l.decode(target) {
+                    let d = self.hub_dist[e.hub_rank as usize] + e.dist;
+                    if d < best {
+                        best = d;
+                    }
+                }
             }
         }
         best
@@ -136,32 +173,63 @@ impl SourceScatter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::CompressedLabelSet;
+    use crate::label::LabelSet;
 
     fn e(hub_rank: u32, dist: f64) -> LabelEntry {
         LabelEntry { hub_rank, dist }
     }
 
-    fn fixture() -> LabelSet {
-        LabelSet::from_lists(&[
+    fn lists() -> Vec<Vec<LabelEntry>> {
+        vec![
             vec![e(0, 0.0)],
             vec![e(0, 1.0), e(1, 0.0)],
             vec![e(0, 2.5), e(1, 1.5), e(2, 0.0)],
             vec![e(3, 0.0)], // separate component
-        ])
+        ]
+    }
+
+    fn fixture() -> LabelStore {
+        LabelStore::from(LabelSet::from_lists(&lists()))
+    }
+
+    fn fixture_compressed() -> LabelStore {
+        LabelStore::from(CompressedLabelSet::from_lists(&lists()))
     }
 
     #[test]
     fn matches_merge_join_on_all_pairs() {
-        let ls = fixture();
-        let mut sc = SourceScatter::for_labels(&ls);
-        for u in 0..ls.num_nodes() {
-            sc.load(&ls, u);
-            assert_eq!(sc.source(), Some(u));
-            for v in 0..ls.num_nodes() {
-                let (a, b) = (sc.distance(&ls, v), ls.query(u, v));
-                assert!(
-                    a.to_bits() == b.to_bits(),
-                    "({u},{v}): scatter {a} vs merge {b}"
+        for ls in [fixture(), fixture_compressed()] {
+            let mut sc = SourceScatter::for_labels(&ls);
+            for u in 0..ls.num_nodes() {
+                sc.load(&ls, u);
+                assert_eq!(sc.source(), Some(u));
+                for v in 0..ls.num_nodes() {
+                    let (a, b) = (sc.distance(&ls, v), ls.query(u, v));
+                    assert!(
+                        a.to_bits() == b.to_bits(),
+                        "({u},{v}) on {:?}: scatter {a} vs merge {b}",
+                        ls.storage()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn storages_agree_bitwise() {
+        let csr = fixture();
+        let comp = fixture_compressed();
+        let mut sc_csr = SourceScatter::for_labels(&csr);
+        let mut sc_comp = SourceScatter::for_labels(&comp);
+        for u in 0..csr.num_nodes() {
+            sc_csr.load(&csr, u);
+            sc_comp.load(&comp, u);
+            for v in 0..csr.num_nodes() {
+                assert_eq!(
+                    sc_csr.distance(&csr, v).to_bits(),
+                    sc_comp.distance(&comp, v).to_bits(),
+                    "({u},{v})"
                 );
             }
         }
@@ -197,7 +265,11 @@ mod tests {
         let mut via_entries = SourceScatter::for_labels(&ls);
         via_load.load(&ls, 2);
         // Feed the same entries in reverse (builder chains are descending).
-        let reversed: Vec<LabelEntry> = ls.of(2).iter().rev().collect();
+        let reversed: Vec<LabelEntry> = {
+            let mut v: Vec<LabelEntry> = ls.entries(2).collect();
+            v.reverse();
+            v
+        };
         via_entries.load_entries(2, reversed);
         for v in 0..ls.num_nodes() {
             assert_eq!(

@@ -1,0 +1,136 @@
+//! The compressed codec's contract: delta+varint round-trips are lossless
+//! (`encode → decode` reproduces every rank and every distance bit), the
+//! builder-direct conversion ([`LabelSetBuilder::finish_compressed`])
+//! matches both the CSR conversion and the list encoder, and the pairwise
+//! merge-join over compressed streams is bit-identical to the CSR engine —
+//! on arbitrary label shapes, including empty labels, rank gaps spanning
+//! multiple varint bytes, and zero distances.
+
+use atd_distance::{CompressedLabelSet, LabelEntry, LabelSet, LabelSetBuilder};
+use proptest::prelude::*;
+
+/// Random per-node label lists: strictly ascending ranks built from
+/// random gaps (biased to cross the 1-byte/2-byte varint boundaries) and
+/// arbitrary non-negative distances (including exact zeros).
+fn random_lists() -> impl Strategy<Value = Vec<Vec<LabelEntry>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..40_000, 0.0f64..50.0), 0..40),
+        0..16,
+    )
+    .prop_map(|nodes| {
+        nodes
+            .into_iter()
+            .map(|gaps| {
+                let mut rank: u64 = 0;
+                let mut list = Vec::with_capacity(gaps.len());
+                for (i, (gap, dist)) in gaps.into_iter().enumerate() {
+                    // First entry lands on `gap` itself (absolute rank may
+                    // be 0); later entries advance strictly.
+                    rank = if i == 0 {
+                        gap as u64
+                    } else {
+                        rank + 1 + gap as u64
+                    };
+                    // Every eighth distance is an exact zero (hub
+                    // self-entries are zero in real labels).
+                    let dist = if i % 8 == 7 { 0.0 } else { dist };
+                    list.push(LabelEntry {
+                        hub_rank: rank as u32,
+                        dist,
+                    });
+                }
+                list
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Lossless round-trip: every rank and every distance bit survives
+    /// `from_lists → decode`.
+    #[test]
+    fn roundtrip_is_bit_exact(lists in random_lists()) {
+        let c = CompressedLabelSet::from_lists(&lists);
+        prop_assert_eq!(c.num_nodes(), lists.len());
+        for (v, list) in lists.iter().enumerate() {
+            let decoded: Vec<LabelEntry> = c.decode(v).collect();
+            prop_assert_eq!(decoded.len(), list.len(), "node {} length", v);
+            for (i, (got, want)) in decoded.iter().zip(list).enumerate() {
+                prop_assert_eq!(got.hub_rank, want.hub_rank, "node {} entry {}", v, i);
+                prop_assert_eq!(
+                    got.dist.to_bits(),
+                    want.dist.to_bits(),
+                    "node {} entry {} dist {} vs {}",
+                    v, i, got.dist, want.dist
+                );
+            }
+        }
+    }
+
+    /// All three construction paths produce the same store: list encoder,
+    /// CSR re-encoder, and the builder-direct conversion (which never
+    /// materializes the CSR arrays).
+    #[test]
+    fn construction_paths_agree(lists in random_lists()) {
+        let via_lists = CompressedLabelSet::from_lists(&lists);
+        let csr = LabelSet::from_lists(&lists);
+        let via_csr = CompressedLabelSet::from_label_set(&csr);
+
+        // Builder pushes interleave across nodes in global rank order,
+        // the way PLL construction journals entries.
+        let mut flat: Vec<(usize, LabelEntry)> = Vec::new();
+        for (v, list) in lists.iter().enumerate() {
+            for &entry in list {
+                flat.push((v, entry));
+            }
+        }
+        flat.sort_by_key(|&(v, entry)| (entry.hub_rank, v));
+        let mut b = LabelSetBuilder::new(lists.len());
+        for (v, entry) in flat {
+            b.push(v, entry);
+        }
+        let via_builder = b.finish_compressed();
+
+        for v in 0..lists.len() {
+            let a: Vec<LabelEntry> = via_lists.decode(v).collect();
+            let b: Vec<LabelEntry> = via_csr.decode(v).collect();
+            let c: Vec<LabelEntry> = via_builder.decode(v).collect();
+            prop_assert_eq!(&a, &b, "from_label_set differs at node {}", v);
+            prop_assert_eq!(&a, &c, "finish_compressed differs at node {}", v);
+        }
+        prop_assert_eq!(via_lists.stats(), via_csr.stats());
+        prop_assert_eq!(via_lists.stats(), via_builder.stats());
+    }
+
+    /// Pairwise queries over compressed streams are bit-identical to the
+    /// CSR merge-join, including `INFINITY` for hub-disjoint labels.
+    #[test]
+    fn compressed_query_matches_csr(lists in random_lists()) {
+        let csr = LabelSet::from_lists(&lists);
+        let c = CompressedLabelSet::from_lists(&lists);
+        for u in 0..lists.len() {
+            for v in 0..lists.len() {
+                prop_assert_eq!(
+                    c.query(u, v).to_bits(),
+                    csr.query(u, v).to_bits(),
+                    "({},{}): compressed {} vs csr {}",
+                    u, v, c.query(u, v), csr.query(u, v)
+                );
+            }
+        }
+    }
+
+    /// Stats agree on everything except the byte footprint, which counts
+    /// each backend's real arrays.
+    #[test]
+    fn stats_agree_except_bytes(lists in random_lists()) {
+        let a = LabelSet::from_lists(&lists).stats();
+        let b = CompressedLabelSet::from_lists(&lists).stats();
+        prop_assert_eq!(a.nodes, b.nodes);
+        prop_assert_eq!(a.total_entries, b.total_entries);
+        prop_assert_eq!(a.max_entries, b.max_entries);
+        prop_assert_eq!(a.avg_entries.to_bits(), b.avg_entries.to_bits());
+    }
+}

@@ -30,22 +30,27 @@ fn build(n: usize, edges: &[(u32, u32, f64)]) -> atd_graph::ExpertGraph {
     b.build().unwrap()
 }
 
-/// Bitwise label equality (ranks and f64 bit patterns per node).
+/// Bitwise label equality (ranks and f64 bit patterns per node),
+/// independent of either index's storage backend.
 fn bit_identical(a: &PrunedLandmarkLabeling, b: &PrunedLandmarkLabeling) -> Result<(), String> {
     if a.num_nodes() != b.num_nodes() {
         return Err("node counts differ".into());
     }
     for v in 0..a.num_nodes() {
-        let (la, lb) = (a.labels().of(v), b.labels().of(v));
-        if la.hub_ranks != lb.hub_ranks {
-            return Err(format!(
-                "node {v}: ranks {:?} vs {:?}",
-                la.hub_ranks, lb.hub_ranks
-            ));
+        let la: Vec<_> = a.labels().entries(v).collect();
+        let lb: Vec<_> = b.labels().entries(v).collect();
+        if la.len() != lb.len() {
+            return Err(format!("node {v}: {} vs {} entries", la.len(), lb.len()));
         }
-        for (i, (x, y)) in la.dists.iter().zip(lb.dists).enumerate() {
-            if x.to_bits() != y.to_bits() {
-                return Err(format!("node {v} entry {i}: dist {x} vs {y}"));
+        for (i, (x, y)) in la.iter().zip(&lb).enumerate() {
+            if x.hub_rank != y.hub_rank {
+                return Err(format!(
+                    "node {v} entry {i}: rank {} vs {}",
+                    x.hub_rank, y.hub_rank
+                ));
+            }
+            if x.dist.to_bits() != y.dist.to_bits() {
+                return Err(format!("node {v} entry {i}: dist {} vs {}", x.dist, y.dist));
             }
         }
     }
@@ -71,7 +76,7 @@ proptest! {
                 let par = PrunedLandmarkLabeling::build_with_config(
                     &g,
                     VertexOrder::DegreeDescending,
-                    &BuildConfig { threads: Some(threads), batch_size },
+                    &BuildConfig { threads: Some(threads), batch_size, ..BuildConfig::default() },
                 );
                 let res = bit_identical(&seq, &par);
                 prop_assert!(
@@ -91,7 +96,7 @@ proptest! {
         let par = PrunedLandmarkLabeling::build_with_config(
             &g,
             VertexOrder::DegreeDescending,
-            &BuildConfig { threads: Some(4), batch_size: 5 },
+            &BuildConfig { threads: Some(4), batch_size: 5, ..BuildConfig::default() },
         );
         let dij = DijkstraOracle::new(&g);
         for u in g.nodes() {
@@ -117,7 +122,7 @@ proptest! {
         let par = PrunedLandmarkLabeling::build_with_config(
             &g,
             VertexOrder::AuthorityDescending,
-            &BuildConfig { threads: Some(2), batch_size: 4 },
+            &BuildConfig { threads: Some(2), batch_size: 4, ..BuildConfig::default() },
         );
         let res = bit_identical(&seq, &par);
         prop_assert!(res.is_ok(), "{}", res.unwrap_err());

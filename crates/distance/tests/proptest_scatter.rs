@@ -6,7 +6,9 @@
 //! previous source).
 
 use atd_distance::order::VertexOrder;
-use atd_distance::{DistanceOracle, PrunedLandmarkLabeling, SourceScatter};
+use atd_distance::{
+    BuildConfig, DistanceOracle, LabelStorage, PrunedLandmarkLabeling, SourceScatter,
+};
 use atd_graph::{GraphBuilder, NodeId};
 use proptest::prelude::*;
 
@@ -75,6 +77,49 @@ proptest! {
                     pairwise.map(f64::to_bits),
                     "({},{}): batched {:?} vs pairwise {:?}",
                     u, v, batched, pairwise
+                );
+            }
+        }
+    }
+
+    /// Storage backends answer every scatter query bit-identically: the
+    /// compressed index's one-to-many scan decodes the same entries in
+    /// the same order the CSR slice walk reads them, so the sums (and
+    /// their f64 bits) cannot differ — and both match the pairwise
+    /// merge-join of their own backend.
+    #[test]
+    fn scatter_is_storage_independent((n, edges) in random_graph()) {
+        let g = build(n, &edges);
+        let csr = PrunedLandmarkLabeling::build(&g);
+        let comp = PrunedLandmarkLabeling::build_with_config(
+            &g,
+            VertexOrder::DegreeDescending,
+            &BuildConfig {
+                storage: LabelStorage::Compressed,
+                ..BuildConfig::default()
+            },
+        );
+        prop_assert_eq!(comp.storage(), LabelStorage::Compressed);
+        let mut sc_csr = csr.scatter();
+        let mut sc_comp = comp.scatter();
+        for u in g.nodes() {
+            csr.load_source(&mut sc_csr, u);
+            comp.load_source(&mut sc_comp, u);
+            for v in g.nodes() {
+                let a = csr.query_one_to_many(&sc_csr, v);
+                let b = comp.query_one_to_many(&sc_comp, v);
+                prop_assert_eq!(
+                    a.map(f64::to_bits),
+                    b.map(f64::to_bits),
+                    "({},{}): csr {:?} vs compressed {:?}",
+                    u, v, a, b
+                );
+                let pairwise = comp.labels().query(u.index(), v.index());
+                let scattered = sc_comp.distance(comp.labels(), v.index());
+                prop_assert_eq!(
+                    pairwise.to_bits(), scattered.to_bits(),
+                    "({},{}): compressed merge {} vs scatter {}",
+                    u, v, pairwise, scattered
                 );
             }
         }

@@ -3,18 +3,22 @@
 //! ```text
 //! experiments [fig3|fig4|fig5|fig6|runtime|venue|ablation|all]
 //!             [--scale tiny|small|medium|paper] [--out DIR]
-//!             [--pll-threads N] [--pll-batch N]
+//!             [--pll-threads N] [--pll-batch N] [--pll-storage csr|compressed]
 //! ```
 //!
 //! Default: `all --scale small --out results`. `--pll-threads` /
 //! `--pll-batch` pin the parallel PLL builder's configuration so
-//! cold-start (index construction) time can be measured end-to-end; the
-//! built index is bit-identical either way.
+//! cold-start (index construction) time can be measured end-to-end;
+//! `--pll-storage` selects the label storage backend (flat CSR arrays or
+//! delta+varint compressed blocks). The built labels are bit-identical
+//! in every case — these flags tune cold-start time and index memory,
+//! never results.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use atd_core::greedy::DiscoveryOptions;
+use atd_distance::LabelStorage;
 use atd_eval::figures::{ablation, fig3, fig4, fig5, fig6, runtime, venue_quality};
 use atd_eval::testbed::{Scale, Testbed};
 
@@ -24,6 +28,7 @@ struct Args {
     out: Option<PathBuf>,
     pll_threads: Option<usize>,
     pll_batch: Option<usize>,
+    pll_storage: Option<LabelStorage>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
     let mut out = Some(PathBuf::from("results"));
     let mut pll_threads = None;
     let mut pll_batch = None;
+    let mut pll_storage = None;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -56,11 +62,19 @@ fn parse_args() -> Result<Args, String> {
                 let v = argv.next().ok_or("--pll-batch needs a value")?;
                 pll_batch = Some(v.parse().map_err(|_| format!("bad batch size '{v}'"))?);
             }
+            "--pll-storage" => {
+                let v = argv.next().ok_or("--pll-storage needs a value")?;
+                pll_storage = Some(
+                    LabelStorage::parse(&v)
+                        .ok_or_else(|| format!("unknown storage '{v}' (csr|compressed)"))?,
+                );
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: experiments [fig3|fig4|fig5|fig6|runtime|venue|ablation|all] \
                             [--scale tiny|small|medium|paper] [--out DIR|-] \
-                            [--pll-threads N] [--pll-batch N]"
+                            [--pll-threads N] [--pll-batch N] \
+                            [--pll-storage csr|compressed]"
                         .into(),
                 )
             }
@@ -76,6 +90,7 @@ fn parse_args() -> Result<Args, String> {
         out,
         pll_threads,
         pll_batch,
+        pll_storage,
     })
 }
 
@@ -101,6 +116,10 @@ fn main() {
     if let Some(b) = args.pll_batch {
         options.pll_build.batch_size = b;
     }
+    if let Some(st) = args.pll_storage {
+        options.pll_build.storage = st;
+    }
+    let storage = options.pll_build.storage;
     let tb = Testbed::with_options(args.scale, options);
     println!(
         "testbed: {} experts, {} edges, {} skills, {} skill holders (built in {:.1?})",
@@ -114,7 +133,7 @@ fn main() {
     println!(
         "pll cold start: {} threads, batch cap {}, {} batches, \
          search {:.1?} + merge {:.1?}, {} journaled -> {} committed entries, \
-         {} repaired hubs\n",
+         {} repaired hubs",
         prof.threads,
         prof.batch_size,
         prof.batches.len(),
@@ -123,6 +142,15 @@ fn main() {
         prof.journaled_entries,
         prof.committed_entries,
         prof.repaired_hubs
+    );
+    let stats = tb.engine.pll_stats();
+    println!(
+        "pll labels: {:?} storage, {} entries (avg {:.1}, max {}), {} KiB\n",
+        storage,
+        stats.total_entries,
+        stats.avg_entries,
+        stats.max_entries,
+        stats.bytes / 1024
     );
     let out = args.out.as_deref();
 

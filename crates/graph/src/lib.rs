@@ -26,7 +26,7 @@
 //!   deduplication.
 //! * [`ExpertGraph`] — the immutable CSR graph: adjacency, authorities,
 //!   weight mapping (used by the paper's `G -> G'` authority transform).
-//! * [`dijkstra`] — single-source shortest paths with parent pointers.
+//! * [`dijkstra()`] — single-source shortest paths with parent pointers.
 //! * [`traversal`] — BFS and connected components.
 //! * [`tree`] — building and validating team subtrees from parent maps.
 

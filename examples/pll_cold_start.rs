@@ -46,12 +46,15 @@ fn main() {
     );
     let seq_time = t0.elapsed();
     let stats = seq.stats();
+    let compressed = seq.labels().compressed_stats();
     println!(
-        "labels: {} entries, avg {:.1}, max {}, {} KiB CSR",
+        "labels: {} entries, avg {:.1}, max {}, {} KiB CSR / {} KiB compressed ({:.1}%)",
         stats.total_entries,
         stats.avg_entries,
         stats.max_entries,
-        stats.bytes / 1024
+        stats.bytes / 1024,
+        compressed.bytes / 1024,
+        100.0 * compressed.bytes as f64 / stats.bytes as f64
     );
     println!("sequential build: {seq_time:.2?}");
 
@@ -63,6 +66,7 @@ fn main() {
             &PllBuildConfig {
                 threads: Some(t),
                 batch_size: 64,
+                ..PllBuildConfig::default()
             },
         );
         let wall = t1.elapsed();
