@@ -13,12 +13,13 @@
 //! The scatter variant removes the `t·|C(s)|` repeated root-side label
 //! walks per root, which is where the ≥2× comes from.
 //!
-//! The `one_to_many_storage` group (PR 3) runs the same scatter root scan
-//! against both label storage backends — flat CSR arrays vs. delta+varint
-//! compressed blocks — and prints each backend's byte footprint and the
-//! compression ratio to stderr. Results are bit-identical (asserted
-//! in-bench); the group measures the pure decode cost the compressed
-//! backend pays on the scan, against the memory it saves.
+//! The `one_to_many_storage` group (PR 3, extended in PR 4) runs the
+//! same scatter root scan against **every** label storage backend — flat
+//! CSR or delta+varint hub ranks × flat `f64` or dictionary-coded
+//! distances — and prints each backend's byte footprint and compression
+//! ratio to stderr. Results are bit-identical (asserted in-bench); the
+//! group measures the pure decode cost each backend pays on the scan,
+//! against the memory it saves.
 
 use atd_bench::{project, testbed};
 use atd_core::skills::Project;
@@ -121,19 +122,15 @@ fn scatter_root_scan(
     acc
 }
 
-/// CSR vs compressed label storage under the identical scatter root scan:
-/// the query-time delta the compressed backend pays for its smaller
+/// Every label storage backend under the identical scatter root scan:
+/// the query-time delta each compressed/dict plane pays for its smaller
 /// footprint.
 fn bench_storage(c: &mut Criterion) {
     let tb = testbed();
     let g = &tb.net.graph;
-    let configs = [
-        ("csr", LabelStorage::Csr),
-        ("compressed", LabelStorage::Compressed),
-    ];
-    let indices: Vec<(&str, PrunedLandmarkLabeling)> = configs
+    let indices: Vec<(&str, PrunedLandmarkLabeling)> = LabelStorage::ALL
         .iter()
-        .map(|&(name, storage)| {
+        .map(|&storage| {
             let pll = PrunedLandmarkLabeling::build_with_config(
                 g,
                 VertexOrder::DegreeDescending,
@@ -142,20 +139,26 @@ fn bench_storage(c: &mut Criterion) {
                     ..PllBuildConfig::default()
                 },
             );
-            (name, pll)
+            (storage.name(), pll)
         })
         .collect();
-    let csr_bytes = indices[0].1.stats().bytes;
-    let comp_bytes = indices[1].1.stats().bytes;
+    let csr = indices[0].1.stats();
     eprintln!(
-        "one_to_many_storage testbed: {} nodes, {} entries; csr {} KiB, \
-         compressed {} KiB ({:.1}% of csr)",
+        "one_to_many_storage testbed: {} nodes, {} entries",
         g.num_nodes(),
-        indices[0].1.stats().total_entries,
-        csr_bytes / 1024,
-        comp_bytes / 1024,
-        100.0 * comp_bytes as f64 / csr_bytes as f64
+        csr.total_entries,
     );
+    for (name, pll) in &indices {
+        let s = pll.stats();
+        eprintln!(
+            "  {:>15}: {:>5} KiB ({:>5.1}% of csr; {}; {} dict values)",
+            name,
+            s.bytes / 1024,
+            100.0 * s.bytes as f64 / csr.bytes as f64,
+            s.breakdown_kib(),
+            s.dict_values,
+        );
+    }
 
     let p = project(6, 42);
     let holders = holder_lists(&p);

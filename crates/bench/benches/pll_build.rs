@@ -59,18 +59,21 @@ fn bench_pll_build_config(c: &mut Criterion) {
         &PllBuildConfig::sequential(),
     );
     let stats = seq.stats();
-    let compressed_bytes = seq.labels().compressed_stats().bytes;
     eprintln!(
-        "pll_build testbed: {} nodes, {} entries, avg label {:.1}, max label {}, \
-         {} KiB CSR / {} KiB compressed ({:.1}%)",
-        stats.nodes,
-        stats.total_entries,
-        stats.avg_entries,
-        stats.max_entries,
-        stats.bytes / 1024,
-        compressed_bytes / 1024,
-        100.0 * compressed_bytes as f64 / stats.bytes as f64
+        "pll_build testbed: {} nodes, {} entries, avg label {:.1}, max label {}",
+        stats.nodes, stats.total_entries, stats.avg_entries, stats.max_entries,
     );
+    for storage in LabelStorage::ALL {
+        let s = seq.labels().stats_in(storage);
+        eprintln!(
+            "  {:>15}: {:>5} KiB ({:>5.1}% of csr; {}; {} dict values)",
+            storage.name(),
+            s.bytes / 1024,
+            100.0 * s.bytes as f64 / stats.bytes as f64,
+            s.breakdown_kib(),
+            s.dict_values,
+        );
+    }
     let par = PrunedLandmarkLabeling::build_with_config(
         &g,
         VertexOrder::DegreeDescending,
@@ -82,6 +85,30 @@ fn bench_pll_build_config(c: &mut Criterion) {
     );
     // The whole point of the design: any config, same bits.
     assert_eq!(par.stats(), seq.stats(), "parallel build must be identical");
+    for storage in [LabelStorage::CsrDict, LabelStorage::CompressedDict] {
+        let dict = PrunedLandmarkLabeling::build_with_config(
+            &g,
+            VertexOrder::DegreeDescending,
+            &PllBuildConfig {
+                storage,
+                ..PllBuildConfig::sequential()
+            },
+        );
+        assert_eq!(dict.stats().total_entries, stats.total_entries);
+        for v in 0..g.num_nodes() {
+            let a: Vec<_> = seq.labels().entries(v).collect();
+            let b: Vec<_> = dict.labels().entries(v).collect();
+            assert_eq!(a.len(), b.len(), "{storage:?} label length at {v}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.hub_rank, y.hub_rank, "{storage:?} rank at {v}");
+                assert_eq!(
+                    x.dist.to_bits(),
+                    y.dist.to_bits(),
+                    "{storage:?} dist bits at {v}"
+                );
+            }
+        }
+    }
     let prof = par.build_profile();
     eprintln!(
         "parallel profile (t=4, b=64): {} batches, search {:.1?}, merge {:.1?}, \
@@ -109,6 +136,20 @@ fn bench_pll_build_config(c: &mut Criterion) {
             "seq_compressed",
             PllBuildConfig {
                 storage: LabelStorage::Compressed,
+                ..PllBuildConfig::sequential()
+            },
+        ),
+        (
+            "seq_csr_dict",
+            PllBuildConfig {
+                storage: LabelStorage::CsrDict,
+                ..PllBuildConfig::sequential()
+            },
+        ),
+        (
+            "seq_compressed_dict",
+            PllBuildConfig {
+                storage: LabelStorage::CompressedDict,
                 ..PllBuildConfig::sequential()
             },
         ),

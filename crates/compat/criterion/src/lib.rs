@@ -9,9 +9,14 @@
 //! appended as JSON lines to `target/criterion-lite/results.jsonl` (path
 //! overridable via `CRITERION_LITE_OUT`) so callers can postprocess
 //! measurements without scraping stdout.
+//!
+//! Like upstream criterion, positional CLI arguments act as substring
+//! filters over benchmark ids (`cargo bench --bench one_to_many --
+//! one_to_many_storage` runs just that group); flags are ignored.
 
 use std::fmt::Display;
 use std::io::Write as _;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -150,7 +155,48 @@ impl Bencher {
     }
 }
 
+/// Substring filters from positional CLI args (flags are skipped, the
+/// way upstream criterion treats the harness arguments cargo forwards).
+static FILTERS: OnceLock<Vec<String>> = OnceLock::new();
+
+/// Upstream-criterion flags that take a separate value argument; the
+/// value must not be mistaken for a positional filter (a filter that
+/// matches no id would silently skip every benchmark).
+const VALUE_FLAGS: &[&str] = &[
+    "--save-baseline",
+    "--baseline",
+    "--load-baseline",
+    "--sample-size",
+    "--warm-up-time",
+    "--measurement-time",
+    "--profile-time",
+    "--output-format",
+    "--color",
+];
+
+fn filters() -> &'static [String] {
+    FILTERS.get_or_init(|| {
+        let mut out = Vec::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if VALUE_FLAGS.contains(&a.as_str()) {
+                let _ = args.next();
+            } else if !a.starts_with('-') {
+                out.push(a);
+            }
+        }
+        out
+    })
+}
+
 fn run_benchmark(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let skip = {
+        let fs = filters();
+        !fs.is_empty() && !fs.iter().any(|f| id.contains(f.as_str()))
+    };
+    if skip {
+        return;
+    }
     let mut b = Bencher {
         iters_per_sample: 1,
         samples: Vec::with_capacity(sample_size),
@@ -248,6 +294,9 @@ mod tests {
 
     #[test]
     fn measures_and_reports() {
+        // The test binary's own args (e.g. a test-name filter) must not
+        // leak into the bench filter logic.
+        let _ = FILTERS.set(Vec::new());
         std::env::set_var(
             "CRITERION_LITE_OUT",
             std::env::temp_dir().join("criterion-lite-test.jsonl"),

@@ -82,11 +82,12 @@ pub struct DiscoveryOptions {
     pub prune_dangling_connectors: bool,
     /// PLL index construction settings: worker threads + rank-batch size
     /// for the batch-synchronous parallel builder, plus the label storage
-    /// backend (`LabelStorage::Csr` flat arrays or
-    /// `LabelStorage::Compressed` delta+varint blocks). The produced
-    /// labels are bit-identical regardless, so threads/batch only tune
-    /// cold-start time and storage only trades index memory against
-    /// per-entry decode work on the scan.
+    /// backend (flat CSR or delta+varint hub ranks × flat `f64` or
+    /// dictionary-coded distances — `LabelStorage::{Csr, Compressed,
+    /// CsrDict, CompressedDict}`). The produced labels are bit-identical
+    /// regardless, so threads/batch only tune cold-start time and storage
+    /// only trades index memory against per-entry decode work on the
+    /// scan.
     pub pll_build: PllBuildConfig,
 }
 
@@ -763,6 +764,62 @@ mod tests {
                 assert_eq!(x.team.member_key(), y.team.member_key());
                 assert_eq!(x.objective.to_bits(), y.objective.to_bits());
                 assert_eq!(x.algorithm_cost.to_bits(), y.algorithm_cost.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn dict_label_storage_yields_identical_teams() {
+        // The dictionary distance plane decodes every distance to the
+        // identical f64 bit pattern, so top-k discovery through either
+        // dict backend must match the CSR engine exactly — same member
+        // sets, same objective bits, same algorithm-cost bits.
+        use atd_distance::LabelStorage;
+        let (g, idx, sn, tm) = figure1();
+        let project = Project::new(vec![sn, tm]);
+        let csr = Discovery::with_options(
+            g.clone(),
+            idx.clone(),
+            DiscoveryOptions {
+                threads: Some(1),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for storage in [LabelStorage::CsrDict, LabelStorage::CompressedDict] {
+            let dict = Discovery::with_options(
+                g.clone(),
+                idx.clone(),
+                DiscoveryOptions {
+                    threads: Some(1),
+                    pll_build: PllBuildConfig {
+                        storage,
+                        ..PllBuildConfig::default()
+                    },
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let (sa, sb) = (csr.pll_stats(), dict.pll_stats());
+            assert_eq!(sa.total_entries, sb.total_entries);
+            assert!(sb.dict_values > 0, "{storage:?} must carry a table");
+            assert_eq!(sb.dict_bytes, 8 * sb.dict_values);
+            for strategy in [
+                Strategy::Cc,
+                Strategy::CaCc { gamma: 0.6 },
+                Strategy::SaCaCc {
+                    gamma: 0.6,
+                    lambda: 0.6,
+                },
+            ] {
+                let a = csr.top_k(&project, strategy, 3).unwrap();
+                let b = dict.top_k(&project, strategy, 3).unwrap();
+                assert_eq!(a.len(), b.len(), "{storage:?} {strategy}");
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.team.member_key(), y.team.member_key());
+                    assert_eq!(x.objective.to_bits(), y.objective.to_bits());
+                    assert_eq!(x.algorithm_cost.to_bits(), y.algorithm_cost.to_bits());
+                }
             }
         }
     }

@@ -17,25 +17,31 @@
 //! performs anyway. See `crates/distance/src/README.md` for the byte-level
 //! format specification and decode invariants.
 //!
-//! [`LabelStore`] is the runtime storage dispatcher: every query surface
-//! ([`LabelStore::query`], [`SourceScatter`](crate::scatter::SourceScatter))
-//! evaluates the same sums over the same common hubs in the same ascending
-//! rank order for both backends, so results are **bit-identical** across
-//! storages — enforced by `tests/proptest_codec.rs` and
-//! `tests/proptest_scatter.rs`.
+//! [`LabelStore`] is the runtime storage dispatcher over the full
+//! four-way backend matrix (rank plane × distance plane, the latter in
+//! [`dict`](crate::dict)): every query surface ([`LabelStore::query`],
+//! [`SourceScatter`](crate::scatter::SourceScatter)) evaluates the same
+//! sums over the same common hubs in the same ascending rank order for
+//! every backend, so results are **bit-identical** across storages —
+//! enforced by `tests/proptest_codec.rs` and `tests/proptest_scatter.rs`.
 
-use crate::label::{LabelEntry, LabelRef, LabelSet, LabelSetBuilder, LabelStats};
+use crate::dict::{CompressedDictLabelSet, DictDecoder, DictEntries, DictLabelSet};
+use crate::label::{
+    merge_join_entries, LabelEntry, LabelRef, LabelSet, LabelSetBuilder, LabelStats,
+};
 
 #[cfg(test)]
 use crate::label::merge_join_min;
 
 /// Which physical representation a built index keeps its labels in.
 ///
-/// Both backends answer every query bit-identically; the choice trades
-/// memory footprint (`Compressed` is smaller) against per-entry decode
-/// work on the query scan (`Csr` reads ranks directly). Threaded through
-/// `BuildConfig::storage`, `DiscoveryOptions::pll_build`, and
-/// `experiments --pll-storage`.
+/// The storage matrix is two orthogonal axes — the **rank plane** (flat
+/// `u32` CSR array vs. delta+varint blocks) × the **distance plane**
+/// (flat `f64` array vs. dictionary codes into a sorted value table) —
+/// giving four backends. All four answer every query bit-identically;
+/// the choice trades memory footprint against per-entry decode work on
+/// the query scan. Threaded through `BuildConfig::storage`,
+/// `DiscoveryOptions::pll_build`, and `experiments --pll-storage`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum LabelStorage {
     /// Flat CSR arrays: `u32` ranks + `f64` dists ([`LabelSet`]).
@@ -44,25 +50,56 @@ pub enum LabelStorage {
     /// Delta+varint rank blocks + flat `f64` dists
     /// ([`CompressedLabelSet`]).
     Compressed,
+    /// Flat CSR `u32` ranks + dictionary-coded dists
+    /// ([`DictLabelSet`]).
+    CsrDict,
+    /// Delta+varint rank blocks + dictionary-coded dists
+    /// ([`CompressedDictLabelSet`]) — the smallest backend.
+    CompressedDict,
 }
 
 impl LabelStorage {
-    /// Parses a CLI name (`"csr"` / `"compressed"`).
+    /// Every backend, in CSR-first order — what backend sweeps (benches,
+    /// equivalence proptests) iterate.
+    pub const ALL: [LabelStorage; 4] = [
+        LabelStorage::Csr,
+        LabelStorage::Compressed,
+        LabelStorage::CsrDict,
+        LabelStorage::CompressedDict,
+    ];
+
+    /// Parses a CLI name
+    /// (`"csr"` / `"compressed"` / `"csr-dict"` / `"compressed-dict"`).
     ///
     /// ```
     /// use atd_distance::LabelStorage;
     /// assert_eq!(LabelStorage::parse("csr"), Some(LabelStorage::Csr));
     /// assert_eq!(
-    ///     LabelStorage::parse("compressed"),
-    ///     Some(LabelStorage::Compressed)
+    ///     LabelStorage::parse("compressed-dict"),
+    ///     Some(LabelStorage::CompressedDict)
     /// );
     /// assert_eq!(LabelStorage::parse("zstd"), None);
+    /// for s in LabelStorage::ALL {
+    ///     assert_eq!(LabelStorage::parse(s.name()), Some(s));
+    /// }
     /// ```
     pub fn parse(s: &str) -> Option<LabelStorage> {
         match s {
             "csr" => Some(LabelStorage::Csr),
             "compressed" => Some(LabelStorage::Compressed),
+            "csr-dict" => Some(LabelStorage::CsrDict),
+            "compressed-dict" => Some(LabelStorage::CompressedDict),
             _ => None,
+        }
+    }
+
+    /// The CLI name [`LabelStorage::parse`] accepts for this backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            LabelStorage::Csr => "csr",
+            LabelStorage::Compressed => "compressed",
+            LabelStorage::CsrDict => "csr-dict",
+            LabelStorage::CompressedDict => "compressed-dict",
         }
     }
 }
@@ -107,7 +144,7 @@ pub(crate) fn read_varint(bytes: &[u8], pos: &mut usize) -> u32 {
 /// and decoder both start from `rank_{-1} = -1` (as a wrapping `u32`), so
 /// every entry — including the first — stores `rank_i - rank_{i-1} - 1`
 /// and the decode loop needs no first-entry branch.
-const PREV_NONE: u32 = u32::MAX;
+pub(crate) const PREV_NONE: u32 = u32::MAX;
 
 /// The label lists of every node as per-node delta+varint blocks.
 ///
@@ -264,49 +301,27 @@ impl CompressedLabelSet {
     /// labels share none. Bit-identical to [`LabelSet::query`] — same
     /// sums over the same hubs in the same ascending order.
     pub fn query(&self, u: usize, v: usize) -> f64 {
-        let mut a = self.decode(u);
-        let mut b = self.decode(v);
-        let (mut ea, mut eb) = (a.next(), b.next());
-        let mut best = f64::INFINITY;
-        while let (Some(x), Some(y)) = (ea, eb) {
-            match x.hub_rank.cmp(&y.hub_rank) {
-                std::cmp::Ordering::Equal => {
-                    let d = x.dist + y.dist;
-                    if d < best {
-                        best = d;
-                    }
-                    ea = a.next();
-                    eb = b.next();
-                }
-                std::cmp::Ordering::Less => ea = a.next(),
-                std::cmp::Ordering::Greater => eb = b.next(),
-            }
-        }
-        best
+        merge_join_entries(self.decode(u), self.decode(v))
     }
 
     /// Computes summary statistics. `bytes` counts all four arrays —
     /// the figure to compare against the CSR baseline.
     pub fn stats(&self) -> LabelStats {
         let nodes = self.num_nodes();
-        let total_entries = self.dists.len();
         let max_entries = (0..nodes)
             .map(|v| (self.offsets[v + 1] - self.offsets[v]) as usize)
             .max()
             .unwrap_or(0);
-        LabelStats {
+        LabelStats::from_parts(
             nodes,
-            total_entries,
-            avg_entries: if nodes == 0 {
-                0.0
-            } else {
-                total_entries as f64 / nodes as f64
-            },
+            self.dists.len(),
             max_entries,
-            bytes: std::mem::size_of::<u32>() * (self.offsets.len() + self.byte_offsets.len())
-                + self.rank_bytes.len()
-                + std::mem::size_of::<f64>() * self.dists.len(),
-        }
+            std::mem::size_of::<u32>() * (self.offsets.len() + self.byte_offsets.len()),
+            self.rank_bytes.len(),
+            std::mem::size_of::<f64>() * self.dists.len(),
+            0,
+            0,
+        )
     }
 }
 
@@ -315,7 +330,7 @@ impl CompressedLabelSet {
 /// first entry stores its absolute rank and every later one its strict
 /// gap minus one.
 #[inline]
-fn gap(prev: u32, rank: u32) -> u32 {
+pub(crate) fn gap(prev: u32, rank: u32) -> u32 {
     rank.wrapping_sub(prev).wrapping_sub(1)
 }
 
@@ -377,8 +392,12 @@ impl ExactSizeIterator for LabelDecoder<'_> {}
 pub enum LabelStore {
     /// Flat CSR arrays.
     Csr(LabelSet),
-    /// Delta+varint per-node blocks.
+    /// Delta+varint per-node blocks, flat dists.
     Compressed(CompressedLabelSet),
+    /// Flat CSR ranks, dictionary-coded dists.
+    CsrDict(DictLabelSet),
+    /// Delta+varint rank blocks, dictionary-coded dists.
+    CompressedDict(CompressedDictLabelSet),
 }
 
 impl From<LabelSet> for LabelStore {
@@ -393,6 +412,18 @@ impl From<CompressedLabelSet> for LabelStore {
     }
 }
 
+impl From<DictLabelSet> for LabelStore {
+    fn from(labels: DictLabelSet) -> Self {
+        LabelStore::CsrDict(labels)
+    }
+}
+
+impl From<CompressedDictLabelSet> for LabelStore {
+    fn from(labels: CompressedDictLabelSet) -> Self {
+        LabelStore::CompressedDict(labels)
+    }
+}
+
 impl LabelStore {
     /// Which storage backend this store uses.
     #[inline]
@@ -400,6 +431,8 @@ impl LabelStore {
         match self {
             LabelStore::Csr(_) => LabelStorage::Csr,
             LabelStore::Compressed(_) => LabelStorage::Compressed,
+            LabelStore::CsrDict(_) => LabelStorage::CsrDict,
+            LabelStore::CompressedDict(_) => LabelStorage::CompressedDict,
         }
     }
 
@@ -409,7 +442,7 @@ impl LabelStore {
     pub fn as_csr(&self) -> Option<&LabelSet> {
         match self {
             LabelStore::Csr(l) => Some(l),
-            LabelStore::Compressed(_) => None,
+            _ => None,
         }
     }
 
@@ -419,6 +452,8 @@ impl LabelStore {
         match self {
             LabelStore::Csr(l) => l.num_nodes(),
             LabelStore::Compressed(l) => l.num_nodes(),
+            LabelStore::CsrDict(l) => l.num_nodes(),
+            LabelStore::CompressedDict(l) => l.num_nodes(),
         }
     }
 
@@ -433,6 +468,8 @@ impl LabelStore {
                     next: 0,
                 },
                 LabelStore::Compressed(l) => EntriesInner::Compressed(l.decode(node)),
+                LabelStore::CsrDict(l) => EntriesInner::CsrDict(l.entries(node)),
+                LabelStore::CompressedDict(l) => EntriesInner::CompressedDict(l.decode(node)),
             },
         }
     }
@@ -443,25 +480,48 @@ impl LabelStore {
         match self {
             LabelStore::Csr(l) => l.query(u, v),
             LabelStore::Compressed(l) => l.query(u, v),
+            LabelStore::CsrDict(l) => l.query(u, v),
+            LabelStore::CompressedDict(l) => l.query(u, v),
         }
     }
 
     /// Summary statistics; `bytes` reflects the active backend's real
-    /// footprint.
+    /// footprint, broken into planes by the `*_bytes` fields.
     pub fn stats(&self) -> LabelStats {
         match self {
             LabelStore::Csr(l) => l.stats(),
             LabelStore::Compressed(l) => l.stats(),
+            LabelStore::CsrDict(l) => l.stats(),
+            LabelStore::CompressedDict(l) => l.stats(),
         }
     }
 
-    /// Statistics of the **compressed** encoding of these labels,
-    /// re-encoding on the fly when the active backend is CSR — the
-    /// footprint-comparison diagnostic benches and examples report.
-    pub fn compressed_stats(&self) -> LabelStats {
-        match self {
-            LabelStore::Csr(l) => CompressedLabelSet::from_label_set(l).stats(),
-            LabelStore::Compressed(l) => l.stats(),
+    /// Statistics of these labels re-encoded in `storage`, without
+    /// rebuilding the index — the footprint-comparison diagnostic the
+    /// benches and examples report. Returns [`LabelStore::stats`] when
+    /// `storage` is already the active backend; otherwise re-encodes on
+    /// the fly (cheap from CSR, via an entry-list round-trip from the
+    /// other backends — a diagnostic path, not a serving path).
+    pub fn stats_in(&self, storage: LabelStorage) -> LabelStats {
+        if storage == self.storage() {
+            return self.stats();
+        }
+        if let LabelStore::Csr(l) = self {
+            return match storage {
+                LabelStorage::Csr => unreachable!("handled by the equal-storage case"),
+                LabelStorage::Compressed => CompressedLabelSet::from_label_set(l).stats(),
+                LabelStorage::CsrDict => DictLabelSet::from_label_set(l).stats(),
+                LabelStorage::CompressedDict => CompressedDictLabelSet::from_label_set(l).stats(),
+            };
+        }
+        let lists: Vec<Vec<LabelEntry>> = (0..self.num_nodes())
+            .map(|v| self.entries(v).collect())
+            .collect();
+        match storage {
+            LabelStorage::Csr => LabelSet::from_lists(&lists).stats(),
+            LabelStorage::Compressed => CompressedLabelSet::from_lists(&lists).stats(),
+            LabelStorage::CsrDict => DictLabelSet::from_lists(&lists).stats(),
+            LabelStorage::CompressedDict => CompressedDictLabelSet::from_lists(&lists).stats(),
         }
     }
 }
@@ -475,6 +535,8 @@ pub struct LabelEntries<'a> {
 enum EntriesInner<'a> {
     Csr { label: LabelRef<'a>, next: usize },
     Compressed(LabelDecoder<'a>),
+    CsrDict(DictEntries<'a>),
+    CompressedDict(DictDecoder<'a>),
 }
 
 impl Iterator for LabelEntries<'_> {
@@ -493,6 +555,8 @@ impl Iterator for LabelEntries<'_> {
                 })
             }
             EntriesInner::Compressed(d) => d.next(),
+            EntriesInner::CsrDict(d) => d.next(),
+            EntriesInner::CompressedDict(d) => d.next(),
         }
     }
 
@@ -503,6 +567,8 @@ impl Iterator for LabelEntries<'_> {
                 (rem, Some(rem))
             }
             EntriesInner::Compressed(d) => d.size_hint(),
+            EntriesInner::CsrDict(d) => d.size_hint(),
+            EntriesInner::CompressedDict(d) => d.size_hint(),
         }
     }
 }

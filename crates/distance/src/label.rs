@@ -75,14 +75,19 @@ impl<'a> LabelRef<'a> {
 #[derive(Clone, Debug, Default)]
 pub struct LabelSet {
     /// `offsets[v]..offsets[v + 1]` is node `v`'s slice of the flat arrays.
-    offsets: Vec<u32>,
+    pub(crate) offsets: Vec<u32>,
     /// All hub ranks, concatenated per node, ascending within a node.
-    hub_ranks: Vec<u32>,
+    pub(crate) hub_ranks: Vec<u32>,
     /// All distances, parallel to `hub_ranks`.
-    dists: Vec<f64>,
+    pub(crate) dists: Vec<f64>,
 }
 
 /// Summary statistics of a built index.
+///
+/// `bytes` is the total physical footprint of the active storage backend;
+/// the `*_bytes` fields break it into the four planes every backend is
+/// made of (`bytes = offsets_bytes + ranks_bytes + dists_bytes +
+/// dict_bytes`), so compression PRs can report which plane they shrank.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LabelStats {
     /// Number of indexed nodes.
@@ -93,9 +98,87 @@ pub struct LabelStats {
     pub avg_entries: f64,
     /// Largest single label list.
     pub max_entries: usize,
-    /// CSR memory footprint in bytes (offsets + hub_ranks + dists) —
-    /// the baseline any label-compression scheme has to beat.
+    /// Total memory footprint in bytes of the active storage backend —
+    /// the figure any label-compression scheme has to beat.
     pub bytes: usize,
+    /// Bytes spent on per-node addressing (entry offsets, plus byte
+    /// offsets for varint-rank backends).
+    pub offsets_bytes: usize,
+    /// Bytes spent on the hub-rank plane (flat `u32` array or varint
+    /// stream).
+    pub ranks_bytes: usize,
+    /// Bytes spent on the distance plane (flat `f64` array or narrow
+    /// dictionary codes).
+    pub dists_bytes: usize,
+    /// Bytes spent on the distance dictionary table (`0` for flat
+    /// distance planes).
+    pub dict_bytes: usize,
+    /// Distinct distance values in the dictionary table (`0` for flat
+    /// distance planes).
+    pub dict_values: usize,
+}
+
+impl LabelStats {
+    /// Assembles stats from per-plane byte counts (`bytes` and
+    /// `avg_entries` are derived).
+    // One positional arg per plane mirrors the LabelStats field order.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        nodes: usize,
+        total_entries: usize,
+        max_entries: usize,
+        offsets_bytes: usize,
+        ranks_bytes: usize,
+        dists_bytes: usize,
+        dict_bytes: usize,
+        dict_values: usize,
+    ) -> LabelStats {
+        LabelStats {
+            nodes,
+            total_entries,
+            avg_entries: if nodes == 0 {
+                0.0
+            } else {
+                total_entries as f64 / nodes as f64
+            },
+            max_entries,
+            bytes: offsets_bytes + ranks_bytes + dists_bytes + dict_bytes,
+            offsets_bytes,
+            ranks_bytes,
+            dists_bytes,
+            dict_bytes,
+            dict_values,
+        }
+    }
+
+    /// Bytes per dictionary code (1, 2 or 4 — the narrowest width that
+    /// indexes `dict_values` table slots), or `0` for flat distance
+    /// planes.
+    pub fn dict_code_width(&self) -> usize {
+        if self.dict_values == 0 {
+            0
+        } else if self.dict_values <= 1 << 8 {
+            1
+        } else if self.dict_values <= 1 << 16 {
+            2
+        } else {
+            4
+        }
+    }
+
+    /// The per-plane byte breakdown as a compact human-readable string,
+    /// e.g. `"offsets 9 + ranks 1014 + dists 2028 + dict 0 KiB"` — what
+    /// the `experiments` label-stats banner and the cold-start example
+    /// print.
+    pub fn breakdown_kib(&self) -> String {
+        format!(
+            "offsets {} + ranks {} + dists {} + dict {} KiB",
+            self.offsets_bytes / 1024,
+            self.ranks_bytes / 1024,
+            self.dists_bytes / 1024,
+            self.dict_bytes / 1024
+        )
+    }
 }
 
 impl LabelSet {
@@ -164,23 +247,20 @@ impl LabelSet {
     /// Computes summary statistics.
     pub fn stats(&self) -> LabelStats {
         let nodes = self.num_nodes();
-        let total_entries = self.hub_ranks.len();
         let max_entries = (0..nodes)
             .map(|v| (self.offsets[v + 1] - self.offsets[v]) as usize)
             .max()
             .unwrap_or(0);
-        LabelStats {
+        LabelStats::from_parts(
             nodes,
-            total_entries,
-            avg_entries: if nodes == 0 {
-                0.0
-            } else {
-                total_entries as f64 / nodes as f64
-            },
+            self.hub_ranks.len(),
             max_entries,
-            bytes: std::mem::size_of::<u32>() * (self.offsets.len() + self.hub_ranks.len())
-                + std::mem::size_of::<f64>() * self.dists.len(),
-        }
+            std::mem::size_of::<u32>() * self.offsets.len(),
+            std::mem::size_of::<u32>() * self.hub_ranks.len(),
+            std::mem::size_of::<f64>() * self.dists.len(),
+            0,
+            0,
+        )
     }
 }
 
@@ -195,15 +275,15 @@ impl LabelSet {
 #[derive(Clone, Debug)]
 pub struct LabelSetBuilder {
     /// Per-node index of the most recent arena entry, or `NONE`.
-    head: Vec<u32>,
+    pub(crate) head: Vec<u32>,
     /// Per-node entry counts (for the CSR counting pass).
-    counts: Vec<u32>,
-    arena_ranks: Vec<u32>,
-    arena_dists: Vec<f64>,
-    arena_prev: Vec<u32>,
+    pub(crate) counts: Vec<u32>,
+    pub(crate) arena_ranks: Vec<u32>,
+    pub(crate) arena_dists: Vec<f64>,
+    pub(crate) arena_prev: Vec<u32>,
 }
 
-const NONE: u32 = u32::MAX;
+pub(crate) const NONE: u32 = u32::MAX;
 
 impl LabelSetBuilder {
     /// An empty builder for `n` nodes.
@@ -487,6 +567,35 @@ impl Iterator for BuilderEntries<'_> {
     }
 }
 
+/// Two-pointer merge over two rank-ascending entry streams, taking the
+/// min combined distance over common hubs — the storage-independent form
+/// of [`merge_join_min`] every non-CSR backend's pairwise query runs.
+/// Same sums over the same hubs in the same order, hence bit-identical
+/// results across backends.
+#[inline]
+pub(crate) fn merge_join_entries(
+    mut a: impl Iterator<Item = LabelEntry>,
+    mut b: impl Iterator<Item = LabelEntry>,
+) -> f64 {
+    let (mut ea, mut eb) = (a.next(), b.next());
+    let mut best = f64::INFINITY;
+    while let (Some(x), Some(y)) = (ea, eb) {
+        match x.hub_rank.cmp(&y.hub_rank) {
+            std::cmp::Ordering::Equal => {
+                let d = x.dist + y.dist;
+                if d < best {
+                    best = d;
+                }
+                ea = a.next();
+                eb = b.next();
+            }
+            std::cmp::Ordering::Less => ea = a.next(),
+            std::cmp::Ordering::Greater => eb = b.next(),
+        }
+    }
+    best
+}
+
 /// Two-pointer merge over rank-sorted slice pairs, taking the min combined
 /// distance over common hubs.
 #[inline]
@@ -619,6 +728,11 @@ mod tests {
         let ls = set(&[vec![e(0, 0.0)], vec![e(0, 1.0), e(1, 0.0)], vec![]]);
         let s = ls.stats();
         // offsets: (3 + 1) u32s; 3 entries: 3 u32 ranks + 3 f64 dists.
+        assert_eq!(s.offsets_bytes, 4 * 4);
+        assert_eq!(s.ranks_bytes, 3 * 4);
+        assert_eq!(s.dists_bytes, 3 * 8);
+        assert_eq!(s.dict_bytes, 0);
+        assert_eq!(s.dict_values, 0);
         assert_eq!(s.bytes, 4 * 4 + 3 * 4 + 3 * 8);
         assert_eq!(LabelSet::new(2).stats().bytes, 3 * 4);
     }

@@ -12,10 +12,11 @@
 //! * [`PrunedLandmarkLabeling`] — a weighted-graph PLL index: for each node
 //!   a small sorted list of `(hub, distance)` labels such that every
 //!   shortest path is covered by some common hub. Labels live in a
-//!   [`LabelStore`] — either the flat CSR backend ([`LabelSet`]) or the
-//!   delta+varint compressed backend ([`CompressedLabelSet`]), selected by
-//!   [`BuildConfig::storage`]; pairwise queries are a merge-join over two
-//!   label streams and are bit-identical across backends. Construction is
+//!   [`LabelStore`] whose backend is two orthogonal planes — flat CSR
+//!   ([`LabelSet`]) or delta+varint ([`CompressedLabelSet`]) hub ranks ×
+//!   flat `f64` or dictionary-coded ([`DistDict`]) distances — selected
+//!   by [`BuildConfig::storage`]; pairwise queries are a merge-join over
+//!   two label streams and are bit-identical across backends. Construction is
 //!   a batch-synchronous parallel build ([`BuildConfig`]) whose output is
 //!   bit-identical to the sequential algorithm for every thread count and
 //!   batch size (see `src/README.md`, which also carries the compressed
@@ -35,6 +36,7 @@
 //! social networks.
 
 pub mod codec;
+pub mod dict;
 pub mod dijkstra_oracle;
 pub mod label;
 pub mod oracle;
@@ -43,6 +45,7 @@ pub mod pll;
 pub mod scatter;
 
 pub use codec::{CompressedLabelSet, LabelDecoder, LabelEntries, LabelStorage, LabelStore};
+pub use dict::{CompressedDictLabelSet, DictDecoder, DictEntries, DictLabelSet, DistDict};
 pub use dijkstra_oracle::DijkstraOracle;
 pub use label::{
     JournalCursor, JournalShard, LabelEntry, LabelRef, LabelSet, LabelSetBuilder, LabelStats,

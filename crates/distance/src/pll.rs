@@ -86,10 +86,11 @@ pub struct BuildConfig {
     /// Upper bound on hubs per rank batch; batches ramp `1, 2, 4, …` up to
     /// this cap.
     pub batch_size: usize,
-    /// Physical label representation the built index keeps
-    /// ([`LabelStorage::Csr`] flat arrays or [`LabelStorage::Compressed`]
-    /// delta+varint blocks). Queries are bit-identical either way; this
-    /// trades memory footprint against per-entry decode work.
+    /// Physical label representation the built index keeps — flat CSR or
+    /// delta+varint ranks × flat `f64` or dictionary-coded distances
+    /// (see [`LabelStorage`]). Queries are bit-identical for every
+    /// backend; this trades memory footprint against per-entry decode
+    /// work.
     pub storage: LabelStorage,
 }
 
@@ -362,11 +363,16 @@ impl PrunedLandmarkLabeling {
         }
 
         // The journaled labels convert straight into the configured
-        // storage — the compressed path never materializes the CSR
-        // arrays.
+        // storage — the compressed paths never materialize the CSR
+        // arrays, and the dict paths never materialize the flat f64
+        // distance array.
         let labels = match config.storage {
             LabelStorage::Csr => LabelStore::Csr(labels.finish()),
             LabelStorage::Compressed => LabelStore::Compressed(labels.finish_compressed()),
+            LabelStorage::CsrDict => LabelStore::CsrDict(labels.finish_csr_dict()),
+            LabelStorage::CompressedDict => {
+                LabelStore::CompressedDict(labels.finish_compressed_dict())
+            }
         };
         PrunedLandmarkLabeling {
             labels,
@@ -962,63 +968,77 @@ mod tests {
     }
 
     #[test]
-    fn compressed_storage_is_bit_identical_and_smaller() {
+    fn every_storage_is_bit_identical_and_compression_is_smaller() {
         let g = grid(6, 6);
         let csr = PrunedLandmarkLabeling::build(&g);
-        let comp = PrunedLandmarkLabeling::build_with_config(
-            &g,
-            VertexOrder::DegreeDescending,
-            &BuildConfig {
-                storage: LabelStorage::Compressed,
-                ..BuildConfig::default()
-            },
-        );
         assert_eq!(csr.storage(), LabelStorage::Csr);
-        assert_eq!(comp.storage(), LabelStorage::Compressed);
-        assert_bit_identical(&csr, &comp, "storage backends");
-        for u in g.nodes() {
-            for v in g.nodes() {
-                assert_eq!(
-                    csr.query_raw(u, v).to_bits(),
-                    comp.query_raw(u, v).to_bits(),
-                    "query ({u},{v})"
-                );
+        let a = csr.stats();
+        for storage in &LabelStorage::ALL[1..] {
+            let other = PrunedLandmarkLabeling::build_with_config(
+                &g,
+                VertexOrder::DegreeDescending,
+                &BuildConfig {
+                    storage: *storage,
+                    ..BuildConfig::default()
+                },
+            );
+            assert_eq!(other.storage(), *storage);
+            assert_bit_identical(&csr, &other, storage.name());
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    assert_eq!(
+                        csr.query_raw(u, v).to_bits(),
+                        other.query_raw(u, v).to_bits(),
+                        "{} query ({u},{v})",
+                        storage.name()
+                    );
+                }
             }
+            let b = other.stats();
+            assert_eq!(a.total_entries, b.total_entries);
+            assert_eq!(a.max_entries, b.max_entries);
+            assert!(
+                b.bytes < a.bytes,
+                "{} {} !< csr {}",
+                storage.name(),
+                b.bytes,
+                a.bytes
+            );
+            assert_eq!(
+                b.bytes,
+                b.offsets_bytes + b.ranks_bytes + b.dists_bytes + b.dict_bytes,
+                "{} plane breakdown must sum to the total",
+                storage.name()
+            );
         }
-        let (a, b) = (csr.stats(), comp.stats());
-        assert_eq!(a.total_entries, b.total_entries);
-        assert_eq!(a.max_entries, b.max_entries);
-        assert!(
-            b.bytes < a.bytes,
-            "compressed {} !< csr {}",
-            b.bytes,
-            a.bytes
-        );
     }
 
     #[test]
-    fn compressed_storage_scatter_agrees() {
+    fn every_storage_scatter_agrees() {
         let g = grid(5, 4);
         let csr = PrunedLandmarkLabeling::build(&g);
-        let comp = PrunedLandmarkLabeling::build_with_config(
-            &g,
-            VertexOrder::DegreeDescending,
-            &BuildConfig {
-                storage: LabelStorage::Compressed,
-                ..BuildConfig::default()
-            },
-        );
         let mut sc_csr = csr.scatter();
-        let mut sc_comp = comp.scatter();
-        for u in g.nodes() {
-            csr.load_source(&mut sc_csr, u);
-            comp.load_source(&mut sc_comp, u);
-            for v in g.nodes() {
-                assert_eq!(
-                    csr.query_one_to_many(&sc_csr, v).map(f64::to_bits),
-                    comp.query_one_to_many(&sc_comp, v).map(f64::to_bits),
-                    "one-to-many ({u},{v})"
-                );
+        for storage in &LabelStorage::ALL[1..] {
+            let other = PrunedLandmarkLabeling::build_with_config(
+                &g,
+                VertexOrder::DegreeDescending,
+                &BuildConfig {
+                    storage: *storage,
+                    ..BuildConfig::default()
+                },
+            );
+            let mut sc_other = other.scatter();
+            for u in g.nodes() {
+                csr.load_source(&mut sc_csr, u);
+                other.load_source(&mut sc_other, u);
+                for v in g.nodes() {
+                    assert_eq!(
+                        csr.query_one_to_many(&sc_csr, v).map(f64::to_bits),
+                        other.query_one_to_many(&sc_other, v).map(f64::to_bits),
+                        "{} one-to-many ({u},{v})",
+                        storage.name()
+                    );
+                }
             }
         }
     }

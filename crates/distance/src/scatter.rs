@@ -15,15 +15,21 @@
 //! `INFINITY` for disconnected pairs — because it evaluates the same sums
 //! over the same common hubs in the same (ascending-rank) order.
 //!
-//! Both label storages are supported: against the flat CSR backend the
-//! target pass reads ranks directly from the slice; against the compressed
-//! backend ([`CompressedLabelSet`](crate::codec::CompressedLabelSet)) it
-//! decodes the target's delta+varint block in the same single forward
-//! pass, accumulating ranks as it goes — the scatter array is
-//! direct-indexed identically in both cases, so the sums (and their
-//! bits) cannot differ.
+//! Every label storage backend is supported: against the flat CSR
+//! backend the target pass reads ranks directly from the slice; against
+//! the compressed backend
+//! ([`CompressedLabelSet`](crate::codec::CompressedLabelSet)) it decodes
+//! the target's delta+varint block in the same single forward pass,
+//! accumulating ranks as it goes; against the dictionary-distance
+//! backends ([`DictLabelSet`](crate::dict::DictLabelSet),
+//! [`CompressedDictLabelSet`](crate::dict::CompressedDictLabelSet)) the
+//! source's label is decoded to the `f64` scratch **once** at load time,
+//! so the per-holder hot loop pays at most one table lookup per entry.
+//! The scatter array is direct-indexed identically in all cases, so the
+//! sums (and their bits) cannot differ.
 
-use crate::codec::LabelStore;
+use crate::codec::{read_varint, LabelStore, PREV_NONE};
+use crate::dict::{CodesRef, DistCode};
 use crate::label::LabelEntry;
 
 /// Reusable scratch for one-to-many label queries.
@@ -91,8 +97,9 @@ impl SourceScatter {
     }
 
     /// Loads `source`'s label, replacing any previous source. For the
-    /// compressed backend this is the **one-time per-source scatter
-    /// decode**: the block is decoded once here, after which every target
+    /// compressed and dictionary backends this is the **one-time
+    /// per-source scatter decode**: the block (and any dict codes) is
+    /// decoded to the `f64` scratch once here, after which every target
     /// query direct-indexes the scatter array without touching the
     /// source's label again.
     pub fn load(&mut self, labels: &LabelStore, source: usize) {
@@ -106,6 +113,18 @@ impl SourceScatter {
                 }
             }
             LabelStore::Compressed(l) => {
+                for e in l.decode(source) {
+                    self.hub_dist[e.hub_rank as usize] = e.dist;
+                    self.touched.push(e.hub_rank);
+                }
+            }
+            LabelStore::CsrDict(l) => {
+                for e in l.entries(source) {
+                    self.hub_dist[e.hub_rank as usize] = e.dist;
+                    self.touched.push(e.hub_rank);
+                }
+            }
+            LabelStore::CompressedDict(l) => {
                 for e in l.decode(source) {
                     self.hub_dist[e.hub_rank as usize] = e.dist;
                     self.touched.push(e.hub_rank);
@@ -165,9 +184,71 @@ impl SourceScatter {
                     }
                 }
             }
+            LabelStore::CsrDict(l) => {
+                // One width dispatch per target, then a monomorphized
+                // scan: rank read + code read + one table lookup per
+                // entry.
+                let (lo, hi) = l.bounds(target);
+                let ranks = l.ranks_of(target);
+                let table = l.dict().table();
+                best = match l.dict().codes_in(lo, hi) {
+                    CodesRef::U8(c) => csr_dict_scan(ranks, c, table, &self.hub_dist),
+                    CodesRef::U16(c) => csr_dict_scan(ranks, c, table, &self.hub_dist),
+                    CodesRef::U32(c) => csr_dict_scan(ranks, c, table, &self.hub_dist),
+                };
+            }
+            LabelStore::CompressedDict(l) => {
+                let (bytes, lo, hi) = l.block(target);
+                let table = l.dict().table();
+                best = match l.dict().codes_in(lo, hi) {
+                    CodesRef::U8(c) => varint_dict_scan(bytes, c, table, &self.hub_dist),
+                    CodesRef::U16(c) => varint_dict_scan(bytes, c, table, &self.hub_dist),
+                    CodesRef::U32(c) => varint_dict_scan(bytes, c, table, &self.hub_dist),
+                };
+            }
         }
         best
     }
+}
+
+/// The dict-backend target pass over flat CSR ranks, monomorphized per
+/// code width: same sums in the same order as the flat-dist scan, with
+/// `dist` read through the dictionary table (identical bit pattern).
+#[inline]
+fn csr_dict_scan<C: DistCode>(ranks: &[u32], codes: &[C], table: &[f64], hub_dist: &[f64]) -> f64 {
+    let mut best = f64::INFINITY;
+    for (&rank, &code) in ranks.iter().zip(codes) {
+        let d = hub_dist[rank as usize] + table[code.idx()];
+        if d < best {
+            best = d;
+        }
+    }
+    best
+}
+
+/// The dict-backend target pass over a delta+varint rank block,
+/// monomorphized per code width: one forward varint decode with a
+/// parallel code cursor, one table lookup per entry.
+#[inline]
+fn varint_dict_scan<C: DistCode>(
+    bytes: &[u8],
+    codes: &[C],
+    table: &[f64],
+    hub_dist: &[f64],
+) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut pos = 0usize;
+    let mut prev = PREV_NONE;
+    for &code in codes {
+        let delta = read_varint(bytes, &mut pos);
+        let rank = prev.wrapping_add(delta).wrapping_add(1);
+        prev = rank;
+        let d = hub_dist[rank as usize] + table[code.idx()];
+        if d < best {
+            best = d;
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -197,9 +278,19 @@ mod tests {
         LabelStore::from(CompressedLabelSet::from_lists(&lists()))
     }
 
+    fn fixtures_all() -> Vec<LabelStore> {
+        use crate::dict::{CompressedDictLabelSet, DictLabelSet};
+        vec![
+            fixture(),
+            fixture_compressed(),
+            LabelStore::from(DictLabelSet::from_lists(&lists())),
+            LabelStore::from(CompressedDictLabelSet::from_lists(&lists())),
+        ]
+    }
+
     #[test]
     fn matches_merge_join_on_all_pairs() {
-        for ls in [fixture(), fixture_compressed()] {
+        for ls in fixtures_all() {
             let mut sc = SourceScatter::for_labels(&ls);
             for u in 0..ls.num_nodes() {
                 sc.load(&ls, u);
@@ -219,18 +310,20 @@ mod tests {
     #[test]
     fn storages_agree_bitwise() {
         let csr = fixture();
-        let comp = fixture_compressed();
         let mut sc_csr = SourceScatter::for_labels(&csr);
-        let mut sc_comp = SourceScatter::for_labels(&comp);
-        for u in 0..csr.num_nodes() {
-            sc_csr.load(&csr, u);
-            sc_comp.load(&comp, u);
-            for v in 0..csr.num_nodes() {
-                assert_eq!(
-                    sc_csr.distance(&csr, v).to_bits(),
-                    sc_comp.distance(&comp, v).to_bits(),
-                    "({u},{v})"
-                );
+        for other in &fixtures_all()[1..] {
+            let mut sc_other = SourceScatter::for_labels(other);
+            for u in 0..csr.num_nodes() {
+                sc_csr.load(&csr, u);
+                sc_other.load(other, u);
+                for v in 0..csr.num_nodes() {
+                    assert_eq!(
+                        sc_csr.distance(&csr, v).to_bits(),
+                        sc_other.distance(other, v).to_bits(),
+                        "({u},{v}) on {:?}",
+                        other.storage()
+                    );
+                }
             }
         }
     }

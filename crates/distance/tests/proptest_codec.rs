@@ -1,17 +1,26 @@
-//! The compressed codec's contract: delta+varint round-trips are lossless
-//! (`encode → decode` reproduces every rank and every distance bit), the
-//! builder-direct conversion ([`LabelSetBuilder::finish_compressed`])
-//! matches both the CSR conversion and the list encoder, and the pairwise
-//! merge-join over compressed streams is bit-identical to the CSR engine —
-//! on arbitrary label shapes, including empty labels, rank gaps spanning
-//! multiple varint bytes, and zero distances.
+//! The storage codecs' contract: delta+varint and dictionary round-trips
+//! are lossless (`encode → decode` reproduces every rank and every
+//! distance bit), the builder-direct conversions
+//! ([`LabelSetBuilder::finish_compressed`],
+//! [`LabelSetBuilder::finish_csr_dict`],
+//! [`LabelSetBuilder::finish_compressed_dict`]) match both the CSR
+//! conversion and the list encoders, and the pairwise merge-join of
+//! **every** storage backend is bit-identical to the CSR engine — on
+//! arbitrary label shapes, including empty labels, rank gaps spanning
+//! multiple varint bytes, zero distances, and heavy distance-value
+//! repetition (the case dictionary codes exist for).
 
-use atd_distance::{CompressedLabelSet, LabelEntry, LabelSet, LabelSetBuilder};
+use atd_distance::{
+    CompressedDictLabelSet, CompressedLabelSet, DictLabelSet, LabelEntry, LabelSet,
+    LabelSetBuilder, LabelStorage, LabelStore,
+};
 use proptest::prelude::*;
 
 /// Random per-node label lists: strictly ascending ranks built from
 /// random gaps (biased to cross the 1-byte/2-byte varint boundaries) and
-/// arbitrary non-negative distances (including exact zeros).
+/// arbitrary non-negative distances (including exact zeros and heavy
+/// repetition — every third entry is drawn from a handful of quantized
+/// values, the shape the distance dictionary exists for).
 fn random_lists() -> impl Strategy<Value = Vec<Vec<LabelEntry>>> {
     proptest::collection::vec(
         proptest::collection::vec((0u32..40_000, 0.0f64..50.0), 0..40),
@@ -32,8 +41,15 @@ fn random_lists() -> impl Strategy<Value = Vec<Vec<LabelEntry>>> {
                         rank + 1 + gap as u64
                     };
                     // Every eighth distance is an exact zero (hub
-                    // self-entries are zero in real labels).
-                    let dist = if i % 8 == 7 { 0.0 } else { dist };
+                    // self-entries are zero in real labels); every third
+                    // is quantized so values repeat across nodes.
+                    let dist = if i % 8 == 7 {
+                        0.0
+                    } else if i % 3 == 0 {
+                        (gap % 5) as f64 * 0.25
+                    } else {
+                        dist
+                    };
                     list.push(LabelEntry {
                         hub_rank: rank as u32,
                         dist,
@@ -45,26 +61,46 @@ fn random_lists() -> impl Strategy<Value = Vec<Vec<LabelEntry>>> {
     })
 }
 
+/// Every storage backend built from the same lists, CSR first — the
+/// sweep the equivalence proptests run. Order matches
+/// [`LabelStorage::ALL`].
+fn stores(lists: &[Vec<LabelEntry>]) -> Vec<LabelStore> {
+    vec![
+        LabelStore::from(LabelSet::from_lists(lists)),
+        LabelStore::from(CompressedLabelSet::from_lists(lists)),
+        LabelStore::from(DictLabelSet::from_lists(lists)),
+        LabelStore::from(CompressedDictLabelSet::from_lists(lists)),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// Lossless round-trip: every rank and every distance bit survives
-    /// `from_lists → decode`.
+    /// Lossless round-trip on **every** backend: every rank and every
+    /// distance bit survives `from_lists → entries`.
     #[test]
     fn roundtrip_is_bit_exact(lists in random_lists()) {
-        let c = CompressedLabelSet::from_lists(&lists);
-        prop_assert_eq!(c.num_nodes(), lists.len());
-        for (v, list) in lists.iter().enumerate() {
-            let decoded: Vec<LabelEntry> = c.decode(v).collect();
-            prop_assert_eq!(decoded.len(), list.len(), "node {} length", v);
-            for (i, (got, want)) in decoded.iter().zip(list).enumerate() {
-                prop_assert_eq!(got.hub_rank, want.hub_rank, "node {} entry {}", v, i);
+        for store in stores(&lists) {
+            let storage = store.storage();
+            prop_assert_eq!(store.num_nodes(), lists.len());
+            for (v, list) in lists.iter().enumerate() {
+                let decoded: Vec<LabelEntry> = store.entries(v).collect();
                 prop_assert_eq!(
-                    got.dist.to_bits(),
-                    want.dist.to_bits(),
-                    "node {} entry {} dist {} vs {}",
-                    v, i, got.dist, want.dist
+                    decoded.len(), list.len(),
+                    "{:?} node {} length", storage, v
                 );
+                for (i, (got, want)) in decoded.iter().zip(list).enumerate() {
+                    prop_assert_eq!(
+                        got.hub_rank, want.hub_rank,
+                        "{:?} node {} entry {}", storage, v, i
+                    );
+                    prop_assert_eq!(
+                        got.dist.to_bits(),
+                        want.dist.to_bits(),
+                        "{:?} node {} entry {} dist {} vs {}",
+                        storage, v, i, got.dist, want.dist
+                    );
+                }
             }
         }
     }
@@ -104,33 +140,114 @@ proptest! {
         prop_assert_eq!(via_lists.stats(), via_builder.stats());
     }
 
-    /// Pairwise queries over compressed streams are bit-identical to the
-    /// CSR merge-join, including `INFINITY` for hub-disjoint labels.
+    /// Pairwise queries of every backend are bit-identical to the CSR
+    /// merge-join, including `INFINITY` for hub-disjoint labels.
     #[test]
-    fn compressed_query_matches_csr(lists in random_lists()) {
-        let csr = LabelSet::from_lists(&lists);
-        let c = CompressedLabelSet::from_lists(&lists);
-        for u in 0..lists.len() {
-            for v in 0..lists.len() {
-                prop_assert_eq!(
-                    c.query(u, v).to_bits(),
-                    csr.query(u, v).to_bits(),
-                    "({},{}): compressed {} vs csr {}",
-                    u, v, c.query(u, v), csr.query(u, v)
-                );
+    fn every_query_matches_csr(lists in random_lists()) {
+        let all = stores(&lists);
+        let csr = &all[0];
+        for other in &all[1..] {
+            for u in 0..lists.len() {
+                for v in 0..lists.len() {
+                    prop_assert_eq!(
+                        other.query(u, v).to_bits(),
+                        csr.query(u, v).to_bits(),
+                        "({},{}): {:?} {} vs csr {}",
+                        u, v, other.storage(), other.query(u, v), csr.query(u, v)
+                    );
+                }
             }
         }
     }
 
-    /// Stats agree on everything except the byte footprint, which counts
-    /// each backend's real arrays.
+    /// The dict backends' three construction paths agree: the list
+    /// encoder, the CSR re-encoder, and the builder-direct conversions
+    /// (which never materialize the flat f64 distance array).
+    #[test]
+    fn dict_construction_paths_agree(lists in random_lists()) {
+        let csr = LabelSet::from_lists(&lists);
+        let build = || {
+            let mut flat: Vec<(usize, LabelEntry)> = Vec::new();
+            for (v, list) in lists.iter().enumerate() {
+                for &entry in list {
+                    flat.push((v, entry));
+                }
+            }
+            flat.sort_by_key(|&(v, entry)| (entry.hub_rank, v));
+            let mut b = LabelSetBuilder::new(lists.len());
+            for (v, entry) in flat {
+                b.push(v, entry);
+            }
+            b
+        };
+
+        let d_lists = DictLabelSet::from_lists(&lists);
+        let d_csr = DictLabelSet::from_label_set(&csr);
+        let d_builder = build().finish_csr_dict();
+        let cd_lists = CompressedDictLabelSet::from_lists(&lists);
+        let cd_csr = CompressedDictLabelSet::from_label_set(&csr);
+        let cd_builder = build().finish_compressed_dict();
+        for v in 0..lists.len() {
+            let want: Vec<LabelEntry> = d_lists.entries(v).collect();
+            prop_assert_eq!(
+                &d_csr.entries(v).collect::<Vec<_>>(), &want,
+                "csr-dict from_label_set differs at node {}", v
+            );
+            prop_assert_eq!(
+                &d_builder.entries(v).collect::<Vec<_>>(), &want,
+                "finish_csr_dict differs at node {}", v
+            );
+            prop_assert_eq!(
+                &cd_lists.decode(v).collect::<Vec<_>>(), &want,
+                "compressed-dict from_lists differs at node {}", v
+            );
+            prop_assert_eq!(
+                &cd_csr.decode(v).collect::<Vec<_>>(), &want,
+                "compressed-dict from_label_set differs at node {}", v
+            );
+            prop_assert_eq!(
+                &cd_builder.decode(v).collect::<Vec<_>>(), &want,
+                "finish_compressed_dict differs at node {}", v
+            );
+        }
+        prop_assert_eq!(d_lists.stats(), d_csr.stats());
+        prop_assert_eq!(d_lists.stats(), d_builder.stats());
+        prop_assert_eq!(cd_lists.stats(), cd_csr.stats());
+        prop_assert_eq!(cd_lists.stats(), cd_builder.stats());
+    }
+
+    /// Stats of every backend agree on everything except the byte
+    /// footprint, which counts each backend's real arrays — and every
+    /// backend's plane breakdown sums to its total.
     #[test]
     fn stats_agree_except_bytes(lists in random_lists()) {
-        let a = LabelSet::from_lists(&lists).stats();
-        let b = CompressedLabelSet::from_lists(&lists).stats();
-        prop_assert_eq!(a.nodes, b.nodes);
-        prop_assert_eq!(a.total_entries, b.total_entries);
-        prop_assert_eq!(a.max_entries, b.max_entries);
-        prop_assert_eq!(a.avg_entries.to_bits(), b.avg_entries.to_bits());
+        let all = stores(&lists);
+        let a = all[0].stats();
+        prop_assert_eq!(all[0].storage(), LabelStorage::Csr);
+        for store in &all {
+            let b = store.stats();
+            prop_assert_eq!(a.nodes, b.nodes);
+            prop_assert_eq!(a.total_entries, b.total_entries);
+            prop_assert_eq!(a.max_entries, b.max_entries);
+            prop_assert_eq!(a.avg_entries.to_bits(), b.avg_entries.to_bits());
+            prop_assert_eq!(
+                b.bytes,
+                b.offsets_bytes + b.ranks_bytes + b.dists_bytes + b.dict_bytes,
+                "{:?} plane breakdown must sum to the total", store.storage()
+            );
+            // stats_in must report exactly what a really-encoded store
+            // reports, from every source backend (the CSR source takes
+            // the direct re-encode path, the others the entry-list
+            // round-trip).
+            for source in &all {
+                prop_assert_eq!(
+                    source.stats_in(store.storage()),
+                    b,
+                    "stats_in({:?}) from {:?}",
+                    store.storage(),
+                    source.storage()
+                );
+            }
+        }
     }
 }

@@ -82,45 +82,48 @@ proptest! {
         }
     }
 
-    /// Storage backends answer every scatter query bit-identically: the
-    /// compressed index's one-to-many scan decodes the same entries in
-    /// the same order the CSR slice walk reads them, so the sums (and
-    /// their f64 bits) cannot differ — and both match the pairwise
-    /// merge-join of their own backend.
+    /// Every storage backend answers every scatter query bit-identically:
+    /// each backend's one-to-many scan decodes the same entries in the
+    /// same order the CSR slice walk reads them (with dict distances read
+    /// through the value table as identical bit patterns), so the sums
+    /// (and their f64 bits) cannot differ — and each backend matches its
+    /// own pairwise merge-join.
     #[test]
     fn scatter_is_storage_independent((n, edges) in random_graph()) {
         let g = build(n, &edges);
         let csr = PrunedLandmarkLabeling::build(&g);
-        let comp = PrunedLandmarkLabeling::build_with_config(
-            &g,
-            VertexOrder::DegreeDescending,
-            &BuildConfig {
-                storage: LabelStorage::Compressed,
-                ..BuildConfig::default()
-            },
-        );
-        prop_assert_eq!(comp.storage(), LabelStorage::Compressed);
         let mut sc_csr = csr.scatter();
-        let mut sc_comp = comp.scatter();
-        for u in g.nodes() {
-            csr.load_source(&mut sc_csr, u);
-            comp.load_source(&mut sc_comp, u);
-            for v in g.nodes() {
-                let a = csr.query_one_to_many(&sc_csr, v);
-                let b = comp.query_one_to_many(&sc_comp, v);
-                prop_assert_eq!(
-                    a.map(f64::to_bits),
-                    b.map(f64::to_bits),
-                    "({},{}): csr {:?} vs compressed {:?}",
-                    u, v, a, b
-                );
-                let pairwise = comp.labels().query(u.index(), v.index());
-                let scattered = sc_comp.distance(comp.labels(), v.index());
-                prop_assert_eq!(
-                    pairwise.to_bits(), scattered.to_bits(),
-                    "({},{}): compressed merge {} vs scatter {}",
-                    u, v, pairwise, scattered
-                );
+        for storage in &LabelStorage::ALL[1..] {
+            let other = PrunedLandmarkLabeling::build_with_config(
+                &g,
+                VertexOrder::DegreeDescending,
+                &BuildConfig {
+                    storage: *storage,
+                    ..BuildConfig::default()
+                },
+            );
+            prop_assert_eq!(other.storage(), *storage);
+            let mut sc_other = other.scatter();
+            for u in g.nodes() {
+                csr.load_source(&mut sc_csr, u);
+                other.load_source(&mut sc_other, u);
+                for v in g.nodes() {
+                    let a = csr.query_one_to_many(&sc_csr, v);
+                    let b = other.query_one_to_many(&sc_other, v);
+                    prop_assert_eq!(
+                        a.map(f64::to_bits),
+                        b.map(f64::to_bits),
+                        "({},{}): csr {:?} vs {} {:?}",
+                        u, v, a, storage.name(), b
+                    );
+                    let pairwise = other.labels().query(u.index(), v.index());
+                    let scattered = sc_other.distance(other.labels(), v.index());
+                    prop_assert_eq!(
+                        pairwise.to_bits(), scattered.to_bits(),
+                        "({},{}): {} merge {} vs scatter {}",
+                        u, v, storage.name(), pairwise, scattered
+                    );
+                }
             }
         }
     }

@@ -3,16 +3,17 @@
 //! ```text
 //! experiments [fig3|fig4|fig5|fig6|runtime|venue|ablation|all]
 //!             [--scale tiny|small|medium|paper] [--out DIR]
-//!             [--pll-threads N] [--pll-batch N] [--pll-storage csr|compressed]
+//!             [--pll-threads N] [--pll-batch N]
+//!             [--pll-storage csr|compressed|csr-dict|compressed-dict]
 //! ```
 //!
 //! Default: `all --scale small --out results`. `--pll-threads` /
 //! `--pll-batch` pin the parallel PLL builder's configuration so
 //! cold-start (index construction) time can be measured end-to-end;
-//! `--pll-storage` selects the label storage backend (flat CSR arrays or
-//! delta+varint compressed blocks). The built labels are bit-identical
-//! in every case — these flags tune cold-start time and index memory,
-//! never results.
+//! `--pll-storage` selects the label storage backend (flat CSR or
+//! delta+varint hub ranks × flat `f64` or dictionary-coded distances).
+//! The built labels are bit-identical in every case — these flags tune
+//! cold-start time and index memory, never results.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -64,17 +65,16 @@ fn parse_args() -> Result<Args, String> {
             }
             "--pll-storage" => {
                 let v = argv.next().ok_or("--pll-storage needs a value")?;
-                pll_storage = Some(
-                    LabelStorage::parse(&v)
-                        .ok_or_else(|| format!("unknown storage '{v}' (csr|compressed)"))?,
-                );
+                pll_storage = Some(LabelStorage::parse(&v).ok_or_else(|| {
+                    format!("unknown storage '{v}' (csr|compressed|csr-dict|compressed-dict)")
+                })?);
             }
             "--help" | "-h" => {
                 return Err(
                     "usage: experiments [fig3|fig4|fig5|fig6|runtime|venue|ablation|all] \
                             [--scale tiny|small|medium|paper] [--out DIR|-] \
                             [--pll-threads N] [--pll-batch N] \
-                            [--pll-storage csr|compressed]"
+                            [--pll-storage csr|compressed|csr-dict|compressed-dict]"
                         .into(),
                 )
             }
@@ -145,13 +145,23 @@ fn main() {
     );
     let stats = tb.engine.pll_stats();
     println!(
-        "pll labels: {:?} storage, {} entries (avg {:.1}, max {}), {} KiB\n",
+        "pll labels: {:?} storage, {} entries (avg {:.1}, max {}), {} KiB \
+         ({})",
         storage,
         stats.total_entries,
         stats.avg_entries,
         stats.max_entries,
-        stats.bytes / 1024
+        stats.bytes / 1024,
+        stats.breakdown_kib()
     );
+    if stats.dict_values > 0 {
+        println!(
+            "pll dict table: {} distinct distance values, {}-byte codes",
+            stats.dict_values,
+            stats.dict_code_width()
+        );
+    }
+    println!();
     let out = args.out.as_deref();
 
     if wants("fig3") {

@@ -98,9 +98,10 @@ impl Testbed {
     /// Builds the testbed with explicit engine options — in particular
     /// `DiscoveryOptions::pll_build`, so cold-start (index construction)
     /// experiments can pin the parallel builder's thread count, batch
-    /// size, and label storage backend (CSR vs delta+varint compressed)
-    /// end-to-end. Discovery results are bit-identical for every
-    /// combination; only cold-start time and index memory change.
+    /// size, and label storage backend (flat CSR or delta+varint hub
+    /// ranks × flat `f64` or dictionary-coded distances) end-to-end.
+    /// Discovery results are bit-identical for every combination; only
+    /// cold-start time and index memory change.
     pub fn with_options(scale: Scale, options: DiscoveryOptions) -> Testbed {
         let synth = SynthCorpus::generate(&scale.synth_config());
         let net = ExpertNetwork::build(synth.corpus, &BuildConfig::default())

@@ -13,7 +13,7 @@ use std::time::Instant;
 use team_discovery::dblp::graph_build::{BuildConfig, ExpertNetwork};
 use team_discovery::dblp::synth::{SynthConfig, SynthCorpus};
 use team_discovery::distance::{
-    BuildConfig as PllBuildConfig, PrunedLandmarkLabeling, VertexOrder,
+    BuildConfig as PllBuildConfig, LabelStorage, PrunedLandmarkLabeling, VertexOrder,
 };
 
 fn main() {
@@ -46,16 +46,28 @@ fn main() {
     );
     let seq_time = t0.elapsed();
     let stats = seq.stats();
-    let compressed = seq.labels().compressed_stats();
     println!(
-        "labels: {} entries, avg {:.1}, max {}, {} KiB CSR / {} KiB compressed ({:.1}%)",
-        stats.total_entries,
-        stats.avg_entries,
-        stats.max_entries,
-        stats.bytes / 1024,
-        compressed.bytes / 1024,
-        100.0 * compressed.bytes as f64 / stats.bytes as f64
+        "labels: {} entries, avg {:.1}, max {}",
+        stats.total_entries, stats.avg_entries, stats.max_entries,
     );
+    for storage in LabelStorage::ALL {
+        let s = seq.labels().stats_in(storage);
+        print!(
+            "  {:>15}: {:>6} KiB ({:>5.1}% of csr; {})",
+            storage.name(),
+            s.bytes / 1024,
+            100.0 * s.bytes as f64 / stats.bytes as f64,
+            s.breakdown_kib()
+        );
+        if s.dict_values > 0 {
+            print!(
+                " [{} values, {}-byte codes]",
+                s.dict_values,
+                s.dict_code_width()
+            );
+        }
+        println!();
+    }
     println!("sequential build: {seq_time:.2?}");
 
     for &t in &threads {
