@@ -1,0 +1,126 @@
+//! Index persistence: load-from-disk vs rebuild — the cold-start
+//! comparison behind `DiscoveryOptions::pll_index_path` (PR 5).
+//!
+//! One group, `pll_persist`:
+//!
+//! * `rebuild` — the full PLL construction (default config), the cost
+//!   every process start paid before persistence existed;
+//! * `load/<backend>` — deserializing + validating a saved index for
+//!   each of the four storage backends (the new cold-start path);
+//! * `save/<backend>` — serializing the index (the one-off cost after a
+//!   build).
+//!
+//! Before any timing, every saved file is loaded once and asserted
+//! **bit-identical** to the built index (stats + full entry-level label
+//! comparison) — this doubles as the CI smoke for the on-disk format.
+//! The environment block on stderr records graph shape, per-backend
+//! file sizes, and the rebuild baseline for BENCH_pr5.json.
+
+use atd_dblp::graph_build::{BuildConfig, ExpertNetwork};
+use atd_dblp::synth::{SynthConfig, SynthCorpus};
+use atd_distance::{
+    BuildConfig as PllBuildConfig, CompressedDictLabelSet, CompressedLabelSet, DictLabelSet,
+    LabelStorage, LabelStore, PrunedLandmarkLabeling, VertexOrder,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn graph_of(authors: usize) -> atd_graph::ExpertGraph {
+    let synth = SynthCorpus::generate(&SynthConfig {
+        num_authors: authors,
+        seed: 3,
+        ..SynthConfig::default()
+    });
+    ExpertNetwork::build(synth.corpus, &BuildConfig::default())
+        .expect("network")
+        .graph
+}
+
+fn assert_bit_identical(a: &LabelStore, b: &LabelStore, ctx: &str) {
+    assert_eq!(a.stats(), b.stats(), "{ctx}: stats differ");
+    for v in 0..a.num_nodes() {
+        assert!(
+            a.entries(v).eq(b.entries(v)),
+            "{ctx}: labels differ at node {v}"
+        );
+    }
+}
+
+fn bench_pll_persist(c: &mut Criterion) {
+    let g = graph_of(1000);
+    let reference = PrunedLandmarkLabeling::build_with_config(
+        &g,
+        VertexOrder::DegreeDescending,
+        &PllBuildConfig::sequential(),
+    );
+    let csr = reference.labels().as_csr().expect("sequential CSR build");
+    eprintln!(
+        "pll_persist testbed: {} nodes, {} edges, {} label entries",
+        g.num_nodes(),
+        g.num_edges(),
+        reference.stats().total_entries
+    );
+
+    let dir = std::env::temp_dir().join(format!("atd_pll_persist_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tempdir");
+
+    let mut group = c.benchmark_group("pll_persist");
+    group.sample_size(10);
+    group.bench_function("rebuild", |b| {
+        b.iter(|| {
+            black_box(PrunedLandmarkLabeling::build_with_config(
+                &g,
+                VertexOrder::DegreeDescending,
+                &PllBuildConfig::default(),
+            ))
+            .stats()
+        })
+    });
+
+    for storage in LabelStorage::ALL {
+        let store = match storage {
+            LabelStorage::Csr => reference.labels().clone(),
+            LabelStorage::Compressed => LabelStore::from(CompressedLabelSet::from_label_set(csr)),
+            LabelStorage::CsrDict => LabelStore::from(DictLabelSet::from_label_set(csr)),
+            LabelStorage::CompressedDict => {
+                LabelStore::from(CompressedDictLabelSet::from_label_set(csr))
+            }
+        };
+        let path = dir.join(format!("index-{}.atdl", storage.name()));
+        store.save_to(&path, &g).expect("save");
+        // Bit-identity gate before any timing: the saved file must
+        // reproduce the built index exactly.
+        let loaded = PrunedLandmarkLabeling::load_from(&path, &g).expect("load");
+        assert_bit_identical(&store, loaded.labels(), storage.name());
+        eprintln!(
+            "  {:>15}: {} KiB on disk",
+            storage.name(),
+            std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0) / 1024
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("load", storage.name()),
+            &path,
+            |b, path| {
+                b.iter(|| {
+                    black_box(PrunedLandmarkLabeling::load_from(path, &g).expect("load")).stats()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("save", storage.name()),
+            &store,
+            |b, store| {
+                b.iter(|| {
+                    store.save_to(&path, &g).expect("save");
+                    black_box(())
+                })
+            },
+        );
+    }
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_pll_persist);
+criterion_main!(benches);

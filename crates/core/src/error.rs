@@ -21,6 +21,10 @@ pub enum DiscoveryError {
     },
     /// A replacement was requested for an expert who is not on the team.
     NotATeamMember(atd_graph::NodeId),
+    /// Saving the PLL index to `DiscoveryOptions::pll_index_path` failed
+    /// (the load side never errors — a missing/stale/corrupt file just
+    /// triggers a rebuild). Carries the formatted persistence error.
+    IndexPersist(String),
     /// The exact solver refused an instance exceeding its state budget
     /// (the paper's Exact also fails beyond 6 skills).
     InstanceTooLarge {
@@ -48,6 +52,9 @@ impl std::fmt::Display for DiscoveryError {
             }
             DiscoveryError::InvalidTradeoff { name, value } => {
                 write!(f, "tradeoff parameter {name}={value} must be in [0, 1]")
+            }
+            DiscoveryError::IndexPersist(msg) => {
+                write!(f, "failed to persist PLL index: {msg}")
             }
             DiscoveryError::InstanceTooLarge { what, size, limit } => {
                 write!(f, "exact search too large: {what} = {size} > limit {limit}")

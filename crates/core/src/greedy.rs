@@ -43,6 +43,7 @@
 //! the scan oversamples `k`.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -89,6 +90,17 @@ pub struct DiscoveryOptions {
     /// only trades index memory against per-entry decode work on the
     /// scan.
     pub pll_build: PllBuildConfig,
+    /// Load-or-build persistence for the base (CC) PLL index. When set,
+    /// engine construction first tries to load the index from this path;
+    /// a file whose snapshot fingerprint matches the normalized graph
+    /// (and whose backend matches `pll_build.storage`) skips the build
+    /// entirely — restart cost becomes `O(index bytes)`. A missing,
+    /// stale, corrupt, or differently-encoded file triggers the normal
+    /// build, whose result is then saved to this path for the next start.
+    /// Loaded and built indexes are bit-identical, so discovery results
+    /// never depend on which path ran. Transformed (γ) indexes are
+    /// derived per-γ and are not persisted.
+    pub pll_index_path: Option<PathBuf>,
 }
 
 impl Default for DiscoveryOptions {
@@ -100,6 +112,7 @@ impl Default for DiscoveryOptions {
             oversample: 4,
             prune_dangling_connectors: false,
             pll_build: PllBuildConfig::default(),
+            pll_index_path: None,
         }
     }
 }
@@ -109,12 +122,47 @@ impl Default for DiscoveryOptions {
 struct RankingContext {
     graph: ExpertGraph,
     pll: PrunedLandmarkLabeling,
+    /// Whether the index came off disk instead of being built (the
+    /// load-or-build cold start of `DiscoveryOptions::pll_index_path`).
+    loaded_from_disk: bool,
 }
 
 impl RankingContext {
     fn build(graph: ExpertGraph, config: &PllBuildConfig) -> Self {
         let pll = PrunedLandmarkLabeling::build_with_config(&graph, VertexOrder::default(), config);
-        RankingContext { graph, pll }
+        RankingContext {
+            graph,
+            pll,
+            loaded_from_disk: false,
+        }
+    }
+
+    /// The load-or-build cold start: load the index from `path` when its
+    /// snapshot fingerprint matches `graph` and its storage backend
+    /// matches `config.storage`; otherwise build normally and save the
+    /// result to `path`. Load failures (missing file, stale fingerprint,
+    /// corruption) silently fall back to the build — only a failed
+    /// **save** surfaces as an error, since it means every future start
+    /// will quietly pay the rebuild the caller asked to avoid.
+    fn load_or_build(
+        graph: ExpertGraph,
+        config: &PllBuildConfig,
+        path: &Path,
+    ) -> Result<Self, DiscoveryError> {
+        if let Ok(pll) = PrunedLandmarkLabeling::load_from(path, &graph) {
+            if pll.storage() == config.storage {
+                return Ok(RankingContext {
+                    graph,
+                    pll,
+                    loaded_from_disk: true,
+                });
+            }
+        }
+        let ctx = RankingContext::build(graph, config);
+        ctx.pll
+            .save_to(path, &ctx.graph)
+            .map_err(|e| DiscoveryError::IndexPersist(format!("{} ({e})", path.display())))?;
+        Ok(ctx)
     }
 }
 
@@ -154,7 +202,10 @@ impl Discovery {
     ) -> Result<Self, DiscoveryError> {
         let norm = Normalization::compute_with_min_authority(&graph, options.min_authority);
         let base_graph = graph.map_weights(|_, _, w| norm.w_bar(w));
-        let base = Arc::new(RankingContext::build(base_graph, &options.pll_build));
+        let base = Arc::new(match options.pll_index_path.as_deref() {
+            Some(path) => RankingContext::load_or_build(base_graph, &options.pll_build, path)?,
+            None => RankingContext::build(base_graph, &options.pll_build),
+        });
         Ok(Discovery {
             graph: Arc::new(graph),
             skills: Arc::new(skills),
@@ -196,6 +247,25 @@ impl Discovery {
     /// (`DiscoveryOptions::pll_build.storage`).
     pub fn pll_stats(&self) -> LabelStats {
         self.base.pll.stats()
+    }
+
+    /// Whether the base (CC) index was loaded from
+    /// `DiscoveryOptions::pll_index_path` instead of being built —
+    /// `false` when no path was configured or the file was
+    /// missing/stale/corrupt (all of which trigger a build-and-save).
+    pub fn pll_index_loaded(&self) -> bool {
+        self.base.loaded_from_disk
+    }
+
+    /// Saves the base (CC) index to `path` in the versioned on-disk
+    /// format (`atd_distance::persist`), fingerprinted with the
+    /// normalized ranking graph so a later
+    /// `DiscoveryOptions::pll_index_path` start can load it.
+    pub fn save_pll_index(&self, path: &Path) -> Result<(), DiscoveryError> {
+        self.base
+            .pll
+            .save_to(path, &self.base.graph)
+            .map_err(|e| DiscoveryError::IndexPersist(format!("{} ({e})", path.display())))
     }
 
     /// Eagerly builds (and caches) the transformed index for `γ`. Useful
@@ -821,6 +891,166 @@ mod tests {
                     assert_eq!(x.algorithm_cost.to_bits(), y.algorithm_cost.to_bits());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn persisted_index_round_trip_yields_identical_teams() {
+        // Build-and-save, then load-or-build again from the same path:
+        // the second engine must load (not rebuild) and answer every
+        // top-k query bit-identically; a *different* graph against the
+        // same path must be detected as stale and rebuild.
+        use atd_distance::LabelStorage;
+        let dir = std::env::temp_dir().join(format!(
+            "atd_persist_greedy_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (g, idx, sn, tm) = figure1();
+        let project = Project::new(vec![sn, tm]);
+        for storage in LabelStorage::ALL {
+            let path = dir.join(format!("index-{}.atdl", storage.name()));
+            let opts = || DiscoveryOptions {
+                threads: Some(1),
+                pll_build: PllBuildConfig {
+                    storage,
+                    ..PllBuildConfig::default()
+                },
+                pll_index_path: Some(path.clone()),
+                ..Default::default()
+            };
+            let first = Discovery::with_options(g.clone(), idx.clone(), opts()).unwrap();
+            assert!(!first.pll_index_loaded(), "{storage:?}: no file yet");
+            assert!(path.exists(), "{storage:?}: build must have saved");
+            let second = Discovery::with_options(g.clone(), idx.clone(), opts()).unwrap();
+            assert!(second.pll_index_loaded(), "{storage:?}: must load");
+            assert_eq!(second.pll_stats(), first.pll_stats(), "{storage:?}");
+            for strategy in [
+                Strategy::Cc,
+                Strategy::SaCaCc {
+                    gamma: 0.6,
+                    lambda: 0.6,
+                },
+            ] {
+                let a = first.top_k(&project, strategy, 3).unwrap();
+                let b = second.top_k(&project, strategy, 3).unwrap();
+                assert_eq!(a.len(), b.len(), "{storage:?} {strategy}");
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.team.member_key(), y.team.member_key());
+                    assert_eq!(x.objective.to_bits(), y.objective.to_bits());
+                    assert_eq!(x.algorithm_cost.to_bits(), y.algorithm_cost.to_bits());
+                }
+            }
+        }
+        // Same path, different snapshot: the saved csr index must be
+        // rejected as stale and transparently rebuilt (and re-saved).
+        let path = dir.join("index-csr.atdl");
+        let mut b2 = GraphBuilder::new();
+        let x = b2.add_node(1.0);
+        let y = b2.add_node(2.0);
+        b2.add_edge(x, y, 1.0).unwrap();
+        let g2 = b2.build().unwrap();
+        let mut sb = SkillIndexBuilder::new();
+        let s = sb.intern("s");
+        sb.grant(x, s);
+        let idx2 = sb.build(g2.num_nodes());
+        let stale = Discovery::with_options(
+            g2,
+            idx2,
+            DiscoveryOptions {
+                threads: Some(1),
+                pll_index_path: Some(path.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!stale.pll_index_loaded(), "stale file must trigger rebuild");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn storage_mismatch_on_disk_triggers_rebuild_in_requested_backend() {
+        // A file saved in one backend must not satisfy an engine asking
+        // for another: the index is rebuilt (and re-saved) in the
+        // requested storage.
+        use atd_distance::LabelStorage;
+        let dir = std::env::temp_dir().join(format!(
+            "atd_persist_storage_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.atdl");
+        let (g, idx, _, _) = figure1();
+        let mk = |storage| DiscoveryOptions {
+            threads: Some(1),
+            pll_build: PllBuildConfig {
+                storage,
+                ..PllBuildConfig::default()
+            },
+            pll_index_path: Some(path.clone()),
+            ..Default::default()
+        };
+        let _csr = Discovery::with_options(g.clone(), idx.clone(), mk(LabelStorage::Csr)).unwrap();
+        let dict =
+            Discovery::with_options(g.clone(), idx.clone(), mk(LabelStorage::CompressedDict))
+                .unwrap();
+        assert!(!dict.pll_index_loaded(), "backend mismatch must rebuild");
+        let again = Discovery::with_options(g, idx, mk(LabelStorage::CompressedDict)).unwrap();
+        assert!(again.pll_index_loaded(), "re-saved backend must load");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_pll_index_writes_a_loadable_file() {
+        let dir = std::env::temp_dir().join(format!(
+            "atd_persist_save_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("explicit.atdl");
+        let (d, project) = engine();
+        assert!(!d.pll_index_loaded());
+        d.save_pll_index(&path).unwrap();
+        let (g, idx, _, _) = figure1();
+        let loaded = Discovery::with_options(
+            g,
+            idx,
+            DiscoveryOptions {
+                threads: Some(1),
+                pll_index_path: Some(path.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(loaded.pll_index_loaded());
+        let a = d.best(&project, Strategy::Cc).unwrap();
+        let b = loaded.best(&project, Strategy::Cc).unwrap();
+        assert_eq!(a.team.member_key(), b.team.member_key());
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unwritable_index_path_surfaces_as_persist_error() {
+        let (g, idx, _, _) = figure1();
+        let result = Discovery::with_options(
+            g,
+            idx,
+            DiscoveryOptions {
+                threads: Some(1),
+                pll_index_path: Some(PathBuf::from("/nonexistent-dir-for-atd-test/index.atdl")),
+                ..Default::default()
+            },
+        );
+        match result {
+            Err(DiscoveryError::IndexPersist(msg)) => {
+                assert!(msg.contains("index.atdl"), "message names the path: {msg}")
+            }
+            Err(other) => panic!("wrong error: {other:?}"),
+            Ok(_) => panic!("save into a nonexistent directory must fail"),
         }
     }
 

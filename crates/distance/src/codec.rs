@@ -60,13 +60,21 @@ pub enum LabelStorage {
 
 impl LabelStorage {
     /// Every backend, in CSR-first order — what backend sweeps (benches,
-    /// equivalence proptests) iterate.
+    /// equivalence proptests) iterate. Parallel to [`LabelStorage::NAMES`]
+    /// and to the on-disk storage tag of `persist.rs`.
     pub const ALL: [LabelStorage; 4] = [
         LabelStorage::Csr,
         LabelStorage::Compressed,
         LabelStorage::CsrDict,
         LabelStorage::CompressedDict,
     ];
+
+    /// The CLI name of every backend, parallel to [`LabelStorage::ALL`] —
+    /// the **single** source the parser ([`LabelStorage::parse`]), the
+    /// display name ([`LabelStorage::name`]) and every usage/error string
+    /// ([`LabelStorage::usage`]) derive from, so adding a backend cannot
+    /// leave a stale CLI list behind.
+    pub const NAMES: [&'static str; 4] = ["csr", "compressed", "csr-dict", "compressed-dict"];
 
     /// Parses a CLI name
     /// (`"csr"` / `"compressed"` / `"csr-dict"` / `"compressed-dict"`).
@@ -84,23 +92,23 @@ impl LabelStorage {
     /// }
     /// ```
     pub fn parse(s: &str) -> Option<LabelStorage> {
-        match s {
-            "csr" => Some(LabelStorage::Csr),
-            "compressed" => Some(LabelStorage::Compressed),
-            "csr-dict" => Some(LabelStorage::CsrDict),
-            "compressed-dict" => Some(LabelStorage::CompressedDict),
-            _ => None,
-        }
+        LabelStorage::ALL.into_iter().find(|b| b.name() == s)
     }
 
     /// The CLI name [`LabelStorage::parse`] accepts for this backend.
     pub fn name(self) -> &'static str {
-        match self {
-            LabelStorage::Csr => "csr",
-            LabelStorage::Compressed => "compressed",
-            LabelStorage::CsrDict => "csr-dict",
-            LabelStorage::CompressedDict => "compressed-dict",
-        }
+        LabelStorage::NAMES[self as usize]
+    }
+
+    /// The `|`-joined backend list (`"csr|compressed|…"`) for usage
+    /// strings and unknown-name error messages.
+    ///
+    /// ```
+    /// use atd_distance::LabelStorage;
+    /// assert_eq!(LabelStorage::usage(), LabelStorage::NAMES.join("|"));
+    /// ```
+    pub fn usage() -> String {
+        LabelStorage::NAMES.join("|")
     }
 }
 
@@ -115,11 +123,59 @@ pub(crate) fn write_varint(mut value: u32, out: &mut Vec<u8>) {
     out.push(value as u8);
 }
 
+/// Why a fallible varint decode rejected its input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum VarintError {
+    /// The stream ended inside a varint (a continuation byte was the last
+    /// byte, or the slice was empty).
+    Truncated,
+    /// The encoding does not fit a `u32`: more than five bytes, or payload
+    /// bits above bit 31 in the fifth byte. [`write_varint`] never
+    /// produces such a stream, so this always means corruption.
+    Overflow,
+}
+
+/// Fallible LEB128 decode for **untrusted** bytes, advancing `*pos` only
+/// on success.
+///
+/// The unchecked [`read_varint`] is the hot-path form and assumes a
+/// well-formed block: on truncated input it panics with an opaque
+/// index-out-of-bounds, and on malformed continuation bytes its shift
+/// marches past 31, corrupting the decoded value. Load-time validation
+/// (`persist.rs`) therefore runs **this** decoder over every block first;
+/// the query path keeps the unchecked form, now provably fed only
+/// validated streams.
+#[inline]
+pub(crate) fn try_read_varint(bytes: &[u8], pos: &mut usize) -> Result<u32, VarintError> {
+    let mut value = 0u32;
+    let mut shift = 0u32;
+    let mut cur = *pos;
+    loop {
+        let &b = bytes.get(cur).ok_or(VarintError::Truncated)?;
+        cur += 1;
+        let payload = (b & 0x7f) as u32;
+        // The fifth byte may only carry u32 bits 28..=31.
+        if shift == 28 && payload > 0x0f {
+            return Err(VarintError::Overflow);
+        }
+        value |= payload << shift;
+        if b < 0x80 {
+            *pos = cur;
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 28 {
+            return Err(VarintError::Overflow);
+        }
+    }
+}
+
 /// Reads one LEB128 varint from `bytes` at `*pos`, advancing `*pos`.
 ///
 /// Decode invariant: callers only invoke this with `*pos` inside a
-/// well-formed block (the encoder wrote exactly one varint per entry), so
-/// the slice index cannot go out of bounds for in-contract inputs.
+/// well-formed block (the encoder wrote exactly one varint per entry, and
+/// loaded blocks are pre-validated with [`try_read_varint`]), so the
+/// slice index cannot go out of bounds for in-contract inputs.
 #[inline]
 pub(crate) fn read_varint(bytes: &[u8], pos: &mut usize) -> u32 {
     let b = bytes[*pos];
@@ -179,13 +235,13 @@ pub(crate) const PREV_NONE: u32 = u32::MAX;
 #[derive(Clone, Debug, Default)]
 pub struct CompressedLabelSet {
     /// Entry offsets into `dists`; `offsets[v]..offsets[v+1]` is node `v`.
-    offsets: Vec<u32>,
+    pub(crate) offsets: Vec<u32>,
     /// Byte offsets into `rank_bytes`; one block per node.
-    byte_offsets: Vec<u32>,
+    pub(crate) byte_offsets: Vec<u32>,
     /// Concatenated per-node varint gap streams.
-    rank_bytes: Vec<u8>,
+    pub(crate) rank_bytes: Vec<u8>,
     /// All distances, flat and uncompressed, parallel to decode order.
-    dists: Vec<f64>,
+    pub(crate) dists: Vec<f64>,
 }
 
 impl CompressedLabelSet {
@@ -632,6 +688,55 @@ mod tests {
             assert_eq!(read_varint(&buf, &mut pos), v);
         }
         assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn try_read_varint_accepts_everything_the_encoder_writes() {
+        let mut buf = Vec::new();
+        let values = [0u32, 1, 127, 128, 129, 16383, 16384, 1 << 21, u32::MAX];
+        for &v in &values {
+            write_varint(v, &mut buf);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(try_read_varint(&buf, &mut pos), Ok(v));
+        }
+        assert_eq!(pos, buf.len());
+        assert_eq!(try_read_varint(&buf, &mut pos), Err(VarintError::Truncated));
+    }
+
+    #[test]
+    fn try_read_varint_rejects_truncation_without_advancing() {
+        let mut buf = Vec::new();
+        write_varint(u32::MAX, &mut buf);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert_eq!(
+                try_read_varint(&buf[..cut], &mut pos),
+                Err(VarintError::Truncated),
+                "cut at {cut}"
+            );
+            assert_eq!(pos, 0, "cursor must not move on failure");
+        }
+    }
+
+    #[test]
+    fn try_read_varint_rejects_overflowing_continuations() {
+        // Six continuation bytes: the unchecked decoder would shift past 31.
+        let runaway = [0x80u8, 0x80, 0x80, 0x80, 0x80, 0x01];
+        let mut pos = 0;
+        assert_eq!(
+            try_read_varint(&runaway, &mut pos),
+            Err(VarintError::Overflow)
+        );
+        // Five bytes whose fifth carries payload above u32 bit 31.
+        let wide = [0xffu8, 0xff, 0xff, 0xff, 0x10];
+        let mut pos = 0;
+        assert_eq!(try_read_varint(&wide, &mut pos), Err(VarintError::Overflow));
+        // The widest legal five-byte value is exactly u32::MAX.
+        let max = [0xffu8, 0xff, 0xff, 0xff, 0x0f];
+        let mut pos = 0;
+        assert_eq!(try_read_varint(&max, &mut pos), Ok(u32::MAX));
     }
 
     #[test]

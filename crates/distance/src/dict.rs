@@ -67,7 +67,7 @@ impl DistCode for u32 {
 
 /// The code array of a [`DistDict`] in its physical width.
 #[derive(Clone, Debug)]
-enum CodePlane {
+pub(crate) enum CodePlane {
     /// Table has ≤ 2⁸ values.
     U8(Vec<u8>),
     /// Table has ≤ 2¹⁶ values.
@@ -175,9 +175,9 @@ pub struct DistDict {
     /// Distinct distance values, ascending; entries are unique bit
     /// patterns (all distances are non-negative finite sums, so bit order
     /// and numeric order coincide).
-    table: Vec<f64>,
+    pub(crate) table: Vec<f64>,
     /// One table index per label entry, in decode order.
-    codes: CodePlane,
+    pub(crate) codes: CodePlane,
 }
 
 impl DistDict {
@@ -313,11 +313,11 @@ impl DictEncoder {
 #[derive(Clone, Debug, Default)]
 pub struct DictLabelSet {
     /// `offsets[v]..offsets[v + 1]` is node `v`'s slice of both planes.
-    offsets: Vec<u32>,
+    pub(crate) offsets: Vec<u32>,
     /// All hub ranks, concatenated per node, ascending within a node.
-    hub_ranks: Vec<u32>,
+    pub(crate) hub_ranks: Vec<u32>,
     /// Dictionary-encoded distances, parallel to `hub_ranks`.
-    dists: DistDict,
+    pub(crate) dists: DistDict,
 }
 
 impl DictLabelSet {
@@ -468,14 +468,14 @@ impl ExactSizeIterator for DictEntries<'_> {}
 pub struct CompressedDictLabelSet {
     /// Entry offsets into the code plane; `offsets[v]..offsets[v+1]` is
     /// node `v`.
-    offsets: Vec<u32>,
+    pub(crate) offsets: Vec<u32>,
     /// Byte offsets into `rank_bytes`; one block per node.
-    byte_offsets: Vec<u32>,
+    pub(crate) byte_offsets: Vec<u32>,
     /// Concatenated per-node varint gap streams (same encoding as
     /// [`CompressedLabelSet`](crate::codec::CompressedLabelSet)).
-    rank_bytes: Vec<u8>,
+    pub(crate) rank_bytes: Vec<u8>,
     /// Dictionary-encoded distances, parallel to decode order.
-    dists: DistDict,
+    pub(crate) dists: DistDict,
 }
 
 impl CompressedDictLabelSet {

@@ -74,6 +74,9 @@ impl<'a> LabelRef<'a> {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct LabelSet {
+    // The three planes are (de)serialized field-by-field by `persist.rs`,
+    // whose load-time validation re-establishes every invariant stated
+    // here — keep the two in sync when changing the layout.
     /// `offsets[v]..offsets[v + 1]` is node `v`'s slice of the flat arrays.
     pub(crate) offsets: Vec<u32>,
     /// All hub ranks, concatenated per node, ascending within a node.

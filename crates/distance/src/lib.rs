@@ -30,6 +30,10 @@
 //!   workloads with few distinct roots.
 //! * [`DistanceOracle`] — the trait both implement, which the team-formation
 //!   crate is generic over.
+//! * [`persist`] — versioned on-disk persistence for a built index:
+//!   `save_to` / `load_from` with a snapshot fingerprint and hardened
+//!   untrusted-byte validation, so restart cost is `O(index bytes)`
+//!   instead of `O(graph rebuild)`.
 //!
 //! Vertex ordering matters enormously for PLL label sizes; [`order`]
 //! provides the degree-descending heuristic recommended by Akiba et al. for
@@ -41,6 +45,7 @@ pub mod dijkstra_oracle;
 pub mod label;
 pub mod oracle;
 pub mod order;
+pub mod persist;
 pub mod pll;
 pub mod scatter;
 
@@ -53,5 +58,6 @@ pub use label::{
 };
 pub use oracle::DistanceOracle;
 pub use order::{degree_descending_order, VertexOrder};
+pub use persist::{graph_fingerprint, PersistError, SnapshotFingerprint};
 pub use pll::{BatchProfile, BuildConfig, BuildProfile, PrunedLandmarkLabeling};
 pub use scatter::SourceScatter;

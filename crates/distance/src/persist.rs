@@ -1,0 +1,960 @@
+//! Versioned on-disk persistence for the hub-label index.
+//!
+//! The paper's query engine is only fast because the 2-hop cover is
+//! already built — yet every process start used to pay a full PLL
+//! construction. All four [`LabelStore`] backends are flat arrays plus at
+//! most one dictionary table, so a built index serializes to a
+//! straightforward little-endian dump that loads orders of magnitude
+//! faster than even the parallel rebuild (`O(index bytes)` instead of
+//! `O(graph rebuild)` — see `BENCH_pr5.json` and the cold-start section
+//! of the README).
+//!
+//! The format is defensive because a loaded file is the **first untrusted
+//! byte stream** the label decoders ever see. The header carries a magic,
+//! a format version, the storage tag, a snapshot fingerprint (node count,
+//! entry count, and a hash of the graph's edge/weight stream) so stale
+//! indexes are rejected, and an FNV-1a checksum over the payload.
+//! Loading validates every structural invariant the unchecked hot-path
+//! decoders rely on — offsets monotone and in range, varint blocks
+//! well-formed (via the checked decoder in `codec.rs`), dictionary codes
+//! inside the table — and returns [`PersistError`], **never panics**, on
+//! any malformed input. See `crates/distance/src/README.md` for the
+//! byte-level format specification.
+//!
+//! Typical use is the load-or-build cold start
+//! (`DiscoveryOptions::pll_index_path` in `atd-core` wires this up
+//! end-to-end):
+//!
+//! ```
+//! use atd_distance::{LabelStore, PrunedLandmarkLabeling, VertexOrder};
+//! use atd_graph::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new();
+//! let u = b.add_node(1.0);
+//! let v = b.add_node(2.0);
+//! b.add_edge(u, v, 0.5).unwrap();
+//! let g = b.build().unwrap();
+//!
+//! let built = PrunedLandmarkLabeling::build(&g);
+//! let path = std::env::temp_dir().join("atd-doctest-index.atdl");
+//! built.save_to(&path, &g).unwrap();
+//! let loaded = PrunedLandmarkLabeling::load_from(&path, &g).unwrap();
+//! // Bit-identical labels, hence bit-identical queries.
+//! for n in 0..g.num_nodes() {
+//!     assert!(built
+//!         .labels()
+//!         .entries(n)
+//!         .eq(loaded.labels().entries(n)));
+//! }
+//! std::fs::remove_file(&path).unwrap();
+//! ```
+
+use std::fmt;
+use std::io::Read;
+use std::path::Path;
+use std::time::Instant;
+
+use atd_graph::ExpertGraph;
+
+use crate::codec::{try_read_varint, CompressedLabelSet, LabelStorage, LabelStore, VarintError};
+use crate::dict::{CodePlane, CompressedDictLabelSet, DictLabelSet, DistDict};
+use crate::label::LabelSet;
+use crate::pll::PrunedLandmarkLabeling;
+
+/// File magic, the first four bytes of every index dump.
+pub const MAGIC: [u8; 4] = *b"ATDL";
+
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Fixed header length in bytes (see the format spec in
+/// `crates/distance/src/README.md`).
+pub const HEADER_LEN: usize = 48;
+
+/// Why a save or load failed.
+///
+/// Every decode-side failure mode is a variant here: loading **returns**
+/// these — it never panics, whatever the bytes are (enforced by
+/// `tests/proptest_persist.rs`, which flips and truncates files
+/// exhaustively).
+#[derive(Debug)]
+pub enum PersistError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`] — not an index dump.
+    BadMagic,
+    /// The file's format version is not [`FORMAT_VERSION`].
+    UnsupportedVersion(u16),
+    /// The header's storage tag names no known [`LabelStorage`] backend.
+    BadStorageTag(u8),
+    /// The snapshot fingerprint does not match the graph the caller
+    /// supplied — the index was built from a different (stale) snapshot.
+    StaleIndex {
+        /// Which fingerprint component mismatched (`"nodes"` or
+        /// `"graph hash"`).
+        what: &'static str,
+        /// The value derived from the caller's graph.
+        expected: u64,
+        /// The value stored in the file.
+        found: u64,
+    },
+    /// The payload checksum does not match the header — bit rot or a
+    /// partial write.
+    ChecksumMismatch,
+    /// The file ended before the structure it promised was complete.
+    Truncated,
+    /// A structural invariant of the label encoding does not hold; the
+    /// message names the violated invariant.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "index file I/O failed: {e}"),
+            PersistError::BadMagic => write!(f, "not an ATDL index file (bad magic)"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported index format version {v} (this build reads {FORMAT_VERSION})"
+                )
+            }
+            PersistError::BadStorageTag(t) => write!(f, "unknown label storage tag {t}"),
+            PersistError::StaleIndex {
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "stale index: {what} mismatch (graph has {expected:#x}, file has {found:#x})"
+            ),
+            PersistError::ChecksumMismatch => write!(f, "index payload checksum mismatch"),
+            PersistError::Truncated => write!(f, "index file truncated"),
+            PersistError::Corrupt(what) => write!(f, "corrupt index: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<VarintError> for PersistError {
+    fn from(e: VarintError) -> Self {
+        match e {
+            VarintError::Truncated => PersistError::Corrupt("varint block truncated"),
+            VarintError::Overflow => PersistError::Corrupt("varint does not fit u32"),
+        }
+    }
+}
+
+/// The identity of the snapshot an index was built from, stored in the
+/// header so a loaded index is provably the index **of this graph**:
+/// node count, label entry count, and a hash of the graph's edge/weight
+/// stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotFingerprint {
+    /// Indexed node count.
+    pub nodes: u64,
+    /// Total label entries across all nodes.
+    pub entries: u64,
+    /// [`graph_fingerprint`] of the edge/weight stream.
+    pub graph_hash: u64,
+}
+
+impl SnapshotFingerprint {
+    /// The fingerprint [`LabelStore::save_to`] writes for `store` built
+    /// from `graph`.
+    pub fn of(graph: &ExpertGraph, store: &LabelStore) -> SnapshotFingerprint {
+        SnapshotFingerprint {
+            nodes: store.num_nodes() as u64,
+            entries: store.stats().total_entries as u64,
+            graph_hash: graph_fingerprint(graph),
+        }
+    }
+
+    /// Reads the fingerprint out of a dump's header without parsing (or
+    /// even reading) the payload — identifies which snapshot a file
+    /// belongs to without needing the graph, e.g. for ops tooling
+    /// deciding which of several cached indexes to load.
+    pub fn read_from_bytes(bytes: &[u8]) -> Result<SnapshotFingerprint, PersistError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(PersistError::Truncated);
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(PersistError::UnsupportedVersion(version));
+        }
+        let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+        Ok(SnapshotFingerprint {
+            nodes: u64_at(8),
+            entries: u64_at(16),
+            graph_hash: u64_at(24),
+        })
+    }
+
+    /// [`SnapshotFingerprint::read_from_bytes`] over a file's first
+    /// [`HEADER_LEN`] bytes.
+    pub fn read_from(path: &Path) -> Result<SnapshotFingerprint, PersistError> {
+        let mut header = [0u8; HEADER_LEN];
+        let mut f = std::fs::File::open(path)?;
+        f.read_exact(&mut header)
+            .map_err(|_| PersistError::Truncated)?;
+        SnapshotFingerprint::read_from_bytes(&header)
+    }
+}
+
+/// FNV-1a 64-bit accumulator — the format's hash for both the graph
+/// fingerprint and the payload checksum. Not cryptographic; it guards
+/// against stale snapshots and bit rot, not adversarial collisions.
+struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Fnv64 {
+        Fnv64(Self::OFFSET)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+/// Hash of a graph's edge/weight stream (node count, edge count, then
+/// every undirected edge as `(u, v, weight bits)` in canonical order) —
+/// the staleness check of the on-disk header. Any change to topology or
+/// weights changes this value.
+pub fn graph_fingerprint(g: &ExpertGraph) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(g.num_nodes() as u64);
+    h.write_u64(g.num_edges() as u64);
+    for (u, v, w) in g.edges() {
+        h.write_u64(u.index() as u64);
+        h.write_u64(v.index() as u64);
+        h.write_u64(w.to_bits());
+    }
+    h.0
+}
+
+/// The checksum the format stores over its payload bytes (FNV-1a 64).
+/// Public so external tooling — and the corruption tests — can re-seal a
+/// patched payload and exercise the structural validation behind it.
+pub fn checksum(payload: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(payload);
+    h.0
+}
+
+// ---------------------------------------------------------------------
+// Payload writer
+// ---------------------------------------------------------------------
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32_slice(out: &mut Vec<u8>, v: &[u32]) {
+    put_u64(out, v.len() as u64);
+    for &x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn put_u16_slice(out: &mut Vec<u8>, v: &[u16]) {
+    put_u64(out, v.len() as u64);
+    for &x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn put_u8_slice(out: &mut Vec<u8>, v: &[u8]) {
+    put_u64(out, v.len() as u64);
+    out.extend_from_slice(v);
+}
+
+fn put_f64_slice(out: &mut Vec<u8>, v: &[f64]) {
+    put_u64(out, v.len() as u64);
+    for &x in v {
+        out.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+}
+
+fn put_dict(out: &mut Vec<u8>, dict: &DistDict) {
+    put_f64_slice(out, &dict.table);
+    match &dict.codes {
+        CodePlane::U8(c) => {
+            out.push(1);
+            put_u8_slice(out, c);
+        }
+        CodePlane::U16(c) => {
+            out.push(2);
+            put_u16_slice(out, c);
+        }
+        CodePlane::U32(c) => {
+            out.push(4);
+            put_u32_slice(out, c);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Payload reader (bounds-checked cursor over untrusted bytes)
+// ---------------------------------------------------------------------
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self.pos.checked_add(n).ok_or(PersistError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(PersistError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// Reads a length prefix, refusing counts the remaining bytes cannot
+    /// possibly hold — a malicious length field must fail *before* any
+    /// allocation, not OOM on it.
+    fn len_prefix(&mut self, elem_size: usize) -> Result<usize, PersistError> {
+        let n = self.u64()?;
+        let remaining = (self.buf.len() - self.pos) as u64;
+        if n.checked_mul(elem_size as u64)
+            .ok_or(PersistError::Truncated)?
+            > remaining
+        {
+            return Err(PersistError::Truncated);
+        }
+        Ok(n as usize)
+    }
+
+    fn u32_vec(&mut self) -> Result<Vec<u32>, PersistError> {
+        let n = self.len_prefix(4)?;
+        let raw = self.bytes(n * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+            .collect())
+    }
+
+    fn u16_vec(&mut self) -> Result<Vec<u16>, PersistError> {
+        let n = self.len_prefix(2)?;
+        let raw = self.bytes(n * 2)?;
+        Ok(raw
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes(c.try_into().expect("2-byte chunk")))
+            .collect())
+    }
+
+    fn u8_vec(&mut self) -> Result<Vec<u8>, PersistError> {
+        let n = self.len_prefix(1)?;
+        Ok(self.bytes(n)?.to_vec())
+    }
+
+    fn f64_vec(&mut self) -> Result<Vec<f64>, PersistError> {
+        let n = self.len_prefix(8)?;
+        let raw = self.bytes(n * 8)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8-byte chunk"))))
+            .collect())
+    }
+
+    fn finish(&self) -> Result<(), PersistError> {
+        if self.pos != self.buf.len() {
+            return Err(PersistError::Corrupt("trailing bytes after payload"));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Structural validation
+// ---------------------------------------------------------------------
+
+/// Entry-offset invariants every backend shares: `nodes + 1` values,
+/// starting at 0, monotone nondecreasing, ending at `entries`.
+fn validate_offsets(offsets: &[u32], nodes: usize, entries: usize) -> Result<(), PersistError> {
+    if offsets.len() != nodes + 1 {
+        return Err(PersistError::Corrupt("offset array length != nodes + 1"));
+    }
+    if offsets[0] != 0 {
+        return Err(PersistError::Corrupt("offset array does not start at 0"));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(PersistError::Corrupt("entry offsets not monotone"));
+    }
+    if offsets[offsets.len() - 1] as usize != entries {
+        return Err(PersistError::Corrupt("offset array end != entry count"));
+    }
+    Ok(())
+}
+
+/// Flat-rank invariant: strictly ascending hub ranks within every node's
+/// slice (what the merge-join and scatter scans rely on); with a
+/// `rank_bound`, additionally every rank `< bound` (ascent means only
+/// each slice's last rank needs the comparison).
+fn validate_csr_ranks(
+    offsets: &[u32],
+    ranks: &[u32],
+    rank_bound: Option<u32>,
+) -> Result<(), PersistError> {
+    for v in 0..offsets.len() - 1 {
+        let slice = &ranks[offsets[v] as usize..offsets[v + 1] as usize];
+        if slice.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(PersistError::Corrupt(
+                "hub ranks not strictly ascending within a node",
+            ));
+        }
+        if let (Some(bound), Some(&last)) = (rank_bound, slice.last()) {
+            if last >= bound {
+                return Err(PersistError::Corrupt("hub rank exceeds node count"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Varint-block invariants: byte offsets monotone and in range, every
+/// block holding exactly one well-formed varint per entry, consuming
+/// exactly its bytes, and decoding to ranks that ascend strictly without
+/// wrapping `u32`. Runs the checked decoder — the unchecked hot-path
+/// form is only ever fed blocks that passed here.
+fn validate_varint_blocks(
+    offsets: &[u32],
+    byte_offsets: &[u32],
+    rank_bytes: &[u8],
+    nodes: usize,
+    rank_bound: Option<u32>,
+) -> Result<(), PersistError> {
+    if byte_offsets.len() != nodes + 1 {
+        return Err(PersistError::Corrupt(
+            "byte-offset array length != nodes + 1",
+        ));
+    }
+    if byte_offsets[0] != 0 {
+        return Err(PersistError::Corrupt(
+            "byte-offset array does not start at 0",
+        ));
+    }
+    if byte_offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(PersistError::Corrupt("byte offsets not monotone"));
+    }
+    if byte_offsets[nodes] as usize != rank_bytes.len() {
+        return Err(PersistError::Corrupt(
+            "byte-offset array end != rank byte count",
+        ));
+    }
+    for v in 0..nodes {
+        let block = &rank_bytes[byte_offsets[v] as usize..byte_offsets[v + 1] as usize];
+        let count = (offsets[v + 1] - offsets[v]) as usize;
+        let mut pos = 0usize;
+        // rank_{-1} = -1; rank_i = rank_{i-1} + gap_i + 1, tracked in u64
+        // so a stream that would wrap u32 (breaking the strict ascent the
+        // decoders assume) is caught here instead.
+        let mut rank: u64 = u64::MAX; // wraps to gap_0 on the first add
+        for _ in 0..count {
+            let gap = try_read_varint(block, &mut pos)?;
+            rank = rank.wrapping_add(gap as u64).wrapping_add(1);
+            if rank > u32::MAX as u64 {
+                return Err(PersistError::Corrupt("decoded hub rank exceeds u32"));
+            }
+        }
+        // Ascent means only the block's last rank needs the bound check.
+        if let Some(bound) = rank_bound {
+            if count > 0 && rank >= bound as u64 {
+                return Err(PersistError::Corrupt("hub rank exceeds node count"));
+            }
+        }
+        if pos != block.len() {
+            return Err(PersistError::Corrupt(
+                "varint block longer than its entry count",
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Dictionary invariants: the value table strictly ascending by bit
+/// pattern (finite, non-negative, deduplicated — bit order is numeric
+/// order), the code plane at the canonical width for the table size, and
+/// every code inside the table.
+fn validate_dict(dict: &DistDict, entries: usize) -> Result<(), PersistError> {
+    let table = &dict.table;
+    // -0.0 is rejected too: its sign bit would break the sorted-by-bits
+    // = sorted-numeric equivalence the encoder relies on.
+    if table.iter().any(|d| !d.is_finite() || d.is_sign_negative()) {
+        return Err(PersistError::Corrupt(
+            "dictionary table value not finite and non-negative",
+        ));
+    }
+    if table.windows(2).any(|w| w[0].to_bits() >= w[1].to_bits()) {
+        return Err(PersistError::Corrupt(
+            "dictionary table not strictly ascending",
+        ));
+    }
+    let expected_width = if table.len() <= 1 << 8 {
+        1
+    } else if table.len() <= 1 << 16 {
+        2
+    } else {
+        4
+    };
+    let (width, len, max_code) = match &dict.codes {
+        CodePlane::U8(c) => (1, c.len(), c.iter().map(|&x| x as usize).max()),
+        CodePlane::U16(c) => (2, c.len(), c.iter().map(|&x| x as usize).max()),
+        CodePlane::U32(c) => (4, c.len(), c.iter().map(|&x| x as usize).max()),
+    };
+    if width != expected_width {
+        return Err(PersistError::Corrupt(
+            "code width not canonical for table size",
+        ));
+    }
+    if len != entries {
+        return Err(PersistError::Corrupt("code count != entry count"));
+    }
+    if let Some(max) = max_code {
+        if max >= table.len() {
+            return Err(PersistError::Corrupt("dictionary code out of range"));
+        }
+    }
+    Ok(())
+}
+
+fn read_code_plane(cur: &mut Cursor<'_>) -> Result<CodePlane, PersistError> {
+    match cur.u8()? {
+        1 => Ok(CodePlane::U8(cur.u8_vec()?)),
+        2 => Ok(CodePlane::U16(cur.u16_vec()?)),
+        4 => Ok(CodePlane::U32(cur.u32_vec()?)),
+        _ => Err(PersistError::Corrupt("unknown code width")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// LabelStore serialization
+// ---------------------------------------------------------------------
+
+impl LabelStore {
+    /// Serializes this store into the versioned on-disk byte format,
+    /// stamping `graph_hash` (see [`graph_fingerprint`]) into the header
+    /// fingerprint. The inverse of [`LabelStore::from_bytes`].
+    pub fn to_bytes(&self, graph_hash: u64) -> Vec<u8> {
+        let mut payload = Vec::new();
+        match self {
+            LabelStore::Csr(l) => {
+                put_u32_slice(&mut payload, &l.offsets);
+                put_u32_slice(&mut payload, &l.hub_ranks);
+                put_f64_slice(&mut payload, &l.dists);
+            }
+            LabelStore::Compressed(l) => {
+                put_u32_slice(&mut payload, &l.offsets);
+                put_u32_slice(&mut payload, &l.byte_offsets);
+                put_u8_slice(&mut payload, &l.rank_bytes);
+                put_f64_slice(&mut payload, &l.dists);
+            }
+            LabelStore::CsrDict(l) => {
+                put_u32_slice(&mut payload, &l.offsets);
+                put_u32_slice(&mut payload, &l.hub_ranks);
+                put_dict(&mut payload, &l.dists);
+            }
+            LabelStore::CompressedDict(l) => {
+                put_u32_slice(&mut payload, &l.offsets);
+                put_u32_slice(&mut payload, &l.byte_offsets);
+                put_u8_slice(&mut payload, &l.rank_bytes);
+                put_dict(&mut payload, &l.dists);
+            }
+        }
+        let stats = self.stats();
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.push(self.storage() as u8);
+        out.push(0); // reserved
+        put_u64(&mut out, stats.nodes as u64);
+        put_u64(&mut out, stats.total_entries as u64);
+        put_u64(&mut out, graph_hash);
+        put_u64(&mut out, payload.len() as u64);
+        put_u64(&mut out, checksum(&payload));
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decodes a store from untrusted bytes, validating the header
+    /// against the caller's snapshot (`expected_nodes`,
+    /// `expected_graph_hash`) and every structural invariant of the
+    /// stored backend before any decoder touches the data.
+    ///
+    /// Returns `Err` — never panics — on any malformed, truncated,
+    /// corrupt, or stale input.
+    pub fn from_bytes(
+        bytes: &[u8],
+        expected_nodes: usize,
+        expected_graph_hash: u64,
+    ) -> Result<LabelStore, PersistError> {
+        Self::from_bytes_impl(bytes, expected_nodes, expected_graph_hash, false)
+    }
+
+    /// [`LabelStore::from_bytes`] plus, when `ranks_are_vertex_ranks`,
+    /// the PLL-level invariant that every hub rank is `< nodes` —
+    /// checked inside the single validation pass over the rank planes,
+    /// so the load path never decodes the labels twice.
+    pub(crate) fn from_bytes_impl(
+        bytes: &[u8],
+        expected_nodes: usize,
+        expected_graph_hash: u64,
+        ranks_are_vertex_ranks: bool,
+    ) -> Result<LabelStore, PersistError> {
+        let fp = SnapshotFingerprint::read_from_bytes(bytes)?;
+        let (header, payload) = bytes.split_at(HEADER_LEN);
+        let tag = header[6];
+        let storage = *LabelStorage::ALL
+            .get(tag as usize)
+            .ok_or(PersistError::BadStorageTag(tag))?;
+        if header[7] != 0 {
+            return Err(PersistError::Corrupt("reserved header byte not zero"));
+        }
+        let mut h = Cursor::new(&header[32..]);
+        let payload_len = h.u64()?;
+        let stored_checksum = h.u64()?;
+
+        if fp.nodes != expected_nodes as u64 {
+            return Err(PersistError::StaleIndex {
+                what: "nodes",
+                expected: expected_nodes as u64,
+                found: fp.nodes,
+            });
+        }
+        if fp.graph_hash != expected_graph_hash {
+            return Err(PersistError::StaleIndex {
+                what: "graph hash",
+                expected: expected_graph_hash,
+                found: fp.graph_hash,
+            });
+        }
+        // Offsets are u32, so both counts must fit.
+        if fp.nodes >= u32::MAX as u64 || fp.entries > u32::MAX as u64 {
+            return Err(PersistError::Corrupt("node or entry count exceeds u32"));
+        }
+        if payload_len != payload.len() as u64 {
+            return Err(if payload_len > payload.len() as u64 {
+                PersistError::Truncated
+            } else {
+                PersistError::Corrupt("trailing bytes after payload")
+            });
+        }
+        if checksum(payload) != stored_checksum {
+            return Err(PersistError::ChecksumMismatch);
+        }
+
+        let nodes = fp.nodes as usize;
+        let entries = fp.entries as usize;
+        let rank_bound = ranks_are_vertex_ranks.then_some(fp.nodes as u32);
+        let mut cur = Cursor::new(payload);
+        let store = match storage {
+            LabelStorage::Csr => {
+                let offsets = cur.u32_vec()?;
+                let hub_ranks = cur.u32_vec()?;
+                let dists = cur.f64_vec()?;
+                cur.finish()?;
+                if hub_ranks.len() != entries || dists.len() != entries {
+                    return Err(PersistError::Corrupt("plane length != entry count"));
+                }
+                validate_offsets(&offsets, nodes, entries)?;
+                validate_csr_ranks(&offsets, &hub_ranks, rank_bound)?;
+                LabelStore::Csr(LabelSet {
+                    offsets,
+                    hub_ranks,
+                    dists,
+                })
+            }
+            LabelStorage::Compressed => {
+                let offsets = cur.u32_vec()?;
+                let byte_offsets = cur.u32_vec()?;
+                let rank_bytes = cur.u8_vec()?;
+                let dists = cur.f64_vec()?;
+                cur.finish()?;
+                if dists.len() != entries {
+                    return Err(PersistError::Corrupt("plane length != entry count"));
+                }
+                validate_offsets(&offsets, nodes, entries)?;
+                validate_varint_blocks(&offsets, &byte_offsets, &rank_bytes, nodes, rank_bound)?;
+                LabelStore::Compressed(CompressedLabelSet {
+                    offsets,
+                    byte_offsets,
+                    rank_bytes,
+                    dists,
+                })
+            }
+            LabelStorage::CsrDict => {
+                let offsets = cur.u32_vec()?;
+                let hub_ranks = cur.u32_vec()?;
+                let table = cur.f64_vec()?;
+                let codes = read_code_plane(&mut cur)?;
+                cur.finish()?;
+                if hub_ranks.len() != entries {
+                    return Err(PersistError::Corrupt("plane length != entry count"));
+                }
+                validate_offsets(&offsets, nodes, entries)?;
+                validate_csr_ranks(&offsets, &hub_ranks, rank_bound)?;
+                let dists = DistDict { table, codes };
+                validate_dict(&dists, entries)?;
+                LabelStore::CsrDict(DictLabelSet {
+                    offsets,
+                    hub_ranks,
+                    dists,
+                })
+            }
+            LabelStorage::CompressedDict => {
+                let offsets = cur.u32_vec()?;
+                let byte_offsets = cur.u32_vec()?;
+                let rank_bytes = cur.u8_vec()?;
+                let table = cur.f64_vec()?;
+                let codes = read_code_plane(&mut cur)?;
+                cur.finish()?;
+                validate_offsets(&offsets, nodes, entries)?;
+                validate_varint_blocks(&offsets, &byte_offsets, &rank_bytes, nodes, rank_bound)?;
+                let dists = DistDict { table, codes };
+                validate_dict(&dists, entries)?;
+                LabelStore::CompressedDict(CompressedDictLabelSet {
+                    offsets,
+                    byte_offsets,
+                    rank_bytes,
+                    dists,
+                })
+            }
+        };
+        Ok(store)
+    }
+
+    /// Saves this store to `path` as a versioned dump fingerprinted with
+    /// `graph` (the graph the index was built from). The write goes
+    /// through a uniquely-named sibling temp file (extension appended,
+    /// pid + sequence suffixed — concurrent savers never share a temp
+    /// path) and an atomic rename, so a crashed or racing save never
+    /// leaves a half-written index at `path`.
+    pub fn save_to(&self, path: &Path, graph: &ExpertGraph) -> Result<(), PersistError> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let bytes = self.to_bytes(graph_fingerprint(graph));
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(format!(
+            ".tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let tmp = std::path::PathBuf::from(tmp);
+        let result = std::fs::write(&tmp, &bytes).and_then(|()| std::fs::rename(&tmp, path));
+        if result.is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+        result.map_err(PersistError::Io)
+    }
+
+    /// Loads a store from `path`, rejecting files whose fingerprint does
+    /// not match `graph` (see [`LabelStore::from_bytes`] for the
+    /// validation guarantees).
+    pub fn load_from(path: &Path, graph: &ExpertGraph) -> Result<LabelStore, PersistError> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        LabelStore::from_bytes(&bytes, graph.num_nodes(), graph_fingerprint(graph))
+    }
+}
+
+impl PrunedLandmarkLabeling {
+    /// Persists this index to `path`; see [`LabelStore::save_to`].
+    pub fn save_to(&self, path: &Path, graph: &ExpertGraph) -> Result<(), PersistError> {
+        self.labels().save_to(path, graph)
+    }
+
+    /// Loads a previously saved index for `graph` from `path` — the fast
+    /// half of the load-or-build cold start. On top of the store-level
+    /// validation this requires every hub rank to be a valid vertex rank
+    /// (`< num_nodes`), which is what lets [`SourceScatter`] scratch
+    /// arrays stay direct-indexed and unchecked.
+    ///
+    /// The loaded index answers every query bit-identically to the build
+    /// that produced the file; its build profile is empty and
+    /// `build_time` reports the load wall time.
+    ///
+    /// [`SourceScatter`]: crate::scatter::SourceScatter
+    pub fn load_from(
+        path: &Path,
+        graph: &ExpertGraph,
+    ) -> Result<PrunedLandmarkLabeling, PersistError> {
+        let start = Instant::now();
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        // The rank bound rides inside the one structural validation pass
+        // — the load path never decodes the labels a second time.
+        let store =
+            LabelStore::from_bytes_impl(&bytes, graph.num_nodes(), graph_fingerprint(graph), true)?;
+        Ok(PrunedLandmarkLabeling::from_loaded_store(
+            store,
+            start.elapsed(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelEntry;
+
+    fn e(hub_rank: u32, dist: f64) -> LabelEntry {
+        LabelEntry { hub_rank, dist }
+    }
+
+    fn lists() -> Vec<Vec<LabelEntry>> {
+        vec![
+            vec![e(0, 0.25), e(1, 1.5), e(3, 2.0)],
+            vec![],
+            vec![e(2, 0.25), e(3, 1.5)],
+        ]
+    }
+
+    fn stores() -> Vec<LabelStore> {
+        let l = lists();
+        vec![
+            LabelStore::from(LabelSet::from_lists(&l)),
+            LabelStore::from(CompressedLabelSet::from_lists(&l)),
+            LabelStore::from(DictLabelSet::from_lists(&l)),
+            LabelStore::from(CompressedDictLabelSet::from_lists(&l)),
+        ]
+    }
+
+    const HASH: u64 = 0xfeed_f00d;
+
+    #[test]
+    fn roundtrips_every_backend_bit_identically() {
+        for store in stores() {
+            let bytes = store.to_bytes(HASH);
+            let loaded = LabelStore::from_bytes(&bytes, store.num_nodes(), HASH)
+                .unwrap_or_else(|err| panic!("{:?}: {err}", store.storage()));
+            assert_eq!(loaded.storage(), store.storage());
+            assert_eq!(loaded.stats(), store.stats());
+            for v in 0..store.num_nodes() {
+                let a: Vec<LabelEntry> = store.entries(v).collect();
+                let b: Vec<LabelEntry> = loaded.entries(v).collect();
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.hub_rank, y.hub_rank);
+                    assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stale_fingerprints_are_rejected() {
+        let store = &stores()[0];
+        let bytes = store.to_bytes(HASH);
+        assert!(matches!(
+            LabelStore::from_bytes(&bytes, store.num_nodes(), HASH + 1),
+            Err(PersistError::StaleIndex {
+                what: "graph hash",
+                ..
+            })
+        ));
+        assert!(matches!(
+            LabelStore::from_bytes(&bytes, store.num_nodes() + 1, HASH),
+            Err(PersistError::StaleIndex { what: "nodes", .. })
+        ));
+    }
+
+    #[test]
+    fn graph_fingerprint_tracks_edges_and_weights() {
+        use atd_graph::GraphBuilder;
+        let build = |w: f64, extra: bool| {
+            let mut b = GraphBuilder::new();
+            let u = b.add_node(1.0);
+            let v = b.add_node(2.0);
+            let x = b.add_node(3.0);
+            b.add_edge(u, v, w).unwrap();
+            if extra {
+                b.add_edge(v, x, 1.0).unwrap();
+            }
+            b.build().unwrap()
+        };
+        let base = graph_fingerprint(&build(0.5, false));
+        assert_eq!(base, graph_fingerprint(&build(0.5, false)), "deterministic");
+        assert_ne!(base, graph_fingerprint(&build(0.75, false)), "weight");
+        assert_ne!(base, graph_fingerprint(&build(0.5, true)), "topology");
+    }
+
+    #[test]
+    fn header_fingerprint_matches_snapshot_fingerprint_of() {
+        use atd_graph::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        let u = b.add_node(1.0);
+        let v = b.add_node(2.0);
+        b.add_edge(u, v, 0.5).unwrap();
+        let g = b.build().unwrap();
+        let store = LabelStore::from(LabelSet::from_lists(&[vec![e(0, 0.0)], vec![e(0, 0.5)]]));
+        let bytes = store.to_bytes(graph_fingerprint(&g));
+        let read = SnapshotFingerprint::read_from_bytes(&bytes).unwrap();
+        assert_eq!(read, SnapshotFingerprint::of(&g, &store));
+        assert_eq!(read.nodes, 2);
+        assert_eq!(read.entries, 2);
+        assert!(matches!(
+            SnapshotFingerprint::read_from_bytes(&bytes[..HEADER_LEN - 1]),
+            Err(PersistError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn empty_stores_roundtrip() {
+        for store in [
+            LabelStore::from(LabelSet::new(0)),
+            LabelStore::from(LabelSet::new(3)),
+            LabelStore::from(CompressedLabelSet::new(3)),
+            LabelStore::from(DictLabelSet::from_lists(&[vec![], vec![]])),
+            LabelStore::from(CompressedDictLabelSet::from_lists(&[vec![]])),
+        ] {
+            let bytes = store.to_bytes(0);
+            let loaded = LabelStore::from_bytes(&bytes, store.num_nodes(), 0).expect("roundtrip");
+            assert_eq!(loaded.stats(), store.stats());
+        }
+    }
+}

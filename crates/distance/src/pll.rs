@@ -312,6 +312,7 @@ fn run_pruned_search(
 ///
 /// Queries are exact shortest-path distances; see
 /// [`PrunedLandmarkLabeling::build`] for construction.
+#[derive(Debug)]
 pub struct PrunedLandmarkLabeling {
     labels: LabelStore,
     num_nodes: usize,
@@ -379,6 +380,22 @@ impl PrunedLandmarkLabeling {
             num_nodes: n,
             build_time: start.elapsed(),
             profile,
+        }
+    }
+
+    /// Wraps a label store deserialized by `persist.rs` (which has
+    /// already validated it against the graph): no construction happened,
+    /// so the profile is empty and `build_time` records the load wall
+    /// time.
+    pub(crate) fn from_loaded_store(
+        labels: LabelStore,
+        load_time: Duration,
+    ) -> PrunedLandmarkLabeling {
+        PrunedLandmarkLabeling {
+            num_nodes: labels.num_nodes(),
+            labels,
+            build_time: load_time,
+            profile: BuildProfile::default(),
         }
     }
 

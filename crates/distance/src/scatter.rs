@@ -162,9 +162,20 @@ impl SourceScatter {
     /// needed. Same sums, same order, same float result as the merge-join.
     /// The compressed path decodes the target's block in the same forward
     /// pass, so it evaluates literally the same expressions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no source is loaded (fresh scratch, or after
+    /// [`SourceScatter::clear`]) — in release builds too. An unloaded
+    /// scatter would otherwise silently answer `INFINITY` for **every**
+    /// pair, turning a caller bug into "all nodes disconnected"; the
+    /// check is one predictable branch against a full label scan.
     #[inline]
     pub fn distance(&self, labels: &LabelStore, target: usize) -> f64 {
-        debug_assert!(self.source.is_some(), "no source loaded");
+        assert!(
+            self.source.is_some(),
+            "SourceScatter::distance called with no source loaded (call load first)"
+        );
         let mut best = f64::INFINITY;
         match labels {
             LabelStore::Csr(l) => {
@@ -349,6 +360,27 @@ mod tests {
         assert_eq!(sc.source(), None);
         assert!(sc.hub_distance(0).is_infinite());
         assert!(sc.hub_distance(1).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "no source loaded")]
+    fn distance_without_a_loaded_source_panics_in_release_too() {
+        // A plain assert (not debug_assert): an unloaded scatter answering
+        // INFINITY for every pair would silently report every node
+        // disconnected in release builds.
+        let ls = fixture();
+        let sc = SourceScatter::for_labels(&ls);
+        let _ = sc.distance(&ls, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no source loaded")]
+    fn distance_after_clear_panics_in_release_too() {
+        let ls = fixture();
+        let mut sc = SourceScatter::for_labels(&ls);
+        sc.load(&ls, 1);
+        sc.clear();
+        let _ = sc.distance(&ls, 0);
     }
 
     #[test]

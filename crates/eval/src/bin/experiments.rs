@@ -5,15 +5,21 @@
 //!             [--scale tiny|small|medium|paper] [--out DIR]
 //!             [--pll-threads N] [--pll-batch N]
 //!             [--pll-storage csr|compressed|csr-dict|compressed-dict]
+//!             [--pll-load FILE] [--pll-save FILE]
 //! ```
 //!
 //! Default: `all --scale small --out results`. `--pll-threads` /
 //! `--pll-batch` pin the parallel PLL builder's configuration so
 //! cold-start (index construction) time can be measured end-to-end;
 //! `--pll-storage` selects the label storage backend (flat CSR or
-//! delta+varint hub ranks × flat `f64` or dictionary-coded distances).
-//! The built labels are bit-identical in every case — these flags tune
-//! cold-start time and index memory, never results.
+//! delta+varint hub ranks × flat `f64` or dictionary-coded distances;
+//! the accepted names come from `LabelStorage::NAMES`, the same table
+//! the parser reads). `--pll-load` points at a persistent index file:
+//! load it when its snapshot fingerprint matches, else build and save it
+//! there (the load-or-build cold start); `--pll-save` additionally dumps
+//! the built/loaded index to an explicit file. The labels are
+//! bit-identical in every case — these flags tune cold-start time and
+//! index memory, never results.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -30,6 +36,8 @@ struct Args {
     pll_threads: Option<usize>,
     pll_batch: Option<usize>,
     pll_storage: Option<LabelStorage>,
+    pll_load: Option<PathBuf>,
+    pll_save: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +47,8 @@ fn parse_args() -> Result<Args, String> {
     let mut pll_threads = None;
     let mut pll_batch = None;
     let mut pll_storage = None;
+    let mut pll_load = None;
+    let mut pll_save = None;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -66,17 +76,28 @@ fn parse_args() -> Result<Args, String> {
             "--pll-storage" => {
                 let v = argv.next().ok_or("--pll-storage needs a value")?;
                 pll_storage = Some(LabelStorage::parse(&v).ok_or_else(|| {
-                    format!("unknown storage '{v}' (csr|compressed|csr-dict|compressed-dict)")
+                    // Same LabelStorage::NAMES table the parser reads, so
+                    // the list can never go stale.
+                    format!("unknown storage '{v}' ({})", LabelStorage::usage())
                 })?);
             }
+            "--pll-load" => {
+                let v = argv.next().ok_or("--pll-load needs a value")?;
+                pll_load = Some(PathBuf::from(v));
+            }
+            "--pll-save" => {
+                let v = argv.next().ok_or("--pll-save needs a value")?;
+                pll_save = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => {
-                return Err(
+                return Err(format!(
                     "usage: experiments [fig3|fig4|fig5|fig6|runtime|venue|ablation|all] \
                             [--scale tiny|small|medium|paper] [--out DIR|-] \
                             [--pll-threads N] [--pll-batch N] \
-                            [--pll-storage csr|compressed|csr-dict|compressed-dict]"
-                        .into(),
-                )
+                            [--pll-storage {}] \
+                            [--pll-load FILE] [--pll-save FILE]",
+                    LabelStorage::usage()
+                ))
             }
             name => which.push(name.to_string()),
         }
@@ -91,6 +112,8 @@ fn parse_args() -> Result<Args, String> {
         pll_threads,
         pll_batch,
         pll_storage,
+        pll_load,
+        pll_save,
     })
 }
 
@@ -119,6 +142,7 @@ fn main() {
     if let Some(st) = args.pll_storage {
         options.pll_build.storage = st;
     }
+    options.pll_index_path = args.pll_load.clone();
     let storage = options.pll_build.storage;
     let tb = Testbed::with_options(args.scale, options);
     println!(
@@ -129,20 +153,44 @@ fn main() {
         tb.net.num_skill_holders(),
         t0.elapsed()
     );
-    let prof = tb.engine.pll_profile();
-    println!(
-        "pll cold start: {} threads, batch cap {}, {} batches, \
-         search {:.1?} + merge {:.1?}, {} journaled -> {} committed entries, \
-         {} repaired hubs",
-        prof.threads,
-        prof.batch_size,
-        prof.batches.len(),
-        prof.search_time,
-        prof.merge_time,
-        prof.journaled_entries,
-        prof.committed_entries,
-        prof.repaired_hubs
-    );
+    if let Some(path) = &args.pll_load {
+        println!(
+            "pll index: {} {}",
+            if tb.engine.pll_index_loaded() {
+                "loaded from"
+            } else {
+                "built fresh and saved to"
+            },
+            path.display()
+        );
+    }
+    if let Some(path) = &args.pll_save {
+        tb.engine.save_pll_index(path).expect("--pll-save");
+        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "pll index: saved {} KiB to {}",
+            bytes / 1024,
+            path.display()
+        );
+    }
+    if tb.engine.pll_index_loaded() {
+        println!("pll cold start: index loaded from disk — no build profile");
+    } else {
+        let prof = tb.engine.pll_profile();
+        println!(
+            "pll cold start: {} threads, batch cap {}, {} batches, \
+             search {:.1?} + merge {:.1?}, {} journaled -> {} committed entries, \
+             {} repaired hubs",
+            prof.threads,
+            prof.batch_size,
+            prof.batches.len(),
+            prof.search_time,
+            prof.merge_time,
+            prof.journaled_entries,
+            prof.committed_entries,
+            prof.repaired_hubs
+        );
+    }
     let stats = tb.engine.pll_stats();
     println!(
         "pll labels: {:?} storage, {} entries (avg {:.1}, max {}), {} KiB \

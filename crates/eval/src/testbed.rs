@@ -99,9 +99,11 @@ impl Testbed {
     /// `DiscoveryOptions::pll_build`, so cold-start (index construction)
     /// experiments can pin the parallel builder's thread count, batch
     /// size, and label storage backend (flat CSR or delta+varint hub
-    /// ranks × flat `f64` or dictionary-coded distances) end-to-end.
-    /// Discovery results are bit-identical for every combination; only
-    /// cold-start time and index memory change.
+    /// ranks × flat `f64` or dictionary-coded distances) end-to-end, and
+    /// `DiscoveryOptions::pll_index_path`, which turns the cold start
+    /// into a load-or-build against a persisted index file (`experiments
+    /// --pll-load`). Discovery results are bit-identical for every
+    /// combination; only cold-start time and index memory change.
     pub fn with_options(scale: Scale, options: DiscoveryOptions) -> Testbed {
         let synth = SynthCorpus::generate(&scale.synth_config());
         let net = ExpertNetwork::build(synth.corpus, &BuildConfig::default())

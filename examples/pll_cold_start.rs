@@ -1,9 +1,12 @@
-//! Cold-start profiler for the batch-synchronous parallel PLL builder.
+//! Cold-start profiler for the batch-synchronous parallel PLL builder
+//! and the persistent-index load path.
 //!
 //! Builds the distance index for a synthetic expert network at a chosen
 //! size under several `BuildConfig`s and prints the search/merge/repair
 //! profile of each — the end-to-end view of what a fresh snapshot costs
-//! to index.
+//! to index — then saves and reloads the index in **every** storage
+//! backend, printing load-vs-rebuild wall time (the `persist.rs`
+//! instant cold start; loads are asserted bit-identical).
 //!
 //! Run with:
 //! `cargo run --release --example pll_cold_start [num_authors] [threads...]`
@@ -13,7 +16,8 @@ use std::time::Instant;
 use team_discovery::dblp::graph_build::{BuildConfig, ExpertNetwork};
 use team_discovery::dblp::synth::{SynthConfig, SynthCorpus};
 use team_discovery::distance::{
-    BuildConfig as PllBuildConfig, LabelStorage, PrunedLandmarkLabeling, VertexOrder,
+    BuildConfig as PllBuildConfig, CompressedDictLabelSet, CompressedLabelSet, DictLabelSet,
+    LabelStorage, LabelStore, PrunedLandmarkLabeling, VertexOrder,
 };
 
 fn main() {
@@ -70,6 +74,7 @@ fn main() {
     }
     println!("sequential build: {seq_time:.2?}");
 
+    let mut best_rebuild = seq_time;
     for &t in &threads {
         let t1 = Instant::now();
         let par = PrunedLandmarkLabeling::build_with_config(
@@ -95,5 +100,46 @@ fn main() {
             p.journaled_entries,
             p.committed_entries
         );
+        best_rebuild = best_rebuild.min(wall);
     }
+
+    // Persistence: save + reload the same index in every backend. The
+    // load replaces the whole build on restart, so the ratio against the
+    // best rebuild above is the instant-cold-start win.
+    println!("persist (load-or-build vs best rebuild {best_rebuild:.2?}):");
+    let dir = std::env::temp_dir().join(format!("atd_pll_cold_start_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    let csr = seq.labels().as_csr().expect("sequential build is CSR");
+    for storage in LabelStorage::ALL {
+        let store = match storage {
+            LabelStorage::Csr => seq.labels().clone(),
+            LabelStorage::Compressed => LabelStore::from(CompressedLabelSet::from_label_set(csr)),
+            LabelStorage::CsrDict => LabelStore::from(DictLabelSet::from_label_set(csr)),
+            LabelStorage::CompressedDict => {
+                LabelStore::from(CompressedDictLabelSet::from_label_set(csr))
+            }
+        };
+        let path = dir.join(format!("index-{}.atdl", storage.name()));
+        let t1 = Instant::now();
+        store.save_to(&path, &g).expect("save");
+        let save = t1.elapsed();
+        let file_kib = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0) / 1024;
+        let t1 = Instant::now();
+        let loaded = PrunedLandmarkLabeling::load_from(&path, &g).expect("load");
+        let load = t1.elapsed();
+        for v in 0..g.num_nodes() {
+            assert!(
+                store.entries(v).eq(loaded.labels().entries(v)),
+                "loaded labels must be bit-identical ({})",
+                storage.name()
+            );
+        }
+        println!(
+            "  {:>15}: {file_kib:>6} KiB file, save {save:.2?}, load {load:.2?} \
+             ({:.0}x faster than rebuild)",
+            storage.name(),
+            best_rebuild.as_secs_f64() / load.as_secs_f64().max(1e-9),
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
