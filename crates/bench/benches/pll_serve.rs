@@ -1,0 +1,288 @@
+//! Concurrent query-service throughput/latency (PR 6).
+//!
+//! Not a criterion bench: a service is measured by latency *percentiles*
+//! and sustained QPS under concurrent load, which criterion's
+//! single-closure timing model cannot express. `harness = false` with a
+//! plain `main` that:
+//!
+//! * sweeps worker counts (1, 2, 4) with 4 client threads issuing the
+//!   same deterministic workload, reporting p50/p90/p99 latency and QPS;
+//! * runs an **overload** scenario (1 worker, capacity 4, burst
+//!   submission) demonstrating bounded-queue shedding;
+//! * runs a **deadline** scenario (aggressive per-request deadlines)
+//!   demonstrating cooperative cancellation under load;
+//! * asserts, before any timing, that service responses are
+//!   bit-identical to direct single-threaded `top_k` calls.
+//!
+//! Results are printed as a JSON document on stdout (environment lines
+//! on stderr), which is the source for `BENCH_pr6.json`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use atd_core::greedy::{Discovery, DiscoveryOptions};
+use atd_core::{Project, SkillId, Strategy};
+use atd_dblp::graph_build::{BuildConfig, ExpertNetwork};
+use atd_dblp::synth::{SynthConfig, SynthCorpus};
+use atd_serve::{QueryService, Request, ServeConfig, ServeError};
+
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 150;
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn network(authors: usize) -> ExpertNetwork {
+    let synth = SynthCorpus::generate(&SynthConfig {
+        num_authors: authors,
+        seed: 3,
+        ..SynthConfig::default()
+    });
+    ExpertNetwork::build(synth.corpus, &BuildConfig::default()).expect("network")
+}
+
+fn engine(net: &ExpertNetwork) -> Discovery {
+    Discovery::with_options(
+        net.graph.clone(),
+        net.skills.clone(),
+        DiscoveryOptions {
+            threads: Some(1), // workers provide the parallelism
+            ..Default::default()
+        },
+    )
+    .expect("engine")
+}
+
+fn workload(net: &ExpertNetwork, count: usize) -> Vec<(Project, Strategy)> {
+    let mut by_holders: Vec<(usize, SkillId)> = (0..net.skills.num_skills())
+        .map(|i| {
+            let s = SkillId(i as u32);
+            (net.skills.holders(s).len(), s)
+        })
+        .filter(|&(h, _)| h >= 2)
+        .collect();
+    by_holders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1 .0.cmp(&b.1 .0)));
+    let strategies = [
+        Strategy::Cc,
+        Strategy::CaCc { gamma: 0.5 },
+        Strategy::SaCaCc {
+            gamma: 0.5,
+            lambda: 0.5,
+        },
+    ];
+    (0..count)
+        .map(|i| {
+            let a = by_holders[i % by_holders.len()].1;
+            let b = by_holders[(i + 1) % by_holders.len()].1;
+            (
+                Project::new(if a == b { vec![a] } else { vec![a, b] }),
+                strategies[i % 3],
+            )
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct SweepPoint {
+    workers: usize,
+    qps: f64,
+    p50: Duration,
+    p90: Duration,
+    p99: Duration,
+    served: u64,
+}
+
+fn sweep(net: &ExpertNetwork, workers: usize) -> SweepPoint {
+    let service = Arc::new(QueryService::start(
+        engine(net),
+        ServeConfig {
+            workers,
+            queue_capacity: 1024,
+            default_deadline: None,
+        },
+    ));
+    let jobs = workload(net, 12);
+
+    // Warm-up: fill every worker's scratch.
+    for (p, s) in jobs.iter().take(CLIENTS * 2) {
+        service
+            .query(Request::new(p.clone(), *s, 3))
+            .expect("warmup");
+    }
+
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..CLIENTS {
+        let service = Arc::clone(&service);
+        let jobs = jobs.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut latencies = Vec::with_capacity(REQUESTS_PER_CLIENT);
+            for i in 0..REQUESTS_PER_CLIENT {
+                let (p, s) = &jobs[(c + i) % jobs.len()];
+                let sent = Instant::now();
+                service
+                    .query(Request::new(p.clone(), *s, 3))
+                    .expect("sweep query");
+                latencies.push(sent.elapsed());
+            }
+            latencies
+        }));
+    }
+    let mut latencies: Vec<Duration> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    let wall = t0.elapsed();
+    latencies.sort_unstable();
+    let total = latencies.len();
+    SweepPoint {
+        workers,
+        qps: total as f64 / wall.as_secs_f64(),
+        p50: percentile(&latencies, 0.50),
+        p90: percentile(&latencies, 0.90),
+        p99: percentile(&latencies, 0.99),
+        served: service.stats().served,
+    }
+}
+
+fn overload_scenario(net: &ExpertNetwork) -> (u64, u64, usize) {
+    let service = QueryService::start(
+        engine(net),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 4,
+            default_deadline: None,
+        },
+    );
+    let jobs = workload(net, 8);
+    let mut handles = Vec::new();
+    let mut shed = 0u64;
+    let mut max_depth = 0usize;
+    for i in 0..400 {
+        let (p, s) = &jobs[i % jobs.len()];
+        match service.submit(Request::new(p.clone(), *s, 3)) {
+            Ok(h) => handles.push(h),
+            Err(ServeError::Overloaded { .. }) => shed += 1,
+            Err(e) => panic!("unexpected: {e}"),
+        }
+        max_depth = max_depth.max(service.queue_depth());
+    }
+    for h in handles {
+        h.wait().expect("accepted overload request");
+    }
+    let stats = service.stats();
+    assert_eq!(stats.shed, shed);
+    (stats.served, shed, max_depth)
+}
+
+fn deadline_scenario(net: &ExpertNetwork) -> (u64, u64) {
+    let service = QueryService::start(
+        engine(net),
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 256,
+            default_deadline: None,
+        },
+    );
+    let jobs = workload(net, 8);
+    // Alternate generous and hopeless deadlines: the hopeless ones must
+    // shed without dragging down the generous ones.
+    let mut ok = 0u64;
+    let mut exceeded = 0u64;
+    for i in 0..200 {
+        let (p, s) = &jobs[i % jobs.len()];
+        let mut req = Request::new(p.clone(), *s, 3);
+        req.deadline = Some(if i % 2 == 0 {
+            Duration::from_secs(10)
+        } else {
+            Duration::ZERO
+        });
+        match service.query(req) {
+            Ok(_) => ok += 1,
+            Err(ServeError::DeadlineExceeded) => exceeded += 1,
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    assert_eq!(service.stats().deadline_exceeded, exceeded);
+    (ok, exceeded)
+}
+
+fn main() {
+    // `cargo bench` passes --bench; `cargo test --benches` passes other
+    // flags. Only run the full sweep under `cargo bench`; otherwise do a
+    // quick smoke (CI runs the bench binary in test mode).
+    let smoke = !std::env::args().any(|a| a == "--bench");
+
+    let net = network(if smoke { 300 } else { 1000 });
+    eprintln!(
+        "pll_serve testbed: {} nodes, {} edges, {} clients x {} requests{}",
+        net.graph.num_nodes(),
+        net.graph.num_edges(),
+        CLIENTS,
+        REQUESTS_PER_CLIENT,
+        if smoke { " (smoke mode)" } else { "" }
+    );
+
+    // Bit-identity gate before any timing.
+    let direct = engine(&net);
+    let service = QueryService::start(engine(&net), ServeConfig::default());
+    for (p, s) in workload(&net, 6) {
+        let got = service
+            .query(Request::new(p.clone(), s, 3))
+            .expect("identity query");
+        let want = direct.top_k(&p, s, 3).expect("direct query");
+        assert_eq!(got.teams.len(), want.len());
+        for (g, w) in got.teams.iter().zip(&want) {
+            assert_eq!(g.team.member_key(), w.team.member_key());
+            assert_eq!(g.objective.to_bits(), w.objective.to_bits());
+            assert_eq!(g.algorithm_cost.to_bits(), w.algorithm_cost.to_bits());
+        }
+    }
+    drop(service);
+    eprintln!("bit-identity gate passed (service == direct top_k)");
+
+    if smoke {
+        // One tiny sweep point + both scenarios, just to prove the
+        // plumbing end-to-end.
+        let point = sweep(&net, 2);
+        let (served, shed, depth) = overload_scenario(&net);
+        let (ok, exceeded) = deadline_scenario(&net);
+        eprintln!(
+            "smoke: 2 workers {:.0} qps p50={:?}; overload served={served} shed={shed} depth<={depth}; deadline ok={ok} exceeded={exceeded}",
+            point.qps, point.p50
+        );
+        assert!(shed > 0, "burst into a 4-slot queue must shed");
+        assert!(exceeded > 0, "zero deadlines must shed");
+        assert!(depth <= 4, "queue depth bounded by capacity");
+        println!("pll_serve smoke ok");
+        return;
+    }
+
+    println!("{{");
+    println!("  \"sweep\": [");
+    for (i, &workers) in WORKER_COUNTS.iter().enumerate() {
+        let p = sweep(&net, workers);
+        println!(
+            "    {{\"workers\": {}, \"qps\": {:.1}, \"p50_us\": {:.1}, \"p90_us\": {:.1}, \"p99_us\": {:.1}, \"served\": {}}}{}",
+            p.workers,
+            p.qps,
+            p.p50.as_secs_f64() * 1e6,
+            p.p90.as_secs_f64() * 1e6,
+            p.p99.as_secs_f64() * 1e6,
+            p.served,
+            if i + 1 < WORKER_COUNTS.len() { "," } else { "" }
+        );
+    }
+    println!("  ],");
+    let (served, shed, depth) = overload_scenario(&net);
+    println!(
+        "  \"overload\": {{\"workers\": 1, \"queue_capacity\": 4, \"burst\": 400, \"served\": {served}, \"shed\": {shed}, \"max_queue_depth\": {depth}}},"
+    );
+    let (ok, exceeded) = deadline_scenario(&net);
+    println!(
+        "  \"deadline\": {{\"workers\": 2, \"requests\": 200, \"served\": {ok}, \"deadline_exceeded\": {exceeded}}}"
+    );
+    println!("}}");
+}

@@ -1,0 +1,153 @@
+//! Cooperative cancellation for long-running searches.
+//!
+//! Algorithm 1's root scan visits every node of the network; on a large
+//! graph a single query can run for a long time, and a serving layer
+//! cannot afford a worker pinned to a query whose caller has given up.
+//! A [`CancelToken`] threads a *stop request* — an explicit
+//! [`cancel`](CancelToken::cancel) or an absolute deadline — into the
+//! scan and materialization loops of [`Discovery`](crate::Discovery),
+//! which poll it between roots and between candidates and bail out with
+//! [`DiscoveryError::Cancelled`](crate::DiscoveryError::Cancelled)
+//! instead of finishing the work.
+//!
+//! Cancellation is **cooperative and best-effort**: the search observes
+//! the token at loop granularity (one root, one candidate), so a cancel
+//! becomes visible within a few microseconds of work, never mid-update.
+//! A cancelled search leaves no partial state behind — `top_k` either
+//! returns a complete, correct answer or the `Cancelled` error.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shareable stop request for a search: an explicit flag, an absolute
+/// deadline, or both. Cloning is cheap and every clone observes the same
+/// flag, so a controller thread can hold one clone and cancel a search
+/// running on another.
+///
+/// [`CancelToken::never`] is the zero-cost default (no allocation, every
+/// check is a constant `false`), used by the plain
+/// [`Discovery::top_k`](crate::Discovery::top_k) entry point.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    /// Explicit cancellation flag; `None` for never-cancellable tokens.
+    flag: Option<Arc<AtomicBool>>,
+    /// Absolute deadline after which the token reads as cancelled.
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never cancels — no allocation, checks are free.
+    pub fn never() -> CancelToken {
+        CancelToken {
+            flag: None,
+            deadline: None,
+        }
+    }
+
+    /// A token with no deadline that cancels only when
+    /// [`cancel`](CancelToken::cancel) is called on it (or a clone).
+    pub fn new() -> CancelToken {
+        CancelToken {
+            flag: Some(Arc::new(AtomicBool::new(false))),
+            deadline: None,
+        }
+    }
+
+    /// A token that reads as cancelled once `deadline` passes (and can
+    /// still be cancelled explicitly before then).
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            flag: Some(Arc::new(AtomicBool::new(false))),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// A token whose deadline is `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> CancelToken {
+        Self::with_deadline(Instant::now() + timeout)
+    }
+
+    /// Requests cancellation; every clone of this token observes it.
+    /// No-op on [`CancelToken::never`] tokens.
+    pub fn cancel(&self) {
+        if let Some(flag) = &self.flag {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the search should stop: explicitly cancelled, or past the
+    /// deadline. This is the poll the inner loops call once per root /
+    /// per candidate.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        if let Some(flag) = &self.flag {
+            if flag.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        self.deadline_elapsed()
+    }
+
+    /// The absolute deadline, if one was set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Whether the deadline (if any) has passed — distinguishes a
+    /// deadline-driven cancellation from an explicit one, which is how a
+    /// serving layer maps [`DiscoveryError::Cancelled`] to a typed
+    /// deadline error.
+    ///
+    /// [`DiscoveryError::Cancelled`]: crate::DiscoveryError::Cancelled
+    #[inline]
+    pub fn deadline_elapsed(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_never_cancels() {
+        let t = CancelToken::never();
+        assert!(!t.is_cancelled());
+        t.cancel(); // no-op, must not panic
+        assert!(!t.is_cancelled());
+        assert_eq!(t.deadline(), None);
+    }
+
+    #[test]
+    fn explicit_cancel_is_visible_to_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!clone.is_cancelled());
+        t.cancel();
+        assert!(clone.is_cancelled());
+        assert!(!clone.deadline_elapsed(), "no deadline involved");
+    }
+
+    #[test]
+    fn past_deadline_reads_cancelled() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        assert!(t.deadline_elapsed());
+    }
+
+    #[test]
+    fn future_deadline_not_yet_cancelled() {
+        let t = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(t.deadline().is_some());
+        t.cancel();
+        assert!(t.is_cancelled(), "explicit cancel beats the deadline");
+        assert!(!t.deadline_elapsed());
+    }
+
+    #[test]
+    fn default_is_never() {
+        assert!(!CancelToken::default().is_cancelled());
+    }
+}

@@ -21,10 +21,23 @@ pub enum DiscoveryError {
     },
     /// A replacement was requested for an expert who is not on the team.
     NotATeamMember(atd_graph::NodeId),
-    /// Saving the PLL index to `DiscoveryOptions::pll_index_path` failed
-    /// (the load side never errors — a missing/stale/corrupt file just
-    /// triggers a rebuild). Carries the formatted persistence error.
+    /// Explicitly saving the PLL index (`Discovery::save_pll_index`)
+    /// failed. Carries the formatted persistence error. The implicit
+    /// save inside the `DiscoveryOptions::pll_index_path` load-or-build
+    /// cold start does **not** raise this — a failed background save
+    /// degrades to a recorded warning (`Discovery::pll_persist_warning`)
+    /// since the in-memory index is fine.
     IndexPersist(String),
+    /// Loading the PLL index failed while
+    /// `DiscoveryOptions::pll_load_only` demanded a load (no rebuild
+    /// fallback). Carries the formatted persistence error. Without
+    /// `pll_load_only`, a missing/stale/corrupt file silently triggers a
+    /// rebuild instead.
+    IndexLoad(String),
+    /// The search was cancelled before completing — its `CancelToken`
+    /// was cancelled explicitly or its deadline passed. No partial
+    /// result is returned.
+    Cancelled,
     /// The exact solver refused an instance exceeding its state budget
     /// (the paper's Exact also fails beyond 6 skills).
     InstanceTooLarge {
@@ -55,6 +68,12 @@ impl std::fmt::Display for DiscoveryError {
             }
             DiscoveryError::IndexPersist(msg) => {
                 write!(f, "failed to persist PLL index: {msg}")
+            }
+            DiscoveryError::IndexLoad(msg) => {
+                write!(f, "failed to load PLL index (load-only mode): {msg}")
+            }
+            DiscoveryError::Cancelled => {
+                write!(f, "search cancelled before completion")
             }
             DiscoveryError::InstanceTooLarge { what, size, limit } => {
                 write!(f, "exact search too large: {what} = {size} > limit {limit}")
@@ -90,5 +109,9 @@ mod tests {
         }
         .to_string()
         .contains("limit"));
+        assert!(DiscoveryError::Cancelled.to_string().contains("cancelled"));
+        assert!(DiscoveryError::IndexLoad("nope".into())
+            .to_string()
+            .contains("load-only"));
     }
 }

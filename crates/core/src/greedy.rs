@@ -49,11 +49,12 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use atd_distance::{
-    BuildConfig as PllBuildConfig, BuildProfile, LabelStats, PrunedLandmarkLabeling, SourceScatter,
-    VertexOrder,
+    BuildConfig as PllBuildConfig, BuildProfile, LabelStats, PrunedLandmarkLabeling, RetryPolicy,
+    SourceScatter, VertexOrder,
 };
 use atd_graph::{dijkstra_with_targets, ExpertGraph, NodeId, SubTree};
 
+use crate::cancel::CancelToken;
 use crate::error::DiscoveryError;
 use crate::normalize::Normalization;
 use crate::objectives::{score_team, DuplicatePolicy};
@@ -101,6 +102,20 @@ pub struct DiscoveryOptions {
     /// never depend on which path ran. Transformed (γ) indexes are
     /// derived per-γ and are not persisted.
     pub pll_index_path: Option<PathBuf>,
+    /// With `pll_index_path` set, require the index to **load** — never
+    /// fall back to a rebuild. A missing, stale, corrupt, or
+    /// wrong-backend file surfaces as [`DiscoveryError::IndexLoad`]
+    /// instead of silently paying a build. This is the snapshot-swap
+    /// contract of a serving layer: a background reload must *fail*
+    /// (keeping the old snapshot) rather than block a swap thread on an
+    /// unplanned multi-second rebuild.
+    pub pll_load_only: bool,
+    /// Retry policy for the persistence I/O of the cold start (the
+    /// index load, and the save-after-build). Only transient I/O errors
+    /// are retried; structural failures (stale/corrupt files) keep
+    /// their load-or-build semantics. Default: 3 attempts, 10 ms → 20 ms
+    /// capped backoff.
+    pub pll_retry: RetryPolicy,
 }
 
 impl Default for DiscoveryOptions {
@@ -113,6 +128,8 @@ impl Default for DiscoveryOptions {
             prune_dangling_connectors: false,
             pll_build: PllBuildConfig::default(),
             pll_index_path: None,
+            pll_load_only: false,
+            pll_retry: RetryPolicy::default(),
         }
     }
 }
@@ -139,30 +156,63 @@ impl RankingContext {
 
     /// The load-or-build cold start: load the index from `path` when its
     /// snapshot fingerprint matches `graph` and its storage backend
-    /// matches `config.storage`; otherwise build normally and save the
-    /// result to `path`. Load failures (missing file, stale fingerprint,
-    /// corruption) silently fall back to the build — only a failed
-    /// **save** surfaces as an error, since it means every future start
-    /// will quietly pay the rebuild the caller asked to avoid.
+    /// matches `options.pll_build.storage`; otherwise build normally and
+    /// save the result to `path`. Both the load and the save run under
+    /// `options.pll_retry` (transient I/O retried with capped backoff).
+    ///
+    /// Failure handling is graceful in both directions: a load failure
+    /// silently falls back to the build (unless `options.pll_load_only`,
+    /// which turns it into [`DiscoveryError::IndexLoad`] — the strict
+    /// mode a snapshot-swap thread wants), and a **save** failure after
+    /// a successful build degrades to a recorded warning (the second
+    /// tuple element) — the in-memory index is fine, so a read-only
+    /// index directory must not kill the run.
     fn load_or_build(
         graph: ExpertGraph,
-        config: &PllBuildConfig,
+        options: &DiscoveryOptions,
         path: &Path,
-    ) -> Result<Self, DiscoveryError> {
-        if let Ok(pll) = PrunedLandmarkLabeling::load_from(path, &graph) {
-            if pll.storage() == config.storage {
-                return Ok(RankingContext {
-                    graph,
-                    pll,
-                    loaded_from_disk: true,
-                });
+    ) -> Result<(Self, Option<String>), DiscoveryError> {
+        let config = &options.pll_build;
+        match PrunedLandmarkLabeling::load_from_with_retry(path, &graph, &options.pll_retry) {
+            Ok(pll) if pll.storage() == config.storage => {
+                return Ok((
+                    RankingContext {
+                        graph,
+                        pll,
+                        loaded_from_disk: true,
+                    },
+                    None,
+                ));
             }
+            Ok(pll) if options.pll_load_only => {
+                return Err(DiscoveryError::IndexLoad(format!(
+                    "{}: storage backend mismatch (file has {:?}, engine wants {:?})",
+                    path.display(),
+                    pll.storage(),
+                    config.storage
+                )));
+            }
+            Err(e) if options.pll_load_only => {
+                return Err(DiscoveryError::IndexLoad(format!(
+                    "{} ({e})",
+                    path.display()
+                )));
+            }
+            Ok(_) | Err(_) => {}
         }
         let ctx = RankingContext::build(graph, config);
-        ctx.pll
-            .save_to(path, &ctx.graph)
-            .map_err(|e| DiscoveryError::IndexPersist(format!("{} ({e})", path.display())))?;
-        Ok(ctx)
+        let warning = ctx
+            .pll
+            .save_to_with_retry(path, &ctx.graph, &options.pll_retry)
+            .err()
+            .map(|e| {
+                format!(
+                    "index save to {} failed: {e}; serving from the in-memory \
+                     index (the next cold start will rebuild)",
+                    path.display()
+                )
+            });
+        Ok((ctx, warning))
     }
 }
 
@@ -172,6 +222,52 @@ impl RankingContext {
 struct Candidate {
     root: NodeId,
     assignment: Vec<(crate::skills::SkillId, NodeId)>,
+}
+
+/// Reusable per-caller query scratch for
+/// [`Discovery::top_k_with`] — the per-worker-scratch pattern of the
+/// parallel root scan, promoted to an API so a long-lived serving
+/// worker pays the scatter allocation once instead of once per request.
+///
+/// Holds one [`SourceScatter`] per ranking context (the base CC index,
+/// plus one per `γ` a query has touched). A scratch is bound to nothing:
+/// every use revalidates that the cached scatter's size matches the
+/// engine's index and transparently reallocates when it doesn't, so one
+/// scratch object can serve across hot-swapped index snapshots. After a
+/// caught panic mid-query, drop the scratch (or call
+/// [`QueryScratch::clear`]) — a half-loaded scatter must not be reused.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// Scatter per ranking context, keyed by `γ.to_bits()` (`u64::MAX`
+    /// for the untransformed base index — `γ ∈ [0, 1]` never has those
+    /// bits).
+    scatters: HashMap<u64, SourceScatter>,
+}
+
+impl QueryScratch {
+    /// An empty scratch; scatters are allocated lazily per context.
+    pub fn new() -> QueryScratch {
+        QueryScratch::default()
+    }
+
+    /// Drops all cached scatters (they re-allocate on next use).
+    pub fn clear(&mut self) {
+        self.scatters.clear();
+    }
+
+    /// The scatter for the context keyed by `key`, (re)allocated when
+    /// missing or sized for a different index.
+    fn scatter_for(&mut self, key: u64, pll: &PrunedLandmarkLabeling) -> &mut SourceScatter {
+        let wanted = pll.labels().num_nodes();
+        self.scatters
+            .entry(key)
+            .and_modify(|s| {
+                if s.num_ranks() != wanted {
+                    *s = pll.scatter();
+                }
+            })
+            .or_insert_with(|| pll.scatter())
+    }
 }
 
 /// The team-discovery engine: owns the expert network, its skill index,
@@ -185,6 +281,10 @@ pub struct Discovery {
     base: Arc<RankingContext>,
     /// Indices for CA-CC / SA-CA-CC, keyed by `γ.to_bits()`.
     transformed: RwLock<HashMap<u64, Arc<RankingContext>>>,
+    /// Warning recorded when the load-or-build cold start built an index
+    /// but could not save it to `pll_index_path` (the run continues on
+    /// the in-memory index).
+    persist_warning: Option<String>,
 }
 
 impl Discovery {
@@ -202,17 +302,18 @@ impl Discovery {
     ) -> Result<Self, DiscoveryError> {
         let norm = Normalization::compute_with_min_authority(&graph, options.min_authority);
         let base_graph = graph.map_weights(|_, _, w| norm.w_bar(w));
-        let base = Arc::new(match options.pll_index_path.as_deref() {
-            Some(path) => RankingContext::load_or_build(base_graph, &options.pll_build, path)?,
-            None => RankingContext::build(base_graph, &options.pll_build),
-        });
+        let (base, persist_warning) = match options.pll_index_path.as_deref() {
+            Some(path) => RankingContext::load_or_build(base_graph, &options, path)?,
+            None => (RankingContext::build(base_graph, &options.pll_build), None),
+        };
         Ok(Discovery {
             graph: Arc::new(graph),
             skills: Arc::new(skills),
             norm,
             options,
-            base,
+            base: Arc::new(base),
             transformed: RwLock::new(HashMap::new()),
+            persist_warning,
         })
     }
 
@@ -255,6 +356,16 @@ impl Discovery {
     /// missing/stale/corrupt (all of which trigger a build-and-save).
     pub fn pll_index_loaded(&self) -> bool {
         self.base.loaded_from_disk
+    }
+
+    /// The warning recorded when the cold start built the index but
+    /// could not **save** it to `DiscoveryOptions::pll_index_path`
+    /// (e.g. a read-only index directory). The engine is fully
+    /// functional on its in-memory index; surfacing this lets an
+    /// operator learn the next start will rebuild. `None` when no path
+    /// was configured, the index loaded, or the save succeeded.
+    pub fn pll_persist_warning(&self) -> Option<&str> {
+        self.persist_warning.as_deref()
     }
 
     /// Saves the base (CC) index to `path` in the versioned on-disk
@@ -357,13 +468,22 @@ impl Discovery {
 
     /// Scans every root in parallel, returning the best `limit` candidates
     /// by algorithm cost.
+    ///
+    /// `cancel` is polled once per root (cooperative cancellation — the
+    /// greedy search loop's deadline hook); a cancelled scan returns
+    /// [`DiscoveryError::Cancelled`] promptly instead of finishing the
+    /// remaining roots. `scatter`, when given, is the caller's reusable
+    /// scratch (see [`QueryScratch`]); otherwise a fresh one is
+    /// allocated (sequential path) or one per worker (parallel path).
     fn scan_roots(
         &self,
         strategy: Strategy,
         pll: &PrunedLandmarkLabeling,
         project: &Project,
         limit: usize,
-    ) -> Vec<(f64, Candidate)> {
+        cancel: &CancelToken,
+        scatter: Option<&mut SourceScatter>,
+    ) -> Result<Vec<(f64, Candidate)>, DiscoveryError> {
         let n = self.graph.num_nodes();
         let threads = self
             .options
@@ -376,17 +496,27 @@ impl Discovery {
             .clamp(1, n.max(1));
 
         if threads <= 1 || n < 256 {
-            let mut scatter = pll.scatter();
+            let mut owned;
+            let scatter = match scatter {
+                Some(s) => s,
+                None => {
+                    owned = pll.scatter();
+                    &mut owned
+                }
+            };
             let mut local = BoundedTopK::new(limit);
             for i in 0..n {
+                if cancel.is_cancelled() {
+                    return Err(DiscoveryError::Cancelled);
+                }
                 let root = NodeId::from_index(i);
                 if let Some((cost, cand)) =
-                    self.evaluate_root(strategy, pll, &mut scatter, project, root)
+                    self.evaluate_root(strategy, pll, scatter, project, root)
                 {
                     local.offer(cost, cand);
                 }
             }
-            return local.into_sorted();
+            return Ok(local.into_sorted());
         }
 
         let mut merged = BoundedTopK::new(limit);
@@ -405,6 +535,11 @@ impl Discovery {
                     // when expensive roots cluster by id.
                     let mut i = t;
                     while i < n {
+                        // Every worker polls; one cancelled worker's
+                        // early exit makes the whole scan abort below.
+                        if cancel.is_cancelled() {
+                            break;
+                        }
                         let root = NodeId::from_index(i);
                         if let Some((cost, cand)) =
                             this.evaluate_root(strategy, pll_ref, &mut scatter, project_ref, root)
@@ -421,10 +556,13 @@ impl Discovery {
                 .map(|h| h.join().expect("root-scan worker panicked"))
                 .collect::<Vec<_>>()
         });
+        if cancel.is_cancelled() {
+            return Err(DiscoveryError::Cancelled);
+        }
         for l in lists {
             merged.merge(l);
         }
-        merged.into_sorted()
+        Ok(merged.into_sorted())
     }
 
     /// Materializes a candidate into a concrete team: one Dijkstra on the
@@ -463,6 +601,26 @@ impl Discovery {
         strategy: Strategy,
         k: usize,
     ) -> Result<Vec<ScoredTeam>, DiscoveryError> {
+        self.top_k_with(project, strategy, k, None, &CancelToken::never())
+    }
+
+    /// [`top_k`](Discovery::top_k) with the hooks a serving layer needs:
+    /// a reusable per-caller [`QueryScratch`] (avoids the `O(n)` scatter
+    /// allocation per query on the sequential path) and a [`CancelToken`]
+    /// polled once per scanned root and per materialized candidate.
+    ///
+    /// Results are bit-identical to the plain entry point — scratch reuse
+    /// and cancellation change *when* the search stops, never what a
+    /// completed search returns. A cancelled call returns
+    /// [`DiscoveryError::Cancelled`] and no partial teams.
+    pub fn top_k_with(
+        &self,
+        project: &Project,
+        strategy: Strategy,
+        k: usize,
+        scratch: Option<&mut QueryScratch>,
+        cancel: &CancelToken,
+    ) -> Result<Vec<ScoredTeam>, DiscoveryError> {
         strategy.validate()?;
         if project.is_empty() {
             return Err(DiscoveryError::EmptyProject);
@@ -475,10 +633,15 @@ impl Discovery {
         if k == 0 {
             return Ok(Vec::new());
         }
+        if cancel.is_cancelled() {
+            return Err(DiscoveryError::Cancelled);
+        }
 
         let ctx = self.context_for(strategy.gamma());
         let limit = k.saturating_mul(self.options.oversample.max(1)).max(k);
-        let ranked = self.scan_roots(strategy, &ctx.pll, project, limit);
+        let key = strategy.gamma().map(f64::to_bits).unwrap_or(u64::MAX);
+        let scatter = scratch.map(|s| s.scatter_for(key, &ctx.pll));
+        let ranked = self.scan_roots(strategy, &ctx.pll, project, limit, cancel, scatter)?;
         if ranked.is_empty() {
             return Err(DiscoveryError::NoTeamFound);
         }
@@ -486,6 +649,9 @@ impl Discovery {
         let mut out: Vec<ScoredTeam> = Vec::with_capacity(ranked.len());
         let mut seen: std::collections::HashSet<Vec<NodeId>> = std::collections::HashSet::new();
         for (cost, cand) in ranked {
+            if cancel.is_cancelled() {
+                return Err(DiscoveryError::Cancelled);
+            }
             let Some(team) = self.materialize(&ctx.graph, &cand) else {
                 continue;
             };
@@ -1034,24 +1200,163 @@ mod tests {
     }
 
     #[test]
-    fn unwritable_index_path_surfaces_as_persist_error() {
-        let (g, idx, _, _) = figure1();
-        let result = Discovery::with_options(
+    fn unwritable_index_path_degrades_to_recorded_warning() {
+        // A failed background save after a successful build must not
+        // take the engine down: construction succeeds on the in-memory
+        // index and the failure is surfaced via `pll_persist_warning`.
+        let (g, idx, sn, tm) = figure1();
+        let d = Discovery::with_options(
             g,
             idx,
             DiscoveryOptions {
                 threads: Some(1),
+                pll_retry: RetryPolicy::none(),
                 pll_index_path: Some(PathBuf::from("/nonexistent-dir-for-atd-test/index.atdl")),
                 ..Default::default()
             },
-        );
-        match result {
-            Err(DiscoveryError::IndexPersist(msg)) => {
-                assert!(msg.contains("index.atdl"), "message names the path: {msg}")
-            }
-            Err(other) => panic!("wrong error: {other:?}"),
-            Ok(_) => panic!("save into a nonexistent directory must fail"),
+        )
+        .expect("build succeeds even when the save fails");
+        assert!(!d.pll_index_loaded());
+        let warning = d.pll_persist_warning().expect("warning recorded");
+        assert!(warning.contains("index.atdl"), "names the path: {warning}");
+        assert!(warning.contains("rebuild"), "explains the consequence");
+        // The in-memory index still answers queries.
+        d.best(&Project::new(vec![sn, tm]), Strategy::Cc).unwrap();
+    }
+
+    #[test]
+    fn load_only_mode_refuses_to_rebuild() {
+        let dir = std::env::temp_dir().join(format!(
+            "atd_load_only_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.atdl");
+        let (g, idx, sn, tm) = figure1();
+        let project = Project::new(vec![sn, tm]);
+        let mk = |load_only: bool| DiscoveryOptions {
+            threads: Some(1),
+            pll_index_path: Some(path.clone()),
+            pll_load_only: load_only,
+            pll_retry: RetryPolicy::none(),
+            ..Default::default()
+        };
+        // No file yet: load-only must fail rather than rebuild.
+        match Discovery::with_options(g.clone(), idx.clone(), mk(true)) {
+            Err(DiscoveryError::IndexLoad(_)) => {}
+            other => panic!("expected IndexLoad, got {:?}", other.err()),
         }
+        // Build-and-save normally, then load-only succeeds and answers
+        // bit-identically.
+        let built = Discovery::with_options(g.clone(), idx.clone(), mk(false)).unwrap();
+        assert!(built.pll_persist_warning().is_none());
+        let loaded = Discovery::with_options(g.clone(), idx.clone(), mk(true)).unwrap();
+        assert!(loaded.pll_index_loaded());
+        let a = built.best(&project, Strategy::Cc).unwrap();
+        let b = loaded.best(&project, Strategy::Cc).unwrap();
+        assert_eq!(a.team.member_key(), b.team.member_key());
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        // Corrupt the file: load-only fails, never rebuilds.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        match Discovery::with_options(g, idx, mk(true)) {
+            Err(DiscoveryError::IndexLoad(_)) => {}
+            other => panic!("corrupt file in load-only mode: {:?}", other.err()),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cancelled_token_aborts_before_and_during_search() {
+        let (g, idx, sn, tm) = figure1();
+        let project = Project::new(vec![sn, tm]);
+        let d = Discovery::with_options(
+            g,
+            idx,
+            DiscoveryOptions {
+                threads: Some(1),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        assert_eq!(
+            d.top_k_with(&project, Strategy::Cc, 1, None, &token),
+            Err(DiscoveryError::Cancelled)
+        );
+        // An already-expired deadline behaves the same.
+        let expired = CancelToken::with_timeout(std::time::Duration::ZERO);
+        assert_eq!(
+            d.top_k_with(&project, Strategy::Cc, 1, None, &expired),
+            Err(DiscoveryError::Cancelled)
+        );
+        assert!(expired.deadline_elapsed());
+        // A generous deadline completes normally and matches top_k.
+        let relaxed = CancelToken::with_timeout(std::time::Duration::from_secs(3600));
+        let a = d
+            .top_k_with(&project, Strategy::Cc, 2, None, &relaxed)
+            .unwrap();
+        let b = d.top_k(&project, Strategy::Cc, 2).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.team.member_key(), y.team.member_key());
+            assert_eq!(x.objective.to_bits(), y.objective.to_bits());
+        }
+    }
+
+    #[test]
+    fn query_scratch_reuse_is_bit_identical() {
+        // The serving layer's per-worker scratch: repeated queries across
+        // strategies (distinct gamma planes) through one QueryScratch
+        // must match the scratch-free path exactly.
+        let (g, idx, sn, tm) = figure1();
+        let project = Project::new(vec![sn, tm]);
+        let d = Discovery::with_options(
+            g,
+            idx,
+            DiscoveryOptions {
+                threads: Some(1),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut scratch = QueryScratch::new();
+        let never = CancelToken::never();
+        for _round in 0..3 {
+            for strategy in [
+                Strategy::Cc,
+                Strategy::CaCc { gamma: 0.6 },
+                Strategy::SaCaCc {
+                    gamma: 0.6,
+                    lambda: 0.6,
+                },
+            ] {
+                let a = d
+                    .top_k_with(&project, strategy, 3, Some(&mut scratch), &never)
+                    .unwrap();
+                let b = d.top_k(&project, strategy, 3).unwrap();
+                assert_eq!(a.len(), b.len(), "{strategy}");
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.team.member_key(), y.team.member_key());
+                    assert_eq!(x.objective.to_bits(), y.objective.to_bits());
+                    assert_eq!(x.algorithm_cost.to_bits(), y.algorithm_cost.to_bits());
+                }
+            }
+        }
+        scratch.clear();
+        let again = d
+            .top_k_with(&project, Strategy::Cc, 1, Some(&mut scratch), &never)
+            .unwrap();
+        let direct = d.top_k(&project, Strategy::Cc, 1).unwrap();
+        assert_eq!(
+            again[0].team.member_key(),
+            direct[0].team.member_key(),
+            "cleared scratch repopulates correctly"
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! ([`sa_only`]), and the Pareto-front extension sketched in the paper's
 //! conclusion ([`pareto`]).
 
+pub mod cancel;
 pub mod error;
 pub mod exact;
 pub mod greedy;
@@ -44,9 +45,10 @@ pub mod team;
 pub mod topk;
 pub mod transform;
 
+pub use cancel::CancelToken;
 pub use error::DiscoveryError;
 pub use exact::{ExactConfig, ExactTeamFinder};
-pub use greedy::Discovery;
+pub use greedy::{Discovery, QueryScratch};
 pub use normalize::Normalization;
 pub use objectives::{DuplicatePolicy, ObjectiveWeights, TeamScore};
 pub use pareto::pareto_front;

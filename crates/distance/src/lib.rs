@@ -33,7 +33,10 @@
 //! * [`persist`] — versioned on-disk persistence for a built index:
 //!   `save_to` / `load_from` with a snapshot fingerprint and hardened
 //!   untrusted-byte validation, so restart cost is `O(index bytes)`
-//!   instead of `O(graph rebuild)`.
+//!   instead of `O(graph rebuild)`. [`RetryPolicy`] wraps both sides
+//!   with bounded, capped-backoff retry of transient I/O failures for
+//!   long-lived callers (the load-or-build cold start, background
+//!   snapshot swaps).
 //!
 //! Vertex ordering matters enormously for PLL label sizes; [`order`]
 //! provides the degree-descending heuristic recommended by Akiba et al. for
@@ -58,6 +61,6 @@ pub use label::{
 };
 pub use oracle::DistanceOracle;
 pub use order::{degree_descending_order, VertexOrder};
-pub use persist::{graph_fingerprint, PersistError, SnapshotFingerprint};
+pub use persist::{graph_fingerprint, PersistError, RetryPolicy, SnapshotFingerprint};
 pub use pll::{BatchProfile, BuildConfig, BuildProfile, PrunedLandmarkLabeling};
 pub use scatter::SourceScatter;

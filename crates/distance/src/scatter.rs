@@ -87,6 +87,16 @@ impl SourceScatter {
         self.source
     }
 
+    /// The number of hub-rank slots this scratch was sized for. A
+    /// scratch only answers correctly against a label store with the
+    /// same `num_nodes()` — callers that cache scratches across index
+    /// swaps (e.g. a serving worker) compare this against the new
+    /// store's node count to decide whether the scratch is reusable.
+    #[inline]
+    pub fn num_ranks(&self) -> usize {
+        self.hub_dist.len()
+    }
+
     /// Unloads the current source, restoring all slots to `INFINITY`.
     pub fn clear(&mut self) {
         for &r in &self.touched {

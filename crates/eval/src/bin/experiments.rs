@@ -1,7 +1,7 @@
 //! The experiment runner: regenerates every figure/claim of the paper.
 //!
 //! ```text
-//! experiments [fig3|fig4|fig5|fig6|runtime|venue|ablation|all]
+//! experiments [fig3|fig4|fig5|fig6|runtime|venue|ablation|serve|all]
 //!             [--scale tiny|small|medium|paper] [--out DIR]
 //!             [--pll-threads N] [--pll-batch N]
 //!             [--pll-storage csr|compressed|csr-dict|compressed-dict]
@@ -91,7 +91,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: experiments [fig3|fig4|fig5|fig6|runtime|venue|ablation|all] \
+                    "usage: experiments [fig3|fig4|fig5|fig6|runtime|venue|ablation|serve|all] \
                             [--scale tiny|small|medium|paper] [--out DIR|-] \
                             [--pll-threads N] [--pll-batch N] \
                             [--pll-storage {}] \
@@ -163,6 +163,11 @@ fn main() {
             },
             path.display()
         );
+    }
+    if let Some(warning) = tb.engine.pll_persist_warning() {
+        // A failed background save degrades to a warning (the in-memory
+        // index is fine) — surface it, don't die.
+        println!("pll index WARNING: {warning}");
     }
     if let Some(path) = &args.pll_save {
         tb.engine.save_pll_index(path).expect("--pll-save");
@@ -264,6 +269,12 @@ fn main() {
         println!("oracle agreement: PLL == Dijkstra on {pairs}/{pairs} sampled pairs");
         println!("[ablation done in {:.1?}]\n", t.elapsed());
     }
+    if wants("serve") {
+        banner("Serving layer — concurrent query service sanity (atd-serve)");
+        let t = Instant::now();
+        println!("{}", serve_section(&tb));
+        println!("[serve done in {:.1?}]\n", t.elapsed());
+    }
 
     if let Some(dir) = out {
         println!("CSV outputs written under {}/", dir.display());
@@ -273,4 +284,78 @@ fn main() {
 
 fn banner(title: &str) {
     println!("─── {title} ───");
+}
+
+/// Runs a short concurrent workload through [`atd_serve::QueryService`]
+/// against the testbed's network, asserts responses are bit-identical to
+/// the direct engine, and renders the service counters.
+fn serve_section(tb: &Testbed) -> String {
+    use atd_serve::{QueryService, Request, ServeConfig};
+    let engine = atd_core::Discovery::with_options(
+        tb.net.graph.clone(),
+        tb.net.skills.clone(),
+        DiscoveryOptions {
+            threads: Some(1),
+            ..Default::default()
+        },
+    )
+    .expect("serve engine");
+    let service = std::sync::Arc::new(QueryService::start(
+        engine,
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 128,
+            default_deadline: Some(std::time::Duration::from_secs(30)),
+        },
+    ));
+    let projects = atd_eval::workload::generate_projects(
+        &tb.net.skills,
+        &atd_eval::workload::WorkloadConfig {
+            count: 8,
+            num_skills: 2,
+            ..Default::default()
+        },
+    );
+    let strategies = [
+        atd_core::Strategy::Cc,
+        atd_core::Strategy::SaCaCc {
+            gamma: 0.6,
+            lambda: 0.6,
+        },
+    ];
+    let mut checked = 0usize;
+    std::thread::scope(|scope| {
+        for c in 0..4usize {
+            let service = std::sync::Arc::clone(&service);
+            let projects = &projects;
+            scope.spawn(move || {
+                for (i, p) in projects.iter().enumerate() {
+                    let _ = service.query(Request::new(p.clone(), strategies[(c + i) % 2], 3));
+                }
+            });
+        }
+    });
+    for (i, p) in projects.iter().enumerate() {
+        let strategy = strategies[i % 2];
+        let via_service = service.query(Request::new(p.clone(), strategy, 3));
+        let direct = tb.engine.top_k(p, strategy, 3);
+        match (via_service, direct) {
+            (Ok(resp), Ok(want)) => {
+                assert_eq!(resp.teams.len(), want.len(), "serve vs direct length");
+                for (g, w) in resp.teams.iter().zip(&want) {
+                    assert_eq!(g.team.member_key(), w.team.member_key());
+                    assert_eq!(g.objective.to_bits(), w.objective.to_bits());
+                }
+                checked += 1;
+            }
+            (Err(e), Err(w)) => assert_eq!(e.to_string(), format!("query failed: {w}")),
+            (s, d) => panic!("serve/direct disagree: {s:?} vs {d:?}"),
+        }
+    }
+    format!(
+        "4 clients x {} projects, 2 workers: {} responses verified bit-identical to direct top-k\ncounters: {}",
+        projects.len(),
+        checked,
+        service.stats()
+    )
 }

@@ -1,0 +1,101 @@
+//! Typed failure modes of the query service.
+
+use atd_core::DiscoveryError;
+
+/// Everything that can go wrong between submitting a request and reading
+/// its response. Each variant maps to a row of the failure-mode table in
+/// the crate README: the service *always* answers — with a team list or
+/// with one of these — and never takes the process down.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded submission queue was full: the service sheds the
+    /// request instead of queueing unbounded work (backpressure). Carries
+    /// the configured capacity so callers can log or resize.
+    Overloaded {
+        /// The queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The request's deadline passed before the search completed. The
+    /// worker abandoned the query cooperatively (between roots /
+    /// candidates); no partial result exists.
+    DeadlineExceeded,
+    /// The query panicked inside the worker. The panic was caught, the
+    /// worker survives, and the payload message is returned here.
+    QueryPanicked(String),
+    /// The service is shutting down and no longer accepts or answers
+    /// requests.
+    ShuttingDown,
+    /// The worker's reply could not be delivered (the caller dropped its
+    /// receiver) — or, from the caller's side, the worker died before
+    /// replying and the supervisor respawned it.
+    ResponseLost,
+    /// The query itself failed (empty project, uncoverable skill, no
+    /// team, ...). Transparent wrapper over the engine error.
+    Query(DiscoveryError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { capacity } => {
+                write!(f, "service overloaded: submission queue full ({capacity})")
+            }
+            ServeError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            ServeError::QueryPanicked(msg) => write!(f, "query panicked: {msg}"),
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::ResponseLost => write!(f, "response channel lost"),
+            ServeError::Query(e) => write!(f, "query failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DiscoveryError> for ServeError {
+    fn from(e: DiscoveryError) -> ServeError {
+        match e {
+            // A cancelled search inside the service is always
+            // deadline-driven — the service never cancels explicitly.
+            DiscoveryError::Cancelled => ServeError::DeadlineExceeded,
+            other => ServeError::Query(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        assert!(ServeError::Overloaded { capacity: 8 }
+            .to_string()
+            .contains('8'));
+        assert!(ServeError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+        assert!(ServeError::QueryPanicked("boom".into())
+            .to_string()
+            .contains("boom"));
+        assert!(ServeError::ShuttingDown.to_string().contains("shutting"));
+    }
+
+    #[test]
+    fn cancelled_maps_to_deadline() {
+        assert_eq!(
+            ServeError::from(DiscoveryError::Cancelled),
+            ServeError::DeadlineExceeded
+        );
+        assert_eq!(
+            ServeError::from(DiscoveryError::EmptyProject),
+            ServeError::Query(DiscoveryError::EmptyProject)
+        );
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # atd-serve — fault-tolerant concurrent team-discovery service
+//!
+//! The paper's setting is interactive: an organization asks for teams
+//! while the underlying co-authorship network keeps growing. This crate
+//! turns the single-threaded [`Discovery`](atd_core::Discovery) engine
+//! into a long-lived **query service**:
+//!
+//! * a worker pool ([`QueryService`]) answering concurrent requests
+//!   against one immutable, `Arc`-pinned [`Snapshot`], each worker
+//!   reusing its own [`QueryScratch`](atd_core::QueryScratch);
+//! * **hot snapshot swaps** ([`QueryService::publish`] /
+//!   [`QueryService::try_publish_with`]): a background thread builds or
+//!   loads the next index and atomically replaces the serving one;
+//!   in-flight requests finish on the snapshot they pinned;
+//! * **deadlines** per request via cooperative cancellation
+//!   ([`ServeError::DeadlineExceeded`]) — an expensive query cannot pin a
+//!   worker forever;
+//! * **backpressure**: a bounded submission queue sheds excess load as
+//!   [`ServeError::Overloaded`] instead of buffering unbounded work;
+//! * **panic isolation**: a query that panics is caught
+//!   ([`ServeError::QueryPanicked`]) and the worker keeps serving; a
+//!   worker that dies anyway is respawned by the supervisor;
+//! * a **deterministic fault-injection harness** ([`faultpoint`], behind
+//!   the `fault-injection` feature) so all of the above is tested with
+//!   forced failures, not hoped-for ones.
+//!
+//! Responses on a given snapshot are bit-identical to calling
+//! [`Discovery::top_k`](atd_core::Discovery::top_k) directly on that
+//! snapshot's engine — concurrency changes throughput, never answers.
+//! See `src/README.md` for the snapshot lifecycle and the failure-mode
+//! table.
+
+pub mod error;
+pub mod faultpoint;
+mod queue;
+pub mod service;
+pub mod snapshot;
+pub mod stats;
+
+pub use error::ServeError;
+pub use faultpoint::{Fault, FaultPlan};
+pub use service::{QueryService, Request, ResponseHandle, ServeConfig, ServeResponse};
+pub use snapshot::Snapshot;
+pub use stats::ServeStats;

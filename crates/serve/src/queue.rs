@@ -1,0 +1,191 @@
+//! Bounded multi-producer multi-consumer submission queue.
+//!
+//! Built on `std::sync::Mutex` + `Condvar` (the build environment has no
+//! crossbeam): producers *never block* — a full queue is an immediate
+//! [`PushError::Full`], which the service surfaces as
+//! [`ServeError::Overloaded`](crate::ServeError::Overloaded) — while
+//! consumers (workers) block on the condvar until a job or shutdown
+//! arrives. Bounding the queue is what keeps memory flat under overload:
+//! work the service cannot keep up with is refused at the door, not
+//! buffered.
+//!
+//! Lock poisoning (a producer/consumer panicking while holding the lock)
+//! is deliberately *recovered from*: the queue holds plain data, every
+//! critical section leaves it consistent, and the service's whole point
+//! is surviving panics.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Why a `try_push` was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PushError {
+    /// The queue is at capacity; shed the work.
+    Full,
+    /// The queue is closed; the service is shutting down.
+    Closed,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue: non-blocking push, blocking pop.
+#[derive(Debug)]
+pub(crate) struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        // A poisoned lock means some thread panicked mid-push/pop; the
+        // VecDeque itself is still structurally sound, so serving must
+        // continue.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Enqueues `item` unless the queue is full or closed. Never blocks.
+    pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut s = self.lock();
+        if s.closed {
+            return Err((item, PushError::Closed));
+        }
+        if s.items.len() >= self.capacity {
+            return Err((item, PushError::Full));
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking until one arrives. Returns `None`
+    /// once the queue is closed *and* drained — the worker's signal to
+    /// exit its loop.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.lock();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.available.wait(s).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Closes the queue: pending items still drain, new pushes fail, and
+    /// every blocked worker wakes up.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Current queue depth (diagnostic).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_refuses_without_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let (item, why) = q.try_push(3).unwrap_err();
+        assert_eq!(item, 3);
+        assert_eq!(why, PushError::Full);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_wakes_poppers() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.try_push(10).unwrap();
+        q.close();
+        assert_eq!(q.try_push(11).unwrap_err().1, PushError::Closed);
+        assert_eq!(q.pop(), Some(10), "pending items drain after close");
+        assert_eq!(q.pop(), None, "then poppers see shutdown");
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(7).unwrap();
+        assert_eq!(h.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn many_producers_many_consumers_deliver_everything() {
+        let q = Arc::new(BoundedQueue::new(64));
+        let mut producers = Vec::new();
+        for p in 0..4 {
+            let q = Arc::clone(&q);
+            producers.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let v = p * 1000 + i;
+                    loop {
+                        match q.try_push(v) {
+                            Ok(()) => break,
+                            Err((_, PushError::Full)) => std::thread::yield_now(),
+                            Err((_, PushError::Closed)) => panic!("closed early"),
+                        }
+                    }
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let q = Arc::clone(&q);
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        for h in producers {
+            h.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expect: Vec<i32> = (0..4)
+            .flat_map(|p| (0..50).map(move |i| p * 1000 + i))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+    }
+}

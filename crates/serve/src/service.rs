@@ -1,0 +1,408 @@
+//! The worker pool, request lifecycle, and snapshot publication.
+//!
+//! ```text
+//!  clients ──submit()──▶ BoundedQueue ──pop()──▶ worker 1..N ──reply──▶ client
+//!                          │ full?                 │ pins Arc<Snapshot>
+//!                          ▼                       │ CancelToken(deadline)
+//!                      Overloaded                  │ catch_unwind
+//!                                                  ▼
+//!                                            SnapshotCell ◀─publish()─ swap thread
+//! ```
+//!
+//! Design rules, each backed by a test:
+//!
+//! * **One immutable snapshot, many readers.** Workers clone the current
+//!   `Arc<Snapshot>` per request; swaps never stall or corrupt a running
+//!   query (pinning).
+//! * **Failure is an answer, not an outcome.** Every request ends in a
+//!   `Result` — panics become [`ServeError::QueryPanicked`], deadlines
+//!   become [`ServeError::DeadlineExceeded`], overload becomes
+//!   [`ServeError::Overloaded`]. The process never dies.
+//! * **Workers are cattle.** A worker thread that dies anyway (a panic
+//!   outside the catch, e.g. the `serve.worker` faultpoint) is respawned
+//!   by the supervisor; its queue is shared, so no request is stranded.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use atd_core::{CancelToken, Discovery, Project, QueryScratch, ScoredTeam, Strategy};
+
+use crate::error::ServeError;
+use crate::faultpoint;
+use crate::queue::{BoundedQueue, PushError};
+use crate::snapshot::{Snapshot, SnapshotCell};
+use crate::stats::{Counters, ServeStats};
+
+/// Service sizing and defaults.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads answering queries.
+    pub workers: usize,
+    /// Bounded submission queue capacity; a full queue sheds with
+    /// [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that don't set their own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            default_deadline: None,
+        }
+    }
+}
+
+/// One team-discovery request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The skills to cover.
+    pub project: Project,
+    /// Ranking strategy (CC / CA-CC / SA-CA-CC).
+    pub strategy: Strategy,
+    /// How many teams to return.
+    pub k: usize,
+    /// Per-request deadline override; `None` uses the service default.
+    pub deadline: Option<Duration>,
+}
+
+impl Request {
+    /// A request with the service's default deadline.
+    pub fn new(project: Project, strategy: Strategy, k: usize) -> Request {
+        Request {
+            project,
+            strategy,
+            k,
+            deadline: None,
+        }
+    }
+}
+
+/// A successful answer.
+#[derive(Debug, Clone)]
+pub struct ServeResponse {
+    /// The ranked teams (bit-identical to a direct
+    /// [`Discovery::top_k`] on the same snapshot).
+    pub teams: Vec<ScoredTeam>,
+    /// Version of the snapshot that answered — clients observing a swap
+    /// mid-stream can tell old answers from new.
+    pub snapshot_version: u64,
+    /// Wall-clock time from dequeue to answer.
+    pub latency: Duration,
+}
+
+/// A pending response (one-shot receive).
+#[derive(Debug)]
+pub struct ResponseHandle {
+    rx: mpsc::Receiver<Result<ServeResponse, ServeError>>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the worker answers. A worker that died before
+    /// replying (and was respawned) surfaces as
+    /// [`ServeError::ResponseLost`].
+    pub fn wait(self) -> Result<ServeResponse, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ResponseLost))
+    }
+
+    /// Non-blocking poll; `None` while the query is still running.
+    pub fn try_wait(&self) -> Option<Result<ServeResponse, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::ResponseLost)),
+        }
+    }
+}
+
+struct Job {
+    request: Request,
+    enqueued_at: Instant,
+    deadline_at: Option<Instant>,
+    reply: mpsc::Sender<Result<ServeResponse, ServeError>>,
+}
+
+struct Shared {
+    queue: BoundedQueue<Job>,
+    cell: SnapshotCell,
+    counters: Counters,
+    shutting_down: AtomicBool,
+    next_version: AtomicU64,
+}
+
+/// The fault-tolerant concurrent query service. See the crate README for
+/// the snapshot lifecycle and failure-mode table.
+pub struct QueryService {
+    shared: Arc<Shared>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for QueryService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryService")
+            .field("stats", &self.stats())
+            .field("snapshot_version", &self.current_version())
+            .finish()
+    }
+}
+
+impl QueryService {
+    /// Starts the pool with `engine` as snapshot version 1.
+    pub fn start(engine: Discovery, config: ServeConfig) -> QueryService {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            cell: SnapshotCell::new(Arc::new(Snapshot::new(1, engine))),
+            counters: Counters::default(),
+            shutting_down: AtomicBool::new(false),
+            next_version: AtomicU64::new(2),
+        });
+        let default_deadline = config.default_deadline;
+
+        // The supervisor owns the worker handles: it spawns the initial
+        // pool, then respawns any worker whose thread has finished while
+        // the service is still up (the only way a worker exits early is
+        // a panic outside catch_unwind).
+        let sup_shared = Arc::clone(&shared);
+        let supervisor = std::thread::Builder::new()
+            .name("atd-serve-supervisor".into())
+            .spawn(move || {
+                let mut pool: Vec<JoinHandle<()>> = (0..workers)
+                    .map(|i| spawn_worker(i, Arc::clone(&sup_shared), default_deadline))
+                    .collect();
+                while !sup_shared.shutting_down.load(Ordering::Acquire) {
+                    for (i, slot) in pool.iter_mut().enumerate() {
+                        if slot.is_finished() {
+                            let dead = std::mem::replace(
+                                slot,
+                                spawn_worker(i, Arc::clone(&sup_shared), default_deadline),
+                            );
+                            let _ = dead.join(); // collect the panic payload
+                            Counters::bump(&sup_shared.counters.workers_respawned);
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                for h in pool {
+                    let _ = h.join();
+                }
+            })
+            .expect("spawn supervisor thread");
+
+        QueryService {
+            shared,
+            supervisor: Some(supervisor),
+        }
+    }
+
+    /// Submits a request. Returns immediately: `Ok` with a handle to wait
+    /// on, or [`ServeError::Overloaded`] / [`ServeError::ShuttingDown`]
+    /// if the request was refused at the door.
+    pub fn submit(&self, request: Request) -> Result<ResponseHandle, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        let deadline_at = request.deadline.map(|d| now + d);
+        let job = Job {
+            request,
+            enqueued_at: now,
+            deadline_at,
+            reply: tx,
+        };
+        match self.shared.queue.try_push(job) {
+            Ok(()) => Ok(ResponseHandle { rx }),
+            Err((_, PushError::Full)) => {
+                Counters::bump(&self.shared.counters.shed);
+                Err(ServeError::Overloaded {
+                    capacity: self.shared.queue.capacity(),
+                })
+            }
+            Err((_, PushError::Closed)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Submit-and-wait convenience.
+    pub fn query(&self, request: Request) -> Result<ServeResponse, ServeError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Publishes `engine` as the next snapshot version; in-flight
+    /// requests finish on the snapshot they pinned. Returns the new
+    /// snapshot.
+    pub fn publish(&self, engine: Discovery) -> Arc<Snapshot> {
+        let version = self.shared.next_version.fetch_add(1, Ordering::Relaxed);
+        let snap = Arc::new(Snapshot::new(version, engine));
+        self.shared.cell.swap(Arc::clone(&snap));
+        Counters::bump(&self.shared.counters.swaps);
+        snap
+    }
+
+    /// Fault-contained publication: `build` (typically a strict
+    /// `pll_load_only` snapshot load) runs under `catch_unwind` with the
+    /// `serve.snapshot_load` faultpoint planted in front. Any failure —
+    /// returned error or panic — increments `swap_failures` and leaves
+    /// the current snapshot serving untouched.
+    pub fn try_publish_with<F, E>(&self, build: F) -> Result<Arc<Snapshot>, ServeError>
+    where
+        F: FnOnce() -> Result<Discovery, E>,
+        E: std::fmt::Display,
+    {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            faultpoint::hit_io("serve.snapshot_load")
+                .map_err(|e| e.to_string())
+                .and_then(|()| build().map_err(|e| e.to_string()))
+        }));
+        match outcome {
+            Ok(Ok(engine)) => Ok(self.publish(engine)),
+            Ok(Err(msg)) => {
+                Counters::bump(&self.shared.counters.swap_failures);
+                Err(ServeError::QueryPanicked(format!(
+                    "snapshot load failed: {msg}"
+                )))
+            }
+            Err(payload) => {
+                Counters::bump(&self.shared.counters.swap_failures);
+                Err(ServeError::QueryPanicked(format!(
+                    "snapshot load panicked: {}",
+                    panic_message(&payload)
+                )))
+            }
+        }
+    }
+
+    /// The version currently serving.
+    pub fn current_version(&self) -> u64 {
+        self.shared.cell.load().version()
+    }
+
+    /// Pins and returns the currently serving snapshot (for direct
+    /// engine access, e.g. bit-identity checks in tests).
+    pub fn current_snapshot(&self) -> Arc<Snapshot> {
+        self.shared.cell.load()
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Current submission-queue depth (diagnostic).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Stops accepting work, drains the queue, and joins every thread.
+    /// Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::Release);
+        self.shared.queue.close();
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn spawn_worker(
+    index: usize,
+    shared: Arc<Shared>,
+    default_deadline: Option<Duration>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("atd-serve-worker-{index}"))
+        .spawn(move || worker_loop(&shared, default_deadline))
+        .expect("spawn worker thread")
+}
+
+fn worker_loop(shared: &Shared, default_deadline: Option<Duration>) {
+    // Per-worker scratch, reused across requests and revalidated against
+    // each pinned snapshot (scatter sizes can change across swaps).
+    let mut scratch = QueryScratch::new();
+    while let Some(job) = shared.queue.pop() {
+        // The `serve.worker` faultpoint sits OUTSIDE catch_unwind: an
+        // armed panic here kills the worker thread itself, exercising
+        // supervisor respawn. The job is already dequeued and its reply
+        // sender drops with the thread → the caller sees ResponseLost.
+        faultpoint::hit("serve.worker");
+
+        let started = Instant::now();
+        let deadline_at = job
+            .deadline_at
+            .or_else(|| default_deadline.map(|d| job.enqueued_at + d));
+
+        // Fast-shed: a request whose deadline passed while queued is
+        // answered without touching the engine.
+        if deadline_at.is_some_and(|d| Instant::now() >= d) {
+            Counters::bump(&shared.counters.deadline_exceeded);
+            let _ = job.reply.send(Err(ServeError::DeadlineExceeded));
+            continue;
+        }
+
+        // Pin the snapshot for the whole request: concurrent swaps
+        // cannot pull the engine out from under the query.
+        let snap = shared.cell.load();
+        let cancel = match deadline_at {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::never(),
+        };
+
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            faultpoint::hit("serve.request");
+            snap.engine().top_k_with(
+                &job.request.project,
+                job.request.strategy,
+                job.request.k,
+                Some(&mut scratch),
+                &cancel,
+            )
+        }));
+
+        let answer = match result {
+            Ok(Ok(teams)) => {
+                Counters::bump(&shared.counters.served);
+                Ok(ServeResponse {
+                    teams,
+                    snapshot_version: snap.version(),
+                    latency: started.elapsed(),
+                })
+            }
+            Ok(Err(e)) => {
+                let e = ServeError::from(e);
+                Counters::bump(match &e {
+                    ServeError::DeadlineExceeded => &shared.counters.deadline_exceeded,
+                    _ => &shared.counters.query_errors,
+                });
+                Err(e)
+            }
+            Err(payload) => {
+                // The panic may have unwound mid-scatter-load: the
+                // scratch could hold a half-written plane, so drop it
+                // wholesale rather than risk a poisoned distance.
+                scratch = QueryScratch::new();
+                Counters::bump(&shared.counters.panics_recovered);
+                Err(ServeError::QueryPanicked(panic_message(&payload)))
+            }
+        };
+        let _ = job.reply.send(answer);
+    }
+}

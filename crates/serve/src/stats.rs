@@ -1,0 +1,99 @@
+//! Lock-free service counters.
+//!
+//! Workers bump relaxed [`AtomicU64`]s on the hot path; [`ServeStats`] is
+//! a point-in-time copy for callers (tests assert on it, the bench and
+//! example print it). Counters only ever increase.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared mutable counters, owned by the service and bumped by workers.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub served: AtomicU64,
+    pub shed: AtomicU64,
+    pub deadline_exceeded: AtomicU64,
+    pub panics_recovered: AtomicU64,
+    pub workers_respawned: AtomicU64,
+    pub swaps: AtomicU64,
+    pub swap_failures: AtomicU64,
+    pub query_errors: AtomicU64,
+}
+
+impl Counters {
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            panics_recovered: self.panics_recovered.load(Ordering::Relaxed),
+            workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            swap_failures: self.swap_failures.load(Ordering::Relaxed),
+            query_errors: self.query_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests answered with a team list.
+    pub served: u64,
+    /// Requests shed with [`ServeError::Overloaded`](crate::ServeError::Overloaded).
+    pub shed: u64,
+    /// Requests that hit their deadline (pre-queue fast-shed or mid-search).
+    pub deadline_exceeded: u64,
+    /// Query panics caught and converted to
+    /// [`ServeError::QueryPanicked`](crate::ServeError::QueryPanicked).
+    pub panics_recovered: u64,
+    /// Worker threads respawned by the supervisor after dying.
+    pub workers_respawned: u64,
+    /// Successful snapshot swaps.
+    pub swaps: u64,
+    /// Failed snapshot swaps (load error, publish panic); the previous
+    /// snapshot kept serving.
+    pub swap_failures: u64,
+    /// Requests answered with a (non-deadline) query error.
+    pub query_errors: u64,
+}
+
+impl std::fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "served={} shed={} deadline={} panics={} respawned={} swaps={} swap_failures={} query_errors={}",
+            self.served,
+            self.shed,
+            self.deadline_exceeded,
+            self.panics_recovered,
+            self.workers_respawned,
+            self.swaps,
+            self.swap_failures,
+            self.query_errors
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let c = Counters::default();
+        Counters::bump(&c.served);
+        Counters::bump(&c.served);
+        Counters::bump(&c.swap_failures);
+        let s = c.snapshot();
+        assert_eq!(s.served, 2);
+        assert_eq!(s.swap_failures, 1);
+        assert_eq!(s.shed, 0);
+        let line = s.to_string();
+        assert!(line.contains("served=2"));
+        assert!(line.contains("swap_failures=1"));
+    }
+}
