@@ -1,0 +1,157 @@
+//! Durable journal throughput: WAL append, tail replay, and the
+//! checkpoint dividend (PR 7).
+//!
+//! One group, `wal_replay`:
+//!
+//! * `append` — one acknowledged mutation through [`Journal::append`]
+//!   (apply + seal + write, `sync_writes` off so the number is the CPU
+//!   cost of the durability path, not the disk's fsync latency);
+//! * `recover/tail_256` — a full [`Journal::open`] against a store
+//!   whose WAL tail holds 256 acknowledged records: graph dump load +
+//!   checksum walk + self-verifying replay of every record;
+//! * `recover/checkpointed` — the same store after a checkpoint folded
+//!   the tail into a new generation: recovery is a dump load plus an
+//!   empty segment scan. The gap between the two is what a checkpoint
+//!   buys at restart.
+//!
+//! Before timing, the replayed store is opened once and its recovered
+//! fingerprint asserted equal to the uninterrupted run's — the CI smoke
+//! for the on-disk format.
+
+use atd_dblp::graph_build::{BuildConfig, ExpertNetwork};
+use atd_dblp::synth::{SynthConfig, SynthCorpus};
+use atd_graph::{ExpertGraph, GraphDelta, NodeId};
+use atd_store::{Journal, JournalConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+const TAIL: usize = 256;
+
+fn graph_of(authors: usize) -> ExpertGraph {
+    let synth = SynthCorpus::generate(&SynthConfig {
+        num_authors: authors,
+        seed: 7,
+        ..SynthConfig::default()
+    });
+    ExpertNetwork::build(synth.corpus, &BuildConfig::default())
+        .expect("network")
+        .graph
+}
+
+fn nosync() -> JournalConfig {
+    JournalConfig {
+        sync_writes: false,
+        ..JournalConfig::default()
+    }
+}
+
+/// Deterministic publication delta `i` over an `n`-node graph
+/// (xorshift-picked author pairs, occasionally a triple).
+fn mutation(i: u64, n: usize) -> GraphDelta {
+    let mut x = i.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let mut authors = Vec::new();
+    for _ in 0..2 + (next() % 2) {
+        let a = NodeId::from_index((next() % n as u64) as usize);
+        if !authors.contains(&a) {
+            authors.push(a);
+        }
+    }
+    let mut d = GraphDelta::new();
+    d.publication(&authors, 0.2 + (next() % 100) as f64 / 250.0);
+    d
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("atd_wal_bench_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn bench_wal_replay(c: &mut Criterion) {
+    let graph = graph_of(1000);
+    let n = graph.num_nodes();
+
+    // A store whose tail holds TAIL acknowledged records…
+    let tail_dir = tempdir("tail");
+    let g = graph.clone();
+    let (mut journal, _) = Journal::open(&tail_dir, nosync(), move || g).expect("open");
+    for i in 0..TAIL as u64 {
+        journal.append(&mutation(i, n)).expect("append");
+    }
+    let tip = journal.graph_fingerprint();
+    drop(journal);
+
+    // …and its checkpointed twin (same state, empty tail).
+    let ckpt_dir = tempdir("ckpt");
+    let g = graph.clone();
+    let (mut journal, _) = Journal::open(&ckpt_dir, nosync(), move || g).expect("open");
+    for i in 0..TAIL as u64 {
+        journal.append(&mutation(i, n)).expect("append");
+    }
+    journal.checkpoint().expect("checkpoint");
+    drop(journal);
+
+    // Format smoke: recovery reproduces the uninterrupted fingerprint.
+    let (j, report) = Journal::open(&tail_dir, nosync(), || unreachable!()).expect("recover");
+    assert_eq!(report.replayed_records, TAIL as u64);
+    assert_eq!(j.graph_fingerprint(), tip, "replay must match the live run");
+    drop(j);
+    let wal_bytes = std::fs::metadata(tail_dir.join("wal-0.atdw"))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    eprintln!(
+        "wal_replay testbed: {} nodes, {} edges, {} records = {} KiB WAL",
+        n,
+        graph.num_edges(),
+        TAIL,
+        wal_bytes / 1024
+    );
+
+    let mut group = c.benchmark_group("wal_replay");
+    group.sample_size(10);
+
+    let append_dir = tempdir("append");
+    let g = graph.clone();
+    let (mut journal, _) = Journal::open(&append_dir, nosync(), move || g).expect("open");
+    let mut i = 0u64;
+    group.bench_function("append", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(journal.append(&mutation(i, n)).expect("append"))
+        })
+    });
+    drop(journal);
+
+    group.bench_function("recover/tail_256", |b| {
+        b.iter(|| {
+            let (j, report) =
+                Journal::open(&tail_dir, nosync(), || unreachable!()).expect("recover");
+            assert_eq!(report.replayed_records, TAIL as u64);
+            black_box(j.graph_fingerprint())
+        })
+    });
+
+    group.bench_function("recover/checkpointed", |b| {
+        b.iter(|| {
+            let (j, report) =
+                Journal::open(&ckpt_dir, nosync(), || unreachable!()).expect("recover");
+            assert_eq!(report.replayed_records, 0);
+            black_box(j.graph_fingerprint())
+        })
+    });
+
+    group.finish();
+    for dir in [tail_dir, ckpt_dir, append_dir] {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+criterion_group!(benches, bench_wal_replay);
+criterion_main!(benches);

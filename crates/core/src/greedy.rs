@@ -99,8 +99,12 @@ pub struct DiscoveryOptions {
     /// stale, corrupt, or differently-encoded file triggers the normal
     /// build, whose result is then saved to this path for the next start.
     /// Loaded and built indexes are bit-identical, so discovery results
-    /// never depend on which path ran. Transformed (γ) indexes are
-    /// derived per-γ and are not persisted.
+    /// never depend on which path ran. Transformed (γ) indexes get the
+    /// same treatment via per-γ sidecar files next to this path (see
+    /// [`Discovery::gamma_index_path`]), so CA-CC / SA-CA-CC engines
+    /// also stop rebuilding on cold start. Opening an engine with a path
+    /// also sweeps orphaned `.tmp.<pid>.<seq>` files that a crashed save
+    /// left next to it ([`atd_distance::persist::sweep_orphaned_tmp`]).
     pub pll_index_path: Option<PathBuf>,
     /// With `pll_index_path` set, require the index to **load** — never
     /// fall back to a rebuild. A missing, stale, corrupt, or
@@ -172,6 +176,10 @@ impl RankingContext {
         options: &DiscoveryOptions,
         path: &Path,
     ) -> Result<(Self, Option<String>), DiscoveryError> {
+        // Startup hygiene: reclaim temp files a crashed save orphaned
+        // next to the index (dead-writer-only, so a concurrent saver in
+        // another process is never raced).
+        atd_distance::persist::sweep_orphaned_tmp(path);
         let config = &options.pll_build;
         match PrunedLandmarkLabeling::load_from_with_retry(path, &graph, &options.pll_retry) {
             Ok(pll) if pll.storage() == config.storage => {
@@ -213,6 +221,32 @@ impl RankingContext {
                 )
             });
         Ok((ctx, warning))
+    }
+
+    /// Sidecar variant of the cold start used for transformed (γ)
+    /// indexes — infallible by design. γ contexts are derived data, so
+    /// `pll_load_only` strictness stays a base-index contract: any load
+    /// failure (missing, stale, corrupt, wrong backend) falls back to
+    /// the build, and the save-after-build is best-effort (a read-only
+    /// index directory must not poison an otherwise healthy query path).
+    fn load_or_build_sidecar(graph: ExpertGraph, options: &DiscoveryOptions, path: &Path) -> Self {
+        atd_distance::persist::sweep_orphaned_tmp(path);
+        if let Ok(pll) =
+            PrunedLandmarkLabeling::load_from_with_retry(path, &graph, &options.pll_retry)
+        {
+            if pll.storage() == options.pll_build.storage {
+                return RankingContext {
+                    graph,
+                    pll,
+                    loaded_from_disk: true,
+                };
+            }
+        }
+        let ctx = RankingContext::build(graph, &options.pll_build);
+        let _ = ctx
+            .pll
+            .save_to_with_retry(path, &ctx.graph, &options.pll_retry);
+        ctx
     }
 }
 
@@ -388,6 +422,29 @@ impl Discovery {
         Ok(())
     }
 
+    /// The sidecar path where the transformed index for `gamma` is
+    /// persisted: `<pll_index_path>.g<γ bits as 16 hex digits>`, derived
+    /// from the exact `f64` bit pattern so distinct γ values can never
+    /// collide. `None` when no `pll_index_path` is configured (γ indexes
+    /// then stay in-memory only, as before).
+    pub fn gamma_index_path(&self, gamma: f64) -> Option<PathBuf> {
+        let base = self.options.pll_index_path.as_ref()?;
+        let mut p = base.as_os_str().to_os_string();
+        p.push(format!(".g{:016x}", gamma.to_bits()));
+        Some(PathBuf::from(p))
+    }
+
+    /// Whether the cached transformed index for `gamma` came off its
+    /// sidecar file instead of being built. `false` when the context has
+    /// not been touched yet, no index path is configured, or the sidecar
+    /// was missing/stale (which triggered a build-and-save).
+    pub fn gamma_index_loaded(&self, gamma: f64) -> bool {
+        self.transformed
+            .read()
+            .get(&gamma.to_bits())
+            .is_some_and(|ctx| ctx.loaded_from_disk)
+    }
+
     fn context_for(&self, gamma: Option<f64>) -> Arc<RankingContext> {
         match gamma {
             None => Arc::clone(&self.base),
@@ -397,7 +454,11 @@ impl Discovery {
                     return Arc::clone(ctx);
                 }
                 let gp = authority_transform(&self.graph, &self.norm, g);
-                let ctx = Arc::new(RankingContext::build(gp, &self.options.pll_build));
+                let ctx = match self.gamma_index_path(g) {
+                    Some(path) => RankingContext::load_or_build_sidecar(gp, &self.options, &path),
+                    None => RankingContext::build(gp, &self.options.pll_build),
+                };
+                let ctx = Arc::new(ctx);
                 self.transformed.write().insert(key, Arc::clone(&ctx));
                 ctx
             }
@@ -1165,6 +1226,89 @@ mod tests {
         assert!(!dict.pll_index_loaded(), "backend mismatch must rebuild");
         let again = Discovery::with_options(g, idx, mk(LabelStorage::CompressedDict)).unwrap();
         assert!(again.pll_index_loaded(), "re-saved backend must load");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gamma_sidecar_index_persists_and_reloads() {
+        let dir = std::env::temp_dir().join(format!(
+            "atd_gamma_sidecar_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.atdl");
+        let (g, idx, sn, tm) = figure1();
+        let project = Project::new(vec![sn, tm]);
+        let opts = || DiscoveryOptions {
+            threads: Some(1),
+            pll_index_path: Some(path.clone()),
+            ..Default::default()
+        };
+        let gamma = 0.6;
+        let first = Discovery::with_options(g.clone(), idx.clone(), opts()).unwrap();
+        let sidecar = first.gamma_index_path(gamma).unwrap();
+        assert!(!sidecar.exists(), "sidecar appears only once γ is touched");
+        let a = first.top_k(&project, Strategy::CaCc { gamma }, 3).unwrap();
+        assert!(!first.gamma_index_loaded(gamma), "first touch builds");
+        assert!(sidecar.exists(), "γ build must save its sidecar");
+        let second = Discovery::with_options(g.clone(), idx.clone(), opts()).unwrap();
+        let b = second.top_k(&project, Strategy::CaCc { gamma }, 3).unwrap();
+        assert!(second.gamma_index_loaded(gamma), "sidecar must load");
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.team.member_key(), y.team.member_key());
+            assert_eq!(x.objective.to_bits(), y.objective.to_bits());
+            assert_eq!(x.algorithm_cost.to_bits(), y.algorithm_cost.to_bits());
+        }
+        // Distinct γ values map to distinct sidecar files, and an engine
+        // without an index path has no sidecar at all.
+        assert_ne!(second.gamma_index_path(0.25), second.gamma_index_path(0.6));
+        let (g3, idx3, _, _) = figure1();
+        let unpersisted = Discovery::with_options(
+            g3,
+            idx3,
+            DiscoveryOptions {
+                threads: Some(1),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(unpersisted.gamma_index_path(gamma).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cold_start_sweeps_orphaned_tmp_files() {
+        let dir = std::env::temp_dir().join(format!(
+            "atd_tmp_sweep_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.atdl");
+        // u32::MAX is beyond Linux's pid_max, so this writer is provably
+        // dead; our own pid could be a live saver thread and must survive.
+        let dead = dir.join("index.atdl.tmp.4294967295.7");
+        let live = dir.join(format!("index.atdl.tmp.{}.3", std::process::id()));
+        let unrelated = dir.join("other.atdl.tmp.4294967295.1");
+        for f in [&dead, &live, &unrelated] {
+            std::fs::write(f, b"half-written junk").unwrap();
+        }
+        let (g, idx, _, _) = figure1();
+        let _ = Discovery::with_options(
+            g,
+            idx,
+            DiscoveryOptions {
+                threads: Some(1),
+                pll_index_path: Some(path.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!dead.exists(), "dead-writer orphan must be swept");
+        assert!(live.exists(), "own-pid temp may be a live save; keep it");
+        assert!(unrelated.exists(), "other files' temps are left alone");
         std::fs::remove_dir_all(&dir).ok();
     }
 

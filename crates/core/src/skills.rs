@@ -183,6 +183,30 @@ impl SkillIndex {
             .unwrap_or(0)
     }
 
+    /// Number of graph nodes this index was built for — the bound on
+    /// what [`skills_of`](SkillIndex::skills_of) accepts.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.skills_of.len()
+    }
+
+    /// A copy sized for a graph that has **grown** to `num_nodes` nodes:
+    /// every node beyond the original range holds no skills. Mutations
+    /// that add authors (see `atd_graph::GraphDelta`) extend the graph
+    /// past the index built at ingest time; querying such a graph with
+    /// the unpadded index would read out of bounds in `skills_of`.
+    /// Shrinking is refused (a smaller graph would orphan grants).
+    pub fn padded_to(&self, num_nodes: usize) -> SkillIndex {
+        assert!(
+            num_nodes >= self.skills_of.len(),
+            "cannot pad skill index down: {} nodes indexed, {num_nodes} requested",
+            self.skills_of.len()
+        );
+        let mut padded = self.clone();
+        padded.skills_of.resize(num_nodes, Vec::new());
+        padded
+    }
+
     /// Skills having at least `min_holders` holders — the workload
     /// generator samples projects from this pool.
     pub fn skills_with_min_holders(&self, min_holders: usize) -> Vec<SkillId> {
@@ -263,6 +287,24 @@ mod tests {
         assert_eq!(idx.skills_with_min_holders(2), vec![ml]);
         assert_eq!(idx.skills_with_min_holders(1).len(), 2);
         assert!(idx.skills_with_min_holders(3).is_empty());
+    }
+
+    #[test]
+    fn padded_index_answers_for_grown_graph() {
+        let idx = sample_index();
+        assert_eq!(idx.num_nodes(), 3);
+        let grown = idx.padded_to(5);
+        assert_eq!(grown.num_nodes(), 5);
+        let ml = grown.id_of("ml").unwrap();
+        assert_eq!(grown.holders(ml), &[NodeId(0), NodeId(1)]);
+        assert!(grown.skills_of(NodeId(4)).is_empty());
+        assert!(!grown.has_skill(NodeId(4), ml));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pad skill index down")]
+    fn padding_down_panics() {
+        sample_index().padded_to(2);
     }
 
     #[test]

@@ -61,6 +61,9 @@ pub use label::{
 };
 pub use oracle::DistanceOracle;
 pub use order::{degree_descending_order, VertexOrder};
-pub use persist::{graph_fingerprint, PersistError, RetryPolicy, SnapshotFingerprint};
+pub use persist::{
+    atomic_write, graph_fingerprint, sweep_orphaned_tmp, sweep_orphaned_tmp_dir, PersistError,
+    RetryPolicy, SnapshotFingerprint,
+};
 pub use pll::{BatchProfile, BuildConfig, BuildProfile, PrunedLandmarkLabeling};
 pub use scatter::SourceScatter;

@@ -373,6 +373,129 @@ pub fn checksum(payload: &[u8]) -> u64 {
 }
 
 // ---------------------------------------------------------------------
+// Atomic file publication + orphaned-temp sweep
+// ---------------------------------------------------------------------
+
+/// Writes `bytes` to `path` atomically: the data first lands in a
+/// uniquely-named sibling temp file (`<name>.tmp.<pid>.<seq>` — pid plus
+/// a process-wide sequence counter, so concurrent savers never share a
+/// temp path), is fsynced, and is then renamed over `path`. A crash or
+/// racing writer never leaves a half-written file at `path`; at worst it
+/// orphans a temp file, which [`sweep_orphaned_tmp`] reclaims on the
+/// next startup.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_data()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+/// Returns `Some(pid)` when `name` is an orphaned-temp name for any final
+/// file (`<base>.tmp.<pid>.<seq>` with all-digit pid and seq), i.e. the
+/// naming scheme used by [`atomic_write`] and [`LabelStore::save_to`].
+fn parse_tmp_pid(name: &str) -> Option<u32> {
+    let (rest, seq) = name.rsplit_once('.')?;
+    if seq.is_empty() || !seq.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let (rest, pid) = rest.rsplit_once('.')?;
+    if !rest.ends_with(".tmp") || pid.is_empty() {
+        return None;
+    }
+    pid.parse().ok()
+}
+
+/// True when the writer process that owns a temp file can be ruled dead.
+/// Our own pid is always considered live (another thread may be mid-save);
+/// other pids are probed via `/proc` on Linux. On platforms without
+/// `/proc` the check is conservative: foreign temp files are left alone.
+fn tmp_owner_is_dead(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return false;
+    }
+    #[cfg(target_os = "linux")]
+    {
+        !Path::new(&format!("/proc/{pid}")).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        false
+    }
+}
+
+/// Removes orphaned temp files that a crashed writer left next to the
+/// final file at `path` (the `<name>.tmp.<pid>.<seq>` siblings produced
+/// by [`atomic_write`] between temp-write and rename). Only files whose
+/// name extends `path`'s own file name are considered, and only when the
+/// owning pid is provably dead — live writers in this or another process
+/// are never raced. Returns how many files were removed; IO errors while
+/// scanning are swallowed (the sweep is best-effort hygiene, never a
+/// reason to fail a load).
+pub fn sweep_orphaned_tmp(path: &Path) -> usize {
+    let Some(dir) = path.parent() else {
+        return 0;
+    };
+    let dir = if dir.as_os_str().is_empty() {
+        Path::new(".")
+    } else {
+        dir
+    };
+    let Some(base) = path.file_name().and_then(|n| n.to_str()) else {
+        return 0;
+    };
+    sweep_dir_with(dir, |name| {
+        name.strip_prefix(base)
+            .filter(|rest| rest.starts_with(".tmp."))
+            .is_some()
+    })
+}
+
+/// Removes every provably-orphaned `*.tmp.<pid>.<seq>` file directly
+/// inside `dir`, regardless of which final file it was destined for.
+/// Same safety rules as [`sweep_orphaned_tmp`]; used by stores that own
+/// a whole directory rather than a single index path.
+pub fn sweep_orphaned_tmp_dir(dir: &Path) -> usize {
+    sweep_dir_with(dir, |_| true)
+}
+
+fn sweep_dir_with(dir: &Path, applies: impl Fn(&str) -> bool) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !applies(name) {
+            continue;
+        }
+        let Some(pid) = parse_tmp_pid(name) else {
+            continue;
+        };
+        if tmp_owner_is_dead(pid) && std::fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+// ---------------------------------------------------------------------
 // Payload writer
 // ---------------------------------------------------------------------
 
@@ -872,26 +995,13 @@ impl LabelStore {
 
     /// Saves this store to `path` as a versioned dump fingerprinted with
     /// `graph` (the graph the index was built from). The write goes
-    /// through a uniquely-named sibling temp file (extension appended,
-    /// pid + sequence suffixed — concurrent savers never share a temp
-    /// path) and an atomic rename, so a crashed or racing save never
-    /// leaves a half-written index at `path`.
+    /// through [`atomic_write`]: a uniquely-named sibling temp file
+    /// (extension appended, pid + sequence suffixed — concurrent savers
+    /// never share a temp path) and an atomic rename, so a crashed or
+    /// racing save never leaves a half-written index at `path`.
     pub fn save_to(&self, path: &Path, graph: &ExpertGraph) -> Result<(), PersistError> {
-        use std::sync::atomic::{AtomicU64, Ordering};
-        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
         let bytes = self.to_bytes(graph_fingerprint(graph));
-        let mut tmp = path.as_os_str().to_os_string();
-        tmp.push(format!(
-            ".tmp.{}.{}",
-            std::process::id(),
-            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
-        ));
-        let tmp = std::path::PathBuf::from(tmp);
-        let result = std::fs::write(&tmp, &bytes).and_then(|()| std::fs::rename(&tmp, path));
-        if result.is_err() {
-            std::fs::remove_file(&tmp).ok();
-        }
-        result.map_err(PersistError::Io)
+        atomic_write(path, &bytes).map_err(PersistError::Io)
     }
 
     /// Loads a store from `path`, rejecting files whose fingerprint does

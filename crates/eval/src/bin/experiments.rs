@@ -6,6 +6,7 @@
 //!             [--pll-threads N] [--pll-batch N]
 //!             [--pll-storage csr|compressed|csr-dict|compressed-dict]
 //!             [--pll-load FILE] [--pll-save FILE]
+//!             [--mutate N]
 //! ```
 //!
 //! Default: `all --scale small --out results`. `--pll-threads` /
@@ -20,6 +21,12 @@
 //! the built/loaded index to an explicit file. The labels are
 //! bit-identical in every case — these flags tune cold-start time and
 //! index memory, never results.
+//!
+//! `--mutate N` runs the durable replay mode: N deterministic graph
+//! mutations (new publications, occasionally a new author) acknowledged
+//! through `atd-serve`'s journal-backed publish path, a mid-stream
+//! checkpoint, then a simulated crash + recovery whose replayed state is
+//! verified fingerprint- and bit-identical to the uninterrupted run.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -38,6 +45,7 @@ struct Args {
     pll_storage: Option<LabelStorage>,
     pll_load: Option<PathBuf>,
     pll_save: Option<PathBuf>,
+    mutate: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
     let mut pll_storage = None;
     let mut pll_load = None;
     let mut pll_save = None;
+    let mut mutate = None;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -89,13 +98,21 @@ fn parse_args() -> Result<Args, String> {
                 let v = argv.next().ok_or("--pll-save needs a value")?;
                 pll_save = Some(PathBuf::from(v));
             }
+            "--mutate" => {
+                let v = argv.next().ok_or("--mutate needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad mutation count '{v}'"))?;
+                if n == 0 {
+                    return Err("--mutate needs at least 1 mutation".into());
+                }
+                mutate = Some(n);
+            }
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: experiments [fig3|fig4|fig5|fig6|runtime|venue|ablation|serve|all] \
                             [--scale tiny|small|medium|paper] [--out DIR|-] \
                             [--pll-threads N] [--pll-batch N] \
                             [--pll-storage {}] \
-                            [--pll-load FILE] [--pll-save FILE]",
+                            [--pll-load FILE] [--pll-save FILE] [--mutate N]",
                     LabelStorage::usage()
                 ))
             }
@@ -114,6 +131,7 @@ fn parse_args() -> Result<Args, String> {
         pll_storage,
         pll_load,
         pll_save,
+        mutate,
     })
 }
 
@@ -275,6 +293,12 @@ fn main() {
         println!("{}", serve_section(&tb));
         println!("[serve done in {:.1?}]\n", t.elapsed());
     }
+    if let Some(n) = args.mutate {
+        banner("Durable replay — journal-backed mutations, crash, recovery (atd-store)");
+        let t = Instant::now();
+        println!("{}", mutate_section(&tb, n));
+        println!("[mutate done in {:.1?}]\n", t.elapsed());
+    }
 
     if let Some(dir) = out {
         println!("CSV outputs written under {}/", dir.display());
@@ -284,6 +308,153 @@ fn main() {
 
 fn banner(title: &str) {
     println!("─── {title} ───");
+}
+
+/// The `--mutate N` replay mode: N deterministic mutations acknowledged
+/// through the durable publish path, a checkpoint halfway, then a
+/// simulated crash (the service is dropped without a shutdown) and a
+/// recovery that must reproduce the uninterrupted run — fingerprint
+/// equality on the graph, bit equality on a sampled top-k query.
+fn mutate_section(tb: &Testbed, n: usize) -> String {
+    use atd_graph::{GraphDelta, NodeId};
+    use atd_serve::{DurableConfig, DurableService, JournalConfig, Request, ServeConfig};
+
+    let dir =
+        std::env::temp_dir().join(format!("atd_experiments_mutate_{}_{n}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let config = DurableConfig {
+        journal: JournalConfig::default(),
+        serve: ServeConfig {
+            workers: 2,
+            queue_capacity: 128,
+            default_deadline: None,
+        },
+        discovery: DiscoveryOptions {
+            threads: Some(1),
+            ..Default::default()
+        },
+        checkpoint_every: 0,
+    };
+
+    // Deterministic mutation stream: mostly new publications among
+    // existing authors, every 8th a brand-new author joining one.
+    let nodes = tb.net.graph.num_nodes();
+    let mutation = |i: usize, current_nodes: usize| -> GraphDelta {
+        let mut x = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut d = GraphDelta::new();
+        let a = NodeId::from_index((next() % nodes as u64) as usize);
+        let mut b = NodeId::from_index((next() % nodes as u64) as usize);
+        if b == a {
+            b = NodeId::from_index((a.index() + 1) % nodes);
+        }
+        let cost = 0.2 + (next() % 100) as f64 / 250.0;
+        if i % 8 == 7 {
+            let rookie = d.add_author(1.0 + (next() % 5) as f64, current_nodes);
+            d.publication(&[a, b, rookie], cost);
+        } else {
+            d.publication(&[a, b], cost);
+        }
+        d
+    };
+
+    let genesis = tb.net.graph.clone();
+    let (service, report) =
+        DurableService::open(&dir, tb.net.skills.clone(), config.clone(), || genesis)
+            .expect("durable service opens");
+    assert!(report.initialized);
+
+    let t_ack = Instant::now();
+    let mut uninterrupted = tb.net.graph.clone();
+    let mut checkpointed_at = 0u64;
+    for i in 0..n {
+        let delta = mutation(i, uninterrupted.num_nodes());
+        let receipt = service.publish_mutation(&delta).expect("mutation acks");
+        uninterrupted = uninterrupted.apply_delta(&delta).expect("oracle applies");
+        assert_eq!(
+            receipt.graph_fingerprint,
+            atd_distance::persist::graph_fingerprint(&uninterrupted),
+            "ack {i} must match the uninterrupted run"
+        );
+        if i + 1 == n / 2 {
+            checkpointed_at = service.checkpoint().expect("checkpoint");
+        }
+    }
+    let acked_in = t_ack.elapsed();
+    let tail = service.tail_records();
+
+    // Crash: no shutdown, no final checkpoint — recovery must replay.
+    drop(service);
+    let t_rec = Instant::now();
+    let (service, report) =
+        DurableService::open(&dir, tb.net.skills.clone(), config, || unreachable!())
+            .expect("recovery serves");
+    let recovered_in = t_rec.elapsed();
+    assert_eq!(report.replayed_records, tail);
+    assert_eq!(
+        report.graph_fingerprint,
+        atd_distance::persist::graph_fingerprint(&uninterrupted),
+        "recovered state must equal the uninterrupted run"
+    );
+
+    // Bit-identity spot check against a direct engine over the oracle.
+    let direct = atd_core::Discovery::with_options(
+        uninterrupted.clone(),
+        tb.net.skills.padded_to(uninterrupted.num_nodes()),
+        DiscoveryOptions {
+            threads: Some(1),
+            ..Default::default()
+        },
+    )
+    .expect("oracle engine");
+    let projects = atd_eval::workload::generate_projects(
+        &tb.net.skills,
+        &atd_eval::workload::WorkloadConfig {
+            count: 4,
+            num_skills: 2,
+            ..Default::default()
+        },
+    );
+    let strategy = atd_core::Strategy::SaCaCc {
+        gamma: 0.6,
+        lambda: 0.6,
+    };
+    let mut verified = 0usize;
+    for p in &projects {
+        let via = service.query(Request::new(p.clone(), strategy, 3));
+        let want = direct.top_k(p, strategy, 3);
+        match (via, want) {
+            (Ok(resp), Ok(want)) => {
+                assert_eq!(resp.teams.len(), want.len());
+                for (g, w) in resp.teams.iter().zip(&want) {
+                    assert_eq!(g.team.member_key(), w.team.member_key());
+                    assert_eq!(g.objective.to_bits(), w.objective.to_bits());
+                }
+                verified += 1;
+            }
+            (Err(e), Err(w)) => assert_eq!(e.to_string(), format!("query failed: {w}")),
+            (s, d) => panic!("recovered/direct disagree: {s:?} vs {d:?}"),
+        }
+    }
+    drop(service);
+    std::fs::remove_dir_all(&dir).ok();
+
+    format!(
+        "{n} mutations acknowledged in {acked_in:.1?} ({:.1?}/ack, fsync on), \
+         checkpoint -> generation {checkpointed_at}\n\
+         crash recovery: generation {}, {} records replayed in {recovered_in:.1?}, \
+         fingerprint {:#018x} == uninterrupted run\n\
+         {verified} recovered top-k answers verified bit-identical to a direct engine",
+        acked_in / n as u32,
+        report.generation,
+        report.replayed_records,
+        report.graph_fingerprint
+    )
 }
 
 /// Runs a short concurrent workload through [`atd_serve::QueryService`]

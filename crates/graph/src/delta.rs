@@ -1,0 +1,446 @@
+//! Graph mutations: the living-graph delta API.
+//!
+//! Real collaboration networks mostly *grow*: a new publication adds
+//! authors and adds or reinforces collaboration edges. A [`GraphDelta`]
+//! captures one such batch of mutations as an ordered list of
+//! [`GraphOp`]s, and [`ExpertGraph::apply_delta`] produces the mutated
+//! graph. Application is **deterministic**: ops apply in insertion
+//! order, node ids assigned to new authors are dense continuations of
+//! the existing id space (`n, n+1, …` for a graph of `n` nodes), and the
+//! resulting CSR layout is canonical — two applications of the same
+//! delta to the same graph are bit-identical, which is what lets the
+//! durability layer (`atd-store`) replay a write-ahead log of deltas and
+//! land on exactly the state a non-crashed run would hold.
+//!
+//! ```
+//! use atd_graph::{GraphBuilder, GraphDelta, NodeId};
+//!
+//! let mut b = GraphBuilder::new();
+//! let a = b.add_node(3.0);
+//! let c = b.add_node(5.0);
+//! b.add_edge(a, c, 0.8).unwrap();
+//! let g = b.build().unwrap();
+//!
+//! // A new publication: one new author collaborating with both, and a
+//! // reinforced (cheaper) edge between the existing pair.
+//! let mut delta = GraphDelta::new();
+//! let d = delta.add_author(2.0, g.num_nodes());
+//! delta.reinforce_edge(a, c, 0.5);
+//! delta.upsert_edge(a, d, 0.9);
+//! delta.upsert_edge(c, d, 0.7);
+//!
+//! let g2 = g.apply_delta(&delta).unwrap();
+//! assert_eq!(g2.num_nodes(), 3);
+//! assert_eq!(g2.edge_weight(a, c), Some(0.5));
+//! assert_eq!(g2.edge_weight(c, d), Some(0.7));
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::builder::GraphBuilder;
+use crate::csr::ExpertGraph;
+use crate::error::GraphError;
+use crate::id::NodeId;
+
+/// One atomic mutation of an expert network.
+///
+/// Ops are deliberately closed over plain ids and `f64`s so they have a
+/// canonical byte encoding (the WAL record format in `atd-store`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphOp {
+    /// Appends a new expert with the given authority. Its id is the next
+    /// dense id at the moment this op applies (`graph nodes so far +
+    /// earlier `AddAuthor`s in the same delta`).
+    AddAuthor {
+        /// Raw authority of the new expert (finite, non-negative).
+        authority: f64,
+    },
+    /// Overwrites the authority of an existing expert (e.g. an h-index
+    /// bump after a new publication).
+    SetAuthority {
+        /// The expert whose authority changes.
+        node: NodeId,
+        /// The new authority (finite, non-negative).
+        authority: f64,
+    },
+    /// Sets the weight of the undirected edge `(u, v)` to exactly
+    /// `weight`, inserting the edge if absent. Last write wins within a
+    /// delta.
+    UpsertEdge {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+        /// The new communication cost (finite, non-negative).
+        weight: f64,
+    },
+    /// Reinforces the collaboration `(u, v)`: the edge weight becomes
+    /// `min(existing, weight)` (or `weight` for a new edge). This models
+    /// a new joint publication — more collaboration can only *lower*
+    /// communication cost, matching the builder's parallel-edge
+    /// discipline.
+    ReinforceEdge {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+        /// The candidate cost of the new collaboration record.
+        weight: f64,
+    },
+}
+
+/// An ordered batch of graph mutations with deterministic application.
+///
+/// Typically one delta = one new publication (authors + pairwise edges),
+/// built with the convenience methods, but any op sequence is legal.
+/// Validation happens at [`ExpertGraph::apply_delta`] time: unknown
+/// nodes, self-loops, and non-finite/negative weights are rejected with
+/// a typed [`GraphError`] and the graph is left untouched.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GraphDelta {
+    ops: Vec<GraphOp>,
+}
+
+impl GraphDelta {
+    /// An empty delta (applying it is a no-op clone).
+    pub fn new() -> GraphDelta {
+        GraphDelta::default()
+    }
+
+    /// A delta over pre-built ops.
+    pub fn from_ops(ops: Vec<GraphOp>) -> GraphDelta {
+        GraphDelta { ops }
+    }
+
+    /// The ops in application order.
+    pub fn ops(&self) -> &[GraphOp] {
+        &self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the delta holds no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Appends an `AddAuthor` op and returns the id the new expert will
+    /// receive when this delta is applied to a graph that currently has
+    /// `graph_nodes` nodes. The id accounts for earlier `AddAuthor` ops
+    /// already in this delta, so a multi-author publication can wire its
+    /// new authors together before the delta ever applies.
+    pub fn add_author(&mut self, authority: f64, graph_nodes: usize) -> NodeId {
+        let prior_adds = self
+            .ops
+            .iter()
+            .filter(|op| matches!(op, GraphOp::AddAuthor { .. }))
+            .count();
+        self.ops.push(GraphOp::AddAuthor { authority });
+        NodeId::from_index(graph_nodes + prior_adds)
+    }
+
+    /// Appends a `SetAuthority` op.
+    pub fn set_authority(&mut self, node: NodeId, authority: f64) -> &mut Self {
+        self.ops.push(GraphOp::SetAuthority { node, authority });
+        self
+    }
+
+    /// Appends an `UpsertEdge` op (absolute weight, last write wins).
+    pub fn upsert_edge(&mut self, u: NodeId, v: NodeId, weight: f64) -> &mut Self {
+        self.ops.push(GraphOp::UpsertEdge { u, v, weight });
+        self
+    }
+
+    /// Appends a `ReinforceEdge` op (weight becomes the minimum of the
+    /// existing and the given cost).
+    pub fn reinforce_edge(&mut self, u: NodeId, v: NodeId, weight: f64) -> &mut Self {
+        self.ops.push(GraphOp::ReinforceEdge { u, v, weight });
+        self
+    }
+
+    /// Convenience: one new publication among `authors` (all must
+    /// already exist or have been added to this delta), reinforcing
+    /// every pairwise collaboration edge at cost `pair_cost`.
+    pub fn publication(&mut self, authors: &[NodeId], pair_cost: f64) -> &mut Self {
+        for i in 0..authors.len() {
+            for j in i + 1..authors.len() {
+                self.reinforce_edge(authors[i], authors[j], pair_cost);
+            }
+        }
+        self
+    }
+}
+
+fn check_weight(context: &'static str, w: f64) -> Result<(), GraphError> {
+    if !w.is_finite() || w < 0.0 {
+        return Err(GraphError::InvalidWeight { context, value: w });
+    }
+    Ok(())
+}
+
+impl ExpertGraph {
+    /// Applies `delta` and returns the mutated graph (the original is
+    /// untouched — engines hold graphs immutably, so mutation is
+    /// copy-on-write at the graph level).
+    ///
+    /// Deterministic: ops apply in order; `AddAuthor` ids are dense
+    /// continuations; the rebuilt CSR is canonical. Any invalid op —
+    /// unknown node, self-loop, non-finite or negative weight — returns
+    /// a typed [`GraphError`] without producing a graph. Validation of
+    /// each op sees the nodes added by earlier ops of the same delta.
+    pub fn apply_delta(&self, delta: &GraphDelta) -> Result<ExpertGraph, GraphError> {
+        let mut authority: Vec<f64> = self.authorities().to_vec();
+        // Canonical-order edge map: (min, max) -> weight. BTreeMap keeps
+        // the final edge stream sorted, so the rebuilt CSR (and hence the
+        // graph fingerprint) is independent of op insertion order beyond
+        // the semantics of the ops themselves.
+        let mut edges: BTreeMap<(NodeId, NodeId), f64> =
+            self.edges().map(|(u, v, w)| ((u, v), w)).collect();
+
+        let check_node = |n: NodeId, nodes: usize| -> Result<(), GraphError> {
+            if n.index() >= nodes {
+                return Err(GraphError::UnknownNode(n));
+            }
+            Ok(())
+        };
+        let edge_key =
+            |u: NodeId, v: NodeId, nodes: usize| -> Result<(NodeId, NodeId), GraphError> {
+                if u == v {
+                    return Err(GraphError::SelfLoop(u));
+                }
+                check_node(u, nodes)?;
+                check_node(v, nodes)?;
+                Ok((u.min(v), u.max(v)))
+            };
+
+        for op in delta.ops() {
+            match *op {
+                GraphOp::AddAuthor { authority: a } => {
+                    check_weight("new author authority", a)?;
+                    if authority.len() >= u32::MAX as usize - 1 {
+                        return Err(GraphError::TooManyNodes(authority.len() + 1));
+                    }
+                    authority.push(a);
+                }
+                GraphOp::SetAuthority { node, authority: a } => {
+                    check_weight("node authority", a)?;
+                    check_node(node, authority.len())?;
+                    authority[node.index()] = a;
+                }
+                GraphOp::UpsertEdge { u, v, weight } => {
+                    check_weight("edge weight", weight)?;
+                    let key = edge_key(u, v, authority.len())?;
+                    edges.insert(key, weight);
+                }
+                GraphOp::ReinforceEdge { u, v, weight } => {
+                    check_weight("edge weight", weight)?;
+                    let key = edge_key(u, v, authority.len())?;
+                    let slot = edges.entry(key).or_insert(weight);
+                    if weight < *slot {
+                        *slot = weight;
+                    }
+                }
+            }
+        }
+
+        let mut b = GraphBuilder::with_capacity(authority.len(), edges.len());
+        for &a in &authority {
+            b.add_node(a);
+        }
+        for (&(u, v), &w) in &edges {
+            b.add_edge(u, v, w)
+                .expect("delta-validated edges re-add cleanly");
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ExpertGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(1.0);
+        let c = b.add_node(2.0);
+        let d = b.add_node(3.0);
+        b.add_edge(a, c, 0.5).unwrap();
+        b.add_edge(c, d, 0.25).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let g = base();
+        let g2 = g.apply_delta(&GraphDelta::new()).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        let a: Vec<_> = g.edges().collect();
+        let b: Vec<_> = g2.edges().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn add_author_assigns_dense_ids() {
+        let g = base();
+        let mut delta = GraphDelta::new();
+        let x = delta.add_author(4.0, g.num_nodes());
+        let y = delta.add_author(5.0, g.num_nodes());
+        assert_eq!(x, NodeId(3));
+        assert_eq!(y, NodeId(4));
+        delta.upsert_edge(x, y, 0.1);
+        let g2 = g.apply_delta(&delta).unwrap();
+        assert_eq!(g2.num_nodes(), 5);
+        assert_eq!(g2.authority(x), 4.0);
+        assert_eq!(g2.authority(y), 5.0);
+        assert_eq!(g2.edge_weight(x, y), Some(0.1));
+    }
+
+    #[test]
+    fn upsert_replaces_reinforce_takes_min() {
+        let g = base();
+        let (a, c) = (NodeId(0), NodeId(1));
+        // Upsert can RAISE a weight (absolute semantics)…
+        let mut up = GraphDelta::new();
+        up.upsert_edge(a, c, 0.9);
+        assert_eq!(g.apply_delta(&up).unwrap().edge_weight(a, c), Some(0.9));
+        // …reinforce can only lower it.
+        let mut worse = GraphDelta::new();
+        worse.reinforce_edge(a, c, 0.9);
+        assert_eq!(g.apply_delta(&worse).unwrap().edge_weight(a, c), Some(0.5));
+        let mut better = GraphDelta::new();
+        better.reinforce_edge(a, c, 0.2);
+        assert_eq!(g.apply_delta(&better).unwrap().edge_weight(a, c), Some(0.2));
+        // New edges appear either way.
+        let mut fresh = GraphDelta::new();
+        fresh.reinforce_edge(NodeId(0), NodeId(2), 0.7);
+        assert_eq!(
+            g.apply_delta(&fresh)
+                .unwrap()
+                .edge_weight(NodeId(0), NodeId(2)),
+            Some(0.7)
+        );
+    }
+
+    #[test]
+    fn ops_apply_in_order_last_write_wins() {
+        let g = base();
+        let (a, c) = (NodeId(0), NodeId(1));
+        let mut delta = GraphDelta::new();
+        delta.upsert_edge(a, c, 0.9).upsert_edge(a, c, 0.3);
+        assert_eq!(g.apply_delta(&delta).unwrap().edge_weight(a, c), Some(0.3));
+        // Reinforce after upsert sees the upserted weight.
+        let mut mix = GraphDelta::new();
+        mix.upsert_edge(a, c, 0.9).reinforce_edge(a, c, 0.95);
+        assert_eq!(g.apply_delta(&mix).unwrap().edge_weight(a, c), Some(0.9));
+    }
+
+    #[test]
+    fn publication_reinforces_all_pairs() {
+        let g = base();
+        let mut delta = GraphDelta::new();
+        let new = delta.add_author(9.0, g.num_nodes());
+        delta.publication(&[NodeId(0), NodeId(2), new], 0.4);
+        let g2 = g.apply_delta(&delta).unwrap();
+        assert_eq!(g2.edge_weight(NodeId(0), NodeId(2)), Some(0.4));
+        assert_eq!(g2.edge_weight(NodeId(0), new), Some(0.4));
+        assert_eq!(g2.edge_weight(NodeId(2), new), Some(0.4));
+        // Existing cheaper edge untouched by reinforcement at 0.4.
+        let mut again = GraphDelta::new();
+        again.publication(&[NodeId(1), NodeId(2)], 0.4);
+        assert_eq!(
+            g.apply_delta(&again)
+                .unwrap()
+                .edge_weight(NodeId(1), NodeId(2)),
+            Some(0.25)
+        );
+    }
+
+    #[test]
+    fn invalid_ops_are_rejected_with_typed_errors() {
+        let g = base();
+        let ghost = NodeId(99);
+        for (delta, want) in [
+            (
+                GraphDelta::from_ops(vec![GraphOp::UpsertEdge {
+                    u: NodeId(0),
+                    v: ghost,
+                    weight: 0.5,
+                }]),
+                GraphError::UnknownNode(ghost),
+            ),
+            (
+                GraphDelta::from_ops(vec![GraphOp::SetAuthority {
+                    node: ghost,
+                    authority: 1.0,
+                }]),
+                GraphError::UnknownNode(ghost),
+            ),
+            (
+                GraphDelta::from_ops(vec![GraphOp::ReinforceEdge {
+                    u: NodeId(1),
+                    v: NodeId(1),
+                    weight: 0.5,
+                }]),
+                GraphError::SelfLoop(NodeId(1)),
+            ),
+        ] {
+            assert_eq!(g.apply_delta(&delta).unwrap_err(), want);
+        }
+        for bad in [f64::NAN, f64::INFINITY, -0.5] {
+            let mut d = GraphDelta::new();
+            d.upsert_edge(NodeId(0), NodeId(1), bad);
+            assert!(matches!(
+                g.apply_delta(&d),
+                Err(GraphError::InvalidWeight { .. })
+            ));
+            let mut d2 = GraphDelta::new();
+            d2.add_author(bad, g.num_nodes());
+            assert!(matches!(
+                g.apply_delta(&d2),
+                Err(GraphError::InvalidWeight { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn later_ops_see_earlier_added_authors() {
+        let g = base();
+        let mut delta = GraphDelta::new();
+        let x = delta.add_author(1.0, g.num_nodes());
+        delta.set_authority(x, 7.0);
+        delta.upsert_edge(NodeId(0), x, 0.6);
+        let g2 = g.apply_delta(&delta).unwrap();
+        assert_eq!(g2.authority(x), 7.0);
+        assert_eq!(g2.edge_weight(NodeId(0), x), Some(0.6));
+        // Referencing a node only a FUTURE op adds fails: application is
+        // strictly in order.
+        let mut bad = GraphDelta::new();
+        bad.upsert_edge(NodeId(0), NodeId(3), 0.5);
+        bad.add_author(1.0, g.num_nodes());
+        assert_eq!(
+            g.apply_delta(&bad).unwrap_err(),
+            GraphError::UnknownNode(NodeId(3))
+        );
+    }
+
+    #[test]
+    fn application_is_deterministic_and_canonical() {
+        let g = base();
+        let mut delta = GraphDelta::new();
+        let x = delta.add_author(4.0, g.num_nodes());
+        delta.upsert_edge(x, NodeId(0), 0.3);
+        delta.reinforce_edge(NodeId(1), NodeId(2), 0.1);
+        let g1 = g.apply_delta(&delta).unwrap();
+        let g2 = g.apply_delta(&delta).unwrap();
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+        assert_eq!(g1.authorities(), g2.authorities());
+        // Edge stream is in canonical (u, v) order.
+        assert!(e1.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+    }
+}

@@ -26,12 +26,17 @@
 //!   deduplication.
 //! * [`ExpertGraph`] — the immutable CSR graph: adjacency, authorities,
 //!   weight mapping (used by the paper's `G -> G'` authority transform).
+//! * [`GraphDelta`] — the living-graph mutation API: ordered batches of
+//!   add-author / upsert-edge / reinforce-edge ops with deterministic
+//!   application ([`ExpertGraph::apply_delta`]); what the durability
+//!   layer journals and replays.
 //! * [`dijkstra()`] — single-source shortest paths with parent pointers.
 //! * [`traversal`] — BFS and connected components.
 //! * [`tree`] — building and validating team subtrees from parent maps.
 
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod dijkstra;
 pub mod error;
 pub mod id;
@@ -41,6 +46,7 @@ pub mod weight;
 
 pub use builder::GraphBuilder;
 pub use csr::ExpertGraph;
+pub use delta::{GraphDelta, GraphOp};
 pub use dijkstra::{dijkstra, dijkstra_with_targets, MinHeapEntry, ShortestPathTree};
 pub use error::GraphError;
 pub use id::NodeId;

@@ -24,7 +24,12 @@
 //!   worker that dies anyway is respawned by the supervisor;
 //! * a **deterministic fault-injection harness** ([`faultpoint`], behind
 //!   the `fault-injection` feature) so all of the above is tested with
-//!   forced failures, not hoped-for ones.
+//!   forced failures, not hoped-for ones;
+//! * a **durable publish path** ([`DurableService`]): mutations are
+//!   applied through `atd-store`'s write-ahead journal and the serving
+//!   snapshot swaps only after the record is on disk, so no
+//!   acknowledged mutation survives a crash un-served — see
+//!   [`durable`] for the ordering contract.
 //!
 //! Responses on a given snapshot are bit-identical to calling
 //! [`Discovery::top_k`](atd_core::Discovery::top_k) directly on that
@@ -32,6 +37,7 @@
 //! See `src/README.md` for the snapshot lifecycle and the failure-mode
 //! table.
 
+pub mod durable;
 pub mod error;
 pub mod faultpoint;
 mod queue;
@@ -39,6 +45,9 @@ pub mod service;
 pub mod snapshot;
 pub mod stats;
 
+pub use durable::{
+    AppendReceipt, DurableConfig, DurableError, DurableService, JournalConfig, RecoveryReport,
+};
 pub use error::ServeError;
 pub use faultpoint::{Fault, FaultPlan};
 pub use service::{QueryService, Request, ResponseHandle, ServeConfig, ServeResponse};

@@ -1,0 +1,217 @@
+//! Wire encoding shared by the WAL, manifest, and graph-dump formats.
+//!
+//! Everything is little-endian and length-prefixed; reads go through a
+//! bounds-checked cursor over untrusted bytes (the `persist.rs`
+//! discipline — no read can slice out of range, no length prefix can
+//! drive an allocation larger than the bytes actually present).
+
+use atd_graph::{GraphDelta, GraphOp, NodeId};
+
+use crate::error::StoreError;
+
+/// Bounds-checked reader over untrusted bytes.
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Truncated(what));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self, what: &'static str) -> Result<u8, StoreError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub(crate) fn u16(&mut self, what: &'static str) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u32(&mut self, what: &'static str) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self, what: &'static str) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn f64(&mut self, what: &'static str) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// The decode must consume every byte it was given — trailing bytes
+    /// mean the length prefix and the content disagree.
+    pub(crate) fn finish(self, what: &'static str) -> Result<(), StoreError> {
+        if self.remaining() != 0 {
+            return Err(StoreError::Corrupt(what));
+        }
+        Ok(())
+    }
+}
+
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+// Op tags of the delta wire format. Stable: a new op kind gets a new tag
+// (and a format-version bump in the WAL header), never a reused one.
+const TAG_ADD_AUTHOR: u8 = 1;
+const TAG_SET_AUTHORITY: u8 = 2;
+const TAG_UPSERT_EDGE: u8 = 3;
+const TAG_REINFORCE_EDGE: u8 = 4;
+
+/// Appends the canonical byte encoding of `delta` to `out`:
+/// `[op_count u32]` then per op a 1-byte tag plus its fields.
+pub(crate) fn put_delta(out: &mut Vec<u8>, delta: &GraphDelta) {
+    put_u32(out, delta.len() as u32);
+    for op in delta.ops() {
+        match *op {
+            GraphOp::AddAuthor { authority } => {
+                out.push(TAG_ADD_AUTHOR);
+                put_f64(out, authority);
+            }
+            GraphOp::SetAuthority { node, authority } => {
+                out.push(TAG_SET_AUTHORITY);
+                put_u32(out, node.index() as u32);
+                put_f64(out, authority);
+            }
+            GraphOp::UpsertEdge { u, v, weight } => {
+                out.push(TAG_UPSERT_EDGE);
+                put_u32(out, u.index() as u32);
+                put_u32(out, v.index() as u32);
+                put_f64(out, weight);
+            }
+            GraphOp::ReinforceEdge { u, v, weight } => {
+                out.push(TAG_REINFORCE_EDGE);
+                put_u32(out, u.index() as u32);
+                put_u32(out, v.index() as u32);
+                put_f64(out, weight);
+            }
+        }
+    }
+}
+
+/// Decodes a delta payload produced by [`put_delta`]. Structural
+/// validation only (tags, exact consumption) — semantic validation
+/// (unknown nodes, weights) is `ExpertGraph::apply_delta`'s job, so a
+/// decoded delta round-trips even when it would be rejected at apply
+/// time.
+pub(crate) fn read_delta(bytes: &[u8]) -> Result<GraphDelta, StoreError> {
+    let mut cur = Cursor::new(bytes);
+    let count = cur.u32("delta op count")? as usize;
+    // Cheapest op on the wire is 9 bytes (tag + f64); a count promising
+    // more ops than the payload could hold is corrupt, not an allocation.
+    if count > cur.remaining() / 9 + 1 {
+        return Err(StoreError::Corrupt("delta op count exceeds payload"));
+    }
+    let mut ops = Vec::with_capacity(count);
+    for _ in 0..count {
+        let tag = cur.u8("delta op tag")?;
+        let op = match tag {
+            TAG_ADD_AUTHOR => GraphOp::AddAuthor {
+                authority: cur.f64("add-author authority")?,
+            },
+            TAG_SET_AUTHORITY => GraphOp::SetAuthority {
+                node: NodeId::from_index(cur.u32("set-authority node")? as usize),
+                authority: cur.f64("set-authority authority")?,
+            },
+            TAG_UPSERT_EDGE => GraphOp::UpsertEdge {
+                u: NodeId::from_index(cur.u32("upsert-edge u")? as usize),
+                v: NodeId::from_index(cur.u32("upsert-edge v")? as usize),
+                weight: cur.f64("upsert-edge weight")?,
+            },
+            TAG_REINFORCE_EDGE => GraphOp::ReinforceEdge {
+                u: NodeId::from_index(cur.u32("reinforce-edge u")? as usize),
+                v: NodeId::from_index(cur.u32("reinforce-edge v")? as usize),
+                weight: cur.f64("reinforce-edge weight")?,
+            },
+            _ => return Err(StoreError::Corrupt("unknown delta op tag")),
+        };
+        ops.push(op);
+    }
+    cur.finish("delta payload has trailing bytes")?;
+    Ok(GraphDelta::from_ops(ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_round_trips() {
+        let mut d = GraphDelta::new();
+        let n = d.add_author(7.5, 3);
+        d.set_authority(NodeId::from_index(1), 2.0)
+            .upsert_edge(NodeId::from_index(0), n, 0.25)
+            .reinforce_edge(NodeId::from_index(2), n, 0.5);
+        let mut bytes = Vec::new();
+        put_delta(&mut bytes, &d);
+        let back = read_delta(&bytes).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn empty_delta_round_trips() {
+        let mut bytes = Vec::new();
+        put_delta(&mut bytes, &GraphDelta::new());
+        assert!(read_delta(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_tag_and_trailing_bytes_are_corrupt() {
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, 1);
+        bytes.push(99); // no such tag
+        bytes.extend_from_slice(&[0; 8]);
+        assert!(matches!(
+            read_delta(&bytes),
+            Err(StoreError::Corrupt("unknown delta op tag"))
+        ));
+
+        let mut bytes = Vec::new();
+        put_delta(&mut bytes, &GraphDelta::new());
+        bytes.push(0);
+        assert!(matches!(read_delta(&bytes), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_payload_is_truncated_not_panic() {
+        let mut d = GraphDelta::new();
+        d.upsert_edge(NodeId::from_index(0), NodeId::from_index(1), 0.5);
+        let mut bytes = Vec::new();
+        put_delta(&mut bytes, &d);
+        for cut in 0..bytes.len() {
+            let err = read_delta(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, StoreError::Truncated(_) | StoreError::Corrupt(_)),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Typed errors for the durability layer.
+//!
+//! Same discipline as `atd_distance::persist`: every byte read off disk
+//! is untrusted, and every way it can disappoint maps to a variant here
+//! — never a panic, never silently-wrong data.
+
+use std::fmt;
+use std::io;
+
+use atd_graph::GraphError;
+
+/// Everything that can go wrong opening, replaying, appending to, or
+/// checkpointing the journal.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying I/O operation failed.
+    Io(io::Error),
+    /// A file did not start with the expected magic for its kind (the
+    /// payload names the file kind: WAL segment, manifest, graph dump).
+    BadMagic(&'static str),
+    /// A file's format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Which file kind declared the version.
+        what: &'static str,
+        /// The declared version.
+        version: u16,
+    },
+    /// A full record or payload was present but its FNV-1a checksum did
+    /// not match: mid-stream corruption, distinct from a torn tail
+    /// (which is truncated cleanly, not an error).
+    ChecksumMismatch(&'static str),
+    /// A file ended before a structure it promised (e.g. a manifest
+    /// shorter than its declared entry count).
+    Truncated(&'static str),
+    /// Bytes checksummed fine but decoded to an impossible structure
+    /// (unknown op tag, out-of-range id, non-canonical edge order, …).
+    Corrupt(&'static str),
+    /// A WAL record's sequence number broke the contiguous `1, 2, …`
+    /// chain of its segment.
+    SequenceGap {
+        /// The sequence number the chain required next.
+        expected: u64,
+        /// The sequence number actually read.
+        found: u64,
+    },
+    /// Replaying a WAL record produced a graph whose fingerprint differs
+    /// from the one the record was sealed with — the replayed state does
+    /// not match what the writer acknowledged.
+    ReplayMismatch {
+        /// The sequence number of the offending record.
+        seq: u64,
+        /// The fingerprint sealed into the record at append time.
+        expected: u64,
+        /// The fingerprint of the replayed graph.
+        found: u64,
+    },
+    /// A WAL segment does not belong to the generation the manifest
+    /// paired it with (wrong base generation or base fingerprint).
+    StaleSegment {
+        /// What disagreed.
+        what: &'static str,
+    },
+    /// A mutation was rejected by the graph layer (unknown node,
+    /// self-loop, invalid weight, …). The journal state is unchanged and
+    /// nothing was written.
+    Graph(GraphError),
+    /// Every generation in the manifest failed validation; there is no
+    /// state to recover. The corrupt files are quarantined in place for
+    /// forensics.
+    NoValidGeneration,
+    /// The caller-supplied index saver failed during a checkpoint; the
+    /// checkpoint was aborted and the previous generation still rules.
+    IndexPersist(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "journal i/o error: {e}"),
+            StoreError::BadMagic(what) => write!(f, "{what}: not a recognized file (bad magic)"),
+            StoreError::UnsupportedVersion { what, version } => {
+                write!(f, "{what}: unsupported format version {version}")
+            }
+            StoreError::ChecksumMismatch(what) => {
+                write!(f, "{what}: checksum mismatch (mid-stream corruption)")
+            }
+            StoreError::Truncated(what) => write!(f, "{what}: file truncated"),
+            StoreError::Corrupt(what) => write!(f, "corrupt structure: {what}"),
+            StoreError::SequenceGap { expected, found } => {
+                write!(f, "wal sequence gap: expected #{expected}, found #{found}")
+            }
+            StoreError::ReplayMismatch {
+                seq,
+                expected,
+                found,
+            } => write!(
+                f,
+                "wal replay mismatch at #{seq}: sealed fingerprint {expected:#018x}, \
+                 replayed {found:#018x}"
+            ),
+            StoreError::StaleSegment { what } => {
+                write!(f, "wal segment does not match its generation: {what}")
+            }
+            StoreError::Graph(e) => write!(f, "mutation rejected: {e}"),
+            StoreError::NoValidGeneration => {
+                write!(f, "no valid generation to recover (all quarantined)")
+            }
+            StoreError::IndexPersist(msg) => {
+                write!(f, "index save during checkpoint failed: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<GraphError> for StoreError {
+    fn from(e: GraphError) -> Self {
+        StoreError::Graph(e)
+    }
+}

@@ -1,40 +1,39 @@
-//! Deterministic fault injection.
+//! Deterministic fault injection for the durability path.
 //!
-//! The service's fault-tolerance claims (panic isolation, worker respawn,
-//! swap-failure containment, deadline shedding) are only testable if the
-//! faults themselves are *reproducible*. This module plants named
-//! **faultpoints** on the service's critical paths; with the
-//! `fault-injection` cargo feature a test arms a point with a
-//! [`FaultPlan`] — panic, fixed delay, or I/O error — and the next N
-//! passages through it fire deterministically. Without the feature every
-//! hook is an empty `#[inline]` function and the registry does not exist,
-//! so production builds pay nothing.
+//! The store's crash-safety claims (no acknowledged mutation lost, a
+//! checkpoint is atomic at the manifest rename, corrupt generations are
+//! quarantined) are only testable if the crashes themselves are
+//! *reproducible*. This module plants named **faultpoints** on the
+//! journal's critical path; with the `fault-injection` cargo feature a
+//! test arms a point with a [`FaultPlan`] — panic, fixed delay, or I/O
+//! error — and the next N passages through it fire deterministically.
+//! Without the feature every hook is an empty `#[inline]` function and
+//! the registry does not exist, so production builds pay nothing.
+//!
+//! The registry is intentionally a sibling of `atd-serve`'s (the store
+//! cannot depend on the serving layer): the serve-side
+//! `serve.wal_append` point guards the publish path *before* it reaches
+//! the journal, while these points sit inside the journal itself.
 //!
 //! Faultpoints in this crate:
 //!
-//! | name                  | site                                   | armed effect |
-//! |-----------------------|----------------------------------------|--------------|
-//! | `serve.request`       | inside the worker's `catch_unwind`     | panic → `QueryPanicked`; delay → slow query |
-//! | `serve.worker`        | worker loop, *outside* `catch_unwind`  | panic → worker dies → supervisor respawn |
-//! | `serve.snapshot_load` | snapshot publication closure           | I/O error / panic → swap failure, old snapshot keeps serving |
-//! | `serve.wal_append`    | durable publish path, before the journal append | I/O error → mutation rejected un-acknowledged; panic → killed publisher |
-//!
-//! The durable publish path additionally passes through `atd-store`'s
-//! own points (`store.wal_append`, `store.checkpoint`,
-//! `store.manifest_publish`); this crate's `fault-injection` feature
-//! forwards to the store's so one feature flag arms the whole chain.
+//! | name                     | site                                         | armed effect |
+//! |--------------------------|----------------------------------------------|--------------|
+//! | `store.wal_append`       | before the WAL record write + fsync          | I/O error / panic → append fails, mutation is NOT acknowledged |
+//! | `store.checkpoint`       | after generation files exist, before publish | panic → orphaned gen files, manifest still names the old generation |
+//! | `store.manifest_publish` | before the manifest tmp+rename               | I/O error / panic → checkpoint aborts, old manifest keeps ruling |
 
 use std::time::Duration;
 
 /// What an armed faultpoint does when hit.
 #[derive(Debug, Clone)]
 pub enum Fault {
-    /// `panic!` with this message.
+    /// `panic!` with this message (the simulated `kill -9`).
     Panic(&'static str),
-    /// Sleep for this long, then continue normally (slow query / slow load).
+    /// Sleep for this long, then continue normally.
     Delay(Duration),
-    /// Return an `io::Error` from [`hit_io`] (non-I/O sites treat it as a
-    /// panic with the error text).
+    /// Return an `io::Error` from [`hit_io`] (non-I/O sites treat it as
+    /// a panic with the error text).
     IoError(&'static str),
 }
 
@@ -165,44 +164,4 @@ pub fn hit_io(point: &'static str) -> std::io::Result<()> {
     }
     let _ = point;
     Ok(())
-}
-
-#[cfg(all(test, feature = "fault-injection"))]
-mod tests {
-    use super::*;
-
-    // One test exercises all plan mechanics: the registry is process-global,
-    // so independent #[test]s would race each other's arm/reset.
-    #[test]
-    fn plans_skip_fire_and_self_disarm() {
-        reset();
-        // skip=2, times=1: two clean passages, one error, then clean.
-        arm("t.io", FaultPlan::after(Fault::IoError("disk gone"), 2));
-        assert!(hit_io("t.io").is_ok());
-        assert!(hit_io("t.io").is_ok());
-        let err = hit_io("t.io").unwrap_err();
-        assert!(err.to_string().contains("disk gone"));
-        assert!(hit_io("t.io").is_ok(), "plan self-disarmed");
-
-        // Panic plan fires with the point name in the payload.
-        arm("t.panic", FaultPlan::next(Fault::Panic("boom"), 1));
-        let caught = std::panic::catch_unwind(|| hit("t.panic")).unwrap_err();
-        let msg = caught.downcast_ref::<String>().unwrap();
-        assert!(msg.contains("t.panic") && msg.contains("boom"));
-        hit("t.panic"); // disarmed again
-
-        // Delay plan sleeps and continues.
-        arm(
-            "t.delay",
-            FaultPlan::next(Fault::Delay(Duration::from_millis(30)), 1),
-        );
-        let t0 = std::time::Instant::now();
-        hit("t.delay");
-        assert!(t0.elapsed() >= Duration::from_millis(25));
-
-        // Unarmed points are free; disarm is idempotent.
-        hit("t.never");
-        disarm("t.never");
-        reset();
-    }
 }

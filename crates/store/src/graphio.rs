@@ -1,0 +1,223 @@
+//! Checksummed graph dumps: the per-generation base state.
+//!
+//! A generation's graph lives in `gen-<g>.graph` as a self-validating
+//! dump (magic `ATDG`). Unlike the index file next to it — which is
+//! *derived* and can always be rebuilt — the graph dump is the
+//! authoritative state a WAL segment replays on top of, so it gets the
+//! full untrusted-byte treatment: FNV-1a checksum over the payload,
+//! structural validation of every id and weight, and a fingerprint
+//! cross-check against the manifest entry that named it.
+//!
+//! ## On-disk format (all little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "ATDG"
+//! 4       2     format version (currently 1)
+//! 6       2     reserved (0)
+//! 8       8     node count
+//! 16      8     edge count
+//! 24      8     payload length in bytes
+//! 32      8     FNV-1a 64 checksum of the payload
+//! 40      —     payload:
+//!               nodes × f64   authorities (bit patterns)
+//!               edges × (u u32, v u32, w f64)  canonical stream:
+//!                             u < v, (u, v) strictly ascending
+//! ```
+
+use std::path::Path;
+
+use atd_distance::persist::{atomic_write, checksum, graph_fingerprint};
+use atd_graph::{ExpertGraph, GraphBuilder};
+
+use crate::codec::{put_f64, put_u16, put_u32, put_u64, Cursor};
+use crate::error::StoreError;
+
+const MAGIC: &[u8; 4] = b"ATDG";
+const VERSION: u16 = 1;
+const HEADER_LEN: usize = 40;
+
+/// Serializes `g` into the `ATDG` dump format.
+pub fn graph_to_bytes(g: &ExpertGraph) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(g.num_nodes() * 8 + g.num_edges() * 16);
+    for &a in g.authorities() {
+        put_f64(&mut payload, a);
+    }
+    for (u, v, w) in g.edges() {
+        put_u32(&mut payload, u.index() as u32);
+        put_u32(&mut payload, v.index() as u32);
+        put_f64(&mut payload, w);
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(MAGIC);
+    put_u16(&mut out, VERSION);
+    put_u16(&mut out, 0);
+    put_u64(&mut out, g.num_nodes() as u64);
+    put_u64(&mut out, g.num_edges() as u64);
+    put_u64(&mut out, payload.len() as u64);
+    put_u64(&mut out, checksum(&payload));
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes and validates an `ATDG` dump. Every failure is a typed
+/// [`StoreError`]; the rebuilt graph goes through [`GraphBuilder`], so
+/// even checksummed-but-hostile bytes cannot produce an inconsistent
+/// CSR.
+pub fn graph_from_bytes(bytes: &[u8]) -> Result<ExpertGraph, StoreError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(StoreError::Truncated("graph dump header"));
+    }
+    let mut cur = Cursor::new(&bytes[..HEADER_LEN]);
+    let mut magic = [0u8; 4];
+    magic.copy_from_slice(&bytes[..4]);
+    cur.u32("graph magic")?;
+    if &magic != MAGIC {
+        return Err(StoreError::BadMagic("graph dump"));
+    }
+    let version = cur.u16("graph version")?;
+    if version != VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            what: "graph dump",
+            version,
+        });
+    }
+    if cur.u16("graph reserved")? != 0 {
+        return Err(StoreError::Corrupt("graph reserved bits set"));
+    }
+    let nodes = cur.u64("graph node count")? as usize;
+    let edges = cur.u64("graph edge count")? as usize;
+    let payload_len = cur.u64("graph payload length")? as usize;
+    let declared_checksum = cur.u64("graph checksum")?;
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() != payload_len {
+        return Err(StoreError::Truncated("graph dump payload"));
+    }
+    if nodes
+        .checked_mul(8)
+        .and_then(|a| edges.checked_mul(16).map(|e| (a, e)))
+        .is_none_or(|(a, e)| a + e != payload_len)
+    {
+        return Err(StoreError::Corrupt("graph payload length inconsistent"));
+    }
+    if checksum(payload) != declared_checksum {
+        return Err(StoreError::ChecksumMismatch("graph dump"));
+    }
+
+    let mut cur = Cursor::new(payload);
+    let mut builder = GraphBuilder::new();
+    for _ in 0..nodes {
+        let a = cur.f64("authority")?;
+        if !a.is_finite() || a < 0.0 {
+            return Err(StoreError::Corrupt("non-finite or negative authority"));
+        }
+        builder.add_node(a);
+    }
+    let mut prev: Option<(u32, u32)> = None;
+    for _ in 0..edges {
+        let u = cur.u32("edge u")?;
+        let v = cur.u32("edge v")?;
+        let w = cur.f64("edge weight")?;
+        if u >= v {
+            return Err(StoreError::Corrupt("edge endpoints not u < v"));
+        }
+        if v as usize >= nodes {
+            return Err(StoreError::Corrupt("edge endpoint out of range"));
+        }
+        if prev.is_some_and(|p| p >= (u, v)) {
+            return Err(StoreError::Corrupt("edge stream not strictly ascending"));
+        }
+        prev = Some((u, v));
+        builder
+            .add_edge(
+                atd_graph::NodeId::from_index(u as usize),
+                atd_graph::NodeId::from_index(v as usize),
+                w,
+            )
+            .map_err(|_| StoreError::Corrupt("edge rejected by builder"))?;
+    }
+    cur.finish("graph payload has trailing bytes")?;
+    builder
+        .build()
+        .map_err(|_| StoreError::Corrupt("graph rejected by builder"))
+}
+
+/// Writes `g` to `path` atomically (tmp + rename via
+/// [`atd_distance::persist::atomic_write`]).
+pub fn save_graph(path: &Path, g: &ExpertGraph) -> Result<(), StoreError> {
+    atomic_write(path, &graph_to_bytes(g)).map_err(StoreError::Io)
+}
+
+/// Loads a graph dump from `path` and verifies its fingerprint equals
+/// `expect_fingerprint` (the value the manifest recorded for the
+/// generation). A mismatch after a clean decode means the dump is a
+/// valid graph but not *this generation's* graph.
+pub fn load_graph(path: &Path, expect_fingerprint: u64) -> Result<ExpertGraph, StoreError> {
+    let bytes = std::fs::read(path)?;
+    let g = graph_from_bytes(&bytes)?;
+    let fp = graph_fingerprint(&g);
+    if fp != expect_fingerprint {
+        return Err(StoreError::Corrupt("graph fingerprint mismatch"));
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atd_graph::NodeId;
+
+    fn sample() -> ExpertGraph {
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = (0..5).map(|i| b.add_node(i as f64 + 0.5)).collect();
+        b.add_edge(n[0], n[1], 0.25).unwrap();
+        b.add_edge(n[1], n[2], 0.5).unwrap();
+        b.add_edge(n[0], n[4], 0.75).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_trips_bit_identically() {
+        let g = sample();
+        let bytes = graph_to_bytes(&g);
+        let back = graph_from_bytes(&bytes).unwrap();
+        assert_eq!(graph_fingerprint(&back), graph_fingerprint(&g));
+        assert_eq!(graph_to_bytes(&back), bytes);
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = graph_to_bytes(&sample());
+        for cut in 0..bytes.len() {
+            let err = graph_from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    StoreError::Truncated(_) | StoreError::Corrupt(_) | StoreError::BadMagic(_)
+                ),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_byte_flip_is_detected() {
+        let g = sample();
+        let bytes = graph_to_bytes(&g);
+        let fp = graph_fingerprint(&g);
+        for i in 0..bytes.len() {
+            let mut patched = bytes.clone();
+            patched[i] ^= 0x01;
+            match graph_from_bytes(&patched) {
+                Err(_) => {}
+                // A flip that still decodes must be caught by the
+                // fingerprint cross-check the manifest drives.
+                Ok(decoded) => assert_ne!(
+                    graph_fingerprint(&decoded),
+                    fp,
+                    "flip at byte {i} silently preserved the fingerprint"
+                ),
+            }
+        }
+    }
+}

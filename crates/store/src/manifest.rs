@@ -1,0 +1,304 @@
+//! The generation manifest: the store's single source of truth.
+//!
+//! A manifest names every generation the store knows, its graph
+//! fingerprint, and its status. All other files are *derived from* the
+//! generation number (`gen-<g>.graph`, `gen-<g>.atdl`, `wal-<g>.atdw`),
+//! so publishing a new manifest — one atomic tmp+rename — is the commit
+//! point of every checkpoint: a crash strictly before the rename leaves
+//! the old manifest ruling (orphaned next-generation files are inert and
+//! get overwritten by the next attempt); a crash after it leaves the new
+//! generation fully published.
+//!
+//! Corrupt generations are **quarantined, not deleted**: recovery flips
+//! the entry's status flag and republishes, keeping the damaged files on
+//! disk for forensics while the service restarts from the newest valid
+//! generation.
+//!
+//! ## On-disk format (all little-endian)
+//!
+//! ```text
+//! 0   4   magic "ATDM"
+//! 4   2   format version (currently 1)
+//! 6   2   reserved (0)
+//! 8   4   entry count
+//! 12  —   entries × 24 bytes, strictly ascending by generation:
+//!           0   8   generation
+//!           8   8   graph fingerprint of the generation's checkpoint
+//!           16  1   status (0 = active, 1 = quarantined)
+//!           17  7   reserved (0)
+//! end 8   FNV-1a 64 checksum of all preceding bytes
+//! ```
+
+use std::path::Path;
+
+use atd_distance::persist::{atomic_write, checksum};
+
+use crate::codec::{put_u16, put_u32, put_u64, Cursor};
+use crate::error::StoreError;
+use crate::faultpoint;
+
+const MAGIC: &[u8; 4] = b"ATDM";
+const VERSION: u16 = 1;
+const ENTRY_LEN: usize = 24;
+
+/// Whether a generation is servable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GenerationStatus {
+    /// Healthy: recovery may load it.
+    Active,
+    /// Failed validation at some recovery; kept on disk for forensics,
+    /// never loaded, never pruned.
+    Quarantined,
+}
+
+/// One generation the store knows about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GenerationEntry {
+    /// The generation number (file names derive from it).
+    pub generation: u64,
+    /// `graph_fingerprint` of the generation's checkpointed graph —
+    /// cross-checked against the graph dump on load.
+    pub graph_fingerprint: u64,
+    /// Health flag.
+    pub status: GenerationStatus,
+}
+
+/// The decoded manifest: entries in strictly ascending generation
+/// order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Manifest {
+    /// All known generations, ascending.
+    pub entries: Vec<GenerationEntry>,
+}
+
+/// Name of a generation's graph dump inside the store directory.
+pub fn graph_file_name(generation: u64) -> String {
+    format!("gen-{generation}.graph")
+}
+
+/// Name of a generation's persisted distance index.
+pub fn index_file_name(generation: u64) -> String {
+    format!("gen-{generation}.atdl")
+}
+
+/// Name of the WAL segment extending a generation.
+pub fn wal_file_name(generation: u64) -> String {
+    format!("wal-{generation}.atdw")
+}
+
+/// Name of the manifest file inside a store directory.
+pub const MANIFEST_FILE: &str = "MANIFEST.atdm";
+
+impl Manifest {
+    /// Serializes to the `ATDM` format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(20 + self.entries.len() * ENTRY_LEN);
+        out.extend_from_slice(MAGIC);
+        put_u16(&mut out, VERSION);
+        put_u16(&mut out, 0);
+        put_u32(&mut out, self.entries.len() as u32);
+        for e in &self.entries {
+            put_u64(&mut out, e.generation);
+            put_u64(&mut out, e.graph_fingerprint);
+            out.push(match e.status {
+                GenerationStatus::Active => 0,
+                GenerationStatus::Quarantined => 1,
+            });
+            out.extend_from_slice(&[0u8; 7]);
+        }
+        let sum = checksum(&out);
+        put_u64(&mut out, sum);
+        out
+    }
+
+    /// Decodes and validates `ATDM` bytes. The manifest is small and
+    /// rewritten atomically, so *any* defect — truncation included — is
+    /// a typed error rather than a truncate-and-continue (there is no
+    /// ack protocol that would make a partial manifest meaningful).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Manifest, StoreError> {
+        if bytes.len() < 20 {
+            return Err(StoreError::Truncated("manifest"));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err(StoreError::BadMagic("manifest"));
+        }
+        let body = &bytes[..bytes.len() - 8];
+        let declared = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+        if checksum(body) != declared {
+            return Err(StoreError::ChecksumMismatch("manifest"));
+        }
+        let mut cur = Cursor::new(&body[4..]);
+        let version = cur.u16("manifest version")?;
+        if version != VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                what: "manifest",
+                version,
+            });
+        }
+        if cur.u16("manifest reserved")? != 0 {
+            return Err(StoreError::Corrupt("manifest reserved bits set"));
+        }
+        let count = cur.u32("manifest entry count")? as usize;
+        if cur.remaining() != count * ENTRY_LEN {
+            return Err(StoreError::Truncated("manifest entries"));
+        }
+        let mut entries = Vec::with_capacity(count);
+        let mut prev: Option<u64> = None;
+        for _ in 0..count {
+            let generation = cur.u64("entry generation")?;
+            let graph_fingerprint = cur.u64("entry fingerprint")?;
+            let status = match cur.u8("entry status")? {
+                0 => GenerationStatus::Active,
+                1 => GenerationStatus::Quarantined,
+                _ => return Err(StoreError::Corrupt("unknown generation status")),
+            };
+            for _ in 0..7 {
+                if cur.u8("entry reserved")? != 0 {
+                    return Err(StoreError::Corrupt("entry reserved bits set"));
+                }
+            }
+            if prev.is_some_and(|p| p >= generation) {
+                return Err(StoreError::Corrupt("generations not strictly ascending"));
+            }
+            prev = Some(generation);
+            entries.push(GenerationEntry {
+                generation,
+                graph_fingerprint,
+                status,
+            });
+        }
+        cur.finish("manifest has trailing bytes")?;
+        Ok(Manifest { entries })
+    }
+
+    /// Loads and validates the manifest at `path`.
+    pub fn load(path: &Path) -> Result<Manifest, StoreError> {
+        Manifest::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// Atomically publishes this manifest at `path` (tmp + rename, then
+    /// a best-effort directory fsync so the rename itself is durable).
+    /// This is the checkpoint commit point; the `store.manifest_publish`
+    /// faultpoint guards it.
+    pub fn publish(&self, path: &Path) -> Result<(), StoreError> {
+        faultpoint::hit_io("store.manifest_publish")?;
+        atomic_write(path, &self.to_bytes())?;
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// The newest generation recovery may load.
+    pub fn newest_active(&self) -> Option<&GenerationEntry> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| e.status == GenerationStatus::Active)
+    }
+
+    /// The number the next checkpoint publishes under: one past the
+    /// newest known generation (quarantined ones included, so a damaged
+    /// generation's number is never reused).
+    pub fn next_generation(&self) -> u64 {
+        self.entries.last().map_or(0, |e| e.generation + 1)
+    }
+
+    /// Flips `generation` to [`GenerationStatus::Quarantined`]; returns
+    /// whether the entry existed.
+    pub fn quarantine(&mut self, generation: u64) -> bool {
+        match self.entries.iter_mut().find(|e| e.generation == generation) {
+            Some(e) => {
+                e.status = GenerationStatus::Quarantined;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            entries: vec![
+                GenerationEntry {
+                    generation: 0,
+                    graph_fingerprint: 0xaaaa,
+                    status: GenerationStatus::Active,
+                },
+                GenerationEntry {
+                    generation: 1,
+                    graph_fingerprint: 0xbbbb,
+                    status: GenerationStatus::Quarantined,
+                },
+                GenerationEntry {
+                    generation: 4,
+                    graph_fingerprint: 0xcccc,
+                    status: GenerationStatus::Active,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let m = sample();
+        assert_eq!(Manifest::from_bytes(&m.to_bytes()).unwrap(), m);
+        assert_eq!(m.newest_active().unwrap().generation, 4);
+        assert_eq!(m.next_generation(), 5);
+    }
+
+    #[test]
+    fn every_truncation_and_byte_flip_is_a_typed_error() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Manifest::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        for i in 0..bytes.len() {
+            let mut patched = bytes.clone();
+            patched[i] ^= 0x01;
+            assert!(Manifest::from_bytes(&patched).is_err(), "flip {i}");
+        }
+    }
+
+    #[test]
+    fn resealed_structural_damage_is_still_typed() {
+        // Re-checksummed patches get past the checksum and must be
+        // caught by structural validation: descending generations.
+        let mut m = sample();
+        m.entries.swap(0, 2);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        put_u16(&mut bytes, VERSION);
+        put_u16(&mut bytes, 0);
+        put_u32(&mut bytes, m.entries.len() as u32);
+        for e in &m.entries {
+            put_u64(&mut bytes, e.generation);
+            put_u64(&mut bytes, e.graph_fingerprint);
+            bytes.push(match e.status {
+                GenerationStatus::Active => 0,
+                GenerationStatus::Quarantined => 1,
+            });
+            bytes.extend_from_slice(&[0u8; 7]);
+        }
+        let sum = checksum(&bytes);
+        put_u64(&mut bytes, sum);
+        assert!(matches!(
+            Manifest::from_bytes(&bytes),
+            Err(StoreError::Corrupt("generations not strictly ascending"))
+        ));
+    }
+
+    #[test]
+    fn quarantine_flips_status() {
+        let mut m = sample();
+        assert!(m.quarantine(4));
+        assert!(m.newest_active().unwrap().generation == 0);
+        assert!(!m.quarantine(99));
+    }
+}

@@ -1,0 +1,437 @@
+//! The append-only write-ahead log of graph mutations.
+//!
+//! One WAL segment extends one generation: it records, in order, every
+//! [`GraphDelta`] acknowledged since that generation's checkpoint. A
+//! crash can only lose the *unacknowledged* suffix of the segment — the
+//! torn tail — because a mutation is acknowledged strictly after its
+//! record reached the disk (single `write_all` + fsync).
+//!
+//! ## On-disk format (all little-endian)
+//!
+//! ```text
+//! header (24 bytes):
+//!   0   4   magic "ATDW"
+//!   4   2   format version (currently 1)
+//!   6   2   reserved (0)
+//!   8   8   base generation   — the checkpoint this segment extends
+//!   16  8   base fingerprint  — graph_fingerprint of that checkpoint
+//!
+//! records, back to back (28-byte record header + payload):
+//!   0   4   payload length in bytes
+//!   4   8   sequence number (contiguous from 1 within the segment)
+//!   12  8   post-apply graph fingerprint (state after this delta)
+//!   20  8   FNV-1a 64 over [seq le ‖ post-fingerprint le ‖ payload]
+//!   28  —   payload: the delta encoding (see `codec`)
+//! ```
+//!
+//! ## Read discipline
+//!
+//! Records are written with a single `write_all` each, so a crash leaves
+//! at most a strict byte-prefix of one record at the end of the file.
+//! Reading therefore distinguishes two failure shapes:
+//!
+//! * **Torn tail** — the bytes at EOF are a proper prefix of a record
+//!   (fewer than a record header, or a declared extent past EOF). This
+//!   is the expected crash residue: the tail is *cleanly truncated*, not
+//!   an error. By the ack rule above, a torn record was never
+//!   acknowledged. (Corollary: bit rot that corrupts a length field into
+//!   pointing past EOF is indistinguishable from a torn write and is
+//!   also treated as end-of-log — the checksum protects record
+//!   *content*, the ack protocol bounds what a length-field failure can
+//!   silently drop to unacknowledged suffixes or a quarantinable
+//!   generation.)
+//! * **Mid-stream corruption** — a record's declared extent is fully
+//!   present but its checksum, sequence, or payload structure is wrong.
+//!   That is never a crash artifact, so it surfaces as a typed
+//!   [`StoreError`] and the journal quarantines the generation.
+//!
+//! Every record carries the fingerprint of the graph *after* applying
+//! it, so replay is self-verifying: the journal re-applies each delta
+//! and cross-checks the fingerprint, proving the recovered state is
+//! bit-identical to what the writer acknowledged.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use atd_distance::persist::checksum;
+use atd_graph::GraphDelta;
+
+use crate::codec::{put_delta, put_u16, put_u32, put_u64, read_delta};
+use crate::error::StoreError;
+
+const MAGIC: &[u8; 4] = b"ATDW";
+const VERSION: u16 = 1;
+/// Size of the segment header.
+pub const HEADER_LEN: usize = 24;
+/// Size of the per-record header (length + seq + fingerprint + checksum).
+pub const RECORD_HEADER_LEN: usize = 28;
+
+/// The identity a segment declares in its header: which checkpoint it
+/// extends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalHeader {
+    /// Generation of the checkpoint this segment's records apply on top
+    /// of.
+    pub base_generation: u64,
+    /// `graph_fingerprint` of that checkpoint's graph.
+    pub base_fingerprint: u64,
+}
+
+/// One acknowledged mutation read back from a segment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalRecord {
+    /// Position in the segment's contiguous `1, 2, …` chain.
+    pub seq: u64,
+    /// Fingerprint of the graph after applying `delta` (the replay
+    /// cross-check).
+    pub post_fingerprint: u64,
+    /// The mutation itself.
+    pub delta: GraphDelta,
+}
+
+/// The outcome of scanning a segment's bytes.
+#[derive(Debug)]
+pub struct SegmentRead {
+    /// The declared header, or `None` when the file is shorter than a
+    /// header — the crash residue of segment creation itself (the
+    /// journal recreates the segment; nothing could have been
+    /// acknowledged against it).
+    pub header: Option<WalHeader>,
+    /// Every whole, verified record in order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix (header + whole records); the
+    /// torn tail beyond it is discarded by truncating to this length.
+    pub valid_len: u64,
+    /// Whether a torn tail was found (and excluded) after `valid_len`.
+    pub torn: bool,
+}
+
+fn record_bytes(seq: u64, post_fingerprint: u64, delta: &GraphDelta) -> Vec<u8> {
+    let mut payload = Vec::new();
+    put_delta(&mut payload, delta);
+    let mut sealed = Vec::with_capacity(16 + payload.len());
+    put_u64(&mut sealed, seq);
+    put_u64(&mut sealed, post_fingerprint);
+    sealed.extend_from_slice(&payload);
+    let sum = checksum(&sealed);
+    let mut out = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&sealed[..16]);
+    put_u64(&mut out, sum);
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn header_bytes(header: WalHeader) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN);
+    out.extend_from_slice(MAGIC);
+    put_u16(&mut out, VERSION);
+    put_u16(&mut out, 0);
+    put_u64(&mut out, header.base_generation);
+    put_u64(&mut out, header.base_fingerprint);
+    out
+}
+
+/// Scans segment `bytes`: verifies the header, walks records verifying
+/// checksum + sequence + payload structure, truncates a torn tail.
+/// See the module docs for the torn-vs-corrupt distinction.
+pub fn read_segment(bytes: &[u8]) -> Result<SegmentRead, StoreError> {
+    if bytes.len() < HEADER_LEN {
+        return Ok(SegmentRead {
+            header: None,
+            records: Vec::new(),
+            valid_len: 0,
+            torn: true,
+        });
+    }
+    if &bytes[..4] != MAGIC {
+        return Err(StoreError::BadMagic("wal segment"));
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+    if version != VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            what: "wal segment",
+            version,
+        });
+    }
+    if bytes[6..8] != [0, 0] {
+        return Err(StoreError::Corrupt("wal reserved bits set"));
+    }
+    let header = WalHeader {
+        base_generation: u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+        base_fingerprint: u64::from_le_bytes(bytes[16..24].try_into().unwrap()),
+    };
+
+    let mut records = Vec::new();
+    let mut offset = HEADER_LEN;
+    let mut torn = false;
+    while offset < bytes.len() {
+        let remaining = bytes.len() - offset;
+        if remaining < RECORD_HEADER_LEN {
+            torn = true;
+            break;
+        }
+        let rec = &bytes[offset..];
+        let payload_len = u32::from_le_bytes(rec[..4].try_into().unwrap()) as usize;
+        let Some(extent) = RECORD_HEADER_LEN.checked_add(payload_len) else {
+            torn = true;
+            break;
+        };
+        if extent > remaining {
+            torn = true;
+            break;
+        }
+        let seq = u64::from_le_bytes(rec[4..12].try_into().unwrap());
+        let post_fingerprint = u64::from_le_bytes(rec[12..20].try_into().unwrap());
+        let declared = u64::from_le_bytes(rec[20..28].try_into().unwrap());
+        let mut sealed = Vec::with_capacity(16 + payload_len);
+        sealed.extend_from_slice(&rec[4..20]);
+        sealed.extend_from_slice(&rec[RECORD_HEADER_LEN..extent]);
+        if checksum(&sealed) != declared {
+            return Err(StoreError::ChecksumMismatch("wal record"));
+        }
+        let expected = records.len() as u64 + 1;
+        if seq != expected {
+            return Err(StoreError::SequenceGap {
+                expected,
+                found: seq,
+            });
+        }
+        let delta = read_delta(&rec[RECORD_HEADER_LEN..extent])?;
+        records.push(WalRecord {
+            seq,
+            post_fingerprint,
+            delta,
+        });
+        offset += extent;
+    }
+    Ok(SegmentRead {
+        header: Some(header),
+        records,
+        valid_len: offset as u64,
+        torn,
+    })
+}
+
+/// Reads and scans the segment at `path`.
+pub fn read_segment_file(path: &Path) -> Result<SegmentRead, StoreError> {
+    read_segment(&std::fs::read(path)?)
+}
+
+/// The append handle for one segment. Creation writes the header; every
+/// [`append`](WalWriter::append) is a single `write_all` of one whole
+/// record followed (when `sync`) by an fsync — the durability point a
+/// caller may acknowledge behind.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    next_seq: u64,
+    sync: bool,
+}
+
+impl WalWriter {
+    /// Creates (or truncates) the segment at `path` with `header`.
+    pub fn create(path: &Path, header: WalHeader, sync: bool) -> Result<WalWriter, StoreError> {
+        let mut file = File::create(path)?;
+        file.write_all(&header_bytes(header))?;
+        if sync {
+            file.sync_data()?;
+        }
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            next_seq: 1,
+            sync,
+        })
+    }
+
+    /// Reopens a recovered segment for appending: truncates the torn
+    /// tail to `valid_len` and continues the chain after `records`
+    /// verified records.
+    pub fn reopen(
+        path: &Path,
+        valid_len: u64,
+        records: u64,
+        sync: bool,
+    ) -> Result<WalWriter, StoreError> {
+        // Append mode: writes land at EOF, which after the truncation
+        // below is exactly the end of the valid prefix.
+        let file = OpenOptions::new().append(true).open(path)?;
+        file.set_len(valid_len)?;
+        if sync {
+            file.sync_data()?;
+        }
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            next_seq: records + 1,
+            sync,
+        })
+    }
+
+    /// Appends one record and returns its sequence number. On `Ok` the
+    /// record is on disk (fsynced when `sync`); on `Err` nothing may be
+    /// acknowledged — a partial write is exactly the torn tail recovery
+    /// truncates.
+    pub fn append(&mut self, delta: &GraphDelta, post_fingerprint: u64) -> Result<u64, StoreError> {
+        let seq = self.next_seq;
+        let bytes = record_bytes(seq, post_fingerprint, delta);
+        self.file.write_all(&bytes)?;
+        if self.sync {
+            self.file.sync_data()?;
+        }
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Sequence number the next append will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The segment's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atd_graph::NodeId;
+
+    fn deltas() -> Vec<(GraphDelta, u64)> {
+        let mut d1 = GraphDelta::new();
+        d1.add_author(1.5, 3);
+        let mut d2 = GraphDelta::new();
+        d2.upsert_edge(NodeId::from_index(0), NodeId::from_index(3), 0.5);
+        let mut d3 = GraphDelta::new();
+        d3.reinforce_edge(NodeId::from_index(1), NodeId::from_index(2), 0.25)
+            .set_authority(NodeId::from_index(0), 9.0);
+        vec![(d1, 11), (d2, 22), (d3, 33)]
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "atd_wal_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_then_read_round_trips() {
+        let dir = tempdir("roundtrip");
+        let path = dir.join("wal-0.atdw");
+        let header = WalHeader {
+            base_generation: 7,
+            base_fingerprint: 0xfeed,
+        };
+        let mut w = WalWriter::create(&path, header, true).unwrap();
+        for (d, fp) in deltas() {
+            w.append(&d, fp).unwrap();
+        }
+        let read = read_segment_file(&path).unwrap();
+        assert_eq!(read.header, Some(header));
+        assert!(!read.torn);
+        assert_eq!(read.records.len(), 3);
+        for (i, ((d, fp), rec)) in deltas().iter().zip(&read.records).enumerate() {
+            assert_eq!(rec.seq, i as u64 + 1);
+            assert_eq!(rec.post_fingerprint, *fp);
+            assert_eq!(&rec.delta, d);
+        }
+        assert_eq!(read.valid_len, std::fs::metadata(&path).unwrap().len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_truncation_point_recovers_a_whole_record_prefix() {
+        let dir = tempdir("trunc");
+        let path = dir.join("wal.atdw");
+        let header = WalHeader {
+            base_generation: 0,
+            base_fingerprint: 1,
+        };
+        let mut w = WalWriter::create(&path, header, false).unwrap();
+        let mut boundaries = vec![std::fs::metadata(&path).unwrap().len()];
+        for (d, fp) in deltas() {
+            w.append(&d, fp).unwrap();
+            boundaries.push(std::fs::metadata(&path).unwrap().len());
+        }
+        drop(w);
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in 0..bytes.len() {
+            let read = read_segment(&bytes[..cut]).unwrap();
+            if cut < HEADER_LEN {
+                assert!(read.header.is_none() && read.torn && read.valid_len == 0);
+                continue;
+            }
+            // The valid prefix must be the largest record boundary ≤ cut.
+            let want = boundaries
+                .iter()
+                .filter(|&&b| b <= cut as u64)
+                .max()
+                .copied()
+                .unwrap();
+            assert_eq!(read.valid_len, want, "cut at {cut}");
+            assert_eq!(read.torn, (want != cut as u64), "cut at {cut}");
+            let whole = boundaries.iter().position(|&b| b == want).unwrap();
+            assert_eq!(read.records.len(), whole, "cut at {cut}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_truncates_torn_tail_and_continues_the_chain() {
+        let dir = tempdir("reopen");
+        let path = dir.join("wal.atdw");
+        let header = WalHeader {
+            base_generation: 0,
+            base_fingerprint: 1,
+        };
+        let mut w = WalWriter::create(&path, header, false).unwrap();
+        let all = deltas();
+        for (d, fp) in &all[..2] {
+            w.append(d, *fp).unwrap();
+        }
+        drop(w);
+        // Simulate a torn third record: append garbage prefix.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0x55; 10]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let read = read_segment_file(&path).unwrap();
+        assert!(read.torn);
+        assert_eq!(read.records.len(), 2);
+        let mut w =
+            WalWriter::reopen(&path, read.valid_len, read.records.len() as u64, false).unwrap();
+        assert_eq!(w.append(&all[2].0, all[2].1).unwrap(), 3);
+        drop(w);
+        let read = read_segment_file(&path).unwrap();
+        assert!(!read.torn);
+        assert_eq!(read.records.len(), 3);
+        assert_eq!(read.records[2].delta, all[2].0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sequence_gap_is_typed() {
+        let header = WalHeader {
+            base_generation: 0,
+            base_fingerprint: 0,
+        };
+        let mut bytes = header_bytes(header);
+        bytes.extend_from_slice(&record_bytes(2, 0, &GraphDelta::new()));
+        assert!(matches!(
+            read_segment(&bytes),
+            Err(StoreError::SequenceGap {
+                expected: 1,
+                found: 2
+            })
+        ));
+    }
+}

@@ -1,0 +1,210 @@
+//! The WAL + manifest corruption contract, proptest_persist style:
+//! random record streams round-trip bit-identically; **every** single
+//! byte flip is either a typed error or a clean torn-tail truncation
+//! that never alters surviving record content; re-checksummed
+//! structural patches reach (and fail) the structural validation behind
+//! the checksum gate.
+//!
+//! The torn-tail nuance is deliberate and documented in `wal.rs`: a
+//! flip that lands in a record's *length field* can make the record
+//! claim bytes past EOF, which is byte-for-byte indistinguishable from
+//! a crash mid-write — reading treats it as end-of-log. What the
+//! contract therefore guarantees for arbitrary flips is: surviving
+//! records are an unmodified **prefix** of what was written, and any
+//! flip that leaves the stream fully parseable with the same header,
+//! same record count, and no torn tail is impossible.
+
+use std::path::PathBuf;
+
+use atd_distance::persist::checksum;
+use atd_graph::{GraphDelta, GraphOp, NodeId};
+use atd_store::manifest::Manifest;
+use atd_store::{GenerationEntry, GenerationStatus, StoreError, WalHeader, WalWriter};
+use proptest::prelude::*;
+
+const HEADER: WalHeader = WalHeader {
+    base_generation: 3,
+    base_fingerprint: 0x00c0_ffee_00c0_ffee,
+};
+
+fn random_delta() -> impl Strategy<Value = GraphDelta> {
+    proptest::collection::vec((0u8..4, 0u32..64, 0u32..64, 0.0f64..10.0), 0..10).prop_map(|ops| {
+        GraphDelta::from_ops(
+            ops.into_iter()
+                .map(|(tag, a, b, w)| match tag {
+                    0 => GraphOp::AddAuthor { authority: w },
+                    1 => GraphOp::SetAuthority {
+                        node: NodeId::from_index(a as usize),
+                        authority: w,
+                    },
+                    2 => GraphOp::UpsertEdge {
+                        u: NodeId::from_index(a as usize),
+                        v: NodeId::from_index(b as usize),
+                        weight: w,
+                    },
+                    _ => GraphOp::ReinforceEdge {
+                        u: NodeId::from_index(a as usize),
+                        v: NodeId::from_index(b as usize),
+                        weight: w,
+                    },
+                })
+                .collect(),
+        )
+    })
+}
+
+fn random_deltas() -> impl Strategy<Value = Vec<GraphDelta>> {
+    proptest::collection::vec(random_delta(), 1..6)
+}
+
+/// Writes `deltas` through a real [`WalWriter`] and returns the segment
+/// bytes plus the record boundaries (file length after header and after
+/// each record).
+fn segment_bytes(deltas: &[GraphDelta]) -> (Vec<u8>, Vec<usize>) {
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let path: PathBuf = std::env::temp_dir().join(format!(
+        "atd_proptest_wal_{}_{}.atdw",
+        std::process::id(),
+        SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let mut w = WalWriter::create(&path, HEADER, false).unwrap();
+    let mut boundaries = vec![std::fs::metadata(&path).unwrap().len() as usize];
+    for (i, d) in deltas.iter().enumerate() {
+        // The sealed fingerprint is opaque to the segment layer; any
+        // value round-trips.
+        w.append(d, 0x1000 + i as u64).unwrap();
+        boundaries.push(std::fs::metadata(&path).unwrap().len() as usize);
+    }
+    drop(w);
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    (bytes, boundaries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random record streams round-trip: header, sequence chain, sealed
+    /// fingerprints, and every op of every delta.
+    #[test]
+    fn segment_roundtrip_is_lossless(deltas in random_deltas()) {
+        let (bytes, _) = segment_bytes(&deltas);
+        let read = atd_store::wal::read_segment(&bytes).unwrap();
+        prop_assert_eq!(read.header, Some(HEADER));
+        prop_assert!(!read.torn);
+        prop_assert_eq!(read.valid_len as usize, bytes.len());
+        prop_assert_eq!(read.records.len(), deltas.len());
+        for (i, (rec, d)) in read.records.iter().zip(&deltas).enumerate() {
+            prop_assert_eq!(rec.seq, i as u64 + 1);
+            prop_assert_eq!(rec.post_fingerprint, 0x1000 + i as u64);
+            prop_assert_eq!(&rec.delta, d);
+        }
+    }
+
+    /// Any single byte flip: typed error, or an unmodified strict-prefix
+    /// recovery. Never silently-altered content, never a full clean
+    /// parse of damaged bytes.
+    #[test]
+    fn any_single_byte_flip_is_contained(deltas in random_deltas(), seed in 0usize..1_000_000) {
+        let (bytes, _) = segment_bytes(&deltas);
+        let pos = seed % bytes.len();
+        let mut patched = bytes.clone();
+        patched[pos] ^= 0xff;
+        let original = atd_store::wal::read_segment(&bytes).unwrap();
+        match atd_store::wal::read_segment(&patched) {
+            Err(
+                StoreError::BadMagic(_)
+                | StoreError::UnsupportedVersion { .. }
+                | StoreError::ChecksumMismatch(_)
+                | StoreError::SequenceGap { .. }
+                | StoreError::Truncated(_)
+                | StoreError::Corrupt(_),
+            ) => {}
+            Err(other) => prop_assert!(false, "untyped failure {other:?}"),
+            Ok(read) => {
+                for (got, want) in read.records.iter().zip(&original.records) {
+                    prop_assert_eq!(got, want, "flip at {} altered record content", pos);
+                }
+                let fully_intact = read.header == original.header
+                    && read.records.len() == original.records.len()
+                    && !read.torn;
+                prop_assert!(
+                    !fully_intact,
+                    "flip at {} of {} went completely unnoticed",
+                    pos,
+                    bytes.len()
+                );
+            }
+        }
+    }
+
+    /// Re-sealed structural damage (a hostile writer, not bit rot):
+    /// patch the first record's first payload byte to an invalid op tag
+    /// and recompute the record checksum. The checksum gate passes; the
+    /// payload decode must still reject it.
+    #[test]
+    fn resealed_bad_op_tag_is_still_typed(deltas in random_deltas()) {
+        // Guarantee the first record has at least one op to patch.
+        let mut deltas = deltas;
+        let mut first = GraphDelta::new();
+        first.upsert_edge(NodeId::from_index(0), NodeId::from_index(1), 0.5);
+        deltas.insert(0, first);
+        let (mut bytes, boundaries) = segment_bytes(&deltas);
+        let rec = boundaries[0]; // first record offset
+        // Record layout: [len u32][seq u64][fp u64][sum u64][payload].
+        let len =
+            u32::from_le_bytes(bytes[rec..rec + 4].try_into().unwrap()) as usize;
+        let payload_at = rec + 28;
+        // Payload starts with the op count (u32); byte 4 is the first tag.
+        bytes[payload_at + 4] = 0xee;
+        let mut sealed = bytes[rec + 4..rec + 20].to_vec();
+        sealed.extend_from_slice(&bytes[payload_at..payload_at + len]);
+        let sum = checksum(&sealed);
+        bytes[rec + 20..rec + 28].copy_from_slice(&sum.to_le_bytes());
+        prop_assert!(matches!(
+            atd_store::wal::read_segment(&bytes),
+            Err(StoreError::Corrupt("unknown delta op tag"))
+        ));
+    }
+}
+
+fn random_manifest() -> impl Strategy<Value = Manifest> {
+    proptest::collection::vec((1u64..9, 0u64..u64::MAX, 0u8..2), 0..6).prop_map(|raw| {
+        let mut generation = 0;
+        let entries = raw
+            .into_iter()
+            .map(|(gap, graph_fingerprint, status)| {
+                generation += gap;
+                GenerationEntry {
+                    generation,
+                    graph_fingerprint,
+                    status: if status == 0 {
+                        GenerationStatus::Active
+                    } else {
+                        GenerationStatus::Quarantined
+                    },
+                }
+            })
+            .collect();
+        Manifest { entries }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random manifests round-trip; every byte flip and every
+    /// truncation of the encoding is a typed error (the manifest has no
+    /// torn-tail tolerance — it is only ever replaced atomically).
+    #[test]
+    fn manifest_roundtrip_and_total_rejection(m in random_manifest(), seed in 0usize..1_000_000) {
+        let bytes = m.to_bytes();
+        prop_assert_eq!(Manifest::from_bytes(&bytes).unwrap(), m);
+        let pos = seed % bytes.len();
+        let mut patched = bytes.clone();
+        patched[pos] ^= 0xff;
+        prop_assert!(Manifest::from_bytes(&patched).is_err(), "flip at {}", pos);
+        let cut = seed % bytes.len();
+        prop_assert!(Manifest::from_bytes(&bytes[..cut]).is_err(), "cut at {}", cut);
+    }
+}
