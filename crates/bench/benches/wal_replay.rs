@@ -17,9 +17,22 @@
 //! Before timing, the replayed store is opened once and its recovered
 //! fingerprint asserted equal to the uninterrupted run's — the CI smoke
 //! for the on-disk format.
+//!
+//! A second group, `incremental_vs_rebuild` (PR 8), prices the serving
+//! layer's incremental label maintenance against the full rebuild it
+//! replaces: `rebuild` constructs a fresh [`Discovery`] engine after a
+//! single-edge relaxation, while `incremental/tail_{1,16,256}` fold the
+//! same relaxation chain through [`Discovery::try_incremental`] — the
+//! exact path `publish_mutation` and WAL-tail recovery take. Before any
+//! timing, the full 256-delta chain is folded once and its top-k answers
+//! (member keys, objective bits, algorithm-cost bits, all three
+//! strategies) are asserted bit-identical to a from-scratch engine on
+//! the final graph — the gate that makes the speedup meaningful.
 
+use atd_core::{Discovery, DiscoveryOptions, Strategy};
 use atd_dblp::graph_build::{BuildConfig, ExpertNetwork};
 use atd_dblp::synth::{SynthConfig, SynthCorpus};
+use atd_eval::workload::{generate_projects, WorkloadConfig};
 use atd_graph::{ExpertGraph, GraphDelta, NodeId};
 use atd_store::{Journal, JournalConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -28,15 +41,17 @@ use std::path::PathBuf;
 
 const TAIL: usize = 256;
 
-fn graph_of(authors: usize) -> ExpertGraph {
+fn network_of(authors: usize) -> ExpertNetwork {
     let synth = SynthCorpus::generate(&SynthConfig {
         num_authors: authors,
         seed: 7,
         ..SynthConfig::default()
     });
-    ExpertNetwork::build(synth.corpus, &BuildConfig::default())
-        .expect("network")
-        .graph
+    ExpertNetwork::build(synth.corpus, &BuildConfig::default()).expect("network")
+}
+
+fn graph_of(authors: usize) -> ExpertGraph {
+    network_of(authors).graph
 }
 
 fn nosync() -> JournalConfig {
@@ -153,5 +168,150 @@ fn bench_wal_replay(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_wal_replay);
+/// Incremental label maintenance vs. full engine rebuild on the serving
+/// testbed. The relaxation chain round-robins over edges that are
+/// strictly positive and strictly below the maximum weight, lowering
+/// each multiplicatively — degrees, the vertex order, and the
+/// normalization scale all survive, so every prefix of the chain stays
+/// incremental-eligible (the same filter the durable service's
+/// classifier applies).
+fn bench_incremental_vs_rebuild(c: &mut Criterion) {
+    let net = network_of(3000);
+    let graph = net.graph.clone();
+    let n = graph.num_nodes();
+    let skills = net.skills.padded_to(n);
+    // The bench measures the incremental *mechanism*; the budget *policy*
+    // (fall back when a delta touches too many hubs) is exercised by the
+    // serve-layer tests, so lift the cap out of the way here.
+    let mut options = DiscoveryOptions::default();
+    options.pll_build.incremental_hub_budget = Some(usize::MAX);
+
+    // Eligible edges, lightest endpoints first — the representative
+    // publication delta reinforces a collaboration between ordinary
+    // (low-degree) authors, and those are also the deltas the budget
+    // policy would actually route to the incremental path.
+    let w_max = graph.edges().map(|(_, _, w)| w).fold(0.0_f64, f64::max);
+    let mut eligible: Vec<(NodeId, NodeId)> = graph
+        .edges()
+        .filter(|&(_, _, w)| w > 0.0 && w < w_max)
+        .map(|(u, v, _)| (u, v))
+        .collect();
+    eligible.sort_by_key(|&(u, v)| graph.degree(u) + graph.degree(v));
+    eligible.truncate(TAIL);
+    assert!(
+        eligible.len() >= 16,
+        "testbed must have relaxable edges (got {})",
+        eligible.len()
+    );
+
+    // graphs[i] = the testbed after i relaxations.
+    let mut graphs = Vec::with_capacity(TAIL + 1);
+    graphs.push(graph.clone());
+    for i in 0..TAIL {
+        let (u, v) = eligible[i % eligible.len()];
+        let prev = graphs.last().expect("seeded");
+        let w = prev.edge_weight(u, v).expect("eligible edge");
+        let mut d = GraphDelta::new();
+        d.reinforce_edge(u, v, w * 0.9);
+        graphs.push(prev.apply_delta(&d).expect("relaxation applies"));
+    }
+
+    let engine0 =
+        Discovery::with_options(graph.clone(), skills.clone(), options.clone()).expect("engine");
+
+    // Bit-identity gate before timing: fold the entire chain through
+    // try_incremental, then demand the composed engine answer exactly
+    // like a from-scratch build on the final graph.
+    let mut folded = engine0
+        .try_incremental(graphs[1].clone(), skills.clone())
+        .expect("single-edge relaxation is incremental-eligible")
+        .0;
+    for g in &graphs[2..] {
+        folded = folded
+            .try_incremental(g.clone(), skills.clone())
+            .expect("chained relaxation is incremental-eligible")
+            .0;
+    }
+    let scratch = Discovery::with_options(graphs[TAIL].clone(), skills.clone(), options.clone())
+        .expect("engine");
+    let projects = generate_projects(
+        &net.skills,
+        &WorkloadConfig {
+            num_skills: 6,
+            count: 3,
+            min_holders: 2,
+            max_holders: 15,
+            seed: 11,
+        },
+    );
+    let strategies = [
+        Strategy::Cc,
+        Strategy::CaCc { gamma: 0.5 },
+        Strategy::SaCaCc {
+            gamma: 0.5,
+            lambda: 0.5,
+        },
+    ];
+    for p in &projects {
+        for &s in &strategies {
+            let a = folded.top_k(p, s, 5).expect("top_k");
+            let b = scratch.top_k(p, s, 5).expect("top_k");
+            assert_eq!(a.len(), b.len(), "team counts diverge under {s:?}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.team.member_key(), y.team.member_key(), "{s:?} members");
+                assert_eq!(
+                    x.objective.to_bits(),
+                    y.objective.to_bits(),
+                    "{s:?} objective bits"
+                );
+                assert_eq!(
+                    x.algorithm_cost.to_bits(),
+                    y.algorithm_cost.to_bits(),
+                    "{s:?} cost bits"
+                );
+            }
+        }
+    }
+    eprintln!(
+        "incremental testbed: {} nodes, {} edges, {} relaxable, gate passed over {} projects",
+        n,
+        graph.num_edges(),
+        eligible.len(),
+        projects.len()
+    );
+
+    let mut group = c.benchmark_group("incremental_vs_rebuild");
+    group.sample_size(10);
+
+    group.bench_function("rebuild", |b| {
+        b.iter(|| {
+            black_box(
+                Discovery::with_options(graphs[1].clone(), skills.clone(), options.clone())
+                    .expect("engine"),
+            )
+        })
+    });
+
+    for &k in &[1usize, 16, TAIL] {
+        group.bench_function(format!("incremental/tail_{k}"), |b| {
+            b.iter(|| {
+                let mut eng = engine0
+                    .try_incremental(graphs[1].clone(), skills.clone())
+                    .expect("eligible")
+                    .0;
+                for g in &graphs[2..=k] {
+                    eng = eng
+                        .try_incremental(g.clone(), skills.clone())
+                        .expect("eligible")
+                        .0;
+                }
+                black_box(eng)
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_wal_replay, bench_incremental_vs_rebuild);
 criterion_main!(benches);

@@ -49,8 +49,8 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use atd_distance::{
-    BuildConfig as PllBuildConfig, BuildProfile, LabelStats, PrunedLandmarkLabeling, RetryPolicy,
-    SourceScatter, VertexOrder,
+    BuildConfig as PllBuildConfig, BuildProfile, IncrementalError, IncrementalReport, LabelStats,
+    PrunedLandmarkLabeling, RetryPolicy, SourceScatter, VertexOrder,
 };
 use atd_graph::{dijkstra_with_targets, ExpertGraph, NodeId, SubTree};
 
@@ -349,6 +349,64 @@ impl Discovery {
             transformed: RwLock::new(HashMap::new()),
             persist_warning,
         })
+    }
+
+    /// Derives an engine for `new_graph` by incrementally patching this
+    /// engine's base PLL index instead of rebuilding it — valid only for
+    /// deltas that keep the node set, the normalization scale, and the
+    /// vertex order, and that only lower normalized distances (the
+    /// typical reinforce-collaboration mutation). The resulting engine is
+    /// **bit-identical** to `Discovery::with_options(new_graph, skills,
+    /// options)` in its base index, so downstream `top_k` results carry
+    /// the exact same float bits.
+    ///
+    /// On any [`IncrementalError`] the caller should fall back to a full
+    /// rebuild; `self` is untouched either way. The returned engine holds
+    /// no `pll_index_path` (it was never persisted) and an empty γ cache
+    /// (transformed indexes depend on authorities, which the delta may
+    /// have changed).
+    pub fn try_incremental(
+        &self,
+        new_graph: ExpertGraph,
+        skills: SkillIndex,
+    ) -> Result<(Discovery, IncrementalReport), IncrementalError> {
+        if new_graph.num_nodes() != self.graph.num_nodes() {
+            return Err(IncrementalError::NodeCountChanged);
+        }
+        let norm =
+            Normalization::compute_with_min_authority(&new_graph, self.options.min_authority);
+        // w̄ = w / w_scale: a scale change rescales every normalized
+        // weight at once, which no per-edge patch can express.
+        if norm.w_scale().to_bits() != self.norm.w_scale().to_bits() {
+            return Err(IncrementalError::ScaleChanged);
+        }
+        let new_base = new_graph.map_weights(|_, _, w| norm.w_bar(w));
+        let (pll, report) = atd_distance::incremental::refresh(
+            &self.base.pll,
+            &self.base.graph,
+            &new_base,
+            VertexOrder::default(),
+            &self.options.pll_build,
+        )?;
+        let mut options = self.options.clone();
+        options.pll_index_path = None;
+        options.pll_load_only = false;
+        Ok((
+            Discovery {
+                graph: Arc::new(new_graph),
+                skills: Arc::new(skills),
+                norm,
+                options,
+                base: Arc::new(RankingContext {
+                    graph: new_base,
+                    pll,
+                    loaded_from_disk: false,
+                }),
+                transformed: RwLock::new(HashMap::new()),
+                persist_warning: None,
+            },
+            report,
+        ))
     }
 
     /// The original expert network.
@@ -853,6 +911,63 @@ mod tests {
                 assert!(st.team.covers(&project), "{strategy} returned non-cover");
                 st.team.tree.validate().expect("valid tree");
             }
+        }
+    }
+
+    #[test]
+    fn try_incremental_matches_full_rebuild_bitwise() {
+        let (g, idx, sn, tm) = figure1();
+        let project = Project::new(vec![sn, tm]);
+        let options = DiscoveryOptions {
+            threads: Some(1),
+            ..DiscoveryOptions::default()
+        };
+        let engine = Discovery::with_options(g.clone(), idx, options.clone()).unwrap();
+
+        // A reinforce delta lowering one edge: degrees and w_max (other
+        // unit edges remain) are untouched, so the incremental path must
+        // accept it.
+        let mut delta = atd_graph::GraphDelta::new();
+        delta.reinforce_edge(NodeId(1), NodeId(2), 0.5);
+        let new_graph = g.apply_delta(&delta).unwrap();
+
+        let (_, idx2, _, _) = figure1();
+        let (inc, report) = engine.try_incremental(new_graph.clone(), idx2).unwrap();
+        assert!(report.affected_hubs > 0);
+
+        let (_, idx3, _, _) = figure1();
+        let scratch = Discovery::with_options(new_graph, idx3, options).unwrap();
+        for strategy in [
+            Strategy::Cc,
+            Strategy::CaCc { gamma: 0.6 },
+            Strategy::SaCaCc {
+                gamma: 0.6,
+                lambda: 0.6,
+            },
+        ] {
+            let a = inc.top_k(&project, strategy, 3).unwrap();
+            let b = scratch.top_k(&project, strategy, 3).unwrap();
+            assert_eq!(a.len(), b.len(), "{strategy}: team counts");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.team.member_key(), y.team.member_key(), "{strategy}");
+                assert_eq!(
+                    x.objective.to_bits(),
+                    y.objective.to_bits(),
+                    "{strategy}: objective bits"
+                );
+            }
+        }
+
+        // A raised weight must be refused: from the derived engine
+        // (edge now 0.5), upserting 0.9 is a genuine increase while the
+        // untouched unit edges keep w_scale stable.
+        let mut up = atd_graph::GraphDelta::new();
+        up.upsert_edge(NodeId(1), NodeId(2), 0.9);
+        let raised = inc.graph().apply_delta(&up).unwrap();
+        let (_, idx4, _, _) = figure1();
+        match inc.try_incremental(raised, idx4) {
+            Err(e) => assert_eq!(e, IncrementalError::WeightIncreased),
+            Ok(_) => panic!("raised weight must not be accepted incrementally"),
         }
     }
 

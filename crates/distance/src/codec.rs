@@ -360,6 +360,39 @@ impl CompressedLabelSet {
         merge_join_entries(self.decode(u), self.decode(v))
     }
 
+    /// A copy of this store with the blocks of `dirty` nodes (sorted,
+    /// deduplicated indices) re-encoded from their lists in `work`; clean
+    /// blocks are copied byte-for-byte. Every dirty block goes through
+    /// [`CompressedLabelSet::encode_node`] — the single write path all
+    /// constructors use — so the result is byte-identical to a
+    /// from-scratch encode of the final lists (`crate::incremental`).
+    pub(crate) fn patched(&self, work: &[Vec<LabelEntry>], dirty: &[usize]) -> CompressedLabelSet {
+        let n = self.num_nodes();
+        debug_assert_eq!(work.len(), n);
+        debug_assert!(dirty.windows(2).all(|w| w[0] < w[1]), "dirty must ascend");
+        let mut out = CompressedLabelSet {
+            offsets: Vec::with_capacity(n + 1),
+            byte_offsets: Vec::with_capacity(n + 1),
+            rank_bytes: Vec::new(),
+            dists: Vec::new(),
+        };
+        out.offsets.push(0);
+        out.byte_offsets.push(0);
+        let mut di = 0usize;
+        for (v, wv) in work.iter().enumerate() {
+            if dirty.get(di) == Some(&v) {
+                di += 1;
+                out.encode_node(wv.iter().copied());
+            } else {
+                let (bytes, dists) = self.block(v);
+                out.rank_bytes.extend_from_slice(bytes);
+                out.dists.extend_from_slice(dists);
+                out.close_block();
+            }
+        }
+        out
+    }
+
     /// Computes summary statistics. `bytes` counts all four arrays —
     /// the figure to compare against the CSR baseline.
     pub fn stats(&self) -> LabelStats {

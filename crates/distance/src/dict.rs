@@ -287,6 +287,50 @@ impl DictEncoder {
     }
 }
 
+/// Builds the dictionary encoder for a patched store: the final distance
+/// multiset is clean entries (decoded through the old dict) plus the
+/// `work` lists of `dirty` nodes — exactly the values a from-scratch
+/// build's value pass would see, so the resulting table is identical to
+/// it. Returns `(encoder, remap, total_entries)`, where `remap` maps old
+/// codes to new ones when the table changed (`None` when it is bitwise
+/// unchanged and clean codes can be copied verbatim). Old table slots
+/// whose value vanished from the final multiset get a meaningless remap
+/// entry, but no surviving clean code references them.
+fn patched_encoder(
+    dict: &DistDict,
+    offsets: &[u32],
+    work: &[Vec<LabelEntry>],
+    dirty: &[usize],
+) -> (DictEncoder, Option<Vec<u32>>, usize) {
+    let n = offsets.len() - 1;
+    let mut values: Vec<f64> = Vec::new();
+    let mut di = 0usize;
+    for v in 0..n {
+        if dirty.get(di) == Some(&v) {
+            di += 1;
+            values.extend(work[v].iter().map(|e| e.dist));
+        } else {
+            for i in offsets[v] as usize..offsets[v + 1] as usize {
+                values.push(dict.get(i));
+            }
+        }
+    }
+    let total = values.len();
+    let enc = DictEncoder::from_values(values);
+    let unchanged = enc.table_bits.len() == dict.table.len()
+        && enc
+            .table_bits
+            .iter()
+            .zip(&dict.table)
+            .all(|(&b, &t)| b == t.to_bits());
+    let remap = if unchanged {
+        None
+    } else {
+        Some(dict.table.iter().map(|&t| enc.code(t)).collect())
+    };
+    (enc, remap, total)
+}
+
 /// Flat CSR hub ranks + dictionary-encoded distances
 /// ([`LabelStorage::CsrDict`](crate::codec::LabelStorage::CsrDict)).
 ///
@@ -384,6 +428,50 @@ impl DictLabelSet {
     /// Pairwise merge-join query; bit-identical to [`LabelSet::query`].
     pub fn query(&self, u: usize, v: usize) -> f64 {
         merge_join_entries(self.entries(u), self.entries(v))
+    }
+
+    /// A copy of this store with the labels of `dirty` nodes (sorted,
+    /// deduplicated indices) replaced by their lists in `work`. The value
+    /// table is rebuilt from the final distance multiset (identical to a
+    /// from-scratch [`DictEncoder`] pass); clean codes are copied when the
+    /// table is bitwise unchanged and remapped otherwise
+    /// (`crate::incremental`).
+    pub(crate) fn patched(&self, work: &[Vec<LabelEntry>], dirty: &[usize]) -> DictLabelSet {
+        let n = self.num_nodes();
+        debug_assert_eq!(work.len(), n);
+        debug_assert!(dirty.windows(2).all(|w| w[0] < w[1]), "dirty must ascend");
+        let (enc, remap, total) = patched_encoder(&self.dists, &self.offsets, work, dirty);
+        assert!(total <= u32::MAX as usize, "label store overflow");
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut hub_ranks = Vec::with_capacity(total);
+        let mut codes = enc.plane(total);
+        offsets.push(0u32);
+        let mut di = 0usize;
+        for (v, wv) in work.iter().enumerate() {
+            if dirty.get(di) == Some(&v) {
+                di += 1;
+                for e in wv {
+                    hub_ranks.push(e.hub_rank);
+                    codes.push(enc.code(e.dist));
+                }
+            } else {
+                let (lo, hi) = self.bounds(v);
+                hub_ranks.extend_from_slice(&self.hub_ranks[lo..hi]);
+                for i in lo..hi {
+                    let old = self.dists.codes.get(i) as u32;
+                    codes.push(match &remap {
+                        Some(m) => m[old as usize],
+                        None => old,
+                    });
+                }
+            }
+            offsets.push(hub_ranks.len() as u32);
+        }
+        DictLabelSet {
+            offsets,
+            hub_ranks,
+            dists: enc.into_dict(codes),
+        }
     }
 
     /// Computes summary statistics; `bytes` counts offsets, ranks, codes
@@ -566,6 +654,61 @@ impl CompressedDictLabelSet {
     /// Pairwise merge-join query; bit-identical to [`LabelSet::query`].
     pub fn query(&self, u: usize, v: usize) -> f64 {
         merge_join_entries(self.decode(u), self.decode(v))
+    }
+
+    /// A copy of this store with the blocks of `dirty` nodes (sorted,
+    /// deduplicated indices) re-encoded from their lists in `work`. Clean
+    /// rank blocks are copied byte-for-byte; the value table is rebuilt
+    /// from the final distance multiset with clean codes copied or
+    /// remapped exactly as in [`DictLabelSet::patched`]
+    /// (`crate::incremental`).
+    pub(crate) fn patched(
+        &self,
+        work: &[Vec<LabelEntry>],
+        dirty: &[usize],
+    ) -> CompressedDictLabelSet {
+        let n = self.num_nodes();
+        debug_assert_eq!(work.len(), n);
+        debug_assert!(dirty.windows(2).all(|w| w[0] < w[1]), "dirty must ascend");
+        let (enc, remap, total) = patched_encoder(&self.dists, &self.offsets, work, dirty);
+        let mut codes = enc.plane(total);
+        let mut out = CompressedDictLabelSet {
+            offsets: Vec::with_capacity(n + 1),
+            byte_offsets: Vec::with_capacity(n + 1),
+            rank_bytes: Vec::new(),
+            dists: DistDict::default(),
+        };
+        out.offsets.push(0);
+        out.byte_offsets.push(0);
+        let mut di = 0usize;
+        for (v, wv) in work.iter().enumerate() {
+            if dirty.get(di) == Some(&v) {
+                di += 1;
+                let mut prev = PREV_NONE;
+                for e in wv {
+                    debug_assert!(
+                        prev == PREV_NONE || prev < e.hub_rank,
+                        "label entries must ascend strictly in hub rank"
+                    );
+                    write_varint(gap(prev, e.hub_rank), &mut out.rank_bytes);
+                    codes.push(enc.code(e.dist));
+                    prev = e.hub_rank;
+                }
+            } else {
+                let (bytes, lo, hi) = self.block(v);
+                out.rank_bytes.extend_from_slice(bytes);
+                for i in lo..hi {
+                    let old = self.dists.codes.get(i) as u32;
+                    codes.push(match &remap {
+                        Some(m) => m[old as usize],
+                        None => old,
+                    });
+                }
+            }
+            out.close_block(codes.len());
+        }
+        out.dists = enc.into_dict(codes);
+        out
     }
 
     /// Computes summary statistics; `bytes` counts both offset arrays,

@@ -247,6 +247,57 @@ impl LabelSet {
         merge_join_min(a.hub_ranks, a.dists, b.hub_ranks, b.dists)
     }
 
+    /// A copy of this store with the labels of `dirty` nodes (sorted,
+    /// deduplicated indices) replaced by their lists in `work`; clean
+    /// nodes are copied as contiguous spans. Produces exactly the store
+    /// [`LabelSet::from_lists`] would build from the final lists — the
+    /// incremental-maintenance patch path (`crate::incremental`).
+    pub(crate) fn patched(&self, work: &[Vec<LabelEntry>], dirty: &[usize]) -> LabelSet {
+        let n = self.num_nodes();
+        debug_assert_eq!(work.len(), n);
+        debug_assert!(dirty.windows(2).all(|w| w[0] < w[1]), "dirty must ascend");
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut acc: usize = 0;
+        let mut di = 0usize;
+        for (v, wv) in work.iter().enumerate() {
+            acc += if dirty.get(di) == Some(&v) {
+                di += 1;
+                wv.len()
+            } else {
+                (self.offsets[v + 1] - self.offsets[v]) as usize
+            };
+            assert!(acc <= u32::MAX as usize, "label store overflow");
+            offsets.push(acc as u32);
+        }
+        let mut hub_ranks = Vec::with_capacity(acc);
+        let mut dists = Vec::with_capacity(acc);
+        let mut clean_from = 0usize;
+        for &v in dirty {
+            let lo = self.offsets[clean_from] as usize;
+            let hi = self.offsets[v] as usize;
+            hub_ranks.extend_from_slice(&self.hub_ranks[lo..hi]);
+            dists.extend_from_slice(&self.dists[lo..hi]);
+            debug_assert!(
+                work[v].windows(2).all(|w| w[0].hub_rank < w[1].hub_rank),
+                "label entries must ascend in hub rank"
+            );
+            for e in &work[v] {
+                hub_ranks.push(e.hub_rank);
+                dists.push(e.dist);
+            }
+            clean_from = v + 1;
+        }
+        let lo = self.offsets[clean_from] as usize;
+        hub_ranks.extend_from_slice(&self.hub_ranks[lo..]);
+        dists.extend_from_slice(&self.dists[lo..]);
+        LabelSet {
+            offsets,
+            hub_ranks,
+            dists,
+        }
+    }
+
     /// Computes summary statistics.
     pub fn stats(&self) -> LabelStats {
         let nodes = self.num_nodes();

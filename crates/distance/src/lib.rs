@@ -45,6 +45,7 @@
 pub mod codec;
 pub mod dict;
 pub mod dijkstra_oracle;
+pub mod incremental;
 pub mod label;
 pub mod oracle;
 pub mod order;
@@ -55,6 +56,7 @@ pub mod scatter;
 pub use codec::{CompressedLabelSet, LabelDecoder, LabelEntries, LabelStorage, LabelStore};
 pub use dict::{CompressedDictLabelSet, DictDecoder, DictEntries, DictLabelSet, DistDict};
 pub use dijkstra_oracle::DijkstraOracle;
+pub use incremental::{refresh, IncrementalError, IncrementalReport};
 pub use label::{
     JournalCursor, JournalShard, LabelEntry, LabelRef, LabelSet, LabelSetBuilder, LabelStats,
     ShardedJournal,

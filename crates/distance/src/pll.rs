@@ -92,6 +92,11 @@ pub struct BuildConfig {
     /// backend; this trades memory footprint against per-entry decode
     /// work.
     pub storage: LabelStorage,
+    /// Maximum affected hubs an incremental refresh
+    /// ([`crate::incremental::refresh`]) may re-search before bailing out
+    /// to a full rebuild. `None` picks `max(16, n / 4)`; `Some(0)` forces
+    /// the fallback for every label-touching delta.
+    pub incremental_hub_budget: Option<usize>,
 }
 
 impl Default for BuildConfig {
@@ -100,6 +105,7 @@ impl Default for BuildConfig {
             threads: None,
             batch_size: 64,
             storage: LabelStorage::Csr,
+            incremental_hub_budget: None,
         }
     }
 }
@@ -178,17 +184,17 @@ impl BuildProfile {
 
 /// Reusable per-worker Dijkstra state: tentative distances, settled marks,
 /// touched list, heap, and the hub-label scatter for prune queries.
-struct SearchScratch {
-    dist: Vec<f64>,
-    parent: Vec<u32>,
-    settled: Vec<bool>,
-    touched: Vec<usize>,
-    heap: BinaryHeap<MinHeapEntry>,
-    scatter: SourceScatter,
+pub(crate) struct SearchScratch {
+    pub(crate) dist: Vec<f64>,
+    pub(crate) parent: Vec<u32>,
+    pub(crate) settled: Vec<bool>,
+    pub(crate) touched: Vec<usize>,
+    pub(crate) heap: BinaryHeap<MinHeapEntry>,
+    pub(crate) scatter: SourceScatter,
 }
 
 impl SearchScratch {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         SearchScratch {
             dist: vec![f64::INFINITY; n],
             parent: vec![0; n],
@@ -201,12 +207,48 @@ impl SearchScratch {
 
     /// Restores `dist`/`settled` to their pristine state (only the
     /// entries the last search touched).
-    fn reset(&mut self) {
+    pub(crate) fn reset(&mut self) {
         for &t in &self.touched {
             self.dist[t] = f64::INFINITY;
             self.settled[t] = false;
         }
         self.touched.clear();
+    }
+}
+
+/// The label state a pruned search consults: loading one hub's label into
+/// the scatter, and evaluating the prune test's cover distance for a
+/// settled node. The build paths implement this on [`LabelSetBuilder`];
+/// the incremental refresh ([`crate::incremental`]) implements it on a
+/// rank-bounded view of decoded labels. Both must evaluate the **exact
+/// same float expressions** — `min over entries of
+/// `scatter.hub_distance(rank) + dist`` — since this is the float-critical
+/// core of the bit-identical contract (min accumulation is pure
+/// comparison, so entry iteration order is free).
+pub(crate) trait PruneLabels {
+    /// Loads `hub`'s current label into `scatter` for O(1) rank lookups.
+    fn load_scatter(&self, scatter: &mut SourceScatter, hub: usize);
+    /// The tightest distance an already-committed hub certifies between
+    /// the scattered hub and `node` (`f64::INFINITY` when uncovered).
+    fn covered(&self, scatter: &SourceScatter, node: usize) -> f64;
+}
+
+impl PruneLabels for LabelSetBuilder {
+    #[inline]
+    fn load_scatter(&self, scatter: &mut SourceScatter, hub: usize) {
+        scatter.load_entries(hub, self.entries(hub));
+    }
+
+    #[inline]
+    fn covered(&self, scatter: &SourceScatter, node: usize) -> f64 {
+        let mut covered = f64::INFINITY;
+        for e in self.entries(node) {
+            let via = scatter.hub_distance(e.hub_rank) + e.dist;
+            if via < covered {
+                covered = via;
+            }
+        }
+        covered
     }
 }
 
@@ -219,17 +261,15 @@ impl SearchScratch {
 /// parallel batch phase (frozen snapshot), and the merge repair all run
 /// this exact routine, so every path evaluates identical expressions over
 /// identical values — the root of the bit-identical guarantee.
-fn pruned_dijkstra(
+pub(crate) fn pruned_dijkstra<L: PruneLabels>(
     g: &ExpertGraph,
     hub: NodeId,
-    labels: &LabelSetBuilder,
+    labels: &L,
     scratch: &mut SearchScratch,
     emit: impl FnMut(u32, u32, f64),
 ) {
     // Scatter the hub's current label for O(|label(u)|) prune queries.
-    scratch
-        .scatter
-        .load_entries(hub.index(), labels.entries(hub.index()));
+    labels.load_scatter(&mut scratch.scatter, hub.index());
 
     scratch.heap.clear();
     scratch.dist[hub.index()] = 0.0;
@@ -249,9 +289,9 @@ fn pruned_dijkstra(
 /// be set up). Shared by the full search ([`pruned_dijkstra`]) and the
 /// batch-merge repair search, which seeds it from the clean frontier
 /// instead of the hub. Does NOT reset the scratch.
-fn run_pruned_search(
+pub(crate) fn run_pruned_search<L: PruneLabels>(
     g: &ExpertGraph,
-    labels: &LabelSetBuilder,
+    labels: &L,
     scratch: &mut SearchScratch,
     mut emit: impl FnMut(u32, u32, f64),
 ) {
@@ -274,14 +314,7 @@ fn run_pruned_search(
 
         // Prune: if an earlier hub already certifies a distance <= d
         // between `hub` and `u`, this entry is redundant.
-        let mut covered = f64::INFINITY;
-        for e in labels.entries(ui) {
-            let via = scatter.hub_distance(e.hub_rank) + e.dist;
-            if via < covered {
-                covered = via;
-            }
-        }
-        if covered <= d {
+        if labels.covered(scatter, ui) <= d {
             continue;
         }
 

@@ -89,6 +89,28 @@ pub enum GraphOp {
     },
 }
 
+/// How invasive a [`GraphDelta`] is relative to a given graph, from the
+/// point of view of an incremental index maintainer.
+///
+/// Classification looks at the *final* state each touched edge would
+/// reach (simulating op order, so an upsert-then-reinforce pair
+/// classifies by its net effect), which is what decides whether a
+/// label-based distance index can be patched in place or must rebuild.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaClass {
+    /// Only authorities change (or nothing at all): the weighted edge set
+    /// is bit-identical, so distance labels are untouched.
+    Metadata,
+    /// Every touched edge exists in the graph and ends at a strictly
+    /// lower weight: distances can only shrink, which incremental label
+    /// repair handles.
+    EdgeRelax,
+    /// Anything else — new nodes, new edges, weight increases, or ops the
+    /// application would reject. Requires (or will trigger) a full
+    /// rebuild path.
+    Structural,
+}
+
 /// An ordered batch of graph mutations with deterministic application.
 ///
 /// Typically one delta = one new publication (authors + pairwise edges),
@@ -159,6 +181,73 @@ impl GraphDelta {
     pub fn reinforce_edge(&mut self, u: NodeId, v: NodeId, weight: f64) -> &mut Self {
         self.ops.push(GraphOp::ReinforceEdge { u, v, weight });
         self
+    }
+
+    /// Classifies what this delta would do to `graph` without applying
+    /// it: [`DeltaClass::Metadata`] when the weighted edge set is
+    /// unchanged, [`DeltaClass::EdgeRelax`] when every touched edge
+    /// already exists and only gets cheaper, [`DeltaClass::Structural`]
+    /// otherwise (including ops [`ExpertGraph::apply_delta`] would
+    /// reject — the rejection surfaces there with a typed error; the
+    /// classification is just conservative).
+    pub fn classify(&self, graph: &ExpertGraph) -> DeltaClass {
+        let n = graph.num_nodes();
+        // Final weight each touched edge reaches, simulated in op order.
+        let mut sim: BTreeMap<(NodeId, NodeId), f64> = BTreeMap::new();
+        for op in &self.ops {
+            match *op {
+                GraphOp::AddAuthor { .. } => return DeltaClass::Structural,
+                GraphOp::SetAuthority { node, authority } => {
+                    if node.index() >= n || !authority.is_finite() || authority < 0.0 {
+                        return DeltaClass::Structural;
+                    }
+                }
+                GraphOp::UpsertEdge { u, v, weight } | GraphOp::ReinforceEdge { u, v, weight } => {
+                    if u == v
+                        || u.index() >= n
+                        || v.index() >= n
+                        || !weight.is_finite()
+                        || weight < 0.0
+                    {
+                        return DeltaClass::Structural;
+                    }
+                    let key = (u.min(v), u.max(v));
+                    let reinforce = matches!(op, GraphOp::ReinforceEdge { .. });
+                    match sim.entry(key) {
+                        std::collections::btree_map::Entry::Vacant(e) => {
+                            let base = graph.edge_weight(key.0, key.1);
+                            e.insert(match (reinforce, base) {
+                                (true, Some(cur)) if cur < weight => cur,
+                                _ => weight,
+                            });
+                        }
+                        std::collections::btree_map::Entry::Occupied(mut e) => {
+                            if !reinforce || weight < *e.get() {
+                                e.insert(weight);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut relaxed = false;
+        for (&(u, v), &after) in &sim {
+            let Some(before) = graph.edge_weight(u, v) else {
+                return DeltaClass::Structural; // brand-new edge
+            };
+            if after.to_bits() == before.to_bits() {
+                continue;
+            }
+            if after > before {
+                return DeltaClass::Structural;
+            }
+            relaxed = true;
+        }
+        if relaxed {
+            DeltaClass::EdgeRelax
+        } else {
+            DeltaClass::Metadata
+        }
     }
 
     /// Convenience: one new publication among `authors` (all must
@@ -425,6 +514,69 @@ mod tests {
             g.apply_delta(&bad).unwrap_err(),
             GraphError::UnknownNode(NodeId(3))
         );
+    }
+
+    #[test]
+    fn classify_matches_net_effect() {
+        let g = base();
+        let (a, c, d) = (NodeId(0), NodeId(1), NodeId(2));
+
+        assert_eq!(GraphDelta::new().classify(&g), DeltaClass::Metadata);
+
+        let mut meta = GraphDelta::new();
+        meta.set_authority(a, 9.0);
+        assert_eq!(meta.classify(&g), DeltaClass::Metadata);
+
+        // Reinforcing above the current weight is a no-op edge-wise.
+        let mut noop = GraphDelta::new();
+        noop.reinforce_edge(a, c, 0.9);
+        assert_eq!(noop.classify(&g), DeltaClass::Metadata);
+
+        let mut relax = GraphDelta::new();
+        relax.reinforce_edge(a, c, 0.1).set_authority(d, 2.0);
+        assert_eq!(relax.classify(&g), DeltaClass::EdgeRelax);
+
+        // Net effect decides: upsert raises, then reinforce drops below
+        // the original — still a pure relaxation.
+        let mut net = GraphDelta::new();
+        net.upsert_edge(a, c, 0.9).reinforce_edge(a, c, 0.2);
+        assert_eq!(net.classify(&g), DeltaClass::EdgeRelax);
+
+        // New edge, weight increase, new author, invalid ops: structural.
+        let mut fresh = GraphDelta::new();
+        fresh.reinforce_edge(a, d, 0.7);
+        assert_eq!(fresh.classify(&g), DeltaClass::Structural);
+        let mut raise = GraphDelta::new();
+        raise.upsert_edge(a, c, 0.9);
+        assert_eq!(raise.classify(&g), DeltaClass::Structural);
+        let mut grow = GraphDelta::new();
+        grow.add_author(1.0, g.num_nodes());
+        assert_eq!(grow.classify(&g), DeltaClass::Structural);
+        let mut bad = GraphDelta::new();
+        bad.upsert_edge(a, NodeId(99), 0.5);
+        assert_eq!(bad.classify(&g), DeltaClass::Structural);
+        let mut nan = GraphDelta::new();
+        nan.upsert_edge(a, c, f64::NAN);
+        assert_eq!(nan.classify(&g), DeltaClass::Structural);
+    }
+
+    #[test]
+    fn classify_agrees_with_application() {
+        // EdgeRelax-classified deltas must apply cleanly and only lower
+        // weights; cross-check against apply_delta's edge stream.
+        let g = base();
+        let mut delta = GraphDelta::new();
+        delta
+            .reinforce_edge(NodeId(0), NodeId(1), 0.3)
+            .upsert_edge(NodeId(1), NodeId(2), 0.2)
+            .set_authority(NodeId(0), 5.0);
+        assert_eq!(delta.classify(&g), DeltaClass::EdgeRelax);
+        let g2 = g.apply_delta(&delta).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        for ((u1, v1, w1), (u2, v2, w2)) in g.edges().zip(g2.edges()) {
+            assert_eq!((u1, v1), (u2, v2));
+            assert!(w2 <= w1);
+        }
     }
 
     #[test]

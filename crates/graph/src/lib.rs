@@ -46,7 +46,7 @@ pub mod weight;
 
 pub use builder::GraphBuilder;
 pub use csr::ExpertGraph;
-pub use delta::{GraphDelta, GraphOp};
+pub use delta::{DeltaClass, GraphDelta, GraphOp};
 pub use dijkstra::{dijkstra, dijkstra_with_targets, MinHeapEntry, ShortestPathTree};
 pub use error::GraphError;
 pub use id::NodeId;

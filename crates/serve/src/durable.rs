@@ -30,36 +30,54 @@
 //! the crash-consistency boundary and the freshness boundary are
 //! deliberately distinct.
 //!
+//! After the ack, the post-mutation engine is derived **incrementally**
+//! whenever the delta allows it: a [`DeltaClass::Metadata`] or
+//! [`DeltaClass::EdgeRelax`] delta (no new nodes or edges, weights only
+//! falling) with a current snapshot goes through
+//! [`Discovery::try_incremental`], which patches only the affected label
+//! planes and is bit-identical to the full rebuild. Anything else — a
+//! structural delta, a stale snapshot after a previous `SwapLagged`, a
+//! blown [`incremental_hub_budget`](atd_distance::BuildConfig) — falls
+//! back to the full rebuild. [`ServeStats`](crate::ServeStats) counts
+//! both paths (`incremental_applied` / `full_rebuild_fallbacks`).
+//!
 //! Restart ([`DurableService::open`]) recovers the newest valid
 //! generation via [`Journal::open`], then builds the serving engine: a
 //! clean checkpoint state (empty WAL tail) first tries a strict load of
-//! the generation's persisted index file; a non-empty tail — or any
-//! index-load failure — builds the index in memory instead, leaving the
-//! generation's files untouched (they are immutable once published).
+//! the generation's persisted index file; a non-empty tail loads the
+//! checkpoint index the same way and replays the WAL tail's deltas
+//! incrementally on top of it (the journal has already verified every
+//! record's sealed post-fingerprint; the engine re-checks the final
+//! graph fingerprint). Any failure along that path — no persisted
+//! index, an incremental refusal, a fingerprint mismatch — builds the
+//! index in memory instead, leaving the generation's files untouched
+//! (they are immutable once published).
 //!
 //! The `serve.wal_append` faultpoint guards the service-side entry to
-//! the append (pairing with the store-side `store.wal_append`,
-//! `store.checkpoint` and `store.manifest_publish` points), so chaos
-//! tests can kill the publish path at every boundary and assert that no
-//! acknowledged mutation is ever lost and the service always restarts
-//! serving.
+//! the append, and `serve.incremental_patch` sits after the ack right
+//! before the incremental patch (pairing with the store-side
+//! `store.wal_append`, `store.checkpoint` and `store.manifest_publish`
+//! points), so chaos tests can kill the publish path at every boundary
+//! and assert that no acknowledged mutation is ever lost and the
+//! service always restarts serving the exact acknowledged state.
 
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
 use atd_core::{Discovery, DiscoveryError, DiscoveryOptions, SkillIndex};
 use atd_distance::persist::graph_fingerprint;
-use atd_graph::{ExpertGraph, GraphDelta};
+use atd_graph::{DeltaClass, ExpertGraph, GraphDelta};
 use atd_store::Journal;
 
 use crate::faultpoint;
 use crate::service::{QueryService, Request, ServeConfig, ServeResponse};
 use crate::snapshot::Snapshot;
+use crate::stats::Counters;
 use crate::ServeError;
 
 // Everything a caller needs to configure and observe the durable path,
 // so depending on `atd-serve` alone suffices.
-pub use atd_store::{AppendReceipt, JournalConfig, RecoveryReport, StoreError};
+pub use atd_store::{AppendReceipt, JournalConfig, RecoveryReport, ReplayedTail, StoreError};
 
 /// Configuration of a [`DurableService`]: journal durability, service
 /// sizing, and the engine options used for every rebuild.
@@ -168,10 +186,17 @@ impl DurableService {
         config: DurableConfig,
         genesis: impl FnOnce() -> ExpertGraph,
     ) -> Result<(DurableService, RecoveryReport), DurableError> {
-        let (journal, report) = Journal::open(dir, config.journal, genesis)?;
-        let engine = Self::recovery_engine(&journal, &skills, &config.discovery)
-            .map_err(DurableError::Engine)?;
+        let (mut journal, report) = Journal::open(dir, config.journal, genesis)?;
+        let (engine, incremental_records, fell_back) =
+            Self::recovery_engine(&mut journal, &skills, &config.discovery)
+                .map_err(DurableError::Engine)?;
         let service = QueryService::start(engine, config.serve);
+        for _ in 0..incremental_records {
+            Counters::bump(&service.counters().incremental_applied);
+        }
+        if fell_back {
+            Counters::bump(&service.counters().full_rebuild_fallbacks);
+        }
         Ok((
             DurableService {
                 service,
@@ -186,56 +211,117 @@ impl DurableService {
 
     /// Builds the engine for a freshly recovered journal. A clean
     /// checkpoint (empty WAL tail) first tries a strict load of the
-    /// generation's persisted index; any load failure — file missing
-    /// because the checkpoint skipped the index, stale, corrupt — falls
+    /// generation's persisted index. A non-empty tail strict-loads the
+    /// index for the *checkpoint* graph and replays the tail's deltas
+    /// incrementally on top ([`Discovery::try_incremental`] per record),
+    /// then cross-checks the final graph fingerprint against the
+    /// journal's. Any failure — file missing because the checkpoint
+    /// skipped the index, stale, corrupt, an incremental refusal — falls
     /// back to an in-memory build. The generation's files are never
     /// written to: they are immutable once published, so the fallback
     /// build deliberately configures *no* index path.
+    ///
+    /// Returns `(engine, incrementally_replayed_records, fell_back)`;
+    /// `fell_back` is only ever true for a non-empty tail (the clean
+    /// checkpoint's load-or-build is cold start, not a fallback).
     fn recovery_engine(
-        journal: &Journal,
+        journal: &mut Journal,
         skills: &SkillIndex,
         options: &DiscoveryOptions,
-    ) -> Result<Discovery, DiscoveryError> {
+    ) -> Result<(Discovery, u64, bool), DiscoveryError> {
         let graph = journal.graph().clone();
-        let skills = skills.padded_to(graph.num_nodes());
+        let padded = skills.padded_to(graph.num_nodes());
         if journal.tail_records() == 0 {
             let mut opts = options.clone();
             opts.pll_index_path = Some(journal.index_path());
             opts.pll_load_only = true;
-            match Discovery::with_options(graph.clone(), skills.clone(), opts) {
-                Ok(engine) => return Ok(engine),
+            match Discovery::with_options(graph.clone(), padded.clone(), opts) {
+                Ok(engine) => return Ok((engine, 0, false)),
                 Err(DiscoveryError::IndexLoad(_)) => {}
                 Err(other) => return Err(other),
             }
+            let mut opts = options.clone();
+            opts.pll_index_path = None;
+            opts.pll_load_only = false;
+            return Ok((Discovery::with_options(graph, padded, opts)?, 0, false));
+        }
+
+        if let Some(engine) = Self::incremental_tail_replay(journal, skills, options) {
+            let replayed = journal.tail_records();
+            return Ok((engine, replayed, false));
         }
         let mut opts = options.clone();
         opts.pll_index_path = None;
         opts.pll_load_only = false;
-        Discovery::with_options(graph, skills, opts)
+        Ok((Discovery::with_options(graph, padded, opts)?, 0, true))
     }
 
-    /// Applies `delta` through the journal (durable ack), then rebuilds
-    /// the engine and swaps the serving snapshot. `Ok` and
-    /// [`DurableError::SwapLagged`] both mean the mutation is durable;
-    /// every other error means it was rejected with no trace. The
-    /// `serve.wal_append` faultpoint guards the entry.
+    /// The incremental half of recovery: strict-load the checkpoint's
+    /// persisted index, fold the replayed WAL tail through
+    /// [`Discovery::try_incremental`], and verify the final fingerprint.
+    /// `None` means "use the full-rebuild fallback" (with the reason
+    /// deliberately swallowed — every refusal is legitimate and the
+    /// fallback is always correct).
+    fn incremental_tail_replay(
+        journal: &mut Journal,
+        skills: &SkillIndex,
+        options: &DiscoveryOptions,
+    ) -> Option<Discovery> {
+        let tail = journal.take_replayed_tail()?;
+        let mut opts = options.clone();
+        opts.pll_index_path = Some(journal.index_path());
+        opts.pll_load_only = true;
+        let base_skills = skills.padded_to(tail.base_graph.num_nodes());
+        let mut engine =
+            Discovery::with_options(tail.base_graph.clone(), base_skills, opts).ok()?;
+        let mut graph = tail.base_graph;
+        for delta in &tail.deltas {
+            graph = graph.apply_delta(delta).ok()?;
+            let padded = skills.padded_to(graph.num_nodes());
+            let (next, _report) = engine.try_incremental(graph.clone(), padded).ok()?;
+            engine = next;
+        }
+        // The journal already verified each record's sealed
+        // post-fingerprint; this re-derivation must land on the same tip.
+        (graph_fingerprint(engine.graph()) == journal.graph_fingerprint()).then_some(engine)
+    }
+
+    /// Applies `delta` through the journal (durable ack), then derives
+    /// the post-mutation engine — incrementally when the delta allows it
+    /// (see the module docs), by full rebuild otherwise — and swaps the
+    /// serving snapshot. `Ok` and [`DurableError::SwapLagged`] both mean
+    /// the mutation is durable; every other error means it was rejected
+    /// with no trace. The `serve.wal_append` faultpoint guards the
+    /// entry; `serve.incremental_patch` sits post-ack before the patch.
     ///
-    /// Publishes are serialized on the journal lock — the rebuild cost
-    /// (a full index construction today; see ROADMAP for the
-    /// incremental follow-up) is paid inside the critical section, but
-    /// queries keep flowing against the pinned snapshot throughout.
+    /// Publishes are serialized on the journal lock — the engine
+    /// derivation cost is paid inside the critical section, but queries
+    /// keep flowing against the pinned snapshot throughout.
     pub fn publish_mutation(&self, delta: &GraphDelta) -> Result<AppendReceipt, DurableError> {
         let mut journal = self.lock_journal();
         faultpoint::hit_io("serve.wal_append")
             .map_err(|e| DurableError::Store(StoreError::Io(e)))?;
+        // Classify against the pre-append graph (append advances it) and
+        // remember its fingerprint: the incremental path requires the
+        // serving snapshot to *be* that state (a SwapLagged survivor
+        // trails the journal and must take the rebuild path).
+        let class = delta.classify(journal.graph());
+        let pre_fp = journal.graph_fingerprint();
         let receipt = journal.append(delta)?;
         // ---- acknowledged: everything below must not un-ack it ----
-        let engine =
-            Self::rebuild_engine(&journal, &self.skills, &self.discovery).map_err(|e| {
-                DurableError::SwapLagged {
-                    receipt,
-                    reason: e.to_string(),
-                }
+        let engine = self
+            .incremental_engine(&journal, class, pre_fp)
+            .map(|engine| {
+                Counters::bump(&self.service.counters().incremental_applied);
+                Ok(engine)
+            })
+            .unwrap_or_else(|| {
+                Counters::bump(&self.service.counters().full_rebuild_fallbacks);
+                Self::rebuild_engine(&journal, &self.skills, &self.discovery)
+            })
+            .map_err(|e| DurableError::SwapLagged {
+                receipt,
+                reason: e.to_string(),
             })?;
         self.service.publish(engine);
         if self.checkpoint_every > 0 && journal.tail_records() >= self.checkpoint_every {
@@ -244,6 +330,31 @@ impl DurableService {
             let _ = self.checkpoint_locked(&mut journal);
         }
         Ok(receipt)
+    }
+
+    /// The incremental half of the publish path: `None` routes to the
+    /// full rebuild (structural delta, stale snapshot, or any
+    /// [`Discovery::try_incremental`] refusal — budget, order or scale
+    /// change). Bit-identity of the patched index makes the two paths
+    /// observably identical except for latency and the stats counters.
+    fn incremental_engine(
+        &self,
+        journal: &Journal,
+        class: DeltaClass,
+        pre_fp: u64,
+    ) -> Option<Discovery> {
+        if class == DeltaClass::Structural {
+            return None;
+        }
+        let snapshot = self.service.current_snapshot();
+        if graph_fingerprint(snapshot.engine().graph()) != pre_fp {
+            return None;
+        }
+        faultpoint::hit("serve.incremental_patch");
+        let graph = journal.graph().clone();
+        let padded = self.skills.padded_to(graph.num_nodes());
+        let (engine, _report) = snapshot.engine().try_incremental(graph, padded).ok()?;
+        Some(engine)
     }
 
     /// The post-mutation rebuild: always in-memory, never touching the

@@ -18,6 +18,7 @@
 //! | `serve.worker`        | worker loop, *outside* `catch_unwind`  | panic → worker dies → supervisor respawn |
 //! | `serve.snapshot_load` | snapshot publication closure           | I/O error / panic → swap failure, old snapshot keeps serving |
 //! | `serve.wal_append`    | durable publish path, before the journal append | I/O error → mutation rejected un-acknowledged; panic → killed publisher |
+//! | `serve.incremental_patch` | durable publish path, after the ack, before the incremental label patch | panic → killed publisher mid-patch; recovery must fall back to a full rebuild bit-identically |
 //!
 //! The durable publish path additionally passes through `atd-store`'s
 //! own points (`store.wal_append`, `store.checkpoint`,

@@ -291,6 +291,12 @@ impl QueryService {
         self.shared.counters.snapshot()
     }
 
+    /// The live counters, for sibling layers (the durable publish path
+    /// records incremental-vs-rebuild outcomes here).
+    pub(crate) fn counters(&self) -> &Counters {
+        &self.shared.counters
+    }
+
     /// Current submission-queue depth (diagnostic).
     pub fn queue_depth(&self) -> usize {
         self.shared.queue.len()

@@ -17,6 +17,8 @@ pub(crate) struct Counters {
     pub swaps: AtomicU64,
     pub swap_failures: AtomicU64,
     pub query_errors: AtomicU64,
+    pub incremental_applied: AtomicU64,
+    pub full_rebuild_fallbacks: AtomicU64,
 }
 
 impl Counters {
@@ -34,6 +36,8 @@ impl Counters {
             swaps: self.swaps.load(Ordering::Relaxed),
             swap_failures: self.swap_failures.load(Ordering::Relaxed),
             query_errors: self.query_errors.load(Ordering::Relaxed),
+            incremental_applied: self.incremental_applied.load(Ordering::Relaxed),
+            full_rebuild_fallbacks: self.full_rebuild_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -59,13 +63,21 @@ pub struct ServeStats {
     pub swap_failures: u64,
     /// Requests answered with a (non-deadline) query error.
     pub query_errors: u64,
+    /// Published engines derived by incremental label maintenance
+    /// (`Discovery::try_incremental`) instead of a full index rebuild —
+    /// publish-path and recovery-replay successes both count.
+    pub incremental_applied: u64,
+    /// Label-touching publishes (or recoveries with a WAL tail) that
+    /// fell back to a full index rebuild — structural delta, budget
+    /// blown, missing checkpoint index, or any incremental refusal.
+    pub full_rebuild_fallbacks: u64,
 }
 
 impl std::fmt::Display for ServeStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "served={} shed={} deadline={} panics={} respawned={} swaps={} swap_failures={} query_errors={}",
+            "served={} shed={} deadline={} panics={} respawned={} swaps={} swap_failures={} query_errors={} incremental={} full_rebuilds={}",
             self.served,
             self.shed,
             self.deadline_exceeded,
@@ -73,7 +85,9 @@ impl std::fmt::Display for ServeStats {
             self.workers_respawned,
             self.swaps,
             self.swap_failures,
-            self.query_errors
+            self.query_errors,
+            self.incremental_applied,
+            self.full_rebuild_fallbacks
         )
     }
 }

@@ -215,6 +215,145 @@ fn checkpointed_generation_restarts_off_its_persisted_index() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A pure relaxation delta: reinforces the graph's cheapest *strictly
+/// positive* non-max edge at half its weight. Positive so halving really
+/// changes bits (Jaccard weights can be exactly 0), below the max so the
+/// normalization scale stays, and weight-only so degrees (and with them
+/// the vertex order) stay — the delta the incremental publish path must
+/// accept.
+fn relax_delta(g: &ExpertGraph) -> (GraphDelta, ExpertGraph) {
+    let w_max = g.edges().map(|(_, _, w)| w).fold(0.0f64, f64::max);
+    let (u, v, w) = g
+        .edges()
+        .filter(|&(_, _, w)| w > 0.0 && w < w_max)
+        .min_by(|a, b| a.2.total_cmp(&b.2))
+        .expect("network has a positive non-max edge");
+    let mut d = GraphDelta::new();
+    d.reinforce_edge(u, v, w * 0.5);
+    let next = g.apply_delta(&d).unwrap();
+    (d, next)
+}
+
+#[test]
+fn single_edge_relax_takes_the_incremental_path_bit_identically() {
+    let net = common::network(27);
+    let dir = tempdir("incremental");
+    let genesis = net.graph.clone();
+    let (mut service, _) =
+        DurableService::open(&dir, net.skills.clone(), config(), || genesis).unwrap();
+    assert_eq!(service.service().stats().incremental_applied, 0);
+    assert_eq!(service.service().stats().full_rebuild_fallbacks, 0);
+
+    // One lowered edge: patched incrementally, never rebuilt.
+    let (d1, g1) = relax_delta(&net.graph);
+    let r1 = service.publish_mutation(&d1).unwrap();
+    let stats = service.service().stats();
+    assert_eq!(stats.incremental_applied, 1, "relax must patch in place");
+    assert_eq!(stats.full_rebuild_fallbacks, 0);
+    assert_eq!(r1.graph_fingerprint, graph_fingerprint(&g1));
+    let projects = common::projects(&net, 6);
+    assert_serves_like(
+        &service,
+        &reference_engine(&g1, &net.skills),
+        &projects,
+        "incremental publish",
+    );
+
+    // A structural delta (new edge) routes to the full rebuild.
+    let mut d2 = GraphDelta::new();
+    d2.publication(
+        &[
+            NodeId::from_index(0),
+            NodeId::from_index(2),
+            NodeId::from_index(4),
+        ],
+        0.4,
+    );
+    service.publish_mutation(&d2).unwrap();
+    let stats = service.service().stats();
+    assert_eq!(stats.incremental_applied, 1);
+    assert_eq!(stats.full_rebuild_fallbacks, 1, "structural must rebuild");
+    let g2 = g1.apply_delta(&d2).unwrap();
+    assert_serves_like(
+        &service,
+        &reference_engine(&g2, &net.skills),
+        &projects,
+        "structural publish",
+    );
+    service.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn over_budget_delta_falls_back_to_full_rebuild_bit_identically() {
+    let net = common::network(28);
+    let dir = tempdir("budget");
+    let genesis = net.graph.clone();
+    let mut cfg = config();
+    // Zero hub budget: every label-touching delta blows the threshold.
+    cfg.discovery.pll_build.incremental_hub_budget = Some(0);
+    let (mut service, _) = DurableService::open(&dir, net.skills.clone(), cfg, || genesis).unwrap();
+
+    let (d1, g1) = relax_delta(&net.graph);
+    let r1 = service.publish_mutation(&d1).unwrap();
+    let stats = service.service().stats();
+    assert_eq!(stats.incremental_applied, 0);
+    assert_eq!(
+        stats.full_rebuild_fallbacks, 1,
+        "a blown budget must fall back"
+    );
+    assert_eq!(r1.graph_fingerprint, graph_fingerprint(&g1));
+    assert_serves_like(
+        &service,
+        &reference_engine(&g1, &net.skills),
+        &common::projects(&net, 6),
+        "over-budget fallback",
+    );
+    service.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_replays_wal_tail_incrementally_off_the_checkpoint_index() {
+    let net = common::network(29);
+    let dir = tempdir("inc_recovery");
+    let genesis = net.graph.clone();
+    let (mut service, _) =
+        DurableService::open(&dir, net.skills.clone(), config(), || genesis).unwrap();
+
+    // Checkpoint after one relax (persists the index for generation 1),
+    // then acknowledge a second relax that stays in the WAL tail.
+    let (d1, g1) = relax_delta(&net.graph);
+    service.publish_mutation(&d1).unwrap();
+    assert_eq!(service.checkpoint().unwrap(), 1);
+    let (d2, g2) = relax_delta(&g1);
+    let r2 = service.publish_mutation(&d2).unwrap();
+    service.shutdown();
+    drop(service);
+
+    // Restart: the tail record replays through the incremental path on
+    // top of the checkpoint's loaded index — no full rebuild.
+    let (mut service, report) =
+        DurableService::open(&dir, net.skills.clone(), config(), || unreachable!()).unwrap();
+    assert_eq!(report.generation, 1);
+    assert_eq!(report.replayed_records, 1);
+    assert_eq!(report.graph_fingerprint, r2.graph_fingerprint);
+    let stats = service.service().stats();
+    assert_eq!(
+        stats.incremental_applied, 1,
+        "the tail record must replay incrementally"
+    );
+    assert_eq!(stats.full_rebuild_fallbacks, 0);
+    assert_serves_like(
+        &service,
+        &reference_engine(&g2, &net.skills),
+        &common::projects(&net, 6),
+        "incremental recovery",
+    );
+    service.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn corrupt_newest_generation_is_quarantined_and_service_restarts_serving() {
     let net = common::network(26);

@@ -280,6 +280,78 @@ fn manifest_publish_fault_aborts_checkpoint_and_service_keeps_serving() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A publisher killed **mid-incremental-patch** (panic at
+/// `serve.incremental_patch`, after the ack, before the label patch):
+/// the mutation is durable, and recovery — which finds no persisted
+/// index for the un-checkpointed generation — falls back to a full
+/// rebuild whose fingerprint and top-k answers are bit-identical to an
+/// uninterrupted run.
+#[test]
+fn kill_mid_incremental_patch_recovers_by_full_rebuild_bit_identically() {
+    let net = common::network(36);
+    let dir = tempdir("inc_patch_kill");
+    let genesis = net.graph.clone();
+    let (service, _) =
+        DurableService::open(&dir, net.skills.clone(), config(), || genesis).unwrap();
+
+    // A pure relaxation (cheapest positive non-max edge halved) — the
+    // delta that routes through the incremental faultpoint.
+    let w_max = net.graph.edges().map(|(_, _, w)| w).fold(0.0f64, f64::max);
+    let (u, v, w) = net
+        .graph
+        .edges()
+        .filter(|&(_, _, w)| w > 0.0 && w < w_max)
+        .min_by(|a, b| a.2.total_cmp(&b.2))
+        .expect("network has a positive non-max edge");
+    let mut relax = GraphDelta::new();
+    relax.reinforce_edge(u, v, w * 0.5);
+
+    atd_serve::faultpoint::arm(
+        "serve.incremental_patch",
+        atd_serve::FaultPlan::next(atd_serve::Fault::Panic("kill mid-patch"), 1),
+    );
+    let result = catch_unwind(AssertUnwindSafe(|| service.publish_mutation(&relax)));
+    atd_serve::faultpoint::disarm("serve.incremental_patch");
+    assert!(result.is_err(), "injected mid-patch kill must unwind");
+
+    // "kill -9": the crashed process never touches the handle again. The
+    // append preceded the faultpoint, so the mutation IS acknowledged.
+    drop(service);
+
+    let (mut service, report) =
+        DurableService::open(&dir, net.skills.clone(), config(), || unreachable!()).unwrap();
+    let mutated = net.graph.apply_delta(&relax).unwrap();
+    assert_eq!(report.replayed_records, 1, "the acked mutation replays");
+    assert_eq!(report.graph_fingerprint, graph_fingerprint(&mutated));
+    let stats = service.service().stats();
+    assert_eq!(
+        stats.full_rebuild_fallbacks, 1,
+        "no checkpoint index exists, so recovery must take the rebuild fallback"
+    );
+    assert_eq!(stats.incremental_applied, 0);
+    assert_serves_uninterrupted_state(
+        &service,
+        &mutated,
+        &net.skills,
+        &common::projects(&net, 4),
+        "after mid-patch kill",
+    );
+    // The service is fully live: the same relaxation class publishes
+    // incrementally now that nothing is armed.
+    let w_max2 = mutated.edges().map(|(_, _, w)| w).fold(0.0f64, f64::max);
+    let (u2, v2, w2) = mutated
+        .edges()
+        .filter(|&(_, _, w)| w > 0.0 && w < w_max2)
+        .min_by(|a, b| a.2.total_cmp(&b.2))
+        .unwrap();
+    let mut relax2 = GraphDelta::new();
+    relax2.reinforce_edge(u2, v2, w2 * 0.5);
+    service.publish_mutation(&relax2).unwrap();
+    assert_eq!(service.service().stats().incremental_applied, 1);
+    service.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Crash at **every byte offset** of the WAL tail: replaying a
 /// prefix-truncated segment always recovers a whole-record prefix of
 /// the acknowledged mutations, the service restarts serving, and the

@@ -109,6 +109,22 @@ pub struct RecoveryReport {
     pub swept_tmp_files: usize,
 }
 
+/// The WAL tail recovery replayed to reach the servable graph: the
+/// checkpoint graph it started from plus the acknowledged deltas in
+/// replay order. Engine layers use this to rebuild derived state (e.g. a
+/// distance index) *incrementally* from a persisted per-checkpoint
+/// artifact instead of from scratch — the journal itself has already
+/// verified every record's sealed post-fingerprint, so the deltas are
+/// exactly the acknowledged history.
+#[derive(Clone, Debug)]
+pub struct ReplayedTail {
+    /// The generation's checkpoint graph, before any tail record.
+    pub base_graph: ExpertGraph,
+    /// The replayed deltas, oldest first; applying them to `base_graph`
+    /// reproduces [`Journal::graph`] bit-identically.
+    pub deltas: Vec<GraphDelta>,
+}
+
 /// A recovered, append-able, checkpoint-able store. See the module docs
 /// for the state machine.
 #[derive(Debug)]
@@ -121,6 +137,7 @@ pub struct Journal {
     tip_fingerprint: u64,
     wal: WalWriter,
     tail_records: u64,
+    replayed_tail: Option<ReplayedTail>,
 }
 
 /// One generation successfully validated during recovery.
@@ -133,6 +150,8 @@ struct Recovered {
     /// at that length; `None` when the segment file itself was torn
     /// during creation and must be recreated.
     reopen_at: Option<u64>,
+    /// Present when the replay had records (see [`ReplayedTail`]).
+    tail: Option<ReplayedTail>,
 }
 
 impl Journal {
@@ -214,6 +233,7 @@ impl Journal {
                         tip_fingerprint: rec.tip_fingerprint,
                         wal,
                         tail_records: rec.replayed,
+                        replayed_tail: rec.tail,
                     };
                     return Ok((journal, report));
                 }
@@ -273,6 +293,7 @@ impl Journal {
                 tip_fingerprint: fp,
                 wal,
                 tail_records: 0,
+                replayed_tail: None,
             },
             report,
         ))
@@ -296,6 +317,7 @@ impl Journal {
                 replayed: 0,
                 torn: true,
                 reopen_at: None,
+                tail: None,
             });
         };
         if header.base_generation != entry.generation {
@@ -308,6 +330,7 @@ impl Journal {
                 what: "base fingerprint",
             });
         }
+        let tail_base = (!read.records.is_empty()).then(|| graph.clone());
         let mut graph = graph;
         let mut tip = entry.graph_fingerprint;
         for rec in &read.records {
@@ -322,12 +345,17 @@ impl Journal {
             }
             tip = fp;
         }
+        let tail = tail_base.map(|base_graph| ReplayedTail {
+            base_graph,
+            deltas: read.records.iter().map(|rec| rec.delta.clone()).collect(),
+        });
         Ok(Recovered {
             graph,
             tip_fingerprint: tip,
             replayed: read.records.len() as u64,
             torn: read.torn,
             reopen_at: Some(read.valid_len),
+            tail,
         })
     }
 
@@ -465,5 +493,14 @@ impl Journal {
     /// checkpoint's `save_index` wrote one is the caller's contract).
     pub fn index_path(&self) -> PathBuf {
         self.dir.join(index_file_name(self.generation))
+    }
+
+    /// Takes the WAL tail the opening recovery replayed, if any — the
+    /// checkpoint graph plus the acknowledged deltas in order (see
+    /// [`ReplayedTail`]). `None` when the open initialized a fresh store,
+    /// the tail was empty, or the tail was already taken; appends after
+    /// open do not refill it.
+    pub fn take_replayed_tail(&mut self) -> Option<ReplayedTail> {
+        self.replayed_tail.take()
     }
 }

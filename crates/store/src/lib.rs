@@ -37,6 +37,6 @@ pub mod manifest;
 pub mod wal;
 
 pub use error::StoreError;
-pub use journal::{AppendReceipt, Journal, JournalConfig, RecoveryReport};
+pub use journal::{AppendReceipt, Journal, JournalConfig, RecoveryReport, ReplayedTail};
 pub use manifest::{GenerationEntry, GenerationStatus, Manifest};
 pub use wal::{SegmentRead, WalHeader, WalRecord, WalWriter};
