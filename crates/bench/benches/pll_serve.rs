@@ -24,7 +24,7 @@ use atd_core::greedy::{Discovery, DiscoveryOptions};
 use atd_core::{Project, SkillId, Strategy};
 use atd_dblp::graph_build::{BuildConfig, ExpertNetwork};
 use atd_dblp::synth::{SynthConfig, SynthCorpus};
-use atd_serve::{QueryService, Request, ServeConfig, ServeError};
+use atd_serve::{AdmissionConfig, BrownoutConfig, QueryService, Request, ServeConfig, ServeError};
 
 const CLIENTS: usize = 4;
 const REQUESTS_PER_CLIENT: usize = 150;
@@ -101,6 +101,7 @@ fn sweep(net: &ExpertNetwork, workers: usize) -> SweepPoint {
             workers,
             queue_capacity: 1024,
             default_deadline: None,
+            ..ServeConfig::default()
         },
     ));
     let jobs = workload(net, 12);
@@ -154,6 +155,7 @@ fn overload_scenario(net: &ExpertNetwork) -> (u64, u64, usize) {
             workers: 1,
             queue_capacity: 4,
             default_deadline: None,
+            ..ServeConfig::default()
         },
     );
     let jobs = workload(net, 8);
@@ -184,6 +186,14 @@ fn deadline_scenario(net: &ExpertNetwork) -> (u64, u64) {
             workers: 2,
             queue_capacity: 256,
             default_deadline: None,
+            // Predictive admission would convert the hopeless deadlines
+            // into DeadlineInfeasible door-sheds once warmed; this
+            // scenario measures the cancellation path, so turn it off.
+            admission: AdmissionConfig {
+                predictive: false,
+                ..AdmissionConfig::default()
+            },
+            ..ServeConfig::default()
         },
     );
     let jobs = workload(net, 8);
@@ -205,8 +215,139 @@ fn deadline_scenario(net: &ExpertNetwork) -> (u64, u64) {
             Err(e) => panic!("unexpected: {e}"),
         }
     }
-    assert_eq!(service.stats().deadline_exceeded, exceeded);
+    // Expired-in-queue fast-sheds and mid-search cancellations are
+    // counted separately but both answer DeadlineExceeded.
+    let stats = service.stats();
+    assert_eq!(stats.shed_expired + stats.deadline_exceeded, exceeded);
+    assert!(stats.reconciles(), "ledger balances: {stats}");
     (ok, exceeded)
+}
+
+/// Goodput and latency at the same ~2× offered load with brownout off
+/// (fail-fast deadlines) vs on (degraded anytime tiers).
+struct TierOutcome {
+    offered: usize,
+    answered: u64,
+    degraded: u64,
+    goodput_qps: f64,
+    p99: Duration,
+    brownout_entries: u64,
+    shed_at_admission: u64,
+    expired: u64,
+}
+
+fn overload_tiers_scenario(net: &ExpertNetwork, brownout_on: bool, requests: usize) -> TierOutcome {
+    let jobs = workload(net, 12);
+
+    // Calibrate the per-request service time through the service itself
+    // (round-trip on an idle single worker), then offer 2× the pool's
+    // capacity: interval = mean / workers / 2.
+    let calibrate = QueryService::start(engine(net), ServeConfig::default());
+    let t = Instant::now();
+    for (p, s) in jobs.iter().take(10) {
+        calibrate
+            .query(Request::new(p.clone(), *s, 3))
+            .expect("calibration query");
+    }
+    let mean = t.elapsed() / 10;
+    drop(calibrate);
+
+    let workers = 2usize;
+    let interval = (mean / (workers as u32 * 2)).max(Duration::from_micros(20));
+    let deadline = (mean * 8).max(Duration::from_millis(2));
+    let service = Arc::new(QueryService::start(
+        engine(net),
+        ServeConfig {
+            workers,
+            // Shallow queue: bounded wait keeps admitted deadlines
+            // feasible, so the two arms differ in *serving* strategy
+            // (fail-fast full scans vs degraded anytime scans), not in
+            // how much backlog latency they accumulate.
+            queue_capacity: 8,
+            default_deadline: None,
+            // Both arms measure what gets *answered*; predictive
+            // door-shedding would blur the comparison.
+            admission: AdmissionConfig {
+                predictive: false,
+                ..AdmissionConfig::default()
+            },
+            brownout: BrownoutConfig {
+                p99_target: brownout_on.then_some((mean * 2).max(Duration::from_micros(500))),
+                window: 16,
+                enter_after: 2,
+                exit_after: 2,
+                exit_ratio: 0.5,
+                brownout_root_fraction: 0.2,
+            },
+        },
+    ));
+
+    // A waiter thread collects responses in submission order so the
+    // submitter can keep its 2× pace.
+    let (tx, rx) = std::sync::mpsc::channel::<(Instant, atd_serve::ResponseHandle)>();
+    let waiter = std::thread::spawn(move || {
+        let mut answered = 0u64;
+        let mut degraded = 0u64;
+        let mut expired = 0u64;
+        let mut latencies = Vec::new();
+        while let Ok((sent, handle)) = rx.recv() {
+            match handle.wait() {
+                Ok(resp) => {
+                    answered += 1;
+                    if resp.degraded.is_some() {
+                        degraded += 1;
+                    }
+                    latencies.push(sent.elapsed());
+                }
+                Err(ServeError::DeadlineExceeded) => expired += 1,
+                Err(e) => panic!("unexpected tier outcome: {e}"),
+            }
+        }
+        (answered, degraded, expired, latencies)
+    });
+
+    let t0 = Instant::now();
+    let mut shed = 0u64;
+    for i in 0..requests {
+        let (p, s) = &jobs[i % jobs.len()];
+        let mut req = Request::new(p.clone(), *s, 3);
+        req.deadline = Some(deadline);
+        let sent = Instant::now();
+        match service.submit(req) {
+            Ok(h) => tx.send((sent, h)).expect("waiter alive"),
+            Err(
+                ServeError::Overloaded { .. }
+                | ServeError::BrownoutShed
+                | ServeError::DeadlineInfeasible { .. },
+            ) => shed += 1,
+            Err(e) => panic!("unexpected tier refusal: {e}"),
+        }
+        // Hold the offered rate: sleep until this request's slot ends.
+        let next = t0 + interval * (i as u32 + 1);
+        while Instant::now() < next {
+            std::hint::spin_loop();
+        }
+    }
+    drop(tx);
+    let (answered, degraded, expired, mut latencies) = waiter.join().expect("waiter");
+    let wall = t0.elapsed();
+    latencies.sort_unstable();
+    let stats = service.stats();
+    assert!(stats.reconciles(), "ledger balances: {stats}");
+    assert_eq!(stats.shed_at_admission(), shed, "client/stats shed agree");
+    TierOutcome {
+        offered: requests,
+        answered,
+        degraded,
+        goodput_qps: answered as f64 / wall.as_secs_f64(),
+        p99: latencies
+            .last()
+            .map(|_| percentile(&latencies, 0.99))
+            .unwrap_or_default(),
+        brownout_entries: stats.brownout_entries,
+        shed_at_admission: shed,
+        expired,
+    }
 }
 
 fn main() {
@@ -244,7 +385,7 @@ fn main() {
     eprintln!("bit-identity gate passed (service == direct top_k)");
 
     if smoke {
-        // One tiny sweep point + both scenarios, just to prove the
+        // One tiny sweep point + all scenarios, just to prove the
         // plumbing end-to-end.
         let point = sweep(&net, 2);
         let (served, shed, depth) = overload_scenario(&net);
@@ -256,6 +397,27 @@ fn main() {
         assert!(shed > 0, "burst into a 4-slot queue must shed");
         assert!(exceeded > 0, "zero deadlines must shed");
         assert!(depth <= 4, "queue depth bounded by capacity");
+        let failfast = overload_tiers_scenario(&net, false, 150);
+        let brownout = overload_tiers_scenario(&net, true, 150);
+        eprintln!(
+            "smoke tiers: fail-fast answered={}/{} p99={:?}; brownout answered={}/{} degraded={} entries={} p99={:?}",
+            failfast.answered,
+            failfast.offered,
+            failfast.p99,
+            brownout.answered,
+            brownout.offered,
+            brownout.degraded,
+            brownout.brownout_entries,
+            brownout.p99,
+        );
+        assert!(
+            brownout.brownout_entries >= 1,
+            "sustained 2x load must enter brownout"
+        );
+        assert!(
+            brownout.degraded >= 1,
+            "browned-out serving must produce flagged partials"
+        );
         println!("pll_serve smoke ok");
         return;
     }
@@ -282,7 +444,32 @@ fn main() {
     );
     let (ok, exceeded) = deadline_scenario(&net);
     println!(
-        "  \"deadline\": {{\"workers\": 2, \"requests\": 200, \"served\": {ok}, \"deadline_exceeded\": {exceeded}}}"
+        "  \"deadline\": {{\"workers\": 2, \"requests\": 200, \"served\": {ok}, \"deadline_exceeded\": {exceeded}}},"
     );
+    let failfast = overload_tiers_scenario(&net, false, 600);
+    let brownout = overload_tiers_scenario(&net, true, 600);
+    let tier_json = |label: &str, t: &TierOutcome, trailing: &str| {
+        println!(
+            "    {{\"mode\": \"{label}\", \"offered\": {}, \"answered\": {}, \"degraded\": {}, \"goodput_qps\": {:.1}, \"p99_us\": {:.1}, \"shed_at_admission\": {}, \"deadline_missed\": {}, \"brownout_entries\": {}}}{trailing}",
+            t.offered,
+            t.answered,
+            t.degraded,
+            t.goodput_qps,
+            t.p99.as_secs_f64() * 1e6,
+            t.shed_at_admission,
+            t.expired,
+            t.brownout_entries,
+        );
+    };
+    println!("  \"overload_tiers\": [");
+    tier_json("fail_fast", &failfast, ",");
+    tier_json("brownout", &brownout, "");
+    println!("  ]");
     println!("}}");
+    assert!(
+        brownout.goodput_qps > failfast.goodput_qps,
+        "brownout must out-serve fail-fast at the same 2x offered load: {:.1} vs {:.1} qps",
+        brownout.goodput_qps,
+        failfast.goodput_qps
+    );
 }

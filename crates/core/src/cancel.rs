@@ -14,9 +14,14 @@
 //! the token at loop granularity (one root, one candidate), so a cancel
 //! becomes visible within a few microseconds of work, never mid-update.
 //! A cancelled search leaves no partial state behind — `top_k` either
-//! returns a complete, correct answer or the `Cancelled` error.
+//! returns a complete, correct answer or the `Cancelled` error. The
+//! **anytime** entry point
+//! ([`Discovery::top_k_anytime`](crate::Discovery::top_k_anytime))
+//! opts out of fail-fast: the same token instead stops the search with
+//! the best answer found so far, explicitly flagged with how much of the
+//! scan ran.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -34,6 +39,13 @@ pub struct CancelToken {
     flag: Option<Arc<AtomicBool>>,
     /// Absolute deadline after which the token reads as cancelled.
     deadline: Option<Instant>,
+    /// Poll-countdown budget: the first `n` [`is_cancelled`] polls read
+    /// clean, every later poll reads cancelled. Test-oriented — it makes
+    /// "the deadline expired at exactly this poll point" reproducible
+    /// without wall-clock races.
+    ///
+    /// [`is_cancelled`]: CancelToken::is_cancelled
+    countdown: Option<Arc<AtomicU64>>,
 }
 
 impl CancelToken {
@@ -42,6 +54,7 @@ impl CancelToken {
         CancelToken {
             flag: None,
             deadline: None,
+            countdown: None,
         }
     }
 
@@ -51,6 +64,7 @@ impl CancelToken {
         CancelToken {
             flag: Some(Arc::new(AtomicBool::new(false))),
             deadline: None,
+            countdown: None,
         }
     }
 
@@ -60,6 +74,23 @@ impl CancelToken {
         CancelToken {
             flag: Some(Arc::new(AtomicBool::new(false))),
             deadline: Some(deadline),
+            countdown: None,
+        }
+    }
+
+    /// A token whose first `polls` [`is_cancelled`](CancelToken::is_cancelled)
+    /// calls read clean and every later call reads cancelled.
+    ///
+    /// The search loops poll at fixed, documented points (once on entry,
+    /// once per scanned root, once per materialized candidate), so this
+    /// token turns "the deadline expired mid-root-scan" or "…during
+    /// candidate materialization" into a deterministic test instead of a
+    /// sleep-and-hope race. Clones share the countdown.
+    pub fn after_polls(polls: u64) -> CancelToken {
+        CancelToken {
+            flag: None,
+            deadline: None,
+            countdown: Some(Arc::new(AtomicU64::new(polls))),
         }
     }
 
@@ -83,6 +114,17 @@ impl CancelToken {
     pub fn is_cancelled(&self) -> bool {
         if let Some(flag) = &self.flag {
             if flag.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        if let Some(countdown) = &self.countdown {
+            // Each poll consumes one unit of the budget; a poll that
+            // finds the budget empty reads cancelled (and every poll
+            // after it keeps reading cancelled).
+            if countdown
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_err()
+            {
                 return true;
             }
         }
@@ -149,5 +191,20 @@ mod tests {
     #[test]
     fn default_is_never() {
         assert!(!CancelToken::default().is_cancelled());
+    }
+
+    #[test]
+    fn countdown_token_trips_after_exact_poll_budget() {
+        let t = CancelToken::after_polls(3);
+        let clone = t.clone();
+        assert!(!t.is_cancelled());
+        assert!(!clone.is_cancelled(), "clones share the budget");
+        assert!(!t.is_cancelled());
+        assert!(t.is_cancelled(), "fourth poll exhausts a budget of 3");
+        assert!(t.is_cancelled(), "stays cancelled once tripped");
+        assert!(!t.deadline_elapsed(), "no wall-clock deadline involved");
+
+        let zero = CancelToken::after_polls(0);
+        assert!(zero.is_cancelled(), "zero budget cancels immediately");
     }
 }

@@ -35,8 +35,10 @@ pub enum DiscoveryError {
     /// rebuild instead.
     IndexLoad(String),
     /// The search was cancelled before completing — its `CancelToken`
-    /// was cancelled explicitly or its deadline passed. No partial
-    /// result is returned.
+    /// was cancelled explicitly or its deadline passed. The fail-fast
+    /// entry points (`Discovery::top_k_with`) return no partial result;
+    /// callers that want the best-so-far answer instead opt into
+    /// `Discovery::top_k_anytime`, which never returns this error.
     Cancelled,
     /// The exact solver refused an instance exceeding its state budget
     /// (the paper's Exact also fails beyond 6 skills).

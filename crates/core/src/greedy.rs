@@ -258,6 +258,46 @@ struct Candidate {
     assignment: Vec<(crate::skills::SkillId, NodeId)>,
 }
 
+/// Best-so-far outcome of an **anytime** search
+/// ([`Discovery::top_k_anytime`]).
+///
+/// Algorithm 1 improves monotonically as more rank-ordered roots are
+/// scanned, so work done before a deadline expires is a bounded-quality
+/// answer, not waste. The bound is explicit: `roots_scanned` of
+/// `total_roots` candidate roots were evaluated before the search
+/// stopped, and `exhausted` says whether anything was left undone.
+///
+/// **Determinism contract:** a result with `exhausted == true` is
+/// bit-identical to [`Discovery::top_k`] on the same engine (the anytime
+/// scan is the sequential scan). Two runs with the same explicit root
+/// budget produce bit-identical partials. Two runs stopped by a
+/// *wall-clock* deadline are **not** reproducible — the poll that trips
+/// depends on timing — which is why degraded serving responses carry
+/// their `roots_scanned` bound instead of pretending to be canonical.
+#[derive(Debug, Clone)]
+pub struct PartialResult {
+    /// The best teams found so far, sorted by exact objective exactly as
+    /// [`Discovery::top_k`] sorts a complete answer. May be empty when
+    /// the search stopped before materializing anything.
+    pub teams: Vec<ScoredTeam>,
+    /// Candidate roots evaluated before the search stopped.
+    pub roots_scanned: usize,
+    /// Total candidate roots in the network (the scan's full extent).
+    pub total_roots: usize,
+    /// `true` iff the search ran to completion — every root scanned and
+    /// every surviving candidate materialized. Such a result is the
+    /// complete, canonical answer.
+    pub exhausted: bool,
+}
+
+impl PartialResult {
+    /// Whether this answer is degraded (stopped early) rather than the
+    /// complete canonical one.
+    pub fn is_degraded(&self) -> bool {
+        !self.exhausted
+    }
+}
+
 /// Reusable per-caller query scratch for
 /// [`Discovery::top_k_with`] — the per-worker-scratch pattern of the
 /// parallel root scan, promoted to an API so a long-lived serving
@@ -796,6 +836,143 @@ impl Discovery {
         });
         out.truncate(k);
         Ok(out)
+    }
+
+    /// Anytime variant of [`top_k_with`](Discovery::top_k_with): deadline
+    /// expiry (or an explicit cancel) returns the **best answer found so
+    /// far** instead of [`DiscoveryError::Cancelled`].
+    ///
+    /// The scan always runs sequentially in ascending root order —
+    /// regardless of `DiscoveryOptions::threads` — so `roots_scanned` is
+    /// exact and a fixed `root_budget` yields bit-identical partials
+    /// across runs. `root_budget` caps the scan to the first `n` roots
+    /// (a serving layer's brownout knob); `None` scans everything the
+    /// token allows.
+    ///
+    /// Outcomes:
+    ///
+    /// * ran to completion → `exhausted == true`, bit-identical to
+    ///   [`top_k`](Discovery::top_k) on a sequential-scan engine;
+    /// * stopped early with teams in hand → `Ok` partial,
+    ///   `exhausted == false`;
+    /// * stopped early with nothing materialized yet → `Ok` partial with
+    ///   empty `teams` (still flagged unexhausted — the caller knows the
+    ///   search barely started);
+    /// * ran to completion finding nothing →
+    ///   [`DiscoveryError::NoTeamFound`], exactly like `top_k`;
+    /// * invalid input (empty project, uncoverable skill, bad γ/λ) →
+    ///   the same validation errors as `top_k`, *never* a partial.
+    pub fn top_k_anytime(
+        &self,
+        project: &Project,
+        strategy: Strategy,
+        k: usize,
+        scratch: Option<&mut QueryScratch>,
+        cancel: &CancelToken,
+        root_budget: Option<usize>,
+    ) -> Result<PartialResult, DiscoveryError> {
+        strategy.validate()?;
+        if project.is_empty() {
+            return Err(DiscoveryError::EmptyProject);
+        }
+        for &s in project.skills() {
+            if self.skills.holders(s).is_empty() {
+                return Err(DiscoveryError::UncoverableSkill(s));
+            }
+        }
+        let total_roots = self.graph.num_nodes();
+        if k == 0 {
+            return Ok(PartialResult {
+                teams: Vec::new(),
+                roots_scanned: 0,
+                total_roots,
+                exhausted: true,
+            });
+        }
+        if cancel.is_cancelled() {
+            return Ok(PartialResult {
+                teams: Vec::new(),
+                roots_scanned: 0,
+                total_roots,
+                exhausted: false,
+            });
+        }
+
+        let ctx = self.context_for(strategy.gamma());
+        let limit = k.saturating_mul(self.options.oversample.max(1)).max(k);
+        let key = strategy.gamma().map(f64::to_bits).unwrap_or(u64::MAX);
+        let mut owned;
+        let scatter = match scratch {
+            Some(s) => s.scatter_for(key, &ctx.pll),
+            None => {
+                owned = ctx.pll.scatter();
+                &mut owned
+            }
+        };
+
+        // Sequential scan over the first `budget` roots, polling the
+        // token once per root — on cancel we KEEP the candidates gathered
+        // so far instead of erroring out.
+        let budget = root_budget.unwrap_or(total_roots).min(total_roots);
+        let mut ranked_heap = BoundedTopK::new(limit);
+        let mut roots_scanned = 0usize;
+        for i in 0..budget {
+            if cancel.is_cancelled() {
+                break;
+            }
+            let root = NodeId::from_index(i);
+            if let Some((cost, cand)) =
+                self.evaluate_root(strategy, &ctx.pll, scatter, project, root)
+            {
+                ranked_heap.offer(cost, cand);
+            }
+            roots_scanned += 1;
+        }
+        let mut exhausted = roots_scanned == total_roots;
+        let ranked = ranked_heap.into_sorted();
+
+        // Materialization polls once per candidate; on cancel the teams
+        // already materialized are the answer.
+        let mut out: Vec<ScoredTeam> = Vec::with_capacity(ranked.len());
+        let mut seen: std::collections::HashSet<Vec<NodeId>> = std::collections::HashSet::new();
+        for (cost, cand) in ranked {
+            if cancel.is_cancelled() {
+                exhausted = false;
+                break;
+            }
+            let Some(team) = self.materialize(&ctx.graph, &cand) else {
+                continue;
+            };
+            if !seen.insert(team.member_key()) {
+                continue;
+            }
+            let score = score_team(&self.norm, &team, self.options.duplicate_policy);
+            let objective = strategy.objective(&score);
+            out.push(ScoredTeam {
+                team,
+                score,
+                objective,
+                algorithm_cost: cost,
+            });
+        }
+        if out.is_empty() && exhausted {
+            // A *complete* search that found nothing is the same
+            // NoTeamFound as top_k; an early-stopped empty answer stays
+            // Ok so the caller sees how little was scanned.
+            return Err(DiscoveryError::NoTeamFound);
+        }
+        out.sort_by(|a, b| {
+            a.objective
+                .total_cmp(&b.objective)
+                .then(a.algorithm_cost.total_cmp(&b.algorithm_cost))
+        });
+        out.truncate(k);
+        Ok(PartialResult {
+            teams: out,
+            roots_scanned,
+            total_roots,
+            exhausted,
+        })
     }
 
     /// Convenience: the single best team.
@@ -1679,6 +1856,189 @@ mod tests {
             assert!(st.team.covers(&project));
             st.team.tree.validate().unwrap();
         }
+    }
+
+    #[test]
+    fn anytime_returns_flagged_partial_at_every_poll_point() {
+        // The search polls its token at fixed points: once on entry, once
+        // per scanned root, once per materialized candidate. Sweep the
+        // poll budget from zero upward so the countdown trips at EVERY
+        // one of them — before the scan, mid-root-scan, and during
+        // candidate materialization — and assert the anytime path hands
+        // back a well-formed flagged partial each time while the
+        // fail-fast path errors with Cancelled each time.
+        let (d, project) = engine();
+        let full = d.top_k(&project, Strategy::Cc, 3).unwrap();
+        let n = d.graph().num_nodes();
+        let mut completed_at = None;
+        for polls in 0u64..1000 {
+            let partial = d
+                .top_k_anytime(
+                    &project,
+                    Strategy::Cc,
+                    3,
+                    None,
+                    &CancelToken::after_polls(polls),
+                    None,
+                )
+                .unwrap();
+            assert_eq!(partial.total_roots, n);
+            assert!(partial.roots_scanned <= n);
+            if polls == 0 {
+                assert_eq!(partial.roots_scanned, 0, "tripped before the scan");
+            } else if (polls as usize) <= n {
+                assert_eq!(
+                    partial.roots_scanned,
+                    polls as usize - 1,
+                    "tripped mid-root-scan after the entry poll"
+                );
+            }
+            for w in partial.teams.windows(2) {
+                assert!(w[0].objective <= w[1].objective, "partials stay sorted");
+            }
+            for st in &partial.teams {
+                assert!(st.team.covers(&project), "partial teams are real teams");
+                st.team.tree.validate().unwrap();
+            }
+            let fail_fast = d.top_k_with(
+                &project,
+                Strategy::Cc,
+                3,
+                None,
+                &CancelToken::after_polls(polls),
+            );
+            if partial.exhausted {
+                // Ran to completion: bit-identical to the plain entry
+                // point, and the fail-fast path completes too (both
+                // consume polls at the same points).
+                assert_eq!(partial.teams.len(), full.len());
+                for (x, y) in partial.teams.iter().zip(&full) {
+                    assert_eq!(x.team.member_key(), y.team.member_key());
+                    assert_eq!(x.objective.to_bits(), y.objective.to_bits());
+                    assert_eq!(x.algorithm_cost.to_bits(), y.algorithm_cost.to_bits());
+                }
+                assert!(fail_fast.is_ok(), "fail-fast completes at poll {polls}");
+                completed_at = Some(polls);
+                break;
+            }
+            assert!(partial.is_degraded());
+            assert_eq!(
+                fail_fast,
+                Err(DiscoveryError::Cancelled),
+                "fail-fast must error at poll budget {polls}"
+            );
+        }
+        let done = completed_at.expect("anytime search completes within the sweep");
+        assert!(
+            done as usize > n + 1,
+            "completion takes the entry poll, {n} scan polls, and at least \
+             one materialization poll — got {done}"
+        );
+    }
+
+    #[test]
+    fn anytime_root_budget_is_deterministic_and_flagged() {
+        let (d, project) = engine();
+        let n = d.graph().num_nodes();
+        let mut scratch = QueryScratch::new();
+        // A capped scan is flagged degraded with an exact roots_scanned
+        // bound, and repeated runs at the same budget are bit-identical.
+        for budget in 1..=n {
+            let a = d
+                .top_k_anytime(
+                    &project,
+                    Strategy::Cc,
+                    3,
+                    Some(&mut scratch),
+                    &CancelToken::never(),
+                    Some(budget),
+                )
+                .ok();
+            let b = d
+                .top_k_anytime(
+                    &project,
+                    Strategy::Cc,
+                    3,
+                    None,
+                    &CancelToken::never(),
+                    Some(budget),
+                )
+                .ok();
+            match (&a, &b) {
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.roots_scanned, budget.min(n));
+                    assert_eq!(x.exhausted, budget == n);
+                    assert_eq!(x.roots_scanned, y.roots_scanned);
+                    assert_eq!(x.teams.len(), y.teams.len());
+                    for (s, t) in x.teams.iter().zip(&y.teams) {
+                        assert_eq!(s.team.member_key(), t.team.member_key());
+                        assert_eq!(s.objective.to_bits(), t.objective.to_bits());
+                        assert_eq!(s.algorithm_cost.to_bits(), t.algorithm_cost.to_bits());
+                    }
+                }
+                (None, None) => {}
+                other => panic!("same budget must give the same outcome: {other:?}"),
+            }
+        }
+        // Full budget runs to exhaustion and equals top_k bitwise.
+        let full = d
+            .top_k_anytime(
+                &project,
+                Strategy::Cc,
+                3,
+                None,
+                &CancelToken::never(),
+                Some(n),
+            )
+            .unwrap();
+        assert!(full.exhausted);
+        let want = d.top_k(&project, Strategy::Cc, 3).unwrap();
+        assert_eq!(full.teams.len(), want.len());
+        for (x, y) in full.teams.iter().zip(&want) {
+            assert_eq!(x.team.member_key(), y.team.member_key());
+            assert_eq!(x.objective.to_bits(), y.objective.to_bits());
+        }
+    }
+
+    #[test]
+    fn anytime_validation_errors_are_never_partials() {
+        let (d, project) = engine();
+        let never = CancelToken::never();
+        assert_eq!(
+            d.top_k_anytime(&Project::new(vec![]), Strategy::Cc, 1, None, &never, None)
+                .unwrap_err(),
+            DiscoveryError::EmptyProject
+        );
+        assert!(matches!(
+            d.top_k_anytime(
+                &project,
+                Strategy::CaCc { gamma: 2.0 },
+                1,
+                None,
+                &never,
+                None
+            ),
+            Err(DiscoveryError::InvalidTradeoff { .. })
+        ));
+        // k = 0 is a complete empty answer, not a degraded one.
+        let empty = d
+            .top_k_anytime(&project, Strategy::Cc, 0, None, &never, None)
+            .unwrap();
+        assert!(empty.exhausted && empty.teams.is_empty());
+        // A complete search over a project nothing covers errors exactly
+        // like top_k, while the same search stopped at zero polls stays a
+        // well-formed empty partial.
+        let cancelled = d
+            .top_k_anytime(
+                &project,
+                Strategy::Cc,
+                1,
+                None,
+                &CancelToken::after_polls(0),
+                None,
+            )
+            .unwrap();
+        assert!(cancelled.teams.is_empty() && !cancelled.exhausted);
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod transform;
 pub use cancel::CancelToken;
 pub use error::DiscoveryError;
 pub use exact::{ExactConfig, ExactTeamFinder};
-pub use greedy::{Discovery, DiscoveryOptions, QueryScratch};
+pub use greedy::{Discovery, DiscoveryOptions, PartialResult, QueryScratch};
 pub use normalize::Normalization;
 pub use objectives::{DuplicatePolicy, ObjectiveWeights, TeamScore};
 pub use pareto::pareto_front;

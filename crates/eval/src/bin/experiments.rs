@@ -108,7 +108,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: experiments [fig3|fig4|fig5|fig6|runtime|venue|ablation|serve|all] \
+                    "usage: experiments [fig3|fig4|fig5|fig6|runtime|venue|ablation|serve|serve-overload|all] \
                             [--scale tiny|small|medium|paper] [--out DIR|-] \
                             [--pll-threads N] [--pll-batch N] \
                             [--pll-storage {}] \
@@ -293,6 +293,12 @@ fn main() {
         println!("{}", serve_section(&tb));
         println!("[serve done in {:.1?}]\n", t.elapsed());
     }
+    if wants("serve-overload") {
+        banner("Serving layer — graceful degradation under 2x overload (atd-serve)");
+        let t = Instant::now();
+        println!("{}", overload_section(&tb));
+        println!("[serve-overload done in {:.1?}]\n", t.elapsed());
+    }
     if let Some(n) = args.mutate {
         banner("Durable replay — journal-backed mutations, crash, recovery (atd-store)");
         let t = Instant::now();
@@ -328,6 +334,7 @@ fn mutate_section(tb: &Testbed, n: usize) -> String {
             workers: 2,
             queue_capacity: 128,
             default_deadline: None,
+            ..ServeConfig::default()
         },
         discovery: DiscoveryOptions {
             threads: Some(1),
@@ -477,6 +484,7 @@ fn serve_section(tb: &Testbed) -> String {
             workers: 2,
             queue_capacity: 128,
             default_deadline: Some(std::time::Duration::from_secs(30)),
+            ..ServeConfig::default()
         },
     ));
     let projects = atd_eval::workload::generate_projects(
@@ -528,5 +536,179 @@ fn serve_section(tb: &Testbed) -> String {
         projects.len(),
         checked,
         service.stats()
+    )
+}
+
+/// The `serve-overload` section: drives a paced 2x overload through a
+/// brownout-enabled [`atd_serve::QueryService`], with a high-priority
+/// probe stream riding alongside the low-priority flood, then waits for
+/// the service to recover to the Normal tier and renders the shed /
+/// degradation ledger.
+///
+/// Mirrors the `overload_tiers` bench group: the queue is kept shallow
+/// so admitted requests stay deadline-feasible and the contrast comes
+/// from the serving strategy (anytime partials + admission sheds), not
+/// from unbounded queue wait.
+fn overload_section(tb: &Testbed) -> String {
+    use atd_serve::{
+        AdmissionConfig, BrownoutConfig, BrownoutTier, Priority, QueryService, Request, ServeConfig,
+    };
+    use std::time::Duration;
+
+    let engine = atd_core::Discovery::with_options(
+        tb.net.graph.clone(),
+        tb.net.skills.clone(),
+        DiscoveryOptions {
+            threads: Some(1),
+            ..Default::default()
+        },
+    )
+    .expect("overload engine");
+    let projects = atd_eval::workload::generate_projects(
+        &tb.net.skills,
+        &atd_eval::workload::WorkloadConfig {
+            count: 8,
+            num_skills: 2,
+            ..Default::default()
+        },
+    );
+    let strategy = atd_core::Strategy::SaCaCc {
+        gamma: 0.6,
+        lambda: 0.6,
+    };
+
+    // Calibrate the mean service time so the 2x overload holds by
+    // construction at every --scale.
+    let t = Instant::now();
+    for p in &projects {
+        engine.top_k(p, strategy, 3).expect("calibration query");
+    }
+    let mean = t.elapsed() / projects.len() as u32;
+
+    let workers = 2usize;
+    let deadline = (mean * 8).max(Duration::from_millis(2));
+    let interval = (mean / (workers as u32 * 2)).max(Duration::from_micros(20));
+    let service = std::sync::Arc::new(QueryService::start(
+        engine,
+        ServeConfig {
+            workers,
+            queue_capacity: 8,
+            default_deadline: Some(deadline),
+            admission: AdmissionConfig {
+                predictive: false,
+                low_priority_headroom: 2,
+                ..AdmissionConfig::default()
+            },
+            brownout: BrownoutConfig {
+                p99_target: Some((mean * 2).max(Duration::from_micros(500))),
+                window: 16,
+                brownout_root_fraction: 0.2,
+                ..BrownoutConfig::default()
+            },
+        },
+    ));
+
+    let flood = 200usize;
+    let probes = 20usize;
+    let (answered, degraded, expired, shed, probe_ok) = std::thread::scope(|scope| {
+        // High-priority probe stream: one request every 10 submit slots,
+        // must never be shed at admission.
+        let probe_service = std::sync::Arc::clone(&service);
+        let probe_projects = &projects;
+        let probe_handle = scope.spawn(move || {
+            let mut ok = 0usize;
+            for i in 0..probes {
+                let req = Request::new(
+                    probe_projects[i % probe_projects.len()].clone(),
+                    strategy,
+                    3,
+                )
+                .with_priority(Priority::High);
+                match probe_service.query(req) {
+                    Ok(_) => ok += 1,
+                    Err(atd_serve::ServeError::DeadlineExceeded) => {}
+                    Err(e) => panic!("high-priority probe shed: {e}"),
+                }
+                std::thread::sleep(interval * 10);
+            }
+            ok
+        });
+
+        let (tx, rx) = std::sync::mpsc::channel::<atd_serve::ResponseHandle>();
+        let waiter = scope.spawn(move || {
+            let mut answered = 0usize;
+            let mut degraded = 0usize;
+            let mut expired = 0usize;
+            for handle in rx.iter() {
+                match handle.wait() {
+                    Ok(resp) => {
+                        answered += 1;
+                        if resp.degraded.is_some() {
+                            degraded += 1;
+                        }
+                    }
+                    Err(atd_serve::ServeError::DeadlineExceeded) => expired += 1,
+                    Err(e) => panic!("unexpected worker error: {e}"),
+                }
+            }
+            (answered, degraded, expired)
+        });
+
+        let mut shed = 0usize;
+        let t0 = Instant::now();
+        for i in 0..flood {
+            while Instant::now() < t0 + interval * (i as u32 + 1) {
+                std::hint::spin_loop();
+            }
+            let req = Request::new(projects[i % projects.len()].clone(), strategy, 3);
+            match service.submit(req) {
+                Ok(handle) => tx.send(handle).expect("waiter alive"),
+                Err(
+                    atd_serve::ServeError::Overloaded { .. }
+                    | atd_serve::ServeError::BrownoutShed
+                    | atd_serve::ServeError::DeadlineInfeasible { .. },
+                ) => shed += 1,
+                Err(e) => panic!("unexpected admission error: {e}"),
+            }
+        }
+        drop(tx);
+        let (answered, degraded, expired) = waiter.join().expect("waiter");
+        let probe_ok = probe_handle.join().expect("probe stream");
+        (answered, degraded, expired, shed, probe_ok)
+    });
+
+    // Recovery: high-priority traffic keeps feeding the latency window
+    // (Brownout2 sheds low-priority at admission, and shed requests
+    // never reach the p99 estimator), so the tier must walk back down.
+    let mut attempts = 0usize;
+    loop {
+        let stats = service.stats();
+        if stats.brownout_exits >= stats.brownout_entries
+            && service.brownout_tier() == BrownoutTier::Normal
+        {
+            break;
+        }
+        assert!(attempts < 3_000, "brownout never recovered: {stats}");
+        attempts += 1;
+        let req = Request::new(projects[attempts % projects.len()].clone(), strategy, 3)
+            .with_priority(Priority::High);
+        let _ = service.query(req);
+    }
+
+    let stats = service.stats();
+    assert!(stats.reconciles(), "ledger out of balance: {stats}");
+    assert_eq!(
+        shed as u64,
+        stats.shed_at_admission(),
+        "client-side shed count disagrees with service counters"
+    );
+    format!(
+        "offered {flood} low-priority + {probes} high-priority at 2x capacity \
+         (mean {mean:.1?}, deadline {deadline:.1?})\n\
+         flood: {answered} answered ({degraded} degraded partials), {shed} shed at admission, {expired} expired\n\
+         probes: {probe_ok}/{probes} answered, zero admission sheds\n\
+         brownout: {} entries / {} exits, recovered to Normal after {attempts} probe queries\n\
+         counters: {stats}",
+        stats.brownout_entries, stats.brownout_exits,
     )
 }

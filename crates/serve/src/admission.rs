@@ -1,0 +1,582 @@
+//! Adaptive admission control and brownout degradation tiers.
+//!
+//! Two cooperating mechanisms replace the blind capacity-only shedding
+//! of the bare bounded queue:
+//!
+//! * **`AdmissionController`** — keeps an EWMA of per-request service
+//!   time, both globally and keyed by *request shape* (`k`, skill count,
+//!   γ), and estimates a request's completion time at submission as
+//!   `queue_depth × global_mean / workers + shape_mean`. A low-priority
+//!   request whose estimate already exceeds its deadline is shed at the
+//!   door ([`ServeError::DeadlineInfeasible`]) instead of wasting queue
+//!   space and worker time on an answer nobody will wait for. Estimates
+//!   activate only after [`AdmissionConfig::min_samples`] completions,
+//!   so a cold service never sheds on a guess.
+//! * **`BrownoutController`** — a service-level degradation state
+//!   machine driven by the observed p99 of end-to-end latency
+//!   (enqueue → reply) against a configured target:
+//!
+//!   ```text
+//!               p99 > target            p99 > 2×target
+//!              (enter_after          (enter_after windows)
+//!                windows)
+//!    Normal ───────────────▶ Brownout1 ───────────────▶ Brownout2
+//!       ▲                    │    ▲                        │
+//!       └────────────────────┘    └────────────────────────┘
+//!        p99 < exit_ratio×target        p99 < target
+//!          (exit_after windows)      (exit_after windows)
+//!   ```
+//!
+//!   *Brownout1* switches answers to the anytime path with a reduced
+//!   root-scan budget (bounded-quality degraded responses, explicitly
+//!   flagged); *Brownout2* additionally sheds low-priority requests at
+//!   admission ([`ServeError::BrownoutShed`]). Entry and exit both
+//!   require **consecutive** windows over/under their thresholds
+//!   (hysteresis), so a single latency spike cannot flap the tier.
+//!
+//! Priority classes ([`Priority`]) keep verifier/system traffic safe
+//! from bulk clients: high-priority requests bypass predictive shedding,
+//! brownout shedding, and the low-priority queue headroom reservation.
+//!
+//! [`ServeError::DeadlineInfeasible`]: crate::ServeError::DeadlineInfeasible
+//! [`ServeError::BrownoutShed`]: crate::ServeError::BrownoutShed
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use crate::faultpoint;
+
+/// Request priority class.
+///
+/// The default is [`Priority::Low`] — bulk/interactive client traffic
+/// that absorbs degradation under overload. [`Priority::High`] is for
+/// verifier and system traffic that must not be starved: it bypasses
+/// predictive admission shedding, brownout shedding, and the
+/// low-priority queue headroom reservation (only a genuinely full queue
+/// can refuse it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Bulk client traffic; sheds first under overload.
+    #[default]
+    Low,
+    /// Verifier/system traffic; admitted while any capacity remains.
+    High,
+}
+
+/// Tuning for the `AdmissionController`.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Shed low-priority requests whose estimated completion exceeds
+    /// their deadline ([`ServeError::DeadlineInfeasible`]). Estimates
+    /// need [`AdmissionConfig::min_samples`] completions to warm up, so
+    /// enabling this never sheds on a cold service.
+    ///
+    /// [`ServeError::DeadlineInfeasible`]: crate::ServeError::DeadlineInfeasible
+    pub predictive: bool,
+    /// Completions observed before predictive estimates activate.
+    pub min_samples: u64,
+    /// EWMA smoothing factor in `(0, 1]`; higher weighs recent requests
+    /// more.
+    pub ewma_alpha: f64,
+    /// Queue slots reserved for high-priority traffic: a low-priority
+    /// request is refused once fewer than this many slots remain. `0`
+    /// (the default) disables the reservation.
+    pub low_priority_headroom: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            predictive: true,
+            min_samples: 8,
+            ewma_alpha: 0.2,
+            low_priority_headroom: 0,
+        }
+    }
+}
+
+/// The shape of a request for service-time prediction: requests with the
+/// same `k`, skill count, and γ cost roughly the same, so their history
+/// predicts each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct RequestShape {
+    k: usize,
+    skills: usize,
+    /// `γ.to_bits()`, `u64::MAX` for the untransformed base strategy
+    /// (mirrors `QueryScratch`'s context key).
+    gamma_bits: u64,
+}
+
+impl RequestShape {
+    pub(crate) fn new(k: usize, skills: usize, gamma: Option<f64>) -> RequestShape {
+        RequestShape {
+            k,
+            skills,
+            gamma_bits: gamma.map(f64::to_bits).unwrap_or(u64::MAX),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Ewma {
+    mean_secs: f64,
+    samples: u64,
+}
+
+impl Ewma {
+    fn observe(&mut self, alpha: f64, secs: f64) {
+        self.mean_secs = if self.samples == 0 {
+            secs
+        } else {
+            alpha * secs + (1.0 - alpha) * self.mean_secs
+        };
+        self.samples += 1;
+    }
+}
+
+#[derive(Debug, Default)]
+struct AdmissionState {
+    global: Ewma,
+    by_shape: HashMap<RequestShape, Ewma>,
+}
+
+/// EWMA-based service-time predictor for shed-before-enqueue decisions.
+/// See the [module docs](self) for the estimation model.
+#[derive(Debug)]
+pub(crate) struct AdmissionController {
+    config: AdmissionConfig,
+    state: Mutex<AdmissionState>,
+}
+
+impl AdmissionController {
+    pub(crate) fn new(config: AdmissionConfig) -> AdmissionController {
+        AdmissionController {
+            config,
+            state: Mutex::new(AdmissionState::default()),
+        }
+    }
+
+    pub(crate) fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    fn lock(&self) -> MutexGuard<'_, AdmissionState> {
+        // EWMA state is plain data; recover from a poisoned lock just
+        // like the queue does.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Feeds one completed request's worker-side service time into the
+    /// model (all outcomes count — a deadline-truncated query still
+    /// occupied its worker for exactly this long).
+    pub(crate) fn record(&self, shape: RequestShape, service_time: Duration) {
+        let secs = service_time.as_secs_f64();
+        let alpha = self.config.ewma_alpha.clamp(f64::MIN_POSITIVE, 1.0);
+        let mut s = self.lock();
+        s.global.observe(alpha, secs);
+        s.by_shape.entry(shape).or_default().observe(alpha, secs);
+    }
+
+    /// Estimated completion time (queue wait + service) for a request of
+    /// `shape` submitted now, or `None` while the model is cold.
+    pub(crate) fn estimate(
+        &self,
+        shape: RequestShape,
+        queue_depth: usize,
+        workers: usize,
+    ) -> Option<Duration> {
+        let s = self.lock();
+        if s.global.samples < self.config.min_samples.max(1) {
+            return None;
+        }
+        let per_request = s.global.mean_secs;
+        let service = s
+            .by_shape
+            .get(&shape)
+            .filter(|e| e.samples > 0)
+            .map(|e| e.mean_secs)
+            .unwrap_or(per_request);
+        let wait = queue_depth as f64 * per_request / workers.max(1) as f64;
+        Some(Duration::from_secs_f64((wait + service).max(0.0)))
+    }
+}
+
+/// The service's degradation tier. Ordered: each tier includes the
+/// degradations of the ones before it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BrownoutTier {
+    /// Full-fidelity serving.
+    #[default]
+    Normal,
+    /// Anytime answers under a reduced root-scan budget; every degraded
+    /// response is flagged with its `roots_scanned` bound.
+    Brownout1,
+    /// Additionally sheds low-priority requests at admission.
+    Brownout2,
+}
+
+impl BrownoutTier {
+    fn from_u8(v: u8) -> BrownoutTier {
+        match v {
+            0 => BrownoutTier::Normal,
+            1 => BrownoutTier::Brownout1,
+            _ => BrownoutTier::Brownout2,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            BrownoutTier::Normal => 0,
+            BrownoutTier::Brownout1 => 1,
+            BrownoutTier::Brownout2 => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for BrownoutTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BrownoutTier::Normal => write!(f, "normal"),
+            BrownoutTier::Brownout1 => write!(f, "brownout1"),
+            BrownoutTier::Brownout2 => write!(f, "brownout2"),
+        }
+    }
+}
+
+/// Tuning for the `BrownoutController`. The state machine is disabled
+/// (tier pinned to [`BrownoutTier::Normal`]) unless
+/// [`p99_target`](BrownoutConfig::p99_target) is set.
+#[derive(Debug, Clone)]
+pub struct BrownoutConfig {
+    /// End-to-end (enqueue → reply) p99 latency target; `None` disables
+    /// brownout entirely.
+    pub p99_target: Option<Duration>,
+    /// Completions per evaluation window.
+    pub window: usize,
+    /// Consecutive over-threshold windows required to step a tier up.
+    pub enter_after: u32,
+    /// Consecutive under-threshold windows required to step a tier down.
+    pub exit_after: u32,
+    /// Brownout1 exits to Normal only once p99 drops below
+    /// `exit_ratio × p99_target` — the hysteresis band that prevents
+    /// enter/exit flapping right at the target.
+    pub exit_ratio: f64,
+    /// Fraction of the roots an anytime query scans while browned out,
+    /// in `(0, 1]`; the resulting budget is at least 1 root.
+    pub brownout_root_fraction: f64,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> BrownoutConfig {
+        BrownoutConfig {
+            p99_target: None,
+            window: 32,
+            enter_after: 2,
+            exit_after: 2,
+            exit_ratio: 0.5,
+            brownout_root_fraction: 0.25,
+        }
+    }
+}
+
+/// A tier change reported by [`BrownoutController::observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BrownoutTransition {
+    /// Stepped one tier up (degradation entered/deepened).
+    Entered(BrownoutTier),
+    /// Stepped one tier down (recovery).
+    Exited(BrownoutTier),
+}
+
+#[derive(Debug, Default)]
+struct BrownoutState {
+    window: Vec<Duration>,
+    over_streak: u32,
+    under_streak: u32,
+}
+
+/// p99-driven degradation state machine. See the [module docs](self)
+/// for the transition diagram and hysteresis rules.
+#[derive(Debug)]
+pub(crate) struct BrownoutController {
+    config: BrownoutConfig,
+    /// Current tier, readable lock-free from the submit path and the
+    /// workers' per-request tier check.
+    tier: AtomicU8,
+    state: Mutex<BrownoutState>,
+}
+
+impl BrownoutController {
+    pub(crate) fn new(config: BrownoutConfig) -> BrownoutController {
+        BrownoutController {
+            config,
+            tier: AtomicU8::new(BrownoutTier::Normal.as_u8()),
+            state: Mutex::new(BrownoutState::default()),
+        }
+    }
+
+    /// The currently active tier (always `Normal` when disabled).
+    pub(crate) fn tier(&self) -> BrownoutTier {
+        BrownoutTier::from_u8(self.tier.load(Ordering::Relaxed))
+    }
+
+    /// The root-scan budget the current tier imposes on a graph of `n`
+    /// nodes; `None` means an unbounded (full-fidelity) scan.
+    pub(crate) fn root_budget(&self, n: usize) -> Option<usize> {
+        if self.tier() == BrownoutTier::Normal {
+            return None;
+        }
+        let fraction = self.config.brownout_root_fraction.clamp(0.0, 1.0);
+        Some(((n as f64 * fraction) as usize).clamp(1, n.max(1)))
+    }
+
+    /// Feeds one finished request's end-to-end latency into the window;
+    /// evaluates the state machine every
+    /// [`window`](BrownoutConfig::window) completions. Returns the
+    /// transition, if this observation caused one.
+    ///
+    /// The `serve.brownout` faultpoint fires inside every observation —
+    /// workers call this outside their `catch_unwind`, so an armed panic
+    /// kills the worker (exercising supervisor respawn on the stats
+    /// path) and an armed delay slows the bookkeeping, never the query.
+    pub(crate) fn observe(&self, total_latency: Duration) -> Option<BrownoutTransition> {
+        let target = self.config.p99_target?;
+        faultpoint::hit("serve.brownout");
+        let mut s = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        s.window.push(total_latency);
+        if s.window.len() < self.config.window.max(1) {
+            return None;
+        }
+        let mut window = std::mem::take(&mut s.window);
+        window.sort_unstable();
+        let p99 = window[((window.len() - 1) as f64 * 0.99) as usize];
+
+        let tier = self.tier();
+        let enter_after = self.config.enter_after.max(1);
+        let exit_after = self.config.exit_after.max(1);
+        let exit_target = target.mul_f64(self.config.exit_ratio.clamp(0.0, 1.0));
+        let transition = match tier {
+            BrownoutTier::Normal => {
+                if p99 > target {
+                    s.under_streak = 0;
+                    s.over_streak += 1;
+                    (s.over_streak >= enter_after)
+                        .then_some(BrownoutTransition::Entered(BrownoutTier::Brownout1))
+                } else {
+                    s.over_streak = 0;
+                    None
+                }
+            }
+            BrownoutTier::Brownout1 => {
+                if p99 > target.saturating_mul(2) {
+                    s.under_streak = 0;
+                    s.over_streak += 1;
+                    (s.over_streak >= enter_after)
+                        .then_some(BrownoutTransition::Entered(BrownoutTier::Brownout2))
+                } else if p99 < exit_target {
+                    s.over_streak = 0;
+                    s.under_streak += 1;
+                    (s.under_streak >= exit_after)
+                        .then_some(BrownoutTransition::Exited(BrownoutTier::Normal))
+                } else {
+                    // Inside the hysteresis band: neither streak grows.
+                    s.over_streak = 0;
+                    s.under_streak = 0;
+                    None
+                }
+            }
+            BrownoutTier::Brownout2 => {
+                if p99 < target {
+                    s.over_streak = 0;
+                    s.under_streak += 1;
+                    (s.under_streak >= exit_after)
+                        .then_some(BrownoutTransition::Exited(BrownoutTier::Brownout1))
+                } else {
+                    s.under_streak = 0;
+                    None
+                }
+            }
+        };
+        if let Some(t) = transition {
+            let next = match t {
+                BrownoutTransition::Entered(next) | BrownoutTransition::Exited(next) => next,
+            };
+            self.tier.store(next.as_u8(), Ordering::Relaxed);
+            s.over_streak = 0;
+            s.under_streak = 0;
+        }
+        transition
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn estimates_stay_cold_until_min_samples() {
+        let ac = AdmissionController::new(AdmissionConfig {
+            min_samples: 3,
+            ..AdmissionConfig::default()
+        });
+        let shape = RequestShape::new(3, 2, None);
+        assert_eq!(ac.estimate(shape, 0, 1), None);
+        ac.record(shape, ms(10));
+        ac.record(shape, ms(10));
+        assert_eq!(ac.estimate(shape, 0, 1), None, "2 < min_samples");
+        ac.record(shape, ms(10));
+        let est = ac.estimate(shape, 0, 1).expect("warmed");
+        assert!(est >= ms(9) && est <= ms(11), "≈ observed mean: {est:?}");
+    }
+
+    #[test]
+    fn estimate_scales_with_queue_depth_and_workers() {
+        let ac = AdmissionController::new(AdmissionConfig {
+            min_samples: 1,
+            ewma_alpha: 1.0,
+            ..AdmissionConfig::default()
+        });
+        let shape = RequestShape::new(3, 2, None);
+        ac.record(shape, ms(10));
+        let empty = ac.estimate(shape, 0, 2).unwrap();
+        let deep = ac.estimate(shape, 8, 2).unwrap();
+        let deep_more_workers = ac.estimate(shape, 8, 4).unwrap();
+        assert!(deep > empty, "queued work raises the estimate");
+        assert!(
+            deep > deep_more_workers,
+            "more workers drain the queue faster"
+        );
+        // 8 × 10ms / 2 workers + 10ms service = 50ms.
+        assert!(deep >= ms(45) && deep <= ms(55), "{deep:?}");
+    }
+
+    #[test]
+    fn unseen_shape_falls_back_to_global_mean() {
+        let ac = AdmissionController::new(AdmissionConfig {
+            min_samples: 1,
+            ewma_alpha: 1.0,
+            ..AdmissionConfig::default()
+        });
+        ac.record(RequestShape::new(3, 2, None), ms(20));
+        let est = ac
+            .estimate(RequestShape::new(5, 4, Some(0.5)), 0, 1)
+            .expect("global model warmed");
+        assert!(est >= ms(18) && est <= ms(22), "{est:?}");
+    }
+
+    fn enabled(target_ms: u64) -> BrownoutController {
+        BrownoutController::new(BrownoutConfig {
+            p99_target: Some(ms(target_ms)),
+            window: 4,
+            enter_after: 2,
+            exit_after: 2,
+            exit_ratio: 0.5,
+            brownout_root_fraction: 0.25,
+        })
+    }
+
+    fn feed_windows(
+        b: &BrownoutController,
+        latency: Duration,
+        windows: usize,
+    ) -> Vec<BrownoutTransition> {
+        let mut out = Vec::new();
+        for _ in 0..windows * 4 {
+            if let Some(t) = b.observe(latency) {
+                out.push(t);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn disabled_brownout_never_leaves_normal() {
+        let b = BrownoutController::new(BrownoutConfig::default());
+        for _ in 0..200 {
+            assert_eq!(b.observe(ms(10_000)), None);
+        }
+        assert_eq!(b.tier(), BrownoutTier::Normal);
+        assert_eq!(b.root_budget(100), None);
+    }
+
+    #[test]
+    fn hysteresis_requires_consecutive_windows_each_way() {
+        let b = enabled(10);
+        // One bad window is not enough (enter_after = 2)…
+        assert!(feed_windows(&b, ms(50), 1).is_empty());
+        assert_eq!(b.tier(), BrownoutTier::Normal);
+        // …and a calm window in between resets the streak.
+        assert!(feed_windows(&b, ms(1), 1).is_empty());
+        assert!(feed_windows(&b, ms(50), 1).is_empty());
+        assert_eq!(b.tier(), BrownoutTier::Normal);
+        // Two consecutive bad windows enter Brownout1.
+        let t = feed_windows(&b, ms(50), 2);
+        assert_eq!(
+            t,
+            vec![BrownoutTransition::Entered(BrownoutTier::Brownout1)]
+        );
+        assert_eq!(b.tier(), BrownoutTier::Brownout1);
+        assert_eq!(b.root_budget(100), Some(25));
+        // In the hysteresis band (between exit and target) nothing moves.
+        assert!(feed_windows(&b, ms(7), 4).is_empty());
+        assert_eq!(b.tier(), BrownoutTier::Brownout1);
+        // Two calm windows below exit_ratio × target recover to Normal.
+        let t = feed_windows(&b, ms(2), 2);
+        assert_eq!(t, vec![BrownoutTransition::Exited(BrownoutTier::Normal)]);
+        assert_eq!(b.tier(), BrownoutTier::Normal);
+    }
+
+    #[test]
+    fn sustained_severe_overload_escalates_to_brownout2_and_back() {
+        let b = enabled(10);
+        let t = feed_windows(&b, ms(100), 4);
+        assert_eq!(
+            t,
+            vec![
+                BrownoutTransition::Entered(BrownoutTier::Brownout1),
+                BrownoutTransition::Entered(BrownoutTier::Brownout2),
+            ]
+        );
+        assert_eq!(b.tier(), BrownoutTier::Brownout2);
+        // Recovery steps down one tier at a time.
+        let t = feed_windows(&b, ms(2), 4);
+        assert_eq!(
+            t,
+            vec![
+                BrownoutTransition::Exited(BrownoutTier::Brownout1),
+                BrownoutTransition::Exited(BrownoutTier::Normal),
+            ]
+        );
+        assert_eq!(b.tier(), BrownoutTier::Normal);
+    }
+
+    #[test]
+    fn root_budget_is_clamped_sane() {
+        let b = enabled(10);
+        feed_windows(&b, ms(100), 2);
+        assert_eq!(b.tier(), BrownoutTier::Brownout1);
+        assert_eq!(b.root_budget(100), Some(25));
+        assert_eq!(b.root_budget(1), Some(1), "never below one root");
+        let tiny = BrownoutController::new(BrownoutConfig {
+            p99_target: Some(ms(10)),
+            brownout_root_fraction: 0.0001,
+            window: 1,
+            enter_after: 1,
+            ..BrownoutConfig::default()
+        });
+        tiny.observe(ms(100));
+        assert_eq!(tiny.root_budget(100), Some(1));
+    }
+
+    #[test]
+    fn priority_orders_low_below_high() {
+        assert!(Priority::Low < Priority::High);
+        assert_eq!(Priority::default(), Priority::Low);
+    }
+}

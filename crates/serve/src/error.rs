@@ -19,6 +19,22 @@ pub enum ServeError {
     /// worker abandoned the query cooperatively (between roots /
     /// candidates); no partial result exists.
     DeadlineExceeded,
+    /// The admission controller's service-time model predicted the
+    /// request could not finish before its deadline, so it was shed at
+    /// the door instead of queued ([`AdmissionConfig::predictive`]).
+    /// Only low-priority requests are shed this way.
+    ///
+    /// [`AdmissionConfig::predictive`]: crate::AdmissionConfig::predictive
+    DeadlineInfeasible {
+        /// Predicted completion time (queue wait + service).
+        estimated: std::time::Duration,
+        /// Time that remained until the request's deadline.
+        remaining: std::time::Duration,
+    },
+    /// A low-priority request shed at admission because the service is
+    /// in the [`BrownoutTier::Brownout2`](crate::BrownoutTier::Brownout2)
+    /// degradation tier. High-priority traffic is never shed this way.
+    BrownoutShed,
     /// The query panicked inside the worker. The panic was caught, the
     /// worker survives, and the payload message is returned here.
     QueryPanicked(String),
@@ -41,6 +57,16 @@ impl std::fmt::Display for ServeError {
                 write!(f, "service overloaded: submission queue full ({capacity})")
             }
             ServeError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            ServeError::DeadlineInfeasible {
+                estimated,
+                remaining,
+            } => write!(
+                f,
+                "deadline infeasible: estimated completion {estimated:?} exceeds remaining {remaining:?}"
+            ),
+            ServeError::BrownoutShed => {
+                write!(f, "low-priority request shed: service in brownout")
+            }
             ServeError::QueryPanicked(msg) => write!(f, "query panicked: {msg}"),
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
             ServeError::ResponseLost => write!(f, "response channel lost"),
@@ -81,6 +107,13 @@ mod tests {
         assert!(ServeError::DeadlineExceeded
             .to_string()
             .contains("deadline"));
+        assert!(ServeError::DeadlineInfeasible {
+            estimated: std::time::Duration::from_millis(50),
+            remaining: std::time::Duration::from_millis(10),
+        }
+        .to_string()
+        .contains("infeasible"));
+        assert!(ServeError::BrownoutShed.to_string().contains("brownout"));
         assert!(ServeError::QueryPanicked("boom".into())
             .to_string()
             .contains("boom"));

@@ -19,6 +19,12 @@
 //!   worker forever;
 //! * **backpressure**: a bounded submission queue sheds excess load as
 //!   [`ServeError::Overloaded`] instead of buffering unbounded work;
+//! * **graceful degradation** ([`admission`]): an EWMA admission
+//!   controller sheds requests predicted to miss their deadline before
+//!   they queue ([`ServeError::DeadlineInfeasible`]), priority classes
+//!   keep verifier/system traffic unstarved, and p99-driven **brownout
+//!   tiers** switch serving to flagged best-effort anytime answers
+//!   ([`ServeResponse::degraded`]) before shedding anything;
 //! * **panic isolation**: a query that panics is caught
 //!   ([`ServeError::QueryPanicked`]) and the worker keeps serving; a
 //!   worker that dies anyway is respawned by the supervisor;
@@ -37,6 +43,7 @@
 //! See `src/README.md` for the snapshot lifecycle and the failure-mode
 //! table.
 
+pub mod admission;
 pub mod durable;
 pub mod error;
 pub mod faultpoint;
@@ -45,11 +52,14 @@ pub mod service;
 pub mod snapshot;
 pub mod stats;
 
+pub use admission::{AdmissionConfig, BrownoutConfig, BrownoutTier, Priority};
 pub use durable::{
     AppendReceipt, DurableConfig, DurableError, DurableService, JournalConfig, RecoveryReport,
 };
 pub use error::ServeError;
 pub use faultpoint::{Fault, FaultPlan};
-pub use service::{QueryService, Request, ResponseHandle, ServeConfig, ServeResponse};
+pub use service::{
+    PartialBound, QueryService, Request, ResponseHandle, ServeConfig, ServeResponse,
+};
 pub use snapshot::Snapshot;
 pub use stats::ServeStats;

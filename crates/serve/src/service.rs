@@ -1,12 +1,12 @@
 //! The worker pool, request lifecycle, and snapshot publication.
 //!
 //! ```text
-//!  clients ──submit()──▶ BoundedQueue ──pop()──▶ worker 1..N ──reply──▶ client
-//!                          │ full?                 │ pins Arc<Snapshot>
-//!                          ▼                       │ CancelToken(deadline)
-//!                      Overloaded                  │ catch_unwind
-//!                                                  ▼
-//!                                            SnapshotCell ◀─publish()─ swap thread
+//!  clients ──submit()──▶ admission ──▶ BoundedQueue ──pop()──▶ worker 1..N ──reply──▶ client
+//!                          │ shed?        │ full?                │ pins Arc<Snapshot>
+//!                          ▼              ▼                      │ CancelToken(deadline)
+//!               DeadlineInfeasible    Overloaded                 │ catch_unwind
+//!               BrownoutShed                                     ▼
+//!                                                          SnapshotCell ◀─publish()─ swap thread
 //! ```
 //!
 //! Design rules, each backed by a test:
@@ -17,10 +17,19 @@
 //! * **Failure is an answer, not an outcome.** Every request ends in a
 //!   `Result` — panics become [`ServeError::QueryPanicked`], deadlines
 //!   become [`ServeError::DeadlineExceeded`], overload becomes
-//!   [`ServeError::Overloaded`]. The process never dies.
+//!   [`ServeError::Overloaded`], predicted-hopeless deadlines become
+//!   [`ServeError::DeadlineInfeasible`]. The process never dies.
 //! * **Workers are cattle.** A worker thread that dies anyway (a panic
 //!   outside the catch, e.g. the `serve.worker` faultpoint) is respawned
 //!   by the supervisor; its queue is shared, so no request is stranded.
+//! * **Degrade before refusing, refuse before failing.** Under overload
+//!   the service first switches to flagged anytime answers
+//!   ([`BrownoutTier::Brownout1`]), then sheds low-priority traffic
+//!   ([`BrownoutTier::Brownout2`]) — see [`crate::admission`].
+//! * **Every submission is accounted exactly once.** At quiescence
+//!   `served + shed_at_admission + shed_expired + errors == submitted`
+//!   ([`ServeStats::reconciles`](crate::ServeStats::reconciles)); a
+//!   reply that can't be delivered is still counted (`responses_lost`).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -31,6 +40,10 @@ use std::time::{Duration, Instant};
 
 use atd_core::{CancelToken, Discovery, Project, QueryScratch, ScoredTeam, Strategy};
 
+use crate::admission::{
+    AdmissionConfig, AdmissionController, BrownoutConfig, BrownoutController, BrownoutTier,
+    BrownoutTransition, Priority, RequestShape,
+};
 use crate::error::ServeError;
 use crate::faultpoint;
 use crate::queue::{BoundedQueue, PushError};
@@ -47,6 +60,12 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Deadline applied to requests that don't set their own.
     pub default_deadline: Option<Duration>,
+    /// Adaptive admission control (predictive shedding, priority
+    /// headroom). The default admits everything the queue can hold.
+    pub admission: AdmissionConfig,
+    /// Brownout degradation tiers. The default
+    /// ([`BrownoutConfig::p99_target`] = `None`) disables brownout.
+    pub brownout: BrownoutConfig,
 }
 
 impl Default for ServeConfig {
@@ -55,6 +74,8 @@ impl Default for ServeConfig {
             workers: 2,
             queue_capacity: 64,
             default_deadline: None,
+            admission: AdmissionConfig::default(),
+            brownout: BrownoutConfig::default(),
         }
     }
 }
@@ -70,26 +91,71 @@ pub struct Request {
     pub k: usize,
     /// Per-request deadline override; `None` uses the service default.
     pub deadline: Option<Duration>,
+    /// Opt into anytime serving: a deadline that expires mid-search
+    /// returns the best-so-far answer flagged with a [`PartialBound`]
+    /// instead of [`ServeError::DeadlineExceeded`]. The service also
+    /// forces this on while browned out.
+    pub anytime: bool,
+    /// Priority class; see [`Priority`]. Defaults to [`Priority::Low`].
+    pub priority: Priority,
 }
 
 impl Request {
-    /// A request with the service's default deadline.
+    /// A low-priority, fail-fast request with the service's default
+    /// deadline.
     pub fn new(project: Project, strategy: Strategy, k: usize) -> Request {
         Request {
             project,
             strategy,
             k,
             deadline: None,
+            anytime: false,
+            priority: Priority::Low,
         }
     }
+
+    /// Sets the priority class.
+    pub fn with_priority(mut self, priority: Priority) -> Request {
+        self.priority = priority;
+        self
+    }
+
+    /// Opts into anytime serving (best-so-far partials on deadline
+    /// expiry instead of fail-fast).
+    pub fn with_anytime(mut self) -> Request {
+        self.anytime = true;
+        self
+    }
+}
+
+/// How much of the scan a degraded (anytime) response covered — the
+/// response's explicit quality bound.
+///
+/// Determinism contract: two degraded responses for the same request are
+/// bit-identical iff they scanned the same `roots_scanned` prefix (e.g.
+/// the same brownout root budget). Partials cut by a *wall-clock*
+/// deadline are **not** reproducible — the poll where time runs out
+/// varies run to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartialBound {
+    /// Candidate roots the truncated scan evaluated.
+    pub roots_scanned: usize,
+    /// Roots a full-fidelity scan would evaluate.
+    pub total_roots: usize,
 }
 
 /// A successful answer.
 #[derive(Debug, Clone)]
 pub struct ServeResponse {
-    /// The ranked teams (bit-identical to a direct
-    /// [`Discovery::top_k`] on the same snapshot).
+    /// The ranked teams. For full-fidelity responses
+    /// ([`degraded`](ServeResponse::degraded) = `None`) these are
+    /// bit-identical to a direct [`Discovery::top_k`] on the same
+    /// snapshot; a degraded response ranks only the teams its truncated
+    /// scan found.
     pub teams: Vec<ScoredTeam>,
+    /// `Some` iff this answer came from a truncated anytime scan; carries
+    /// the scan-coverage bound. `None` means full fidelity.
+    pub degraded: Option<PartialBound>,
     /// Version of the snapshot that answered — clients observing a swap
     /// mid-stream can tell old answers from new.
     pub snapshot_version: u64,
@@ -121,17 +187,56 @@ impl ResponseHandle {
     }
 }
 
+/// Owns a job's reply sender and counts the reply as lost if it is
+/// dropped unsent — which happens exactly when the worker thread dies
+/// between dequeue and send (the `serve.worker` faultpoint, or a panic
+/// outside the catch). Keeps `responses_lost` in the ledger so the
+/// reconciliation invariant holds even across worker kills.
+struct ReplyGuard {
+    tx: Option<mpsc::Sender<Result<ServeResponse, ServeError>>>,
+    counters: Arc<Counters>,
+}
+
+impl ReplyGuard {
+    /// Delivers the answer (best-effort: the caller may have dropped the
+    /// receiver) and disarms the guard.
+    fn send(mut self, answer: Result<ServeResponse, ServeError>) {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(answer);
+        }
+    }
+
+    /// Disarms without sending — for jobs handed back by the queue
+    /// (shed/shutdown), whose outcome is already counted at admission.
+    fn disarm(&mut self) {
+        self.tx = None;
+    }
+}
+
+impl Drop for ReplyGuard {
+    fn drop(&mut self) {
+        if self.tx.is_some() {
+            Counters::bump(&self.counters.responses_lost);
+        }
+    }
+}
+
 struct Job {
     request: Request,
+    shape: RequestShape,
     enqueued_at: Instant,
     deadline_at: Option<Instant>,
-    reply: mpsc::Sender<Result<ServeResponse, ServeError>>,
+    reply: ReplyGuard,
 }
 
 struct Shared {
     queue: BoundedQueue<Job>,
     cell: SnapshotCell,
-    counters: Counters,
+    counters: Arc<Counters>,
+    admission: AdmissionController,
+    brownout: BrownoutController,
+    workers: usize,
+    default_deadline: Option<Duration>,
     shutting_down: AtomicBool,
     next_version: AtomicU64,
 }
@@ -148,6 +253,7 @@ impl std::fmt::Debug for QueryService {
         f.debug_struct("QueryService")
             .field("stats", &self.stats())
             .field("snapshot_version", &self.current_version())
+            .field("brownout_tier", &self.brownout_tier())
             .finish()
     }
 }
@@ -159,11 +265,14 @@ impl QueryService {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             cell: SnapshotCell::new(Arc::new(Snapshot::new(1, engine))),
-            counters: Counters::default(),
+            counters: Arc::new(Counters::default()),
+            admission: AdmissionController::new(config.admission),
+            brownout: BrownoutController::new(config.brownout),
+            workers,
+            default_deadline: config.default_deadline,
             shutting_down: AtomicBool::new(false),
             next_version: AtomicU64::new(2),
         });
-        let default_deadline = config.default_deadline;
 
         // The supervisor owns the worker handles: it spawns the initial
         // pool, then respawns any worker whose thread has finished while
@@ -174,15 +283,13 @@ impl QueryService {
             .name("atd-serve-supervisor".into())
             .spawn(move || {
                 let mut pool: Vec<JoinHandle<()>> = (0..workers)
-                    .map(|i| spawn_worker(i, Arc::clone(&sup_shared), default_deadline))
+                    .map(|i| spawn_worker(i, Arc::clone(&sup_shared)))
                     .collect();
                 while !sup_shared.shutting_down.load(Ordering::Acquire) {
                     for (i, slot) in pool.iter_mut().enumerate() {
                         if slot.is_finished() {
-                            let dead = std::mem::replace(
-                                slot,
-                                spawn_worker(i, Arc::clone(&sup_shared), default_deadline),
-                            );
+                            let dead =
+                                std::mem::replace(slot, spawn_worker(i, Arc::clone(&sup_shared)));
                             let _ = dead.join(); // collect the panic payload
                             Counters::bump(&sup_shared.counters.workers_respawned);
                         }
@@ -201,28 +308,90 @@ impl QueryService {
         }
     }
 
-    /// Submits a request. Returns immediately: `Ok` with a handle to wait
-    /// on, or [`ServeError::Overloaded`] / [`ServeError::ShuttingDown`]
-    /// if the request was refused at the door.
+    /// Submits a request through admission control. Returns immediately:
+    /// `Ok` with a handle to wait on, or a typed refusal —
+    /// [`ServeError::Overloaded`] (queue full, or low-priority headroom
+    /// exhausted), [`ServeError::DeadlineInfeasible`] (predicted to miss
+    /// its deadline), [`ServeError::BrownoutShed`] (low-priority during
+    /// Brownout2), or [`ServeError::ShuttingDown`].
+    ///
+    /// High-priority requests ([`Priority::High`]) skip every predictive
+    /// and brownout shed: only a genuinely full queue refuses them.
     pub fn submit(&self, request: Request) -> Result<ResponseHandle, ServeError> {
-        let (tx, rx) = mpsc::channel();
+        faultpoint::hit("serve.admission");
+        let shared = &*self.shared;
         let now = Instant::now();
-        let deadline_at = request.deadline.map(|d| now + d);
+        let deadline_at = request
+            .deadline
+            .or(shared.default_deadline)
+            .map(|d| now + d);
+        let shape = RequestShape::new(request.k, request.project.len(), request.strategy.gamma());
+
+        if request.priority < Priority::High {
+            if shared.brownout.tier() == BrownoutTier::Brownout2 {
+                Counters::bump(&shared.counters.submitted);
+                Counters::bump(&shared.counters.shed_priority);
+                return Err(ServeError::BrownoutShed);
+            }
+            if shared.admission.config().predictive {
+                if let Some(deadline) = deadline_at {
+                    let remaining = deadline.saturating_duration_since(now);
+                    if let Some(estimated) =
+                        shared
+                            .admission
+                            .estimate(shape, shared.queue.len(), shared.workers)
+                    {
+                        if estimated > remaining {
+                            Counters::bump(&shared.counters.submitted);
+                            Counters::bump(&shared.counters.shed_infeasible);
+                            return Err(ServeError::DeadlineInfeasible {
+                                estimated,
+                                remaining,
+                            });
+                        }
+                    }
+                }
+            }
+            let headroom = shared.admission.config().low_priority_headroom;
+            if headroom > 0 && shared.queue.len() + headroom >= shared.queue.capacity() {
+                Counters::bump(&shared.counters.submitted);
+                Counters::bump(&shared.counters.shed_priority);
+                return Err(ServeError::Overloaded {
+                    capacity: shared.queue.capacity().saturating_sub(headroom),
+                });
+            }
+        }
+
+        let (tx, rx) = mpsc::channel();
         let job = Job {
             request,
+            shape,
             enqueued_at: now,
             deadline_at,
-            reply: tx,
+            reply: ReplyGuard {
+                tx: Some(tx),
+                counters: Arc::clone(&shared.counters),
+            },
         };
-        match self.shared.queue.try_push(job) {
-            Ok(()) => Ok(ResponseHandle { rx }),
-            Err((_, PushError::Full)) => {
-                Counters::bump(&self.shared.counters.shed);
+        match shared.queue.try_push(job) {
+            Ok(()) => {
+                Counters::bump(&shared.counters.submitted);
+                Ok(ResponseHandle { rx })
+            }
+            Err((mut job, PushError::Full)) => {
+                job.reply.disarm();
+                Counters::bump(&shared.counters.submitted);
+                Counters::bump(&shared.counters.shed);
                 Err(ServeError::Overloaded {
-                    capacity: self.shared.queue.capacity(),
+                    capacity: shared.queue.capacity(),
                 })
             }
-            Err((_, PushError::Closed)) => Err(ServeError::ShuttingDown),
+            Err((mut job, PushError::Closed)) => {
+                // Not counted as submitted: shutdown refusals are outside
+                // the reconciliation ledger.
+                job.reply.disarm();
+                Err(ServeError::ShuttingDown)
+            }
         }
     }
 
@@ -291,6 +460,11 @@ impl QueryService {
         self.shared.counters.snapshot()
     }
 
+    /// The brownout tier currently in force.
+    pub fn brownout_tier(&self) -> BrownoutTier {
+        self.shared.brownout.tier()
+    }
+
     /// The live counters, for sibling layers (the durable publish path
     /// records incremental-vs-rebuild outcomes here).
     pub(crate) fn counters(&self) -> &Counters {
@@ -329,38 +503,51 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn spawn_worker(
-    index: usize,
-    shared: Arc<Shared>,
-    default_deadline: Option<Duration>,
-) -> JoinHandle<()> {
+fn spawn_worker(index: usize, shared: Arc<Shared>) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("atd-serve-worker-{index}"))
-        .spawn(move || worker_loop(&shared, default_deadline))
+        .spawn(move || worker_loop(&shared))
         .expect("spawn worker thread")
 }
 
-fn worker_loop(shared: &Shared, default_deadline: Option<Duration>) {
+/// Feeds one finished request's end-to-end latency to the brownout state
+/// machine and counts any tier transition it causes.
+fn observe_brownout(shared: &Shared, total_latency: Duration) {
+    match shared.brownout.observe(total_latency) {
+        Some(BrownoutTransition::Entered(_)) => {
+            Counters::bump(&shared.counters.brownout_entries);
+        }
+        Some(BrownoutTransition::Exited(_)) => {
+            Counters::bump(&shared.counters.brownout_exits);
+        }
+        None => {}
+    }
+}
+
+fn worker_loop(shared: &Shared) {
     // Per-worker scratch, reused across requests and revalidated against
     // each pinned snapshot (scatter sizes can change across swaps).
     let mut scratch = QueryScratch::new();
     while let Some(job) = shared.queue.pop() {
         // The `serve.worker` faultpoint sits OUTSIDE catch_unwind: an
         // armed panic here kills the worker thread itself, exercising
-        // supervisor respawn. The job is already dequeued and its reply
-        // sender drops with the thread → the caller sees ResponseLost.
+        // supervisor respawn. The job is already dequeued; its ReplyGuard
+        // drops unsent with the thread → `responses_lost` is bumped and
+        // the caller sees ResponseLost.
         faultpoint::hit("serve.worker");
 
         let started = Instant::now();
-        let deadline_at = job
-            .deadline_at
-            .or_else(|| default_deadline.map(|d| job.enqueued_at + d));
+        let deadline_at = job.deadline_at;
 
         // Fast-shed: a request whose deadline passed while queued is
-        // answered without touching the engine.
+        // answered without touching the engine. Counted as shed_expired,
+        // distinct from mid-search deadline_exceeded, so the two shed
+        // paths can't double-account.
         if deadline_at.is_some_and(|d| Instant::now() >= d) {
-            Counters::bump(&shared.counters.deadline_exceeded);
-            let _ = job.reply.send(Err(ServeError::DeadlineExceeded));
+            Counters::bump(&shared.counters.shed_expired);
+            let queued_for = job.enqueued_at.elapsed();
+            job.reply.send(Err(ServeError::DeadlineExceeded));
+            observe_brownout(shared, queued_for);
             continue;
         }
 
@@ -372,33 +559,74 @@ fn worker_loop(shared: &Shared, default_deadline: Option<Duration>) {
             None => CancelToken::never(),
         };
 
+        // Brownout: force the anytime path with a reduced root budget so
+        // every answer stays bounded even if its deadline is generous.
+        let tier = shared.brownout.tier();
+        let anytime = job.request.anytime || tier >= BrownoutTier::Brownout1;
+        let root_budget = shared
+            .brownout
+            .root_budget(snap.engine().graph().num_nodes());
+
         let result = catch_unwind(AssertUnwindSafe(|| {
             faultpoint::hit("serve.request");
-            snap.engine().top_k_with(
-                &job.request.project,
-                job.request.strategy,
-                job.request.k,
-                Some(&mut scratch),
-                &cancel,
-            )
+            if anytime {
+                snap.engine()
+                    .top_k_anytime(
+                        &job.request.project,
+                        job.request.strategy,
+                        job.request.k,
+                        Some(&mut scratch),
+                        &cancel,
+                        root_budget,
+                    )
+                    .map(|partial| {
+                        let degraded = (!partial.exhausted).then_some(PartialBound {
+                            roots_scanned: partial.roots_scanned,
+                            total_roots: partial.total_roots,
+                        });
+                        (partial.teams, degraded)
+                    })
+            } else {
+                snap.engine()
+                    .top_k_with(
+                        &job.request.project,
+                        job.request.strategy,
+                        job.request.k,
+                        Some(&mut scratch),
+                        &cancel,
+                    )
+                    .map(|teams| (teams, None))
+            }
         }));
 
         let answer = match result {
-            Ok(Ok(teams)) => {
-                Counters::bump(&shared.counters.served);
-                Ok(ServeResponse {
-                    teams,
-                    snapshot_version: snap.version(),
-                    latency: started.elapsed(),
-                })
-            }
-            Ok(Err(e)) => {
-                let e = ServeError::from(e);
-                Counters::bump(match &e {
-                    ServeError::DeadlineExceeded => &shared.counters.deadline_exceeded,
-                    _ => &shared.counters.query_errors,
-                });
-                Err(e)
+            Ok(engine_result) => {
+                // Every completed engine call — answer, deadline, or
+                // query error — occupied this worker for exactly this
+                // long; all of them train the admission model.
+                shared.admission.record(job.shape, started.elapsed());
+                match engine_result {
+                    Ok((teams, degraded)) => {
+                        Counters::bump(&shared.counters.served);
+                        if degraded.is_some() {
+                            Counters::bump(&shared.counters.degraded_served);
+                        }
+                        Ok(ServeResponse {
+                            teams,
+                            degraded,
+                            snapshot_version: snap.version(),
+                            latency: started.elapsed(),
+                        })
+                    }
+                    Err(e) => {
+                        let e = ServeError::from(e);
+                        Counters::bump(match &e {
+                            ServeError::DeadlineExceeded => &shared.counters.deadline_exceeded,
+                            _ => &shared.counters.query_errors,
+                        });
+                        Err(e)
+                    }
+                }
             }
             Err(payload) => {
                 // The panic may have unwound mid-scatter-load: the
@@ -409,6 +637,11 @@ fn worker_loop(shared: &Shared, default_deadline: Option<Duration>) {
                 Err(ServeError::QueryPanicked(panic_message(&payload)))
             }
         };
-        let _ = job.reply.send(answer);
+        // Reply first, then feed the brownout window: the serve.brownout
+        // faultpoint panics inside observe(), and a killed worker must
+        // not take an already-computed answer down with it.
+        let total_latency = job.enqueued_at.elapsed();
+        job.reply.send(answer);
+        observe_brownout(shared, total_latency);
     }
 }

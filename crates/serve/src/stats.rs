@@ -3,22 +3,44 @@
 //! Workers bump relaxed [`AtomicU64`]s on the hot path; [`ServeStats`] is
 //! a point-in-time copy for callers (tests assert on it, the bench and
 //! example print it). Counters only ever increase.
+//!
+//! Every accepted-or-shed submission is counted exactly once, so at
+//! quiescence the ledger reconciles:
+//!
+//! ```text
+//! submitted == served + shed_at_admission() + shed_expired + errors()
+//! ```
+//!
+//! where [`shed_at_admission`](ServeStats::shed_at_admission) groups the
+//! three door-sheds (queue-full, predicted-infeasible, priority/brownout)
+//! and [`errors`](ServeStats::errors) groups every terminal failure
+//! (mid-search deadline, recovered panic, query error, lost response).
+//! [`reconciles`](ServeStats::reconciles) checks the invariant; the
+//! stress and overload tests assert it after every scenario.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Shared mutable counters, owned by the service and bumped by workers.
 #[derive(Debug, Default)]
 pub(crate) struct Counters {
+    pub submitted: AtomicU64,
     pub served: AtomicU64,
+    pub degraded_served: AtomicU64,
     pub shed: AtomicU64,
+    pub shed_infeasible: AtomicU64,
+    pub shed_priority: AtomicU64,
+    pub shed_expired: AtomicU64,
     pub deadline_exceeded: AtomicU64,
     pub panics_recovered: AtomicU64,
+    pub responses_lost: AtomicU64,
     pub workers_respawned: AtomicU64,
     pub swaps: AtomicU64,
     pub swap_failures: AtomicU64,
     pub query_errors: AtomicU64,
     pub incremental_applied: AtomicU64,
     pub full_rebuild_fallbacks: AtomicU64,
+    pub brownout_entries: AtomicU64,
+    pub brownout_exits: AtomicU64,
 }
 
 impl Counters {
@@ -28,16 +50,24 @@ impl Counters {
 
     pub fn snapshot(&self) -> ServeStats {
         ServeStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
             served: self.served.load(Ordering::Relaxed),
+            degraded_served: self.degraded_served.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
+            shed_infeasible: self.shed_infeasible.load(Ordering::Relaxed),
+            shed_priority: self.shed_priority.load(Ordering::Relaxed),
+            shed_expired: self.shed_expired.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             panics_recovered: self.panics_recovered.load(Ordering::Relaxed),
+            responses_lost: self.responses_lost.load(Ordering::Relaxed),
             workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
             swaps: self.swaps.load(Ordering::Relaxed),
             swap_failures: self.swap_failures.load(Ordering::Relaxed),
             query_errors: self.query_errors.load(Ordering::Relaxed),
             incremental_applied: self.incremental_applied.load(Ordering::Relaxed),
             full_rebuild_fallbacks: self.full_rebuild_fallbacks.load(Ordering::Relaxed),
+            brownout_entries: self.brownout_entries.load(Ordering::Relaxed),
+            brownout_exits: self.brownout_exits.load(Ordering::Relaxed),
         }
     }
 }
@@ -45,15 +75,43 @@ impl Counters {
 /// A point-in-time snapshot of the service counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
-    /// Requests answered with a team list.
+    /// Requests that reached admission (accepted or shed there); the
+    /// left-hand side of the reconciliation invariant. Submissions
+    /// refused because the service was shutting down are *not* counted.
+    pub submitted: u64,
+    /// Requests answered with a team list (full-fidelity or degraded).
     pub served: u64,
-    /// Requests shed with [`ServeError::Overloaded`](crate::ServeError::Overloaded).
+    /// Subset of [`served`](ServeStats::served) answered by a truncated
+    /// anytime scan and flagged with a
+    /// [`PartialBound`](crate::service::PartialBound).
+    pub degraded_served: u64,
+    /// Requests shed at admission because the queue was full
+    /// ([`ServeError::Overloaded`](crate::ServeError::Overloaded)).
     pub shed: u64,
-    /// Requests that hit their deadline (pre-queue fast-shed or mid-search).
+    /// Requests shed at admission because the EWMA model predicted the
+    /// deadline could not be met
+    /// ([`ServeError::DeadlineInfeasible`](crate::ServeError::DeadlineInfeasible)).
+    pub shed_infeasible: u64,
+    /// Low-priority requests shed by the priority headroom reservation
+    /// or the Brownout2 tier
+    /// ([`ServeError::Overloaded`](crate::ServeError::Overloaded) /
+    /// [`ServeError::BrownoutShed`](crate::ServeError::BrownoutShed)).
+    pub shed_priority: u64,
+    /// Requests fast-shed by a worker after dequeue because their
+    /// deadline had already passed while queued — distinct from
+    /// [`deadline_exceeded`](ServeStats::deadline_exceeded), which counts
+    /// searches abandoned *mid-query*. Both answer
+    /// [`ServeError::DeadlineExceeded`](crate::ServeError::DeadlineExceeded).
+    pub shed_expired: u64,
+    /// Fail-fast searches that hit their deadline mid-query.
     pub deadline_exceeded: u64,
     /// Query panics caught and converted to
     /// [`ServeError::QueryPanicked`](crate::ServeError::QueryPanicked).
     pub panics_recovered: u64,
+    /// Accepted requests whose reply was never delivered — the worker
+    /// died mid-job and the supervisor respawned it
+    /// ([`ServeError::ResponseLost`](crate::ServeError::ResponseLost)).
+    pub responses_lost: u64,
     /// Worker threads respawned by the supervisor after dying.
     pub workers_respawned: u64,
     /// Successful snapshot swaps.
@@ -71,23 +129,56 @@ pub struct ServeStats {
     /// fell back to a full index rebuild — structural delta, budget
     /// blown, missing checkpoint index, or any incremental refusal.
     pub full_rebuild_fallbacks: u64,
+    /// Brownout tier step-ups (Normal→Brownout1, Brownout1→Brownout2).
+    pub brownout_entries: u64,
+    /// Brownout tier step-downs (Brownout2→Brownout1, Brownout1→Normal).
+    pub brownout_exits: u64,
+}
+
+impl ServeStats {
+    /// Requests refused at the door, across all three admission sheds.
+    pub fn shed_at_admission(&self) -> u64 {
+        self.shed + self.shed_infeasible + self.shed_priority
+    }
+
+    /// Accepted requests that ended in a terminal failure instead of a
+    /// team list.
+    pub fn errors(&self) -> u64 {
+        self.deadline_exceeded + self.panics_recovered + self.query_errors + self.responses_lost
+    }
+
+    /// Whether the submission ledger balances. Only meaningful at
+    /// quiescence (no request in flight): every submission must have
+    /// been served, shed at admission, fast-shed after expiry, or ended
+    /// in a counted error — nothing double-counted, nothing dropped.
+    pub fn reconciles(&self) -> bool {
+        self.served + self.shed_at_admission() + self.shed_expired + self.errors() == self.submitted
+    }
 }
 
 impl std::fmt::Display for ServeStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "served={} shed={} deadline={} panics={} respawned={} swaps={} swap_failures={} query_errors={} incremental={} full_rebuilds={}",
+            "submitted={} served={} degraded={} shed={} shed_infeasible={} shed_priority={} shed_expired={} deadline={} panics={} lost={} respawned={} swaps={} swap_failures={} query_errors={} incremental={} full_rebuilds={} brownout_entries={} brownout_exits={}",
+            self.submitted,
             self.served,
+            self.degraded_served,
             self.shed,
+            self.shed_infeasible,
+            self.shed_priority,
+            self.shed_expired,
             self.deadline_exceeded,
             self.panics_recovered,
+            self.responses_lost,
             self.workers_respawned,
             self.swaps,
             self.swap_failures,
             self.query_errors,
             self.incremental_applied,
-            self.full_rebuild_fallbacks
+            self.full_rebuild_fallbacks,
+            self.brownout_entries,
+            self.brownout_exits
         )
     }
 }
@@ -109,5 +200,26 @@ mod tests {
         let line = s.to_string();
         assert!(line.contains("served=2"));
         assert!(line.contains("swap_failures=1"));
+    }
+
+    #[test]
+    fn reconciliation_groups_every_outcome_once() {
+        let s = ServeStats {
+            submitted: 10,
+            served: 3,
+            degraded_served: 1, // subset of served, not a ledger term
+            shed: 2,
+            shed_infeasible: 1,
+            shed_priority: 1,
+            shed_expired: 1,
+            deadline_exceeded: 1,
+            responses_lost: 1,
+            ..ServeStats::default()
+        };
+        assert_eq!(s.shed_at_admission(), 4);
+        assert_eq!(s.errors(), 2);
+        assert!(s.reconciles());
+        let unbalanced = ServeStats { submitted: 11, ..s };
+        assert!(!unbalanced.reconciles());
     }
 }

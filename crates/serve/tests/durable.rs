@@ -42,6 +42,7 @@ fn config() -> DurableConfig {
             workers: 2,
             queue_capacity: 64,
             default_deadline: None,
+            ..ServeConfig::default()
         },
         discovery: options(),
         checkpoint_every: 0,

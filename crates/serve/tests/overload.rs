@@ -1,0 +1,457 @@
+//! Fault-injection overload tests: sustained 2–4× offered load with
+//! worker kills drives the service through its brownout tiers and back.
+//! Full-fidelity responses must stay bit-identical to direct queries,
+//! every degraded response must carry its scan-coverage bound, no
+//! priority class may be starved, and the submission ledger must
+//! reconcile exactly.
+//!
+//! Run with: `cargo test -p atd-serve --features fault-injection`
+#![cfg(feature = "fault-injection")]
+
+mod common;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use atd_serve::{
+    faultpoint, AdmissionConfig, BrownoutConfig, BrownoutTier, Fault, FaultPlan, Priority,
+    QueryService, Request, ServeConfig, ServeError,
+};
+
+/// The faultpoint registry is process-global; tests that arm it must not
+/// overlap (the default test runner is multi-threaded).
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    use std::sync::OnceLock;
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+/// Satellite of the core poll-point sweep, at the serve layer: an
+/// injected pre-engine delay burns the whole deadline, so the engine's
+/// *entry* poll fires. Anytime requests get a flagged empty partial;
+/// fail-fast requests get `DeadlineExceeded`; an undeadlined anytime
+/// request runs to exhaustion and is bit-identical to a direct query.
+#[test]
+fn anytime_request_survives_deadline_expiry_as_flagged_partial() {
+    let _guard = serial();
+    faultpoint::reset();
+    let net = common::network(210);
+    let direct = common::engine(&net);
+    let service = QueryService::start(
+        common::engine(&net),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            default_deadline: None,
+            ..ServeConfig::default()
+        },
+    );
+    let project = common::projects(&net, 1).remove(0);
+    let strategy = common::strategies()[1];
+
+    // Anytime + expired deadline → a well-formed, flagged partial.
+    faultpoint::arm(
+        "serve.request",
+        FaultPlan::next(Fault::Delay(Duration::from_millis(60)), 1),
+    );
+    let mut doomed = Request::new(project.clone(), strategy, 2).with_anytime();
+    doomed.deadline = Some(Duration::from_millis(15));
+    let partial = service
+        .query(doomed)
+        .expect("anytime never fails on deadline");
+    let bound = partial.degraded.expect("deadline-cut answer is flagged");
+    assert!(
+        bound.roots_scanned < bound.total_roots,
+        "flag must carry a truncated scan bound: {bound:?}"
+    );
+    assert_eq!(
+        bound.roots_scanned, 0,
+        "the delay burned the deadline before the scan started"
+    );
+    assert!(partial.teams.is_empty(), "nothing was materialized");
+
+    // Same injected fault, fail-fast request → typed deadline error.
+    faultpoint::arm(
+        "serve.request",
+        FaultPlan::next(Fault::Delay(Duration::from_millis(60)), 1),
+    );
+    let mut failfast = Request::new(project.clone(), strategy, 2);
+    failfast.deadline = Some(Duration::from_millis(15));
+    assert_eq!(
+        service.query(failfast).unwrap_err(),
+        ServeError::DeadlineExceeded
+    );
+
+    // Undeadlined anytime request: exhausted scan, unflagged, and
+    // bit-identical to the direct engine.
+    let full = service
+        .query(Request::new(project.clone(), strategy, 2).with_anytime())
+        .expect("healthy anytime query");
+    assert_eq!(full.degraded, None, "exhausted scans are full fidelity");
+    common::assert_bit_identical(
+        &full.teams,
+        &direct.top_k(&project, strategy, 2).unwrap(),
+        "anytime-exhausted",
+    );
+
+    let stats = service.stats();
+    assert_eq!(stats.served, 2);
+    assert_eq!(stats.degraded_served, 1);
+    assert_eq!(stats.deadline_exceeded, 1);
+    assert!(stats.reconciles(), "ledger balances: {stats}");
+    faultpoint::reset();
+}
+
+/// Predictive admission: once the EWMA model is warmed by a slow
+/// request, a low-priority request with a hopeless deadline is shed at
+/// the door — and an identical high-priority request is not.
+#[test]
+fn predictive_shed_refuses_hopeless_deadlines_but_never_high_priority() {
+    let _guard = serial();
+    faultpoint::reset();
+    let net = common::network(211);
+    let service = QueryService::start(
+        common::engine(&net),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            default_deadline: None,
+            admission: AdmissionConfig {
+                predictive: true,
+                min_samples: 1,
+                ewma_alpha: 1.0,
+                ..AdmissionConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let project = common::projects(&net, 1).remove(0);
+    let strategy = common::strategies()[0];
+
+    // Warm the model with one artificially slow request (~60ms).
+    faultpoint::arm(
+        "serve.request",
+        FaultPlan::next(Fault::Delay(Duration::from_millis(60)), 1),
+    );
+    service
+        .query(Request::new(project.clone(), strategy, 1))
+        .expect("warm-up request succeeds");
+
+    // Low priority + 30ms deadline: the model predicts ~60ms → shed.
+    let mut hopeless = Request::new(project.clone(), strategy, 1);
+    hopeless.deadline = Some(Duration::from_millis(30));
+    match service.query(hopeless) {
+        Err(ServeError::DeadlineInfeasible {
+            estimated,
+            remaining,
+        }) => {
+            assert!(estimated > remaining, "{estimated:?} vs {remaining:?}");
+            assert!(
+                estimated >= Duration::from_millis(30),
+                "model saw the delay"
+            );
+        }
+        other => panic!("expected DeadlineInfeasible, got {other:?}"),
+    }
+
+    // The same hopeless deadline with High priority is admitted: the
+    // verifier class bypasses predictive shedding entirely.
+    let mut privileged = Request::new(project.clone(), strategy, 1);
+    privileged.deadline = Some(Duration::from_millis(30));
+    let privileged = privileged.with_priority(Priority::High);
+    service
+        .query(privileged)
+        .expect("high priority is never predictively shed");
+
+    let stats = service.stats();
+    assert_eq!(stats.shed_infeasible, 1);
+    assert_eq!(stats.served, 2);
+    assert_eq!(stats.submitted, 3);
+    assert!(stats.reconciles(), "ledger balances: {stats}");
+    faultpoint::reset();
+}
+
+/// The `serve.admission` faultpoint fires at the very entry of
+/// `submit`, before any counter is touched: a panicking admission hook
+/// hurts only the submitting caller and leaves the ledger balanced.
+#[test]
+fn admission_faultpoint_panics_the_caller_not_the_service() {
+    let _guard = serial();
+    faultpoint::reset();
+    let net = common::network(212);
+    let service = QueryService::start(common::engine(&net), ServeConfig::default());
+    let project = common::projects(&net, 1).remove(0);
+
+    faultpoint::arm("serve.admission", FaultPlan::next(Fault::Panic("gate"), 1));
+    let panicked = catch_unwind(AssertUnwindSafe(|| {
+        let _ = service.submit(Request::new(project.clone(), common::strategies()[0], 1));
+    }));
+    assert!(panicked.is_err(), "armed admission hook must panic");
+
+    let resp = service
+        .query(Request::new(project, common::strategies()[0], 1))
+        .expect("service unharmed by an admission panic");
+    assert!(!resp.teams.is_empty());
+    let stats = service.stats();
+    assert_eq!(stats.submitted, 1, "the panicked submit never counted");
+    assert!(stats.reconciles(), "ledger balances: {stats}");
+    faultpoint::reset();
+}
+
+/// The `serve.brownout` faultpoint sits on the worker's bookkeeping
+/// path *after* the reply is delivered: an armed panic kills the worker
+/// (supervisor respawns it) but never costs the caller its answer.
+#[test]
+fn brownout_observation_panic_respawns_worker_after_reply_delivered() {
+    let _guard = serial();
+    faultpoint::reset();
+    let net = common::network(213);
+    let service = QueryService::start(
+        common::engine(&net),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            default_deadline: None,
+            brownout: BrownoutConfig {
+                p99_target: Some(Duration::from_millis(250)),
+                window: 4,
+                ..BrownoutConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let project = common::projects(&net, 1).remove(0);
+
+    faultpoint::arm(
+        "serve.brownout",
+        FaultPlan::next(Fault::Panic("bookkeeping"), 1),
+    );
+    let resp = service
+        .query(Request::new(project.clone(), common::strategies()[0], 1))
+        .expect("the reply outruns the observation panic");
+    assert!(!resp.teams.is_empty());
+
+    // The worker died on the stats path; the supervisor brings it back.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while service.stats().workers_respawned == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "supervisor must respawn the killed worker"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    service
+        .query(Request::new(project, common::strategies()[0], 1))
+        .expect("respawned worker serves");
+    let stats = service.stats();
+    assert_eq!(stats.responses_lost, 0, "no answer was lost: {stats}");
+    assert!(stats.reconciles(), "ledger balances: {stats}");
+    faultpoint::reset();
+}
+
+/// The tentpole chaos test: sustained ~2.5× offered load (injected 25ms
+/// service delays against a paced low-priority flood) plus two worker
+/// kills. Asserts, per the acceptance criteria:
+///
+/// * full-fidelity responses are bit-identical to direct queries;
+/// * every degraded response is flagged with `roots_scanned <
+///   total_roots`;
+/// * the service enters brownout AND exits it again (hysteresis
+///   observable in `ServeStats`);
+/// * high-priority traffic sees zero admission sheds while low-priority
+///   absorbs them;
+/// * the submission ledger reconciles exactly at quiescence.
+#[test]
+fn sustained_overload_browns_out_sheds_low_priority_and_recovers() {
+    let _guard = serial();
+    faultpoint::reset();
+    let net = common::network(214);
+    let direct = common::engine(&net);
+    let service = Arc::new(QueryService::start(
+        common::engine(&net),
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 32,
+            default_deadline: None,
+            admission: AdmissionConfig {
+                // Reserve queue space so the verifier class cannot be
+                // crowded out by the flood.
+                low_priority_headroom: 4,
+                ..AdmissionConfig::default()
+            },
+            brownout: BrownoutConfig {
+                p99_target: Some(Duration::from_millis(10)),
+                window: 8,
+                enter_after: 2,
+                exit_after: 2,
+                exit_ratio: 0.5,
+                brownout_root_fraction: 0.25,
+            },
+        },
+    ));
+    let projects = common::projects(&net, 8);
+    let strategies = common::strategies();
+
+    // Every served request is slowed to ≥25ms: 2 workers → ~80 req/s of
+    // capacity against a ~200 req/s offered flood (≈2.5× overload).
+    faultpoint::arm(
+        "serve.request",
+        FaultPlan::next(Fault::Delay(Duration::from_millis(25)), 500),
+    );
+    // Two worker kills mid-flood (passages 21 and 22 of the dequeue
+    // hook) — the supervisor must respawn both while browned out.
+    faultpoint::arm(
+        "serve.worker",
+        FaultPlan {
+            fault: Fault::Panic("chaos"),
+            skip: 20,
+            times: 2,
+        },
+    );
+
+    let degraded_seen = Arc::new(AtomicU64::new(0));
+
+    // Low-priority flood: submit without waiting, collect handles, wait
+    // at the end. Client-side outcome counts cross-check ServeStats.
+    let flood = {
+        let service = Arc::clone(&service);
+        let projects = projects.clone();
+        let degraded_seen = Arc::clone(&degraded_seen);
+        std::thread::spawn(move || {
+            let mut handles = Vec::new();
+            let mut shed = 0u64;
+            for i in 0..250usize {
+                let project = projects[i % projects.len()].clone();
+                let strategy = strategies[i % 3];
+                match service.submit(Request::new(project.clone(), strategy, 2)) {
+                    Ok(h) => handles.push((project, strategy, h)),
+                    Err(
+                        ServeError::Overloaded { .. }
+                        | ServeError::BrownoutShed
+                        | ServeError::DeadlineInfeasible { .. },
+                    ) => shed += 1,
+                    Err(other) => panic!("unexpected flood refusal: {other}"),
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let mut ok_full = 0u64;
+            let mut lost = 0u64;
+            for (project, strategy, h) in handles {
+                match h.wait() {
+                    Ok(resp) => match resp.degraded {
+                        Some(bound) => {
+                            assert!(
+                                bound.roots_scanned < bound.total_roots,
+                                "degraded response must carry a real truncation: {bound:?}"
+                            );
+                            degraded_seen.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => {
+                            // Full fidelity under chaos: bit-identical
+                            // to the direct single-threaded engine.
+                            let want = direct.top_k(&project, strategy, 2).unwrap();
+                            common::assert_bit_identical(&resp.teams, &want, "flood full-fidelity");
+                            ok_full += 1;
+                        }
+                    },
+                    Err(ServeError::ResponseLost) => lost += 1,
+                    Err(other) => panic!("unexpected flood outcome: {other}"),
+                }
+            }
+            (ok_full, shed, lost)
+        })
+    };
+
+    // High-priority verifier traffic, paced through the same storm.
+    let verifier = {
+        let service = Arc::clone(&service);
+        let projects = projects.clone();
+        std::thread::spawn(move || {
+            let mut ok = 0u64;
+            let mut lost = 0u64;
+            for i in 0..40usize {
+                let project = projects[i % projects.len()].clone();
+                let request =
+                    Request::new(project, strategies[i % 3], 2).with_priority(Priority::High);
+                match service.submit(request) {
+                    Ok(h) => match h.wait() {
+                        Ok(_) => ok += 1,
+                        Err(ServeError::ResponseLost) => lost += 1,
+                        Err(other) => panic!("unexpected verifier outcome: {other}"),
+                    },
+                    // Any admission shed here is a starvation bug.
+                    Err(refused) => panic!("high priority was shed: {refused}"),
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            (ok, lost)
+        })
+    };
+
+    let (flood_ok_full, flood_shed, flood_lost) = flood.join().unwrap();
+    let (verifier_ok, verifier_lost) = verifier.join().unwrap();
+    // Stop injecting delays so the service can actually recover.
+    faultpoint::reset();
+
+    let mid = service.stats();
+    assert!(
+        mid.brownout_entries >= 1,
+        "sustained overload must enter brownout: {mid}"
+    );
+    assert!(
+        mid.workers_respawned >= 2,
+        "both worker kills must have respawned: {mid}"
+    );
+    assert!(
+        flood_shed > 0,
+        "the low-priority flood must absorb admission sheds"
+    );
+    assert_eq!(
+        mid.shed_at_admission(),
+        flood_shed,
+        "all admission sheds were low-priority: {mid}"
+    );
+    assert!(verifier_ok > 0, "verifier class must make progress");
+    assert!(
+        degraded_seen.load(Ordering::Relaxed) >= 1,
+        "brownout must have produced flagged degraded answers"
+    );
+    assert!(
+        flood_ok_full >= 1,
+        "pre-brownout answers must include verified full-fidelity ones"
+    );
+
+    // Recovery: cheap high-priority traffic drains the latency window
+    // below the exit threshold until every entered tier is exited.
+    let project = projects[0].clone();
+    let mut attempts = 0;
+    loop {
+        let stats = service.stats();
+        if stats.brownout_exits >= stats.brownout_entries
+            && service.brownout_tier() == BrownoutTier::Normal
+        {
+            break;
+        }
+        assert!(
+            attempts < 3000,
+            "brownout must exit once load subsides: {stats}"
+        );
+        attempts += 1;
+        let request = Request::new(project.clone(), strategies[0], 1).with_priority(Priority::High);
+        let _ = service.query(request);
+    }
+
+    let stats = service.stats();
+    assert!(stats.brownout_entries >= 1 && stats.brownout_exits >= 1);
+    assert_eq!(
+        stats.brownout_entries, stats.brownout_exits,
+        "every entered tier was exited: {stats}"
+    );
+    assert_eq!(stats.responses_lost, flood_lost + verifier_lost);
+    assert!(stats.reconciles(), "ledger balances at quiescence: {stats}");
+    faultpoint::reset();
+}

@@ -22,6 +22,7 @@ fn concurrent_responses_are_bit_identical_to_direct_queries() {
             workers: 4,
             queue_capacity: 256,
             default_deadline: None,
+            ..ServeConfig::default()
         },
     );
     let projects = common::projects(&net, 12);
@@ -65,6 +66,7 @@ fn zero_deadline_is_deadline_exceeded_and_does_not_stall_others() {
             workers: 2,
             queue_capacity: 64,
             default_deadline: None,
+            ..ServeConfig::default()
         },
     );
     let project = common::projects(&net, 1).remove(0);
@@ -82,8 +84,14 @@ fn zero_deadline_is_deadline_exceeded_and_does_not_stall_others() {
         .expect("service still serves after a deadline shed");
     assert!(!ok.teams.is_empty());
     let stats = service.stats();
-    assert_eq!(stats.deadline_exceeded, 1);
+    // The doomed request expired while queued, so the worker fast-shed
+    // it after dequeue — counted as shed_expired, not as a mid-search
+    // deadline_exceeded.
+    assert_eq!(stats.shed_expired, 1);
+    assert_eq!(stats.deadline_exceeded, 0);
     assert_eq!(stats.served, 1);
+    assert_eq!(stats.submitted, 2);
+    assert!(stats.reconciles(), "ledger balances: {stats}");
 }
 
 #[test]
@@ -95,6 +103,7 @@ fn burst_sheds_cleanly_and_every_submission_is_accounted_for() {
             workers: 1,
             queue_capacity: 2,
             default_deadline: None,
+            ..ServeConfig::default()
         },
     );
     let project = common::projects(&net, 1).remove(0);
@@ -123,6 +132,8 @@ fn burst_sheds_cleanly_and_every_submission_is_accounted_for() {
     assert_eq!(stats.shed, shed_at_submit);
     assert_eq!(stats.served, served);
     assert_eq!(served + shed_at_submit, 100, "no request vanished");
+    assert_eq!(stats.submitted, 100);
+    assert!(stats.reconciles(), "ledger balances: {stats}");
 }
 
 #[test]

@@ -69,6 +69,7 @@ fn swaps_panics_slow_queries_and_corrupt_loads_never_break_identity() {
             workers: 4,
             queue_capacity: 128,
             default_deadline: Some(Duration::from_secs(5)),
+            ..ServeConfig::default()
         },
     ));
     let stop = Arc::new(AtomicBool::new(false));
@@ -108,7 +109,9 @@ fn swaps_panics_slow_queries_and_corrupt_loads_never_break_identity() {
                     }
                     Err(ServeError::DeadlineExceeded) => outcomes.deadline += 1,
                     Err(ServeError::QueryPanicked(_)) => outcomes.panicked += 1,
-                    Err(ServeError::Overloaded { .. }) => outcomes.shed += 1,
+                    Err(ServeError::Overloaded { .. })
+                    | Err(ServeError::DeadlineInfeasible { .. })
+                    | Err(ServeError::BrownoutShed) => outcomes.shed += 1,
                     Err(ServeError::ResponseLost) => outcomes.lost += 1,
                     Err(ServeError::Query(_)) => outcomes.query_err += 1,
                     Err(ServeError::ShuttingDown) => {
@@ -289,6 +292,12 @@ fn swaps_panics_slow_queries_and_corrupt_loads_never_break_identity() {
         seen.len() >= 2,
         "responses must span several snapshot versions, saw {seen:?}"
     );
+    // Every submission is accounted exactly once, even across worker
+    // kills (lost replies) and mixed shed paths.
+    assert!(
+        stats.reconciles(),
+        "submission ledger must balance at quiescence: {stats}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -328,6 +337,7 @@ fn injected_delay_trips_request_deadline() {
             workers: 1,
             queue_capacity: 8,
             default_deadline: None,
+            ..ServeConfig::default()
         },
     );
     let project = common::projects(&net, 1).remove(0);
@@ -362,6 +372,7 @@ fn overload_is_deterministic_with_a_blocked_worker() {
             workers: 1,
             queue_capacity: 1,
             default_deadline: None,
+            ..ServeConfig::default()
         },
     );
     let project = common::projects(&net, 1).remove(0);
@@ -386,6 +397,8 @@ fn overload_is_deterministic_with_a_blocked_worker() {
     let stats = service.stats();
     assert_eq!(stats.shed, 1);
     assert_eq!(stats.served, 2);
+    assert_eq!(stats.submitted, 3);
+    assert!(stats.reconciles(), "ledger balances: {stats}");
     faultpoint::reset();
 }
 
@@ -400,6 +413,7 @@ fn worker_killed_mid_job_loses_only_that_response() {
             workers: 1,
             queue_capacity: 8,
             default_deadline: None,
+            ..ServeConfig::default()
         },
     );
     let project = common::projects(&net, 1).remove(0);
@@ -419,5 +433,10 @@ fn worker_killed_mid_job_loses_only_that_response() {
     assert!(!resp.teams.is_empty());
     let stats = service.stats();
     assert!(stats.workers_respawned >= 1);
+    assert_eq!(
+        stats.responses_lost, 1,
+        "the dropped reply is counted, keeping the ledger balanced"
+    );
+    assert!(stats.reconciles(), "ledger balances: {stats}");
     faultpoint::reset();
 }

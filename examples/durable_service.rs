@@ -54,6 +54,7 @@ fn main() {
             workers: 2,
             queue_capacity: 128,
             default_deadline: None,
+            ..ServeConfig::default()
         },
         discovery: DiscoveryOptions {
             threads: Some(1),

@@ -83,6 +83,7 @@ fn main() {
             workers,
             queue_capacity: 256,
             default_deadline: Some(Duration::from_secs(10)),
+            ..ServeConfig::default()
         },
     ));
     println!(
