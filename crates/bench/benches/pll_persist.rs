@@ -6,21 +6,26 @@
 //! * `rebuild` — the full PLL construction (default config), the cost
 //!   every process start paid before persistence existed;
 //! * `load/<backend>` — deserializing + validating a saved index for
-//!   each of the four storage backends (the new cold-start path);
+//!   each of the four storage backends (the owned cold-start path);
+//! * `load_mmap/<backend>` — the zero-copy path (PR 10): validate the
+//!   mapped file's header + checksum + plane metadata and borrow every
+//!   label plane straight out of the page cache, no decode, no copy;
 //! * `save/<backend>` — serializing the index (the one-off cost after a
 //!   build).
 //!
-//! Before any timing, every saved file is loaded once and asserted
-//! **bit-identical** to the built index (stats + full entry-level label
-//! comparison) — this doubles as the CI smoke for the on-disk format.
+//! Before any timing, every saved file is loaded once through **both**
+//! paths and asserted **bit-identical** to the built index (stats + full
+//! entry-level label comparison, a byte-exact `to_bytes` round-trip of
+//! the mapped store, and pairwise + one-to-many query bits over sample
+//! sources) — this doubles as the CI smoke for the on-disk format.
 //! The environment block on stderr records graph shape, per-backend
-//! file sizes, and the rebuild baseline for BENCH_pr5.json.
+//! file sizes, and the rebuild baseline for BENCH_pr10.json.
 
 use atd_dblp::graph_build::{BuildConfig, ExpertNetwork};
 use atd_dblp::synth::{SynthConfig, SynthCorpus};
 use atd_distance::{
-    BuildConfig as PllBuildConfig, CompressedDictLabelSet, CompressedLabelSet, DictLabelSet,
-    LabelStorage, LabelStore, PrunedLandmarkLabeling, VertexOrder,
+    graph_fingerprint, BuildConfig as PllBuildConfig, CompressedDictLabelSet, CompressedLabelSet,
+    DictLabelSet, LabelStorage, LabelStore, PrunedLandmarkLabeling, VertexOrder,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -47,7 +52,9 @@ fn assert_bit_identical(a: &LabelStore, b: &LabelStore, ctx: &str) {
 }
 
 fn bench_pll_persist(c: &mut Criterion) {
-    let g = graph_of(1000);
+    // 3000 authors → the 2270-node expert graph: the acceptance testbed
+    // every BENCH_pr*.json cold-start claim is quoted against.
+    let g = graph_of(3000);
     let reference = PrunedLandmarkLabeling::build_with_config(
         &g,
         VertexOrder::DegreeDescending,
@@ -88,22 +95,72 @@ fn bench_pll_persist(c: &mut Criterion) {
         };
         let path = dir.join(format!("index-{}.atdl", storage.name()));
         store.save_to(&path, &g).expect("save");
-        // Bit-identity gate before any timing: the saved file must
-        // reproduce the built index exactly.
+        // Bit-identity gates before any timing: the saved file must
+        // reproduce the built index exactly through BOTH load paths —
+        // label-by-label, byte-by-byte (the mapped store re-serializes
+        // to the exact file bytes), and query-by-query over sample
+        // sources (pairwise + one-to-many).
         let loaded = PrunedLandmarkLabeling::load_from(&path, &g).expect("load");
         assert_bit_identical(&store, loaded.labels(), storage.name());
+        let mapped = PrunedLandmarkLabeling::load_mmap(&path, &g).expect("mmap load");
+        assert!(
+            mapped.labels().is_zero_copy(),
+            "{}: mmap load must borrow",
+            storage.name()
+        );
+        assert_bit_identical(&store, mapped.labels(), storage.name());
+        let file_bytes = std::fs::read(&path).expect("read back");
+        assert_eq!(
+            mapped.labels().to_bytes(graph_fingerprint(&g)),
+            file_bytes,
+            "{}: mapped store must re-serialize to the file bytes",
+            storage.name()
+        );
+        let mut sc_owned = loaded.scatter();
+        let mut sc_mapped = mapped.scatter();
+        for u in g.nodes().step_by(97) {
+            loaded.load_source(&mut sc_owned, u);
+            mapped.load_source(&mut sc_mapped, u);
+            for v in g.nodes() {
+                assert_eq!(
+                    loaded.query_raw(u, v).to_bits(),
+                    mapped.query_raw(u, v).to_bits(),
+                    "{}: pairwise {u:?}→{v:?}",
+                    storage.name()
+                );
+                assert_eq!(
+                    loaded.query_one_to_many(&sc_owned, v),
+                    mapped.query_one_to_many(&sc_mapped, v),
+                    "{}: scatter {u:?}→{v:?}",
+                    storage.name()
+                );
+            }
+        }
         eprintln!(
             "  {:>15}: {} KiB on disk",
             storage.name(),
             std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0) / 1024
         );
 
+        // Both load benches measure the load itself, not the teardown:
+        // `iter_with_large_drop` defers dropping the returned index out
+        // of the timed region (the owned path would otherwise time its
+        // allocator frees, the mmap path its `munmap`).
         group.bench_with_input(
             BenchmarkId::new("load", storage.name()),
             &path,
             |b, path| {
-                b.iter(|| {
-                    black_box(PrunedLandmarkLabeling::load_from(path, &g).expect("load")).stats()
+                b.iter_with_large_drop(|| {
+                    black_box(PrunedLandmarkLabeling::load_from(path, &g).expect("load"))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("load_mmap", storage.name()),
+            &path,
+            |b, path| {
+                b.iter_with_large_drop(|| {
+                    black_box(PrunedLandmarkLabeling::load_mmap(path, &g).expect("mmap load"))
                 })
             },
         );

@@ -133,25 +133,59 @@ impl Bencher {
                 black_box(routine());
                 let start = Instant::now();
                 black_box(routine());
-                let one = start.elapsed();
-                let target = Duration::from_secs_f64(TARGET_SAMPLE_MS / 1e3);
-                let per_sample = if one.is_zero() {
-                    1 << 14
-                } else {
-                    (target.as_secs_f64() / one.as_secs_f64()).clamp(1.0, 1e7) as u64
-                };
-                self.iters_per_sample = per_sample.max(1);
+                self.calibrate_from(start.elapsed());
             }
             BenchMode::Measure => {
                 let start = Instant::now();
                 for _ in 0..self.iters_per_sample {
                     black_box(routine());
                 }
-                let total = start.elapsed();
-                self.samples
-                    .push(total.as_nanos() as f64 / self.iters_per_sample as f64);
+                self.record(start.elapsed());
             }
         }
+    }
+
+    /// Times `routine` like [`iter`](Self::iter) but keeps every
+    /// returned value alive until the sample's clock has stopped
+    /// (upstream criterion's `iter_with_large_drop`): teardown —
+    /// deallocation, `munmap` of a mapped region — is excluded from the
+    /// measurement. Use when the benchmark is about acquiring the value,
+    /// not releasing it.
+    pub fn iter_with_large_drop<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            BenchMode::Calibrate => {
+                black_box(routine());
+                let start = Instant::now();
+                let out = black_box(routine());
+                let one = start.elapsed();
+                drop(out);
+                self.calibrate_from(one);
+            }
+            BenchMode::Measure => {
+                let mut keep = Vec::with_capacity((self.iters_per_sample as usize).min(4096));
+                let start = Instant::now();
+                for _ in 0..self.iters_per_sample {
+                    keep.push(black_box(routine()));
+                }
+                self.record(start.elapsed());
+                drop(keep);
+            }
+        }
+    }
+
+    fn calibrate_from(&mut self, one: Duration) {
+        let target = Duration::from_secs_f64(TARGET_SAMPLE_MS / 1e3);
+        let per_sample = if one.is_zero() {
+            1 << 14
+        } else {
+            (target.as_secs_f64() / one.as_secs_f64()).clamp(1.0, 1e7) as u64
+        };
+        self.iters_per_sample = per_sample.max(1);
+    }
+
+    fn record(&mut self, total: Duration) {
+        self.samples
+            .push(total.as_nanos() as f64 / self.iters_per_sample as f64);
     }
 }
 

@@ -49,8 +49,8 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use atd_distance::{
-    BuildConfig as PllBuildConfig, BuildProfile, IncrementalError, IncrementalReport, LabelStats,
-    PrunedLandmarkLabeling, RetryPolicy, SourceScatter, VertexOrder,
+    BuildConfig as PllBuildConfig, BuildProfile, IncrementalError, IncrementalReport,
+    IndexLoadMode, LabelStats, PrunedLandmarkLabeling, RetryPolicy, SourceScatter, VertexOrder,
 };
 use atd_graph::{dijkstra_with_targets, ExpertGraph, NodeId, SubTree};
 
@@ -114,6 +114,18 @@ pub struct DiscoveryOptions {
     /// (keeping the old snapshot) rather than block a swap thread on an
     /// unplanned multi-second rebuild.
     pub pll_load_only: bool,
+    /// How `pll_index_path` loads materialize the index:
+    /// [`IndexLoadMode::Owned`] (default) decodes the file into owned
+    /// storage with full structural validation, while
+    /// [`IndexLoadMode::Mmap`] memory-maps it and borrows the label
+    /// planes straight from the page cache — zero decode, zero copy for
+    /// format-v2 files (v1 files transparently fall back to the owned
+    /// decode). Queries are bit-identical either way; mmap trades load
+    /// time and private RSS for checksum-level (rather than per-entry)
+    /// validation and query-time page-ins. Applies to the base index and
+    /// the per-γ sidecars alike; saves are unaffected (a save from an
+    /// mmap-loaded engine copies on write, never touching the mapping).
+    pub pll_load_mode: IndexLoadMode,
     /// Retry policy for the persistence I/O of the cold start (the
     /// index load, and the save-after-build). Only transient I/O errors
     /// are retried; structural failures (stale/corrupt files) keep
@@ -133,6 +145,7 @@ impl Default for DiscoveryOptions {
             pll_build: PllBuildConfig::default(),
             pll_index_path: None,
             pll_load_only: false,
+            pll_load_mode: IndexLoadMode::default(),
             pll_retry: RetryPolicy::default(),
         }
     }
@@ -171,6 +184,23 @@ impl RankingContext {
     /// a successful build degrades to a recorded warning (the second
     /// tuple element) — the in-memory index is fine, so a read-only
     /// index directory must not kill the run.
+    /// [`DiscoveryOptions::pll_load_mode`] dispatch: decode into owned
+    /// storage or memory-map and borrow, under the same retry policy.
+    fn load_index(
+        path: &Path,
+        graph: &ExpertGraph,
+        options: &DiscoveryOptions,
+    ) -> Result<PrunedLandmarkLabeling, atd_distance::PersistError> {
+        match options.pll_load_mode {
+            IndexLoadMode::Owned => {
+                PrunedLandmarkLabeling::load_from_with_retry(path, graph, &options.pll_retry)
+            }
+            IndexLoadMode::Mmap => {
+                PrunedLandmarkLabeling::load_mmap_with_retry(path, graph, &options.pll_retry)
+            }
+        }
+    }
+
     fn load_or_build(
         graph: ExpertGraph,
         options: &DiscoveryOptions,
@@ -181,7 +211,7 @@ impl RankingContext {
         // another process is never raced).
         atd_distance::persist::sweep_orphaned_tmp(path);
         let config = &options.pll_build;
-        match PrunedLandmarkLabeling::load_from_with_retry(path, &graph, &options.pll_retry) {
+        match Self::load_index(path, &graph, options) {
             Ok(pll) if pll.storage() == config.storage => {
                 return Ok((
                     RankingContext {
@@ -231,9 +261,7 @@ impl RankingContext {
     /// index directory must not poison an otherwise healthy query path).
     fn load_or_build_sidecar(graph: ExpertGraph, options: &DiscoveryOptions, path: &Path) -> Self {
         atd_distance::persist::sweep_orphaned_tmp(path);
-        if let Ok(pll) =
-            PrunedLandmarkLabeling::load_from_with_retry(path, &graph, &options.pll_retry)
-        {
+        if let Ok(pll) = Self::load_index(path, &graph, options) {
             if pll.storage() == options.pll_build.storage {
                 return RankingContext {
                     graph,
@@ -488,6 +516,16 @@ impl Discovery {
     /// missing/stale/corrupt (all of which trigger a build-and-save).
     pub fn pll_index_loaded(&self) -> bool {
         self.base.loaded_from_disk
+    }
+
+    /// Whether the base (CC) index's label planes are borrowed from a
+    /// memory-mapped index file instead of owned — `true` only when the
+    /// engine loaded a format-v2 file under
+    /// [`IndexLoadMode::Mmap`](DiscoveryOptions::pll_load_mode). Every
+    /// mutation path (incremental refresh, checkpoint saves) copies on
+    /// write, so a `true` here never means the file itself is at risk.
+    pub fn pll_index_zero_copy(&self) -> bool {
+        self.base.pll.labels().is_zero_copy()
     }
 
     /// The warning recorded when the cold start built the index but

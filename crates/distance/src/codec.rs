@@ -29,6 +29,7 @@ use crate::dict::{CompressedDictLabelSet, DictDecoder, DictEntries, DictLabelSet
 use crate::label::{
     merge_join_entries, LabelEntry, LabelRef, LabelSet, LabelSetBuilder, LabelStats,
 };
+use crate::plane::Plane;
 
 #[cfg(test)]
 use crate::label::merge_join_min;
@@ -234,24 +235,26 @@ pub(crate) const PREV_NONE: u32 = u32::MAX;
 /// index memory table).
 #[derive(Clone, Debug, Default)]
 pub struct CompressedLabelSet {
+    // Planes are borrowed-or-owned (`Plane`); encoders write through
+    // `vec_mut()` (copy-on-write), readers through `Deref` slices.
     /// Entry offsets into `dists`; `offsets[v]..offsets[v+1]` is node `v`.
-    pub(crate) offsets: Vec<u32>,
+    pub(crate) offsets: Plane<u32>,
     /// Byte offsets into `rank_bytes`; one block per node.
-    pub(crate) byte_offsets: Vec<u32>,
+    pub(crate) byte_offsets: Plane<u32>,
     /// Concatenated per-node varint gap streams.
-    pub(crate) rank_bytes: Vec<u8>,
+    pub(crate) rank_bytes: Plane<u8>,
     /// All distances, flat and uncompressed, parallel to decode order.
-    pub(crate) dists: Vec<f64>,
+    pub(crate) dists: Plane<f64>,
 }
 
 impl CompressedLabelSet {
     /// An empty compressed label set for `n` nodes.
     pub fn new(n: usize) -> Self {
         CompressedLabelSet {
-            offsets: vec![0; n + 1],
-            byte_offsets: vec![0; n + 1],
-            rank_bytes: Vec::new(),
-            dists: Vec::new(),
+            offsets: vec![0; n + 1].into(),
+            byte_offsets: vec![0; n + 1].into(),
+            rank_bytes: Plane::new(),
+            dists: Plane::new(),
         }
     }
 
@@ -262,13 +265,13 @@ impl CompressedLabelSet {
         let total: usize = lists.iter().map(|l| l.len()).sum();
         assert!(total <= u32::MAX as usize, "label store overflow");
         let mut out = CompressedLabelSet {
-            offsets: Vec::with_capacity(lists.len() + 1),
-            byte_offsets: Vec::with_capacity(lists.len() + 1),
-            rank_bytes: Vec::new(),
-            dists: Vec::with_capacity(total),
+            offsets: Vec::with_capacity(lists.len() + 1).into(),
+            byte_offsets: Vec::with_capacity(lists.len() + 1).into(),
+            rank_bytes: Plane::new(),
+            dists: Vec::with_capacity(total).into(),
         };
-        out.offsets.push(0);
-        out.byte_offsets.push(0);
+        out.offsets.vec_mut().push(0);
+        out.byte_offsets.vec_mut().push(0);
         for list in lists {
             out.encode_node(list.iter().copied());
         }
@@ -279,13 +282,13 @@ impl CompressedLabelSet {
     pub fn from_label_set(labels: &LabelSet) -> Self {
         let n = labels.num_nodes();
         let mut out = CompressedLabelSet {
-            offsets: Vec::with_capacity(n + 1),
-            byte_offsets: Vec::with_capacity(n + 1),
-            rank_bytes: Vec::new(),
-            dists: Vec::with_capacity(labels.stats().total_entries),
+            offsets: Vec::with_capacity(n + 1).into(),
+            byte_offsets: Vec::with_capacity(n + 1).into(),
+            rank_bytes: Plane::new(),
+            dists: Vec::with_capacity(labels.stats().total_entries).into(),
         };
-        out.offsets.push(0);
-        out.byte_offsets.push(0);
+        out.offsets.vec_mut().push(0);
+        out.byte_offsets.vec_mut().push(0);
         for v in 0..n {
             out.encode_node(labels.of(v).iter());
         }
@@ -303,8 +306,8 @@ impl CompressedLabelSet {
                 prev == PREV_NONE || prev < e.hub_rank,
                 "label entries must ascend strictly in hub rank"
             );
-            write_varint(gap(prev, e.hub_rank), &mut self.rank_bytes);
-            self.dists.push(e.dist);
+            write_varint(gap(prev, e.hub_rank), self.rank_bytes.vec_mut());
+            self.dists.vec_mut().push(e.dist);
             prev = e.hub_rank;
         }
         self.close_block();
@@ -316,8 +319,10 @@ impl CompressedLabelSet {
             self.dists.len() <= u32::MAX as usize && self.rank_bytes.len() <= u32::MAX as usize,
             "label store overflow"
         );
-        self.offsets.push(self.dists.len() as u32);
-        self.byte_offsets.push(self.rank_bytes.len() as u32);
+        let dists_len = self.dists.len() as u32;
+        let bytes_len = self.rank_bytes.len() as u32;
+        self.offsets.vec_mut().push(dists_len);
+        self.byte_offsets.vec_mut().push(bytes_len);
     }
 
     /// Number of indexed nodes.
@@ -370,14 +375,17 @@ impl CompressedLabelSet {
         let n = self.num_nodes();
         debug_assert_eq!(work.len(), n);
         debug_assert!(dirty.windows(2).all(|w| w[0] < w[1]), "dirty must ascend");
+        // Patching always emits a fully owned store (even over an
+        // mmap-backed one): clean blocks are *copied* byte-for-byte, so
+        // the shared mapping is never written through.
         let mut out = CompressedLabelSet {
-            offsets: Vec::with_capacity(n + 1),
-            byte_offsets: Vec::with_capacity(n + 1),
-            rank_bytes: Vec::new(),
-            dists: Vec::new(),
+            offsets: Vec::with_capacity(n + 1).into(),
+            byte_offsets: Vec::with_capacity(n + 1).into(),
+            rank_bytes: Plane::new(),
+            dists: Plane::new(),
         };
-        out.offsets.push(0);
-        out.byte_offsets.push(0);
+        out.offsets.vec_mut().push(0);
+        out.byte_offsets.vec_mut().push(0);
         let mut di = 0usize;
         for (v, wv) in work.iter().enumerate() {
             if dirty.get(di) == Some(&v) {
@@ -385,12 +393,20 @@ impl CompressedLabelSet {
                 out.encode_node(wv.iter().copied());
             } else {
                 let (bytes, dists) = self.block(v);
-                out.rank_bytes.extend_from_slice(bytes);
-                out.dists.extend_from_slice(dists);
+                out.rank_bytes.vec_mut().extend_from_slice(bytes);
+                out.dists.vec_mut().extend_from_slice(dists);
                 out.close_block();
             }
         }
         out
+    }
+
+    /// True when any plane borrows from a mapped index file.
+    pub(crate) fn is_zero_copy(&self) -> bool {
+        self.offsets.is_borrowed()
+            || self.byte_offsets.is_borrowed()
+            || self.rank_bytes.is_borrowed()
+            || self.dists.is_borrowed()
     }
 
     /// Computes summary statistics. `bytes` counts all four arrays —
@@ -613,6 +629,19 @@ impl LabelStore {
             LabelStorage::CompressedDict => CompressedDictLabelSet::from_lists(&lists).stats(),
         }
     }
+
+    /// True when any plane of the active backend borrows from a mapped
+    /// index file (the store came through
+    /// [`LabelStore::load_mmap`](crate::persist) and its planes alias the
+    /// page cache rather than owning copies).
+    pub fn is_zero_copy(&self) -> bool {
+        match self {
+            LabelStore::Csr(l) => l.is_zero_copy(),
+            LabelStore::Compressed(l) => l.is_zero_copy(),
+            LabelStore::CsrDict(l) => l.is_zero_copy(),
+            LabelStore::CompressedDict(l) => l.is_zero_copy(),
+        }
+    }
 }
 
 /// Backend-independent iterator over one node's label entries (ascending
@@ -674,13 +703,13 @@ impl LabelSetBuilder {
         let n = self.num_nodes();
         let total = self.total_entries();
         let mut out = CompressedLabelSet {
-            offsets: Vec::with_capacity(n + 1),
-            byte_offsets: Vec::with_capacity(n + 1),
-            rank_bytes: Vec::new(),
-            dists: Vec::with_capacity(total),
+            offsets: Vec::with_capacity(n + 1).into(),
+            byte_offsets: Vec::with_capacity(n + 1).into(),
+            rank_bytes: Plane::new(),
+            dists: Vec::with_capacity(total).into(),
         };
-        out.offsets.push(0);
-        out.byte_offsets.push(0);
+        out.offsets.vec_mut().push(0);
+        out.byte_offsets.vec_mut().push(0);
         let mut scratch: Vec<LabelEntry> = Vec::new();
         for v in 0..n {
             scratch.clear();

@@ -35,6 +35,7 @@ use std::collections::HashSet;
 
 use crate::codec::{gap, read_varint, write_varint, PREV_NONE};
 use crate::label::{merge_join_entries, LabelEntry, LabelSet, LabelSetBuilder, LabelStats, NONE};
+use crate::plane::Plane;
 
 /// A narrow unsigned code type indexing a dictionary table. Sealed to the
 /// three widths [`DistDict`] emits; hot loops are generic over it so each
@@ -65,20 +66,22 @@ impl DistCode for u32 {
     }
 }
 
-/// The code array of a [`DistDict`] in its physical width.
+/// The code array of a [`DistDict`] in its physical width. Each variant
+/// holds a [`Plane`] — owned by encoders, borrowed straight from a
+/// mapped v2 index file by the zero-copy loader.
 #[derive(Clone, Debug)]
 pub(crate) enum CodePlane {
     /// Table has ≤ 2⁸ values.
-    U8(Vec<u8>),
+    U8(Plane<u8>),
     /// Table has ≤ 2¹⁶ values.
-    U16(Vec<u16>),
+    U16(Plane<u16>),
     /// Wider tables.
-    U32(Vec<u32>),
+    U32(Plane<u32>),
 }
 
 impl Default for CodePlane {
     fn default() -> Self {
-        CodePlane::U8(Vec::new())
+        CodePlane::U8(Plane::new())
     }
 }
 
@@ -87,40 +90,40 @@ impl CodePlane {
     /// `num_values`, with room for `capacity` codes.
     fn for_table(num_values: usize, capacity: usize) -> CodePlane {
         if num_values <= 1 << 8 {
-            CodePlane::U8(Vec::with_capacity(capacity))
+            CodePlane::U8(Vec::with_capacity(capacity).into())
         } else if num_values <= 1 << 16 {
-            CodePlane::U16(Vec::with_capacity(capacity))
+            CodePlane::U16(Vec::with_capacity(capacity).into())
         } else {
-            CodePlane::U32(Vec::with_capacity(capacity))
+            CodePlane::U32(Vec::with_capacity(capacity).into())
         }
     }
 
     /// A zero-filled plane of length `len` (for backward-fill writes).
     fn zeroed(num_values: usize, len: usize) -> CodePlane {
         if num_values <= 1 << 8 {
-            CodePlane::U8(vec![0; len])
+            CodePlane::U8(vec![0; len].into())
         } else if num_values <= 1 << 16 {
-            CodePlane::U16(vec![0; len])
+            CodePlane::U16(vec![0; len].into())
         } else {
-            CodePlane::U32(vec![0; len])
+            CodePlane::U32(vec![0; len].into())
         }
     }
 
     #[inline]
     fn push(&mut self, code: u32) {
         match self {
-            CodePlane::U8(v) => v.push(code as u8),
-            CodePlane::U16(v) => v.push(code as u16),
-            CodePlane::U32(v) => v.push(code),
+            CodePlane::U8(v) => v.vec_mut().push(code as u8),
+            CodePlane::U16(v) => v.vec_mut().push(code as u16),
+            CodePlane::U32(v) => v.vec_mut().push(code),
         }
     }
 
     #[inline]
     fn set(&mut self, i: usize, code: u32) {
         match self {
-            CodePlane::U8(v) => v[i] = code as u8,
-            CodePlane::U16(v) => v[i] = code as u16,
-            CodePlane::U32(v) => v[i] = code,
+            CodePlane::U8(v) => v.vec_mut()[i] = code as u8,
+            CodePlane::U16(v) => v.vec_mut()[i] = code as u16,
+            CodePlane::U32(v) => v.vec_mut()[i] = code,
         }
     }
 
@@ -149,6 +152,15 @@ impl CodePlane {
             CodePlane::U32(_) => 4,
         }
     }
+
+    /// True when the codes borrow from a mapped index file.
+    fn is_borrowed(&self) -> bool {
+        match self {
+            CodePlane::U8(v) => v.is_borrowed(),
+            CodePlane::U16(v) => v.is_borrowed(),
+            CodePlane::U32(v) => v.is_borrowed(),
+        }
+    }
 }
 
 /// A borrowed code sub-slice in its physical width, for width-specialized
@@ -175,7 +187,7 @@ pub struct DistDict {
     /// Distinct distance values, ascending; entries are unique bit
     /// patterns (all distances are non-negative finite sums, so bit order
     /// and numeric order coincide).
-    pub(crate) table: Vec<f64>,
+    pub(crate) table: Plane<f64>,
     /// One table index per label entry, in decode order.
     pub(crate) codes: CodePlane,
 }
@@ -234,6 +246,11 @@ impl DistDict {
             CodePlane::U32(v) => CodesRef::U32(&v[lo..hi]),
         }
     }
+
+    /// True when the table or code plane borrows from a mapped file.
+    pub(crate) fn is_zero_copy(&self) -> bool {
+        self.table.is_borrowed() || self.codes.is_borrowed()
+    }
 }
 
 /// Two-pass dictionary encoder: pass 1 collects the distinct values into
@@ -281,7 +298,7 @@ impl DictEncoder {
 
     fn into_dict(self, codes: CodePlane) -> DistDict {
         DistDict {
-            table: self.table,
+            table: self.table.into(),
             codes,
         }
     }
@@ -321,7 +338,7 @@ fn patched_encoder(
         && enc
             .table_bits
             .iter()
-            .zip(&dict.table)
+            .zip(dict.table.iter())
             .all(|(&b, &t)| b == t.to_bits());
     let remap = if unchanged {
         None
@@ -357,9 +374,9 @@ fn patched_encoder(
 #[derive(Clone, Debug, Default)]
 pub struct DictLabelSet {
     /// `offsets[v]..offsets[v + 1]` is node `v`'s slice of both planes.
-    pub(crate) offsets: Vec<u32>,
+    pub(crate) offsets: Plane<u32>,
     /// All hub ranks, concatenated per node, ascending within a node.
-    pub(crate) hub_ranks: Vec<u32>,
+    pub(crate) hub_ranks: Plane<u32>,
     /// Dictionary-encoded distances, parallel to `hub_ranks`.
     pub(crate) dists: DistDict,
 }
@@ -377,7 +394,7 @@ impl DictLabelSet {
     pub fn from_label_set(labels: &LabelSet) -> Self {
         let enc = DictEncoder::from_values(labels.dists.iter().copied());
         let mut codes = enc.plane(labels.dists.len());
-        for &d in &labels.dists {
+        for &d in labels.dists.iter() {
             codes.push(enc.code(d));
         }
         DictLabelSet {
@@ -467,9 +484,11 @@ impl DictLabelSet {
             }
             offsets.push(hub_ranks.len() as u32);
         }
+        // Fully owned by construction — patching an mmap-backed store
+        // never writes through the mapping.
         DictLabelSet {
-            offsets,
-            hub_ranks,
+            offsets: offsets.into(),
+            hub_ranks: hub_ranks.into(),
             dists: enc.into_dict(codes),
         }
     }
@@ -492,6 +511,11 @@ impl DictLabelSet {
             self.dists.table_bytes(),
             self.dists.num_values(),
         )
+    }
+
+    /// True when any plane borrows from a mapped index file.
+    pub(crate) fn is_zero_copy(&self) -> bool {
+        self.offsets.is_borrowed() || self.hub_ranks.is_borrowed() || self.dists.is_zero_copy()
     }
 }
 
@@ -556,12 +580,12 @@ impl ExactSizeIterator for DictEntries<'_> {}
 pub struct CompressedDictLabelSet {
     /// Entry offsets into the code plane; `offsets[v]..offsets[v+1]` is
     /// node `v`.
-    pub(crate) offsets: Vec<u32>,
+    pub(crate) offsets: Plane<u32>,
     /// Byte offsets into `rank_bytes`; one block per node.
-    pub(crate) byte_offsets: Vec<u32>,
+    pub(crate) byte_offsets: Plane<u32>,
     /// Concatenated per-node varint gap streams (same encoding as
     /// [`CompressedLabelSet`](crate::codec::CompressedLabelSet)).
-    pub(crate) rank_bytes: Vec<u8>,
+    pub(crate) rank_bytes: Plane<u8>,
     /// Dictionary-encoded distances, parallel to decode order.
     pub(crate) dists: DistDict,
 }
@@ -581,17 +605,17 @@ impl CompressedDictLabelSet {
         let enc = DictEncoder::from_values(labels.dists.iter().copied());
         let mut codes = enc.plane(labels.dists.len());
         let mut out = CompressedDictLabelSet {
-            offsets: Vec::with_capacity(n + 1),
-            byte_offsets: Vec::with_capacity(n + 1),
-            rank_bytes: Vec::new(),
+            offsets: Vec::with_capacity(n + 1).into(),
+            byte_offsets: Vec::with_capacity(n + 1).into(),
+            rank_bytes: Plane::new(),
             dists: DistDict::default(),
         };
-        out.offsets.push(0);
-        out.byte_offsets.push(0);
+        out.offsets.vec_mut().push(0);
+        out.byte_offsets.vec_mut().push(0);
         for v in 0..n {
             let mut prev = PREV_NONE;
             for e in labels.of(v).iter() {
-                write_varint(gap(prev, e.hub_rank), &mut out.rank_bytes);
+                write_varint(gap(prev, e.hub_rank), out.rank_bytes.vec_mut());
                 codes.push(enc.code(e.dist));
                 prev = e.hub_rank;
             }
@@ -607,8 +631,9 @@ impl CompressedDictLabelSet {
             entries <= u32::MAX as usize && self.rank_bytes.len() <= u32::MAX as usize,
             "label store overflow"
         );
-        self.offsets.push(entries as u32);
-        self.byte_offsets.push(self.rank_bytes.len() as u32);
+        let bytes_len = self.rank_bytes.len() as u32;
+        self.offsets.vec_mut().push(entries as u32);
+        self.byte_offsets.vec_mut().push(bytes_len);
     }
 
     /// Number of indexed nodes.
@@ -672,14 +697,16 @@ impl CompressedDictLabelSet {
         debug_assert!(dirty.windows(2).all(|w| w[0] < w[1]), "dirty must ascend");
         let (enc, remap, total) = patched_encoder(&self.dists, &self.offsets, work, dirty);
         let mut codes = enc.plane(total);
+        // Fully owned by construction — clean blocks are copied, so an
+        // mmap-backed store is never written through.
         let mut out = CompressedDictLabelSet {
-            offsets: Vec::with_capacity(n + 1),
-            byte_offsets: Vec::with_capacity(n + 1),
-            rank_bytes: Vec::new(),
+            offsets: Vec::with_capacity(n + 1).into(),
+            byte_offsets: Vec::with_capacity(n + 1).into(),
+            rank_bytes: Plane::new(),
             dists: DistDict::default(),
         };
-        out.offsets.push(0);
-        out.byte_offsets.push(0);
+        out.offsets.vec_mut().push(0);
+        out.byte_offsets.vec_mut().push(0);
         let mut di = 0usize;
         for (v, wv) in work.iter().enumerate() {
             if dirty.get(di) == Some(&v) {
@@ -690,13 +717,13 @@ impl CompressedDictLabelSet {
                         prev == PREV_NONE || prev < e.hub_rank,
                         "label entries must ascend strictly in hub rank"
                     );
-                    write_varint(gap(prev, e.hub_rank), &mut out.rank_bytes);
+                    write_varint(gap(prev, e.hub_rank), out.rank_bytes.vec_mut());
                     codes.push(enc.code(e.dist));
                     prev = e.hub_rank;
                 }
             } else {
                 let (bytes, lo, hi) = self.block(v);
-                out.rank_bytes.extend_from_slice(bytes);
+                out.rank_bytes.vec_mut().extend_from_slice(bytes);
                 for i in lo..hi {
                     let old = self.dists.codes.get(i) as u32;
                     codes.push(match &remap {
@@ -729,6 +756,14 @@ impl CompressedDictLabelSet {
             self.dists.table_bytes(),
             self.dists.num_values(),
         )
+    }
+
+    /// True when any plane borrows from a mapped index file.
+    pub(crate) fn is_zero_copy(&self) -> bool {
+        self.offsets.is_borrowed()
+            || self.byte_offsets.is_borrowed()
+            || self.rank_bytes.is_borrowed()
+            || self.dists.is_zero_copy()
     }
 }
 
@@ -809,8 +844,8 @@ impl LabelSetBuilder {
             debug_assert_eq!(slot, offsets[v] as usize, "chain/count mismatch");
         }
         DictLabelSet {
-            offsets,
-            hub_ranks,
+            offsets: offsets.into(),
+            hub_ranks: hub_ranks.into(),
             dists: enc.into_dict(codes),
         }
     }
@@ -825,20 +860,20 @@ impl LabelSetBuilder {
         let enc = DictEncoder::from_values(self.arena_dists.iter().copied());
         let mut codes = enc.plane(total);
         let mut out = CompressedDictLabelSet {
-            offsets: Vec::with_capacity(n + 1),
-            byte_offsets: Vec::with_capacity(n + 1),
-            rank_bytes: Vec::new(),
+            offsets: Vec::with_capacity(n + 1).into(),
+            byte_offsets: Vec::with_capacity(n + 1).into(),
+            rank_bytes: Plane::new(),
             dists: DistDict::default(),
         };
-        out.offsets.push(0);
-        out.byte_offsets.push(0);
+        out.offsets.vec_mut().push(0);
+        out.byte_offsets.vec_mut().push(0);
         let mut scratch: Vec<LabelEntry> = Vec::new();
         for v in 0..n {
             scratch.clear();
             scratch.extend(self.entries(v)); // newest first = descending
             let mut prev = PREV_NONE;
             for e in scratch.iter().rev() {
-                write_varint(gap(prev, e.hub_rank), &mut out.rank_bytes);
+                write_varint(gap(prev, e.hub_rank), out.rank_bytes.vec_mut());
                 codes.push(enc.code(e.dist));
                 prev = e.hub_rank;
             }

@@ -12,6 +12,12 @@
 //! [`LabelSetBuilder`] instead journals entries into one flat arena with
 //! per-node backward links and converts to CSR in a final `O(total)`
 //! counting pass — no per-node `Vec` intermediate at any point.
+//!
+//! Each plane is a [`Plane`] (owned `Vec` or a slice borrowed from a
+//! mapped index file); all reads go through slices, so queries are
+//! identical either way.
+
+use crate::plane::Plane;
 
 /// One label entry: this node is at distance `dist` from the hub with
 /// construction rank `hub_rank`.
@@ -76,13 +82,15 @@ impl<'a> LabelRef<'a> {
 pub struct LabelSet {
     // The three planes are (de)serialized field-by-field by `persist.rs`,
     // whose load-time validation re-establishes every invariant stated
-    // here — keep the two in sync when changing the layout.
+    // here — keep the two in sync when changing the layout. Each plane is
+    // either owned or borrowed from a mapped v2 index file (`Plane`);
+    // every read below goes through `Deref<Target = [T]>`.
     /// `offsets[v]..offsets[v + 1]` is node `v`'s slice of the flat arrays.
-    pub(crate) offsets: Vec<u32>,
+    pub(crate) offsets: Plane<u32>,
     /// All hub ranks, concatenated per node, ascending within a node.
-    pub(crate) hub_ranks: Vec<u32>,
+    pub(crate) hub_ranks: Plane<u32>,
     /// All distances, parallel to `hub_ranks`.
-    pub(crate) dists: Vec<f64>,
+    pub(crate) dists: Plane<f64>,
 }
 
 /// Summary statistics of a built index.
@@ -188,9 +196,9 @@ impl LabelSet {
     /// An empty label set for `n` nodes.
     pub fn new(n: usize) -> Self {
         LabelSet {
-            offsets: vec![0; n + 1],
-            hub_ranks: Vec::new(),
-            dists: Vec::new(),
+            offsets: vec![0; n + 1].into(),
+            hub_ranks: Plane::new(),
+            dists: Plane::new(),
         }
     }
 
@@ -216,9 +224,9 @@ impl LabelSet {
             offsets.push(hub_ranks.len() as u32);
         }
         LabelSet {
-            offsets,
-            hub_ranks,
-            dists,
+            offsets: offsets.into(),
+            hub_ranks: hub_ranks.into(),
+            dists: dists.into(),
         }
     }
 
@@ -291,11 +299,19 @@ impl LabelSet {
         let lo = self.offsets[clean_from] as usize;
         hub_ranks.extend_from_slice(&self.hub_ranks[lo..]);
         dists.extend_from_slice(&self.dists[lo..]);
+        // The patched store is owned by construction: patching an
+        // mmap-backed set copies into fresh `Vec`s and never writes
+        // through the mapping (the CoW half of the zero-copy contract).
         LabelSet {
-            offsets,
-            hub_ranks,
-            dists,
+            offsets: offsets.into(),
+            hub_ranks: hub_ranks.into(),
+            dists: dists.into(),
         }
+    }
+
+    /// True when any plane borrows from a mapped index file.
+    pub(crate) fn is_zero_copy(&self) -> bool {
+        self.offsets.is_borrowed() || self.hub_ranks.is_borrowed() || self.dists.is_borrowed()
     }
 
     /// Computes summary statistics.
@@ -419,9 +435,9 @@ impl LabelSetBuilder {
             debug_assert_eq!(slot, offsets[v] as usize, "chain/count mismatch");
         }
         LabelSet {
-            offsets,
-            hub_ranks,
-            dists,
+            offsets: offsets.into(),
+            hub_ranks: hub_ranks.into(),
+            dists: dists.into(),
         }
     }
 }

@@ -47,9 +47,11 @@ pub mod dict;
 pub mod dijkstra_oracle;
 pub mod incremental;
 pub mod label;
+pub mod mmap;
 pub mod oracle;
 pub mod order;
 pub mod persist;
+pub mod plane;
 pub mod pll;
 pub mod scatter;
 
@@ -61,11 +63,13 @@ pub use label::{
     JournalCursor, JournalShard, LabelEntry, LabelRef, LabelSet, LabelSetBuilder, LabelStats,
     ShardedJournal,
 };
+pub use mmap::MmapRegion;
 pub use oracle::DistanceOracle;
 pub use order::{degree_descending_order, VertexOrder};
 pub use persist::{
-    atomic_write, graph_fingerprint, sweep_orphaned_tmp, sweep_orphaned_tmp_dir, PersistError,
-    RetryPolicy, SnapshotFingerprint,
+    atomic_write, graph_fingerprint, sweep_orphaned_tmp, sweep_orphaned_tmp_dir, IndexLoadMode,
+    PersistError, RetryPolicy, SnapshotFingerprint,
 };
+pub use plane::{Plane, PlanePod};
 pub use pll::{BatchProfile, BuildConfig, BuildProfile, PrunedLandmarkLabeling};
 pub use scatter::SourceScatter;

@@ -21,6 +21,14 @@
 //! any malformed input. See `crates/distance/src/README.md` for the
 //! byte-level format specification.
 //!
+//! Format **v2** lays every plane out 8-byte-aligned (length-prefixed,
+//! zero-padded, with a leading `max_rank` word and a word-lane payload
+//! checksum) so that [`LabelStore::load_mmap`] /
+//! [`PrunedLandmarkLabeling::load_mmap`] can memory-map a file and
+//! borrow the planes in place — zero decode, zero copy, bit-identical
+//! queries ([`IndexLoadMode`] selects between the two load paths).
+//! v1 files remain readable through the owned decode path.
+//!
 //! Typical use is the load-or-build cold start
 //! (`DiscoveryOptions::pll_index_path` in `atd-core` wires this up
 //! end-to-end):
@@ -52,6 +60,7 @@
 use std::fmt;
 use std::io::Read;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use atd_graph::ExpertGraph;
@@ -59,17 +68,48 @@ use atd_graph::ExpertGraph;
 use crate::codec::{try_read_varint, CompressedLabelSet, LabelStorage, LabelStore, VarintError};
 use crate::dict::{CodePlane, CompressedDictLabelSet, DictLabelSet, DistDict};
 use crate::label::LabelSet;
+use crate::mmap::MmapRegion;
+use crate::plane::{Plane, PlanePod};
 use crate::pll::PrunedLandmarkLabeling;
 
 /// File magic, the first four bytes of every index dump.
 pub const MAGIC: [u8; 4] = *b"ATDL";
 
-/// Current on-disk format version.
-pub const FORMAT_VERSION: u16 = 1;
+/// Current on-disk format version: 8-byte-aligned planes and a word-lane
+/// checksum, the layout [`LabelStore::load_mmap`] borrows in place.
+pub const FORMAT_VERSION: u16 = 2;
+
+/// The unaligned byte-packed v1 layout. Still readable (decoded into
+/// owned storage, never borrowed); no longer written except by the
+/// hidden legacy writer the compatibility tests use.
+pub const LEGACY_FORMAT_VERSION: u16 = 1;
 
 /// Fixed header length in bytes (see the format spec in
-/// `crates/distance/src/README.md`).
+/// `crates/distance/src/README.md`). A multiple of 8, so v2 payload
+/// offsets are file offsets modulo alignment.
 pub const HEADER_LEN: usize = 48;
+
+/// How `DiscoveryOptions::pll_index_path`-style cold starts materialize
+/// a persisted index in memory.
+///
+/// Both modes produce bit-identical query results; they differ only in
+/// where the label planes live and what loading costs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum IndexLoadMode {
+    /// Decode the file into owned `Vec` planes
+    /// ([`PrunedLandmarkLabeling::load_from`]), running the full
+    /// structural validation suite. Portable, defensive, `O(payload)`
+    /// decode work.
+    #[default]
+    Owned,
+    /// Memory-map the file and borrow every plane straight from the page
+    /// cache ([`PrunedLandmarkLabeling::load_mmap`]) — zero decode, zero
+    /// copy for format-v2 files. Validation is the payload checksum plus
+    /// `O(nodes)` metadata checks; v1 files fall back to the owned
+    /// decode path. First-touch page-ins are charged to queries instead
+    /// of load time.
+    Mmap,
+}
 
 /// Why a save or load failed.
 ///
@@ -83,7 +123,8 @@ pub enum PersistError {
     Io(std::io::Error),
     /// The file does not start with [`MAGIC`] — not an index dump.
     BadMagic,
-    /// The file's format version is not [`FORMAT_VERSION`].
+    /// The file's format version is newer than [`FORMAT_VERSION`] (or
+    /// zero) — this build reads versions 1 and 2 only.
     UnsupportedVersion(u16),
     /// The header's storage tag names no known [`LabelStorage`] backend.
     BadStorageTag(u8),
@@ -116,7 +157,8 @@ impl fmt::Display for PersistError {
             PersistError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported index format version {v} (this build reads {FORMAT_VERSION})"
+                    "unsupported index format version {v} (this build reads \
+                     {LEGACY_FORMAT_VERSION}..={FORMAT_VERSION})"
                 )
             }
             PersistError::BadStorageTag(t) => write!(f, "unknown label storage tag {t}"),
@@ -298,7 +340,7 @@ impl SnapshotFingerprint {
             return Err(PersistError::BadMagic);
         }
         let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
-        if version != FORMAT_VERSION {
+        if !(LEGACY_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(PersistError::UnsupportedVersion(version));
         }
         let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
@@ -341,9 +383,15 @@ impl Fnv64 {
         }
     }
 
+    /// Word-at-a-time absorption: one xor + multiply per `u64` instead
+    /// of eight. Distinct from (and incompatible with) the byte-wise
+    /// [`write`](Self::write) — used where the hash is only ever
+    /// compared against values computed by this same code (the graph
+    /// fingerprint, the v2 checksum fold), never against a byte stream.
     #[inline]
-    fn write_u64(&mut self, v: u64) {
-        self.write(&v.to_le_bytes());
+    fn absorb_u64(&mut self, v: u64) {
+        self.0 ^= v;
+        self.0 = self.0.wrapping_mul(Self::PRIME);
     }
 }
 
@@ -351,22 +399,113 @@ impl Fnv64 {
 /// every undirected edge as `(u, v, weight bits)` in canonical order) —
 /// the staleness check of the on-disk header. Any change to topology or
 /// weights changes this value.
+///
+/// Memoized per graph instance (the graph is immutable after
+/// construction): the first call hashes the CSR arrays, later calls on
+/// the same instance are a load. The hash sits on every index load —
+/// owned and zero-copy — and on every durable journal append, so both
+/// the first computation and the repeat lookups matter.
 pub fn graph_fingerprint(g: &ExpertGraph) -> u64 {
-    let mut h = Fnv64::new();
-    h.write_u64(g.num_nodes() as u64);
-    h.write_u64(g.num_edges() as u64);
-    for (u, v, w) in g.edges() {
-        h.write_u64(u.index() as u64);
-        h.write_u64(v.index() as u64);
-        h.write_u64(w.to_bits());
+    g.fingerprint_or_init(compute_graph_fingerprint)
+}
+
+fn compute_graph_fingerprint(g: &ExpertGraph) -> u64 {
+    // Word-at-a-time FNV lanes straight over the canonical CSR arrays
+    // (offsets, targets, weights each hashed separately), folded at
+    // the end. The arrays fully determine topology and weights, and the
+    // builder's layout is canonical, so two equal graphs always hash
+    // equal. The fingerprint sits on every load path — including the
+    // zero-copy one, where the old per-edge iterator walk would be a
+    // large fraction of the total — and on every durable append, so
+    // branch-free bulk absorption matters. The value is always
+    // recomputed by this same code before comparison, never parsed from
+    // foreign bytes.
+    // Each array is absorbed through four interleaved lanes (element i
+    // goes to lane i mod 4) so the xor-multiply recurrences of adjacent
+    // elements are independent and pipeline past the multiplier's
+    // latency; a single lane per array is latency-bound at ~3 cycles
+    // per element.
+    #[inline]
+    fn striped<T: Copy>(vals: &[T], to: impl Fn(T) -> u64) -> u64 {
+        let mut lanes = [Fnv64::new(), Fnv64::new(), Fnv64::new(), Fnv64::new()];
+        let mut chunks = vals.chunks_exact(4);
+        for c in &mut chunks {
+            lanes[0].absorb_u64(to(c[0]));
+            lanes[1].absorb_u64(to(c[1]));
+            lanes[2].absorb_u64(to(c[2]));
+            lanes[3].absorb_u64(to(c[3]));
+        }
+        for (lane, &v) in lanes.iter_mut().zip(chunks.remainder()) {
+            lane.absorb_u64(to(v));
+        }
+        let mut h = Fnv64::new();
+        for lane in lanes {
+            h.absorb_u64(lane.0);
+        }
+        h.0
     }
+    let (offsets, targets, weights) = g.csr_parts();
+    let ho = striped(offsets, |o| o as u64);
+    let ht = striped(targets, |t| t.index() as u64);
+    let hw = striped(weights, |w| w.to_bits());
+    let mut h = Fnv64::new();
+    h.absorb_u64(g.num_nodes() as u64);
+    h.absorb_u64(g.num_edges() as u64);
+    h.absorb_u64(ho);
+    h.absorb_u64(ht);
+    h.absorb_u64(hw);
     h.0
 }
 
-/// The checksum the format stores over its payload bytes (FNV-1a 64).
-/// Public so external tooling — and the corruption tests — can re-seal a
-/// patched payload and exercise the structural validation behind it.
+/// The checksum format v2 stores over its payload bytes: eight
+/// interleaved lanes over 512-byte blocks, each lane absorbing eight
+/// little-endian `u64` words — one through the FNV xor-multiply step,
+/// seven through xor at distinct rotations — folded together with the
+/// tail bytes and the payload length through the FNV step. The v1
+/// checksum pays one multiply per *byte*; this pays one per 64 bytes
+/// per lane, which takes the mmap load path's single full-payload pass
+/// from multiply-throughput bound to memory-bandwidth bound. Every
+/// absorption is bijective in the lane state, so corrupting any single
+/// byte (or truncating anywhere) changes the final value
+/// deterministically — the property the corruption suite drives
+/// byte-by-byte; multi-byte bit rot is caught with high probability
+/// (this is an integrity code, not a cryptographic hash). Public so
+/// external tooling — and the corruption tests — can re-seal a patched
+/// payload and exercise the structural validation behind it.
 pub fn checksum(payload: &[u8]) -> u64 {
+    #[inline(always)]
+    fn word(block: &[u8], at: usize) -> u64 {
+        u64::from_le_bytes(block[at..at + 8].try_into().expect("8-byte word"))
+    }
+    let mut lanes = [Fnv64::OFFSET; 8];
+    let mut blocks = payload.chunks_exact(512);
+    for block in &mut blocks {
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            let base = i * 64;
+            *lane = (*lane ^ word(block, base)).wrapping_mul(Fnv64::PRIME)
+                ^ word(block, base + 8).rotate_left(5)
+                ^ word(block, base + 16).rotate_left(13)
+                ^ word(block, base + 24).rotate_left(21)
+                ^ word(block, base + 32).rotate_left(29)
+                ^ word(block, base + 40).rotate_left(37)
+                ^ word(block, base + 48).rotate_left(45)
+                ^ word(block, base + 56).rotate_left(53);
+        }
+    }
+    let mut tail = Fnv64::new();
+    tail.write(blocks.remainder());
+    let mut h = Fnv64::new();
+    for lane in lanes {
+        h.absorb_u64(lane);
+    }
+    h.absorb_u64(tail.0);
+    h.absorb_u64(payload.len() as u64);
+    h.0
+}
+
+/// The byte-wise FNV-1a-64 checksum format v1 stored; kept so legacy
+/// files still verify (and so the hidden v1 writer can seal them).
+fn checksum_v1(payload: &[u8]) -> u64 {
     let mut h = Fnv64::new();
     h.write(payload);
     h.0
@@ -499,50 +638,86 @@ fn sweep_dir_with(dir: &Path, applies: impl Fn(&str) -> bool) -> usize {
 // Payload writer
 // ---------------------------------------------------------------------
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
+/// Serializes planes as `[len: u64][data]`, zero-padding each plane's
+/// data to the next 8-byte boundary when `aligned` (format v2 — what
+/// lets the mmap loader reinterpret planes in place). With `aligned`
+/// off it reproduces the byte-packed v1 layout exactly.
+struct PayloadWriter {
+    out: Vec<u8>,
+    aligned: bool,
 }
 
-fn put_u32_slice(out: &mut Vec<u8>, v: &[u32]) {
-    put_u64(out, v.len() as u64);
-    for &x in v {
-        out.extend_from_slice(&x.to_le_bytes());
-    }
-}
-
-fn put_u16_slice(out: &mut Vec<u8>, v: &[u16]) {
-    put_u64(out, v.len() as u64);
-    for &x in v {
-        out.extend_from_slice(&x.to_le_bytes());
-    }
-}
-
-fn put_u8_slice(out: &mut Vec<u8>, v: &[u8]) {
-    put_u64(out, v.len() as u64);
-    out.extend_from_slice(v);
-}
-
-fn put_f64_slice(out: &mut Vec<u8>, v: &[f64]) {
-    put_u64(out, v.len() as u64);
-    for &x in v {
-        out.extend_from_slice(&x.to_bits().to_le_bytes());
-    }
-}
-
-fn put_dict(out: &mut Vec<u8>, dict: &DistDict) {
-    put_f64_slice(out, &dict.table);
-    match &dict.codes {
-        CodePlane::U8(c) => {
-            out.push(1);
-            put_u8_slice(out, c);
+impl PayloadWriter {
+    fn new(aligned: bool) -> PayloadWriter {
+        PayloadWriter {
+            out: Vec::new(),
+            aligned,
         }
-        CodePlane::U16(c) => {
-            out.push(2);
-            put_u16_slice(out, c);
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Pads to the next 8-byte payload boundary (v2 only). The header is
+    /// itself [`HEADER_LEN`] = 48 bytes, so payload-relative alignment
+    /// is absolute file alignment.
+    fn pad(&mut self) {
+        if self.aligned {
+            while !self.out.len().is_multiple_of(8) {
+                self.out.push(0);
+            }
         }
-        CodePlane::U32(c) => {
-            out.push(4);
-            put_u32_slice(out, c);
+    }
+
+    fn u32_slice(&mut self, v: &[u32]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.out.extend_from_slice(&x.to_le_bytes());
+        }
+        self.pad();
+    }
+
+    fn u16_slice(&mut self, v: &[u16]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.out.extend_from_slice(&x.to_le_bytes());
+        }
+        self.pad();
+    }
+
+    fn u8_slice(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.out.extend_from_slice(v);
+        self.pad();
+    }
+
+    fn f64_slice(&mut self, v: &[f64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        self.pad();
+    }
+
+    fn dict(&mut self, dict: &DistDict) {
+        self.f64_slice(&dict.table);
+        let width: u8 = match &dict.codes {
+            CodePlane::U8(_) => 1,
+            CodePlane::U16(_) => 2,
+            CodePlane::U32(_) => 4,
+        };
+        // v1 spent a single byte on the code width; v2 spends a whole
+        // word so the code plane's length prefix stays aligned.
+        if self.aligned {
+            self.u64(width as u64);
+        } else {
+            self.out.push(width);
+        }
+        match &dict.codes {
+            CodePlane::U8(c) => self.u8_slice(c),
+            CodePlane::U16(c) => self.u16_slice(c),
+            CodePlane::U32(c) => self.u32_slice(c),
         }
     }
 }
@@ -554,11 +729,30 @@ fn put_dict(out: &mut Vec<u8>, dict: &DistDict) {
 struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// Format v2: every plane's data is zero-padded to the next 8-byte
+    /// boundary, skipped (and checked) after each slice read.
+    aligned: bool,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(buf: &'a [u8]) -> Cursor<'a> {
-        Cursor { buf, pos: 0 }
+    fn new(buf: &'a [u8], aligned: bool) -> Cursor<'a> {
+        Cursor {
+            buf,
+            pos: 0,
+            aligned,
+        }
+    }
+
+    /// Consumes the zero padding a v2 writer emitted after a plane; a
+    /// nonzero pad byte means the file was not produced by our writer.
+    fn skip_pad(&mut self) -> Result<(), PersistError> {
+        if self.aligned && !self.pos.is_multiple_of(8) {
+            let pad = self.bytes(8 - self.pos % 8)?;
+            if pad.iter().any(|&b| b != 0) {
+                return Err(PersistError::Corrupt("nonzero plane padding byte"));
+            }
+        }
+        Ok(())
     }
 
     fn bytes(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
@@ -598,24 +792,30 @@ impl<'a> Cursor<'a> {
     fn u32_vec(&mut self) -> Result<Vec<u32>, PersistError> {
         let n = self.len_prefix(4)?;
         let raw = self.bytes(n * 4)?;
-        Ok(raw
+        let v = raw
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
-            .collect())
+            .collect();
+        self.skip_pad()?;
+        Ok(v)
     }
 
     fn u16_vec(&mut self) -> Result<Vec<u16>, PersistError> {
         let n = self.len_prefix(2)?;
         let raw = self.bytes(n * 2)?;
-        Ok(raw
+        let v = raw
             .chunks_exact(2)
             .map(|c| u16::from_le_bytes(c.try_into().expect("2-byte chunk")))
-            .collect())
+            .collect();
+        self.skip_pad()?;
+        Ok(v)
     }
 
     fn u8_vec(&mut self) -> Result<Vec<u8>, PersistError> {
         let n = self.len_prefix(1)?;
-        Ok(self.bytes(n)?.to_vec())
+        let v = self.bytes(n)?.to_vec();
+        self.skip_pad()?;
+        Ok(v)
     }
 
     fn f64_vec(&mut self) -> Result<Vec<f64>, PersistError> {
@@ -658,14 +858,13 @@ fn validate_offsets(offsets: &[u32], nodes: usize, entries: usize) -> Result<(),
 }
 
 /// Flat-rank invariant: strictly ascending hub ranks within every node's
-/// slice (what the merge-join and scatter scans rely on); with a
-/// `rank_bound`, additionally every rank `< bound` (ascent means only
-/// each slice's last rank needs the comparison).
-fn validate_csr_ranks(
-    offsets: &[u32],
-    ranks: &[u32],
-    rank_bound: Option<u32>,
-) -> Result<(), PersistError> {
+/// slice (what the merge-join and scatter scans rely on). Returns the
+/// maximum rank seen (`None` when there are no entries) — ascent means
+/// only each slice's last rank competes — so the caller can enforce the
+/// vertex-rank bound and the v2 `max_rank` header field in the same
+/// pass.
+fn validate_csr_ranks(offsets: &[u32], ranks: &[u32]) -> Result<Option<u32>, PersistError> {
+    let mut max: Option<u32> = None;
     for v in 0..offsets.len() - 1 {
         let slice = &ranks[offsets[v] as usize..offsets[v + 1] as usize];
         if slice.windows(2).any(|w| w[0] >= w[1]) {
@@ -673,26 +872,21 @@ fn validate_csr_ranks(
                 "hub ranks not strictly ascending within a node",
             ));
         }
-        if let (Some(bound), Some(&last)) = (rank_bound, slice.last()) {
-            if last >= bound {
-                return Err(PersistError::Corrupt("hub rank exceeds node count"));
-            }
+        if let Some(&last) = slice.last() {
+            max = Some(max.map_or(last, |m| m.max(last)));
         }
     }
-    Ok(())
+    Ok(max)
 }
 
-/// Varint-block invariants: byte offsets monotone and in range, every
-/// block holding exactly one well-formed varint per entry, consuming
-/// exactly its bytes, and decoding to ranks that ascend strictly without
-/// wrapping `u32`. Runs the checked decoder — the unchecked hot-path
-/// form is only ever fed blocks that passed here.
-fn validate_varint_blocks(
-    offsets: &[u32],
+/// Byte-offset invariants of the varint backends: `nodes + 1` values,
+/// starting at 0, monotone nondecreasing, ending at the byte-stream
+/// length. `O(nodes)` with no decoding — this is the part of the varint
+/// validation the zero-copy load path keeps.
+fn validate_byte_offsets(
     byte_offsets: &[u32],
-    rank_bytes: &[u8],
     nodes: usize,
-    rank_bound: Option<u32>,
+    rank_bytes_len: usize,
 ) -> Result<(), PersistError> {
     if byte_offsets.len() != nodes + 1 {
         return Err(PersistError::Corrupt(
@@ -707,11 +901,28 @@ fn validate_varint_blocks(
     if byte_offsets.windows(2).any(|w| w[0] > w[1]) {
         return Err(PersistError::Corrupt("byte offsets not monotone"));
     }
-    if byte_offsets[nodes] as usize != rank_bytes.len() {
+    if byte_offsets[nodes] as usize != rank_bytes_len {
         return Err(PersistError::Corrupt(
             "byte-offset array end != rank byte count",
         ));
     }
+    Ok(())
+}
+
+/// Varint-block invariants: byte offsets monotone and in range, every
+/// block holding exactly one well-formed varint per entry, consuming
+/// exactly its bytes, and decoding to ranks that ascend strictly without
+/// wrapping `u32`. Runs the checked decoder — the unchecked hot-path
+/// form is only ever fed blocks that passed here. Returns the maximum
+/// decoded rank, as [`validate_csr_ranks`] does.
+fn validate_varint_blocks(
+    offsets: &[u32],
+    byte_offsets: &[u32],
+    rank_bytes: &[u8],
+    nodes: usize,
+) -> Result<Option<u32>, PersistError> {
+    validate_byte_offsets(byte_offsets, nodes, rank_bytes.len())?;
+    let mut max: Option<u32> = None;
     for v in 0..nodes {
         let block = &rank_bytes[byte_offsets[v] as usize..byte_offsets[v + 1] as usize];
         let count = (offsets[v + 1] - offsets[v]) as usize;
@@ -727,11 +938,10 @@ fn validate_varint_blocks(
                 return Err(PersistError::Corrupt("decoded hub rank exceeds u32"));
             }
         }
-        // Ascent means only the block's last rank needs the bound check.
-        if let Some(bound) = rank_bound {
-            if count > 0 && rank >= bound as u64 {
-                return Err(PersistError::Corrupt("hub rank exceeds node count"));
-            }
+        // Ascent means only the block's last rank competes for the max.
+        if count > 0 {
+            let last = rank as u32;
+            max = Some(max.map_or(last, |m| m.max(last)));
         }
         if pos != block.len() {
             return Err(PersistError::Corrupt(
@@ -739,15 +949,72 @@ fn validate_varint_blocks(
             ));
         }
     }
+    Ok(max)
+}
+
+/// The caller-side half of the rank checks: the PLL-level vertex-rank
+/// bound (`max < nodes`, when the caller asked for it) and, on v2 files,
+/// the cross-check that the header's O(1) `max_rank` field agrees with
+/// the ranks actually decoded — keeping the field honest for the mmap
+/// path, which trusts it without decoding.
+fn check_max_rank(
+    computed: Option<u32>,
+    stored: Option<u64>,
+    rank_bound: Option<u32>,
+) -> Result<(), PersistError> {
+    if let Some(stored) = stored {
+        if stored != computed.map_or(0, |m| m as u64) {
+            return Err(PersistError::Corrupt(
+                "max-rank field does not match label planes",
+            ));
+        }
+    }
+    if let (Some(bound), Some(max)) = (rank_bound, computed) {
+        if max >= bound {
+            return Err(PersistError::Corrupt("hub rank exceeds node count"));
+        }
+    }
     Ok(())
 }
 
-/// Dictionary invariants: the value table strictly ascending by bit
-/// pattern (finite, non-negative, deduplicated — bit order is numeric
-/// order), the code plane at the canonical width for the table size, and
-/// every code inside the table.
+/// The `O(1)` dictionary invariants: the code plane at the canonical
+/// width for the table size, and code count == entry count. This is all
+/// the zero-copy load path runs — the table-value scan and the per-code
+/// range scan ride on the v2 checksum there (a corrupt table behind a
+/// checksum collision yields a wrong distance or a clean bounds panic
+/// at query time, never unsoundness) — while the owned path layers the
+/// full scans on top ([`validate_dict`]).
+fn validate_dict_shape(dict: &DistDict, entries: usize) -> Result<(), PersistError> {
+    let expected_width = if dict.table.len() <= 1 << 8 {
+        1
+    } else if dict.table.len() <= 1 << 16 {
+        2
+    } else {
+        4
+    };
+    let (width, len) = match &dict.codes {
+        CodePlane::U8(c) => (1, c.len()),
+        CodePlane::U16(c) => (2, c.len()),
+        CodePlane::U32(c) => (4, c.len()),
+    };
+    if width != expected_width {
+        return Err(PersistError::Corrupt(
+            "code width not canonical for table size",
+        ));
+    }
+    if len != entries {
+        return Err(PersistError::Corrupt("code count != entry count"));
+    }
+    Ok(())
+}
+
+/// Full dictionary invariants: [`validate_dict_shape`] plus the value
+/// table (finite, non-negative, strictly ascending by bit pattern —
+/// bit order is numeric order, so this also rejects duplicates) and
+/// every code inside the table (`O(table + entries)`).
 fn validate_dict(dict: &DistDict, entries: usize) -> Result<(), PersistError> {
-    let table = &dict.table;
+    validate_dict_shape(dict, entries)?;
+    let table: &[f64] = &dict.table;
     // -0.0 is rejected too: its sign bit would break the sorted-by-bits
     // = sorted-numeric equivalence the encoder relies on.
     if table.iter().any(|d| !d.is_finite() || d.is_sign_negative()) {
@@ -760,28 +1027,13 @@ fn validate_dict(dict: &DistDict, entries: usize) -> Result<(), PersistError> {
             "dictionary table not strictly ascending",
         ));
     }
-    let expected_width = if table.len() <= 1 << 8 {
-        1
-    } else if table.len() <= 1 << 16 {
-        2
-    } else {
-        4
+    let max_code = match &dict.codes {
+        CodePlane::U8(c) => c.iter().map(|&x| x as usize).max(),
+        CodePlane::U16(c) => c.iter().map(|&x| x as usize).max(),
+        CodePlane::U32(c) => c.iter().map(|&x| x as usize).max(),
     };
-    let (width, len, max_code) = match &dict.codes {
-        CodePlane::U8(c) => (1, c.len(), c.iter().map(|&x| x as usize).max()),
-        CodePlane::U16(c) => (2, c.len(), c.iter().map(|&x| x as usize).max()),
-        CodePlane::U32(c) => (4, c.len(), c.iter().map(|&x| x as usize).max()),
-    };
-    if width != expected_width {
-        return Err(PersistError::Corrupt(
-            "code width not canonical for table size",
-        ));
-    }
-    if len != entries {
-        return Err(PersistError::Corrupt("code count != entry count"));
-    }
     if let Some(max) = max_code {
-        if max >= table.len() {
+        if max >= dict.table.len() {
             return Err(PersistError::Corrupt("dictionary code out of range"));
         }
     }
@@ -789,11 +1041,167 @@ fn validate_dict(dict: &DistDict, entries: usize) -> Result<(), PersistError> {
 }
 
 fn read_code_plane(cur: &mut Cursor<'_>) -> Result<CodePlane, PersistError> {
-    match cur.u8()? {
-        1 => Ok(CodePlane::U8(cur.u8_vec()?)),
-        2 => Ok(CodePlane::U16(cur.u16_vec()?)),
-        4 => Ok(CodePlane::U32(cur.u32_vec()?)),
+    // v1 spent one byte on the width tag; v2 spends an aligned word.
+    let width = if cur.aligned {
+        cur.u64()?
+    } else {
+        cur.u8()? as u64
+    };
+    match width {
+        1 => Ok(CodePlane::U8(cur.u8_vec()?.into())),
+        2 => Ok(CodePlane::U16(cur.u16_vec()?.into())),
+        4 => Ok(CodePlane::U32(cur.u32_vec()?.into())),
         _ => Err(PersistError::Corrupt("unknown code width")),
+    }
+}
+
+/// Plane reader for the zero-copy load path: walks a checksummed v2
+/// payload exactly like [`Cursor`] in aligned mode, but instead of
+/// copying each plane out it hands back a [`Plane::borrowed`] view into
+/// the backing [`MmapRegion`]. Bounds come from the same length
+/// prefixes; alignment is guaranteed by the v2 writer's padding and
+/// re-checked by `Plane::borrowed` anyway.
+struct BorrowCursor<'a> {
+    region: &'a Arc<MmapRegion>,
+    payload_len: usize,
+    /// Payload-relative position; the plane's absolute byte offset is
+    /// `HEADER_LEN + pos`.
+    pos: usize,
+}
+
+impl<'a> BorrowCursor<'a> {
+    fn new(region: &'a Arc<MmapRegion>) -> BorrowCursor<'a> {
+        BorrowCursor {
+            region,
+            payload_len: region.as_bytes().len() - HEADER_LEN,
+            pos: 0,
+        }
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        let end = self.pos.checked_add(8).ok_or(PersistError::Truncated)?;
+        if end > self.payload_len {
+            return Err(PersistError::Truncated);
+        }
+        let b = &self.region.as_bytes()[HEADER_LEN + self.pos..HEADER_LEN + end];
+        self.pos = end;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// Reads one `[len: u64][data][pad8]` plane as a borrow into the
+    /// region.
+    fn plane<T: PlanePod>(&mut self) -> Result<Plane<T>, PersistError> {
+        let n = self.u64()?;
+        let n = usize::try_from(n).map_err(|_| PersistError::Truncated)?;
+        let data_len = n
+            .checked_mul(std::mem::size_of::<T>())
+            .ok_or(PersistError::Truncated)?;
+        let end = self
+            .pos
+            .checked_add(data_len)
+            .ok_or(PersistError::Truncated)?;
+        let padded = end
+            .checked_add(end.wrapping_neg() % 8)
+            .ok_or(PersistError::Truncated)?;
+        if padded > self.payload_len {
+            return Err(PersistError::Truncated);
+        }
+        let plane = Plane::borrowed(self.region, HEADER_LEN + self.pos, n)
+            .ok_or(PersistError::Corrupt("plane misaligned in mapped file"))?;
+        self.pos = padded;
+        Ok(plane)
+    }
+
+    fn finish(&self) -> Result<(), PersistError> {
+        if self.pos != self.payload_len {
+            return Err(PersistError::Corrupt("trailing bytes after payload"));
+        }
+        Ok(())
+    }
+}
+
+fn borrow_code_plane(cur: &mut BorrowCursor<'_>) -> Result<CodePlane, PersistError> {
+    match cur.u64()? {
+        1 => Ok(CodePlane::U8(cur.plane()?)),
+        2 => Ok(CodePlane::U16(cur.plane()?)),
+        4 => Ok(CodePlane::U32(cur.plane()?)),
+        _ => Err(PersistError::Corrupt("unknown code width")),
+    }
+}
+
+/// The fixed header, parsed and cross-checked against the caller's
+/// snapshot — every check both load paths (owned decode and zero-copy
+/// borrow) run before touching a single payload byte.
+struct Header {
+    version: u16,
+    storage: LabelStorage,
+    fp: SnapshotFingerprint,
+    stored_checksum: u64,
+}
+
+impl Header {
+    fn read(
+        bytes: &[u8],
+        expected_nodes: usize,
+        expected_graph_hash: u64,
+    ) -> Result<Header, PersistError> {
+        // Checks length >= HEADER_LEN, magic, and version range.
+        let fp = SnapshotFingerprint::read_from_bytes(bytes)?;
+        let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+        let tag = bytes[6];
+        let storage = *LabelStorage::ALL
+            .get(tag as usize)
+            .ok_or(PersistError::BadStorageTag(tag))?;
+        if bytes[7] != 0 {
+            return Err(PersistError::Corrupt("reserved header byte not zero"));
+        }
+        let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+        let payload_len = u64_at(32);
+        let stored_checksum = u64_at(40);
+        if fp.nodes != expected_nodes as u64 {
+            return Err(PersistError::StaleIndex {
+                what: "nodes",
+                expected: expected_nodes as u64,
+                found: fp.nodes,
+            });
+        }
+        if fp.graph_hash != expected_graph_hash {
+            return Err(PersistError::StaleIndex {
+                what: "graph hash",
+                expected: expected_graph_hash,
+                found: fp.graph_hash,
+            });
+        }
+        // Offsets are u32, so both counts must fit.
+        if fp.nodes >= u32::MAX as u64 || fp.entries > u32::MAX as u64 {
+            return Err(PersistError::Corrupt("node or entry count exceeds u32"));
+        }
+        let actual = (bytes.len() - HEADER_LEN) as u64;
+        if payload_len != actual {
+            return Err(if payload_len > actual {
+                PersistError::Truncated
+            } else {
+                PersistError::Corrupt("trailing bytes after payload")
+            });
+        }
+        Ok(Header {
+            version,
+            storage,
+            fp,
+            stored_checksum,
+        })
+    }
+
+    fn verify_checksum(&self, payload: &[u8]) -> Result<(), PersistError> {
+        let sum = if self.version >= FORMAT_VERSION {
+            checksum(payload)
+        } else {
+            checksum_v1(payload)
+        };
+        if sum != self.stored_checksum {
+            return Err(PersistError::ChecksumMismatch);
+        }
+        Ok(())
     }
 }
 
@@ -802,46 +1210,79 @@ fn read_code_plane(cur: &mut Cursor<'_>) -> Result<CodePlane, PersistError> {
 // ---------------------------------------------------------------------
 
 impl LabelStore {
-    /// Serializes this store into the versioned on-disk byte format,
-    /// stamping `graph_hash` (see [`graph_fingerprint`]) into the header
-    /// fingerprint. The inverse of [`LabelStore::from_bytes`].
+    /// Serializes this store into the current (v2) on-disk byte format —
+    /// `max_rank` word first, then 8-byte-aligned planes — stamping
+    /// `graph_hash` (see [`graph_fingerprint`]) into the header
+    /// fingerprint. The inverse of [`LabelStore::from_bytes`], and the
+    /// layout [`LabelStore::load_mmap`] borrows without decoding.
     pub fn to_bytes(&self, graph_hash: u64) -> Vec<u8> {
-        let mut payload = Vec::new();
+        self.encode(graph_hash, FORMAT_VERSION)
+    }
+
+    /// Writes the legacy byte-packed v1 layout. Only the backward-
+    /// compatibility tests should need this; new files are always v2.
+    #[doc(hidden)]
+    pub fn to_bytes_v1(&self, graph_hash: u64) -> Vec<u8> {
+        self.encode(graph_hash, LEGACY_FORMAT_VERSION)
+    }
+
+    /// The maximum hub rank across every node's label list (`None` when
+    /// the store has no entries) — the v2 header's O(1) substitute for
+    /// decoding the rank planes on the mmap load path.
+    fn max_hub_rank(&self) -> Option<u32> {
+        // Ranks ascend within a node, so each list's last entry competes.
+        (0..self.num_nodes())
+            .filter_map(|v| self.entries(v).last())
+            .map(|e| e.hub_rank)
+            .max()
+    }
+
+    fn encode(&self, graph_hash: u64, version: u16) -> Vec<u8> {
+        let mut w = PayloadWriter::new(version >= FORMAT_VERSION);
+        if w.aligned {
+            w.u64(self.max_hub_rank().map_or(0, |m| m as u64));
+        }
         match self {
             LabelStore::Csr(l) => {
-                put_u32_slice(&mut payload, &l.offsets);
-                put_u32_slice(&mut payload, &l.hub_ranks);
-                put_f64_slice(&mut payload, &l.dists);
+                w.u32_slice(&l.offsets);
+                w.u32_slice(&l.hub_ranks);
+                w.f64_slice(&l.dists);
             }
             LabelStore::Compressed(l) => {
-                put_u32_slice(&mut payload, &l.offsets);
-                put_u32_slice(&mut payload, &l.byte_offsets);
-                put_u8_slice(&mut payload, &l.rank_bytes);
-                put_f64_slice(&mut payload, &l.dists);
+                w.u32_slice(&l.offsets);
+                w.u32_slice(&l.byte_offsets);
+                w.u8_slice(&l.rank_bytes);
+                w.f64_slice(&l.dists);
             }
             LabelStore::CsrDict(l) => {
-                put_u32_slice(&mut payload, &l.offsets);
-                put_u32_slice(&mut payload, &l.hub_ranks);
-                put_dict(&mut payload, &l.dists);
+                w.u32_slice(&l.offsets);
+                w.u32_slice(&l.hub_ranks);
+                w.dict(&l.dists);
             }
             LabelStore::CompressedDict(l) => {
-                put_u32_slice(&mut payload, &l.offsets);
-                put_u32_slice(&mut payload, &l.byte_offsets);
-                put_u8_slice(&mut payload, &l.rank_bytes);
-                put_dict(&mut payload, &l.dists);
+                w.u32_slice(&l.offsets);
+                w.u32_slice(&l.byte_offsets);
+                w.u8_slice(&l.rank_bytes);
+                w.dict(&l.dists);
             }
         }
+        let payload = w.out;
         let stats = self.stats();
         let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
         out.extend_from_slice(&MAGIC);
-        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&version.to_le_bytes());
         out.push(self.storage() as u8);
         out.push(0); // reserved
-        put_u64(&mut out, stats.nodes as u64);
-        put_u64(&mut out, stats.total_entries as u64);
-        put_u64(&mut out, graph_hash);
-        put_u64(&mut out, payload.len() as u64);
-        put_u64(&mut out, checksum(&payload));
+        out.extend_from_slice(&(stats.nodes as u64).to_le_bytes());
+        out.extend_from_slice(&(stats.total_entries as u64).to_le_bytes());
+        out.extend_from_slice(&graph_hash.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        let sum = if version >= FORMAT_VERSION {
+            checksum(&payload)
+        } else {
+            checksum_v1(&payload)
+        };
+        out.extend_from_slice(&sum.to_le_bytes());
         out.extend_from_slice(&payload);
         out
     }
@@ -871,53 +1312,19 @@ impl LabelStore {
         expected_graph_hash: u64,
         ranks_are_vertex_ranks: bool,
     ) -> Result<LabelStore, PersistError> {
-        let fp = SnapshotFingerprint::read_from_bytes(bytes)?;
-        let (header, payload) = bytes.split_at(HEADER_LEN);
-        let tag = header[6];
-        let storage = *LabelStorage::ALL
-            .get(tag as usize)
-            .ok_or(PersistError::BadStorageTag(tag))?;
-        if header[7] != 0 {
-            return Err(PersistError::Corrupt("reserved header byte not zero"));
-        }
-        let mut h = Cursor::new(&header[32..]);
-        let payload_len = h.u64()?;
-        let stored_checksum = h.u64()?;
+        let header = Header::read(bytes, expected_nodes, expected_graph_hash)?;
+        let payload = &bytes[HEADER_LEN..];
+        header.verify_checksum(payload)?;
 
-        if fp.nodes != expected_nodes as u64 {
-            return Err(PersistError::StaleIndex {
-                what: "nodes",
-                expected: expected_nodes as u64,
-                found: fp.nodes,
-            });
-        }
-        if fp.graph_hash != expected_graph_hash {
-            return Err(PersistError::StaleIndex {
-                what: "graph hash",
-                expected: expected_graph_hash,
-                found: fp.graph_hash,
-            });
-        }
-        // Offsets are u32, so both counts must fit.
-        if fp.nodes >= u32::MAX as u64 || fp.entries > u32::MAX as u64 {
-            return Err(PersistError::Corrupt("node or entry count exceeds u32"));
-        }
-        if payload_len != payload.len() as u64 {
-            return Err(if payload_len > payload.len() as u64 {
-                PersistError::Truncated
-            } else {
-                PersistError::Corrupt("trailing bytes after payload")
-            });
-        }
-        if checksum(payload) != stored_checksum {
-            return Err(PersistError::ChecksumMismatch);
-        }
-
-        let nodes = fp.nodes as usize;
-        let entries = fp.entries as usize;
-        let rank_bound = ranks_are_vertex_ranks.then_some(fp.nodes as u32);
-        let mut cur = Cursor::new(payload);
-        let store = match storage {
+        let nodes = header.fp.nodes as usize;
+        let entries = header.fp.entries as usize;
+        let rank_bound = ranks_are_vertex_ranks.then_some(header.fp.nodes as u32);
+        let aligned = header.version >= FORMAT_VERSION;
+        let mut cur = Cursor::new(payload, aligned);
+        // v2 leads with the max-rank word; cross-checked below against
+        // the ranks actually decoded, so the mmap path can trust it.
+        let stored_max_rank = if aligned { Some(cur.u64()?) } else { None };
+        let store = match header.storage {
             LabelStorage::Csr => {
                 let offsets = cur.u32_vec()?;
                 let hub_ranks = cur.u32_vec()?;
@@ -927,11 +1334,12 @@ impl LabelStore {
                     return Err(PersistError::Corrupt("plane length != entry count"));
                 }
                 validate_offsets(&offsets, nodes, entries)?;
-                validate_csr_ranks(&offsets, &hub_ranks, rank_bound)?;
+                let max = validate_csr_ranks(&offsets, &hub_ranks)?;
+                check_max_rank(max, stored_max_rank, rank_bound)?;
                 LabelStore::Csr(LabelSet {
-                    offsets,
-                    hub_ranks,
-                    dists,
+                    offsets: offsets.into(),
+                    hub_ranks: hub_ranks.into(),
+                    dists: dists.into(),
                 })
             }
             LabelStorage::Compressed => {
@@ -944,12 +1352,13 @@ impl LabelStore {
                     return Err(PersistError::Corrupt("plane length != entry count"));
                 }
                 validate_offsets(&offsets, nodes, entries)?;
-                validate_varint_blocks(&offsets, &byte_offsets, &rank_bytes, nodes, rank_bound)?;
+                let max = validate_varint_blocks(&offsets, &byte_offsets, &rank_bytes, nodes)?;
+                check_max_rank(max, stored_max_rank, rank_bound)?;
                 LabelStore::Compressed(CompressedLabelSet {
-                    offsets,
-                    byte_offsets,
-                    rank_bytes,
-                    dists,
+                    offsets: offsets.into(),
+                    byte_offsets: byte_offsets.into(),
+                    rank_bytes: rank_bytes.into(),
+                    dists: dists.into(),
                 })
             }
             LabelStorage::CsrDict => {
@@ -962,12 +1371,16 @@ impl LabelStore {
                     return Err(PersistError::Corrupt("plane length != entry count"));
                 }
                 validate_offsets(&offsets, nodes, entries)?;
-                validate_csr_ranks(&offsets, &hub_ranks, rank_bound)?;
-                let dists = DistDict { table, codes };
+                let max = validate_csr_ranks(&offsets, &hub_ranks)?;
+                check_max_rank(max, stored_max_rank, rank_bound)?;
+                let dists = DistDict {
+                    table: table.into(),
+                    codes,
+                };
                 validate_dict(&dists, entries)?;
                 LabelStore::CsrDict(DictLabelSet {
-                    offsets,
-                    hub_ranks,
+                    offsets: offsets.into(),
+                    hub_ranks: hub_ranks.into(),
                     dists,
                 })
             }
@@ -979,9 +1392,143 @@ impl LabelStore {
                 let codes = read_code_plane(&mut cur)?;
                 cur.finish()?;
                 validate_offsets(&offsets, nodes, entries)?;
-                validate_varint_blocks(&offsets, &byte_offsets, &rank_bytes, nodes, rank_bound)?;
-                let dists = DistDict { table, codes };
+                let max = validate_varint_blocks(&offsets, &byte_offsets, &rank_bytes, nodes)?;
+                check_max_rank(max, stored_max_rank, rank_bound)?;
+                let dists = DistDict {
+                    table: table.into(),
+                    codes,
+                };
                 validate_dict(&dists, entries)?;
+                LabelStore::CompressedDict(CompressedDictLabelSet {
+                    offsets: offsets.into(),
+                    byte_offsets: byte_offsets.into(),
+                    rank_bytes: rank_bytes.into(),
+                    dists,
+                })
+            }
+        };
+        Ok(store)
+    }
+
+    /// Zero-copy decode of a mapped index file: validates the header,
+    /// the payload checksum, and the `O(nodes)` structural metadata,
+    /// then borrows every plane straight out of `region` — no per-entry
+    /// decode, no copies. v1 (or any pre-v2) files fall back to the
+    /// owned decode path, since their planes are unaligned.
+    ///
+    /// The trust model differs from [`LabelStore::from_bytes`]: the
+    /// per-entry invariant scans (rank ascent, varint well-formedness,
+    /// dictionary-code range) are vouched for by the payload checksum —
+    /// written by the same validated writer — instead of being re-proven
+    /// element by element. Loading still never panics on any input, and
+    /// every query path is bounds-checked safe Rust, so even an
+    /// adversarial file that engineered a checksum collision could only
+    /// cause a query-time panic or wrong distance, never unsoundness.
+    /// For untrusted bytes, use the owned path.
+    pub fn from_region(
+        region: &Arc<MmapRegion>,
+        expected_nodes: usize,
+        expected_graph_hash: u64,
+    ) -> Result<LabelStore, PersistError> {
+        Self::from_region_impl(region, expected_nodes, expected_graph_hash, false)
+    }
+
+    /// [`LabelStore::from_region`] plus, when `ranks_are_vertex_ranks`,
+    /// the PLL-level vertex-rank bound — enforced in O(1) via the v2
+    /// header's `max_rank` word instead of decoding the rank planes.
+    pub(crate) fn from_region_impl(
+        region: &Arc<MmapRegion>,
+        expected_nodes: usize,
+        expected_graph_hash: u64,
+        ranks_are_vertex_ranks: bool,
+    ) -> Result<LabelStore, PersistError> {
+        let bytes = region.as_bytes();
+        let header = Header::read(bytes, expected_nodes, expected_graph_hash)?;
+        if header.version < FORMAT_VERSION {
+            // Legacy layout: unaligned planes, byte-wise checksum, no
+            // max-rank word — decode into owned storage instead.
+            return LabelStore::from_bytes_impl(
+                bytes,
+                expected_nodes,
+                expected_graph_hash,
+                ranks_are_vertex_ranks,
+            );
+        }
+        header.verify_checksum(&bytes[HEADER_LEN..])?;
+
+        let nodes = header.fp.nodes as usize;
+        let entries = header.fp.entries as usize;
+        let mut cur = BorrowCursor::new(region);
+        // The v2 max-rank word is the O(1) stand-in for decoding the
+        // rank planes (the owned path cross-checks it at write/load
+        // time, so it is as trustworthy as the planes themselves).
+        let max_rank = cur.u64()?;
+        if ranks_are_vertex_ranks && entries > 0 && max_rank >= header.fp.nodes {
+            return Err(PersistError::Corrupt("hub rank exceeds node count"));
+        }
+        let store = match header.storage {
+            LabelStorage::Csr => {
+                let offsets: Plane<u32> = cur.plane()?;
+                let hub_ranks: Plane<u32> = cur.plane()?;
+                let dists: Plane<f64> = cur.plane()?;
+                cur.finish()?;
+                if hub_ranks.len() != entries || dists.len() != entries {
+                    return Err(PersistError::Corrupt("plane length != entry count"));
+                }
+                validate_offsets(&offsets, nodes, entries)?;
+                LabelStore::Csr(LabelSet {
+                    offsets,
+                    hub_ranks,
+                    dists,
+                })
+            }
+            LabelStorage::Compressed => {
+                let offsets: Plane<u32> = cur.plane()?;
+                let byte_offsets: Plane<u32> = cur.plane()?;
+                let rank_bytes: Plane<u8> = cur.plane()?;
+                let dists: Plane<f64> = cur.plane()?;
+                cur.finish()?;
+                if dists.len() != entries {
+                    return Err(PersistError::Corrupt("plane length != entry count"));
+                }
+                validate_offsets(&offsets, nodes, entries)?;
+                validate_byte_offsets(&byte_offsets, nodes, rank_bytes.len())?;
+                LabelStore::Compressed(CompressedLabelSet {
+                    offsets,
+                    byte_offsets,
+                    rank_bytes,
+                    dists,
+                })
+            }
+            LabelStorage::CsrDict => {
+                let offsets: Plane<u32> = cur.plane()?;
+                let hub_ranks: Plane<u32> = cur.plane()?;
+                let table: Plane<f64> = cur.plane()?;
+                let codes = borrow_code_plane(&mut cur)?;
+                cur.finish()?;
+                if hub_ranks.len() != entries {
+                    return Err(PersistError::Corrupt("plane length != entry count"));
+                }
+                validate_offsets(&offsets, nodes, entries)?;
+                let dists = DistDict { table, codes };
+                validate_dict_shape(&dists, entries)?;
+                LabelStore::CsrDict(DictLabelSet {
+                    offsets,
+                    hub_ranks,
+                    dists,
+                })
+            }
+            LabelStorage::CompressedDict => {
+                let offsets: Plane<u32> = cur.plane()?;
+                let byte_offsets: Plane<u32> = cur.plane()?;
+                let rank_bytes: Plane<u8> = cur.plane()?;
+                let table: Plane<f64> = cur.plane()?;
+                let codes = borrow_code_plane(&mut cur)?;
+                cur.finish()?;
+                validate_offsets(&offsets, nodes, entries)?;
+                validate_byte_offsets(&byte_offsets, nodes, rank_bytes.len())?;
+                let dists = DistDict { table, codes };
+                validate_dict_shape(&dists, entries)?;
                 LabelStore::CompressedDict(CompressedDictLabelSet {
                     offsets,
                     byte_offsets,
@@ -991,6 +1538,20 @@ impl LabelStore {
             }
         };
         Ok(store)
+    }
+
+    /// Memory-maps the index at `path` and borrows every label plane in
+    /// place — the zero-copy counterpart of [`LabelStore::load_from`].
+    /// Same staleness and checksum guarantees; see
+    /// [`LabelStore::from_region`] for what per-entry validation is
+    /// traded for the checksum, and [`IndexLoadMode`] for when to pick
+    /// which. The returned store pins the mapping for as long as it (or
+    /// anything cloned from it) lives; [`LabelStore::is_zero_copy`]
+    /// reports whether borrowing actually happened (a v1 file loads via
+    /// the owned fallback).
+    pub fn load_mmap(path: &Path, graph: &ExpertGraph) -> Result<LabelStore, PersistError> {
+        let region = MmapRegion::map_file(path)?;
+        LabelStore::from_region(&region, graph.num_nodes(), graph_fingerprint(graph))
     }
 
     /// Saves this store to `path` as a versioned dump fingerprinted with
@@ -1069,6 +1630,46 @@ impl PrunedLandmarkLabeling {
             store,
             start.elapsed(),
         ))
+    }
+
+    /// Memory-maps a previously saved index for `graph` — the zero-copy
+    /// counterpart of [`PrunedLandmarkLabeling::load_from`], selected by
+    /// [`IndexLoadMode::Mmap`]. Format-v2 planes are borrowed straight
+    /// from the page cache (no decode, no copy; see
+    /// [`LabelStore::load_mmap`]); v1 files fall back to the owned
+    /// decode. The PLL-level vertex-rank bound is enforced in O(1) via
+    /// the v2 header's `max_rank` field, which the owned write/load
+    /// paths keep cross-checked against the actual label planes.
+    ///
+    /// Queries are bit-identical to [`PrunedLandmarkLabeling::load_from`]
+    /// and to the build that produced the file.
+    pub fn load_mmap(
+        path: &Path,
+        graph: &ExpertGraph,
+    ) -> Result<PrunedLandmarkLabeling, PersistError> {
+        let start = Instant::now();
+        let region = MmapRegion::map_file(path)?;
+        let store = LabelStore::from_region_impl(
+            &region,
+            graph.num_nodes(),
+            graph_fingerprint(graph),
+            true,
+        )?;
+        Ok(PrunedLandmarkLabeling::from_loaded_store(
+            store,
+            start.elapsed(),
+        ))
+    }
+
+    /// [`PrunedLandmarkLabeling::load_mmap`] under a [`RetryPolicy`] —
+    /// transient I/O failures retried, structural failures immediate,
+    /// exactly like [`PrunedLandmarkLabeling::load_from_with_retry`].
+    pub fn load_mmap_with_retry(
+        path: &Path,
+        graph: &ExpertGraph,
+        retry: &RetryPolicy,
+    ) -> Result<PrunedLandmarkLabeling, PersistError> {
+        retry.run(|_| PrunedLandmarkLabeling::load_mmap(path, graph))
     }
 
     /// [`PrunedLandmarkLabeling::save_to`] under a [`RetryPolicy`] —

@@ -208,11 +208,13 @@ fn header_field_corruption_yields_the_matching_error() {
 
 #[test]
 fn dictionary_code_beyond_table_is_rejected_not_panicking() {
-    // One entry, one table value: the only legal code is 0. The code is
-    // the final payload byte; patch it to 1 (== table len) and re-seal.
+    // One entry, one table value: the only legal code is 0. The code
+    // plane is the final plane — one u8 followed by 7 alignment-pad
+    // bytes in the v2 layout — so the code itself sits 8 bytes from the
+    // end; patch it to 1 (== table len) and re-seal.
     let store = LabelStore::from(DictLabelSet::from_lists(&[vec![e(0, 0.5)]]));
     let mut bytes = store.to_bytes(HASH);
-    let last = bytes.len() - 1;
+    let last = bytes.len() - 8;
     bytes[last] = 1;
     reseal(&mut bytes);
     let err = LabelStore::from_bytes(&bytes, 1, HASH).unwrap_err();
@@ -224,14 +226,14 @@ fn dictionary_code_beyond_table_is_rejected_not_panicking() {
 
 #[test]
 fn malformed_varint_block_is_rejected_not_panicking() {
-    // Compressed layout: offsets (8+8), byte_offsets (8+8), then the
-    // rank-byte block (8-byte length prefix + one varint byte). Setting
-    // that varint's continuation bit leaves the block truncated
-    // mid-varint — exactly what the unchecked hot-path decoder would
-    // have walked off the end of.
+    // Compressed v2 layout: max-rank word (8), offsets (8+8),
+    // byte_offsets (8+8), then the rank-byte block (8-byte length
+    // prefix + one varint byte). Setting that varint's continuation bit
+    // leaves the block truncated mid-varint — exactly what the
+    // unchecked hot-path decoder would have walked off the end of.
     let store = LabelStore::from(CompressedLabelSet::from_lists(&[vec![e(0, 0.5)]]));
     let mut bytes = store.to_bytes(HASH);
-    let rank_byte = HEADER_LEN + 16 + 16 + 8;
+    let rank_byte = HEADER_LEN + 8 + 16 + 16 + 8;
     assert_eq!(bytes[rank_byte], 0x00, "rank 0 encodes as one zero byte");
     bytes[rank_byte] = 0x80;
     reseal(&mut bytes);
@@ -244,12 +246,13 @@ fn malformed_varint_block_is_rejected_not_panicking() {
 
 #[test]
 fn non_monotone_offsets_are_rejected_not_panicking() {
-    // CSR layout: offsets block = 8-byte length prefix + [0, 1, 2] u32s.
-    // Patching offsets[1] to 5 breaks monotonicity (and the slice bounds
-    // the unchecked `of()` would have used).
+    // CSR v2 layout: max-rank word, then the offsets block = 8-byte
+    // length prefix + [0, 1, 2] u32s. Patching offsets[1] to 5 breaks
+    // monotonicity (and the slice bounds the unchecked `of()` would
+    // have used).
     let store = LabelStore::from(LabelSet::from_lists(&[vec![e(0, 1.0)], vec![e(1, 2.0)]]));
     let mut bytes = store.to_bytes(HASH);
-    let offset1 = HEADER_LEN + 8 + 4;
+    let offset1 = HEADER_LEN + 8 + 8 + 4;
     bytes[offset1..offset1 + 4].copy_from_slice(&5u32.to_le_bytes());
     reseal(&mut bytes);
     let err = LabelStore::from_bytes(&bytes, 2, HASH).unwrap_err();
@@ -262,7 +265,7 @@ fn descending_csr_ranks_are_rejected() {
     // first, then swap the two rank u32s (offsets 8+12 in) and re-seal.
     let store = LabelStore::from(LabelSet::from_lists(&[vec![e(3, 1.0), e(9, 2.0)]]));
     let mut bytes = store.to_bytes(HASH);
-    let ranks_at = HEADER_LEN + (8 + 8) + 8; // offsets block, ranks length prefix
+    let ranks_at = HEADER_LEN + 8 + (8 + 8) + 8; // max-rank word, offsets block, ranks length prefix
     bytes[ranks_at..ranks_at + 4].copy_from_slice(&9u32.to_le_bytes());
     bytes[ranks_at + 4..ranks_at + 8].copy_from_slice(&3u32.to_le_bytes());
     reseal(&mut bytes);

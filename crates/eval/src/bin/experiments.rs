@@ -5,7 +5,7 @@
 //!             [--scale tiny|small|medium|paper] [--out DIR]
 //!             [--pll-threads N] [--pll-batch N]
 //!             [--pll-storage csr|compressed|csr-dict|compressed-dict]
-//!             [--pll-load FILE] [--pll-save FILE]
+//!             [--pll-load FILE] [--pll-save FILE] [--pll-mmap]
 //!             [--mutate N]
 //! ```
 //!
@@ -18,9 +18,11 @@
 //! the parser reads). `--pll-load` points at a persistent index file:
 //! load it when its snapshot fingerprint matches, else build and save it
 //! there (the load-or-build cold start); `--pll-save` additionally dumps
-//! the built/loaded index to an explicit file. The labels are
-//! bit-identical in every case — these flags tune cold-start time and
-//! index memory, never results.
+//! the built/loaded index to an explicit file; `--pll-mmap` switches the
+//! load to the zero-copy path (the label planes are borrowed from the
+//! memory-mapped file instead of decoded into owned storage). The labels
+//! are bit-identical in every case — these flags tune cold-start time
+//! and index memory, never results.
 //!
 //! `--mutate N` runs the durable replay mode: N deterministic graph
 //! mutations (new publications, occasionally a new author) acknowledged
@@ -45,6 +47,7 @@ struct Args {
     pll_storage: Option<LabelStorage>,
     pll_load: Option<PathBuf>,
     pll_save: Option<PathBuf>,
+    pll_mmap: bool,
     mutate: Option<usize>,
 }
 
@@ -57,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
     let mut pll_storage = None;
     let mut pll_load = None;
     let mut pll_save = None;
+    let mut pll_mmap = false;
     let mut mutate = None;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
@@ -98,6 +102,7 @@ fn parse_args() -> Result<Args, String> {
                 let v = argv.next().ok_or("--pll-save needs a value")?;
                 pll_save = Some(PathBuf::from(v));
             }
+            "--pll-mmap" => pll_mmap = true,
             "--mutate" => {
                 let v = argv.next().ok_or("--mutate needs a value")?;
                 let n: usize = v.parse().map_err(|_| format!("bad mutation count '{v}'"))?;
@@ -112,7 +117,7 @@ fn parse_args() -> Result<Args, String> {
                             [--scale tiny|small|medium|paper] [--out DIR|-] \
                             [--pll-threads N] [--pll-batch N] \
                             [--pll-storage {}] \
-                            [--pll-load FILE] [--pll-save FILE] [--mutate N]",
+                            [--pll-load FILE] [--pll-save FILE] [--pll-mmap] [--mutate N]",
                     LabelStorage::usage()
                 ))
             }
@@ -131,6 +136,7 @@ fn parse_args() -> Result<Args, String> {
         pll_storage,
         pll_load,
         pll_save,
+        pll_mmap,
         mutate,
     })
 }
@@ -161,6 +167,9 @@ fn main() {
         options.pll_build.storage = st;
     }
     options.pll_index_path = args.pll_load.clone();
+    if args.pll_mmap {
+        options.pll_load_mode = atd_core::IndexLoadMode::Mmap;
+    }
     let storage = options.pll_build.storage;
     let tb = Testbed::with_options(args.scale, options);
     println!(
@@ -173,13 +182,18 @@ fn main() {
     );
     if let Some(path) = &args.pll_load {
         println!(
-            "pll index: {} {}",
+            "pll index: {} {}{}",
             if tb.engine.pll_index_loaded() {
                 "loaded from"
             } else {
                 "built fresh and saved to"
             },
-            path.display()
+            path.display(),
+            if tb.engine.pll_index_zero_copy() {
+                " (zero-copy mmap)"
+            } else {
+                ""
+            }
         );
     }
     if let Some(warning) = tb.engine.pll_persist_warning() {

@@ -138,6 +138,7 @@ impl GraphBuilder {
             targets,
             weights,
             authority: self.authority,
+            fingerprint: std::sync::OnceLock::new(),
         })
     }
 }

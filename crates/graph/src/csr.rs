@@ -20,6 +20,11 @@ pub struct ExpertGraph {
     pub(crate) targets: Vec<NodeId>,
     pub(crate) weights: Vec<f64>,
     pub(crate) authority: Vec<f64>,
+    /// Memoized content fingerprint (see [`fingerprint_or_init`]
+    /// (Self::fingerprint_or_init)). Cloning carries the cached value —
+    /// a clone has identical content — while the weight-remapping
+    /// constructors start fresh.
+    pub(crate) fingerprint: std::sync::OnceLock<u64>,
 }
 
 impl ExpertGraph {
@@ -63,6 +68,31 @@ impl ExpertGraph {
     #[inline]
     pub fn authorities(&self) -> &[f64] {
         &self.authority
+    }
+
+    /// Memoized 64-bit content fingerprint: computed by `compute` on
+    /// first call, then served from a cache slot for the graph's
+    /// lifetime. The graph is immutable after construction, so any pure
+    /// function of its content may be cached this way; the distance
+    /// crate uses it for the persisted-index staleness hash, which sits
+    /// on every index load and every durable journal append. All
+    /// callers must pass the same `compute` (the slot memoizes the
+    /// first result, whoever supplies it).
+    #[inline]
+    pub fn fingerprint_or_init(&self, compute: impl FnOnce(&ExpertGraph) -> u64) -> u64 {
+        *self.fingerprint.get_or_init(|| compute(self))
+    }
+
+    /// The raw CSR arrays — `(offsets, targets, weights)` — as read-only
+    /// slices. Each undirected edge appears in both endpoint slices; the
+    /// builder produces a canonical layout (deduplicated, deterministic
+    /// adjacency order), so two equal graphs always expose identical
+    /// arrays. This is the bulk-access path for fingerprinting and
+    /// serialization; per-node traversal should go through
+    /// [`neighbors`](Self::neighbors).
+    #[inline]
+    pub fn csr_parts(&self) -> (&[u32], &[NodeId], &[f64]) {
+        (&self.offsets, &self.targets, &self.weights)
     }
 
     /// Weight of the edge `(u, v)` if present.
@@ -137,6 +167,7 @@ impl ExpertGraph {
             targets: self.targets.clone(),
             weights,
             authority: self.authority.clone(),
+            fingerprint: std::sync::OnceLock::new(),
         }
     }
 
